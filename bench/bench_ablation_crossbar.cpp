@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Ablation of the device/circuit design tradeoffs discussed in paper
+ * Sec. V-C: crossbar supply voltage and interconnect parasitics trade
+ * dot-product fidelity against energy. Reproduced with the full nodal
+ * (Gauss-Seidel) crossbar solve:
+ *
+ *  - higher wire resistance / larger arrays -> more IR-drop error;
+ *  - raising the read voltage does not fix the *relative* IR-drop but
+ *    raises energy quadratically -- the reason NEBULA's magneto-metallic
+ *    neurons (low input resistance) and low-voltage MTJ reads matter;
+ *  - lowering crossbar conductance (thicker MTJ oxide) reduces both the
+ *    error and the energy, at the cost of read-current margin.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "circuit/crossbar.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace nebula {
+namespace {
+
+struct FidelityResult
+{
+    double maxRelError = 0.0;
+    double energy = 0.0;
+};
+
+FidelityResult
+measure(int size, double wire_ohm, double read_v, double oxide_nm)
+{
+    CrossbarParams p;
+    p.rows = p.cols = size;
+    p.wireResistance = wire_ohm;
+    p.readVoltage = read_v;
+    p.mtj.oxideThickness = oxide_nm * units::nm;
+
+    CrossbarArray xbar(p);
+    Rng rng(991);
+    std::vector<float> weights(static_cast<size_t>(size) * size);
+    for (auto &w : weights)
+        w = static_cast<float>(rng.uniform(-1.0, 1.0));
+    xbar.programWeights(weights);
+
+    std::vector<double> inputs(static_cast<size_t>(size));
+    for (auto &x : inputs)
+        x = rng.uniform(0.0, 1.0);
+
+    const auto ideal = xbar.evaluateIdeal(inputs, 110 * units::ns);
+    const auto real = xbar.evaluateParasitic(inputs, 110 * units::ns,
+                                             600, 1e-10);
+    FidelityResult result;
+    result.energy = real.energy;
+    double scale = 0.0;
+    for (double i : ideal.currents)
+        scale = std::max(scale, std::abs(i));
+    for (int j = 0; j < size; ++j)
+        result.maxRelError =
+            std::max(result.maxRelError,
+                     std::abs(real.currents[j] - ideal.currents[j]) /
+                         scale);
+    return result;
+}
+
+void
+report()
+{
+    Table size_sweep("Ablation: array size vs dot-product fidelity "
+                     "(wire 2.5 ohm/cell, 0.25 V)",
+                     {"array", "max rel error", "energy/eval (pJ)"});
+    for (int size : {16, 32, 64, 128}) {
+        const auto r = measure(size, 2.5, 0.25, 1.0);
+        size_sweep.row()
+            .add(std::to_string(size) + "x" + std::to_string(size))
+            .add(formatDouble(100 * r.maxRelError, 2) + "%")
+            .add(toPj(r.energy), 2);
+    }
+    size_sweep.print(std::cout);
+
+    Table wire_sweep("Ablation: wire resistance vs fidelity (64x64)",
+                     {"ohm/cell", "max rel error", "energy/eval (pJ)"});
+    for (double ohm : {0.5, 1.0, 2.5, 5.0, 10.0}) {
+        const auto r = measure(64, ohm, 0.25, 1.0);
+        wire_sweep.row()
+            .add(ohm, 1)
+            .add(formatDouble(100 * r.maxRelError, 2) + "%")
+            .add(toPj(r.energy), 2);
+    }
+    wire_sweep.print(std::cout);
+
+    Table voltage_sweep("Ablation: read voltage vs energy (64x64, "
+                        "2.5 ohm/cell)",
+                        {"V_read", "max rel error", "energy/eval (pJ)"});
+    for (double v : {0.1, 0.25, 0.5, 0.75}) {
+        const auto r = measure(64, 2.5, v, 1.0);
+        voltage_sweep.row()
+            .add(v, 2)
+            .add(formatDouble(100 * r.maxRelError, 2) + "%")
+            .add(toPj(r.energy), 2);
+    }
+    voltage_sweep.print(std::cout);
+
+    Table oxide_sweep("Ablation: MTJ oxide thickness (conductance range) "
+                      "vs fidelity/energy (64x64)",
+                      {"t_ox (nm)", "max rel error", "energy/eval (pJ)"});
+    for (double t : {0.9, 1.0, 1.1, 1.2}) {
+        const auto r = measure(64, 2.5, 0.25, t);
+        oxide_sweep.row()
+            .add(t, 2)
+            .add(formatDouble(100 * r.maxRelError, 2) + "%")
+            .add(toPj(r.energy), 2);
+    }
+    oxide_sweep.print(std::cout);
+    std::cout << "Expected: error grows with array size and wire\n"
+                 "resistance; energy grows ~V^2 with the read voltage\n"
+                 "while the relative IR-drop error stays, and a thicker\n"
+                 "oxide (lower conductance) trades read margin for both\n"
+                 "lower error and lower energy (paper Sec. V-C).\n";
+}
+
+void
+BM_ParasiticSolve64(benchmark::State &state)
+{
+    CrossbarParams p;
+    p.rows = p.cols = 64;
+    CrossbarArray xbar(p);
+    Rng rng(3);
+    std::vector<float> w(64 * 64);
+    for (auto &x : w)
+        x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    xbar.programWeights(w);
+    std::vector<double> inputs(64, 0.7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            xbar.evaluateParasitic(inputs, 110 * units::ns, 200, 1e-8)
+                .currents[0]);
+}
+BENCHMARK(BM_ParasiticSolve64)->Unit(benchmark::kMillisecond);
+
+void
+BM_IdealEval128(benchmark::State &state)
+{
+    CrossbarParams p;
+    CrossbarArray xbar(p);
+    Rng rng(4);
+    std::vector<float> w(128 * 128);
+    for (auto &x : w)
+        x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    xbar.programWeights(w);
+    std::vector<double> inputs(128, 0.6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            xbar.evaluateIdeal(inputs, 110 * units::ns).currents[0]);
+}
+BENCHMARK(BM_IdealEval128)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace nebula
+
+int
+main(int argc, char **argv)
+{
+    nebula::report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

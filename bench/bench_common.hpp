@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness: scaled benchmark-model
+ * training with on-disk caching (so the table/figure regenerators stay
+ * fast on re-runs), mapped-model construction and activity measurement.
+ *
+ * Scaling policy: energy/power/mapping studies always use the paper's
+ * FULL-SIZE topologies (they depend only on layer geometry + activity
+ * statistics). Accuracy studies (Tables I/II, Figs. 9/10) use
+ * width/resolution-scaled variants trained on the synthetic datasets,
+ * with timestep counts scaled accordingly; the printed tables carry the
+ * paper's reference numbers alongside for comparison.
+ */
+
+#ifndef NEBULA_BENCH_COMMON_HPP
+#define NEBULA_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "arch/energy_model.hpp"
+#include "arch/mapping.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "nn/datasets.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+#include "snn/convert.hpp"
+#include "snn/snn_sim.hpp"
+
+namespace nebula {
+namespace bench {
+
+/** Cache directory for trained scaled models. */
+inline std::string
+cachePath(const std::string &tag)
+{
+    return "/tmp/nebula_bench_" + tag + ".bin";
+}
+
+/**
+ * Train (or load from cache) a model on a dataset.
+ *
+ * @param tag      Cache key; delete /tmp/nebula_bench_<tag>.bin to force
+ *                 retraining.
+ * @param builder  Fresh-network factory (same topology every call).
+ * @param train    Training set.
+ * @param epochs   Epochs if training is needed.
+ */
+inline Network
+trainedModel(const std::string &tag, const std::function<Network()> &builder,
+             const Dataset &train, int epochs, double lr = 0.06)
+{
+    Network net = builder();
+    if (net.load(cachePath(tag)))
+        return net;
+
+    TrainConfig cfg;
+    cfg.epochs = epochs;
+    cfg.batchSize = 32;
+    cfg.learningRate = lr;
+    SgdTrainer trainer(cfg);
+    trainer.train(net, train);
+    net.save(cachePath(tag));
+    return net;
+}
+
+/** Forward once to fix geometry, then map. */
+inline NetworkMapping
+mapFullModel(Network &net, int channels, int spatial)
+{
+    Tensor x({1, channels, spatial, spatial});
+    net.forward(x);
+    return LayerMapper().map(net);
+}
+
+/** Build + map one of the paper's full-size models by name. */
+inline NetworkMapping
+mapPaperModel(const std::string &name)
+{
+    Network net = buildPaperModel(name);
+    const int spatial = (name == "alexnet") ? 64 : 32;
+    const int channels = (name == "mlp3" || name == "lenet5") ? 1 : 3;
+    const int sp = (name == "mlp3" || name == "lenet5") ? 28 : spatial;
+    return mapFullModel(net, channels, sp);
+}
+
+/**
+ * Measure a per-weight-layer SNN input-activity profile by running a
+ * trained scaled model's converted SNN on a few images, then
+ * interpolating onto a target layer count. Falls back to the synthetic
+ * decaying profile when no measurement is available.
+ */
+inline ActivityProfile
+measuredSnnProfile(SnnSimulator &sim, const Dataset &data, int images,
+                   int timesteps, size_t target_layers)
+{
+    std::vector<double> activity;
+    for (int i = 0; i < images; ++i) {
+        const auto result = sim.run(data.image(i), timesteps);
+        if (activity.empty())
+            activity.assign(result.ifActivity.size(), 0.0);
+        for (size_t k = 0; k < result.ifActivity.size(); ++k)
+            activity[k] += result.ifActivity[k] / images;
+    }
+    // Input layer activity ~ mean pixel rate; prepend it, then resample.
+    activity.insert(activity.begin(), 0.3);
+
+    ActivityProfile profile;
+    profile.inputActivity.resize(target_layers);
+    for (size_t i = 0; i < target_layers; ++i) {
+        const double pos = target_layers > 1
+                               ? static_cast<double>(i) *
+                                     (activity.size() - 1) /
+                                     (target_layers - 1)
+                               : 0.0;
+        const size_t lo = static_cast<size_t>(pos);
+        const size_t hi = std::min(lo + 1, activity.size() - 1);
+        const double frac = pos - lo;
+        profile.inputActivity[i] =
+            activity[lo] * (1 - frac) + activity[hi] * frac;
+    }
+    return profile;
+}
+
+} // namespace bench
+} // namespace nebula
+
+#endif // NEBULA_BENCH_COMMON_HPP

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Reproduces paper Fig. 1(b): DW-MTJ device characteristics -- domain
+ * wall displacement (and resulting conductance change) versus
+ * programming current magnitude, showing the linear regime above the
+ * critical current (device calibrated per Emori et al. geometry).
+ *
+ * Also microbenchmarks the device kernels (DW pulse, synapse program).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "device/domain_wall.hpp"
+#include "device/mtj.hpp"
+#include "device/synapse_device.hpp"
+
+namespace nebula {
+namespace {
+
+void
+printDeviceCharacteristics()
+{
+    DwTrackParams track;
+    MtjStack mtj((MtjParams()));
+    const double pulse = 110 * units::ns;
+    const double i_crit =
+        track.criticalDensity * track.hmCrossSection();
+
+    Table table("Fig 1(b): DW displacement & conductance vs programming "
+                "current (110 ns pulse)",
+                {"I_prog (uA)", "I/I_crit", "displacement (nm)",
+                 "states moved", "G (uS)", "dG/dI (nm/uA)"});
+
+    double prev_disp = 0.0, prev_current = 0.0;
+    for (double factor : {0.5, 0.9, 1.0, 1.2, 1.5, 2.0, 2.5, 3.0, 3.5,
+                          4.0, 5.0, 6.0}) {
+        const double current = factor * i_crit;
+        DomainWallTrack dw(track);
+        const double disp = dw.applyCurrent(current, pulse);
+        const double g =
+            mtj.conductanceAt(dw.pinnedPosition() / track.length);
+        const double slope =
+            (current > prev_current && factor > 1.0)
+                ? (disp - prev_disp) / (current - prev_current) /
+                      (units::nm / units::uA)
+                : 0.0;
+        table.row()
+            .add(current / units::uA, 3)
+            .add(factor, 2)
+            .add(disp / units::nm, 2)
+            .add(static_cast<long long>(dw.stateIndex()))
+            .add(g / units::uS, 3)
+            .add(slope, 3);
+        prev_disp = disp;
+        prev_current = current;
+    }
+    table.print(std::cout);
+    std::cout << "Expected shape: zero displacement below I_crit, then\n"
+                 "displacement (and conductance) linear in overdrive\n"
+                 "current -- constant dG/dI slope (paper Fig. 1b).\n";
+
+    Table states("16-state synapse programming (20 nm pinning grid)",
+                 {"level", "G (uS)", "program pulses", "energy (fJ)"});
+    for (int level : {0, 3, 7, 11, 15}) {
+        SynapseDevice dev;
+        const int pulses = dev.program(level, 16);
+        states.row()
+            .add(static_cast<long long>(level))
+            .add(dev.conductance() / units::uS, 3)
+            .add(static_cast<long long>(pulses))
+            .add(dev.programEnergy() / units::fJ, 1);
+    }
+    states.print(std::cout);
+}
+
+void
+BM_DomainWallPulse(benchmark::State &state)
+{
+    DwTrackParams p;
+    DomainWallTrack track(p);
+    const double current = 2.0 * p.criticalDensity * p.hmCrossSection();
+    for (auto _ : state) {
+        track.applyCurrent(current, 1 * units::ns);
+        if (track.position() >= p.length)
+            track.reset();
+        benchmark::DoNotOptimize(track.position());
+    }
+}
+BENCHMARK(BM_DomainWallPulse);
+
+void
+BM_SynapseProgram(benchmark::State &state)
+{
+    int level = 0;
+    for (auto _ : state) {
+        SynapseDevice dev;
+        dev.program(level, 16);
+        benchmark::DoNotOptimize(dev.conductance());
+        level = (level + 7) % 16;
+    }
+}
+BENCHMARK(BM_SynapseProgram);
+
+} // namespace
+} // namespace nebula
+
+int
+main(int argc, char **argv)
+{
+    nebula::printDeviceCharacteristics();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12: layer-wise energy of ISAAC (4-bit adapted)
+ * normalized to NEBULA-ANN, for AlexNet and MobileNet-v1. Expected
+ * shape: NEBULA wins on every layer; MobileNet's depthwise (even) layers
+ * save more than the pointwise (odd) ones; AlexNet's spilled large-Rf
+ * layers show the smallest savings.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "baselines/isaac.hpp"
+#include "bench_common.hpp"
+
+namespace nebula {
+namespace {
+
+void
+reportModel(const std::string &name, const std::string &title)
+{
+    NetworkMapping mapping = bench::mapPaperModel(name);
+    EnergyModel model;
+    IsaacModel isaac;
+
+    const auto act = ActivityProfile::uniform(mapping.layers.size(), 0.5);
+    const auto nebula_e = model.evaluateAnn(mapping, act);
+    const auto isaac_e = isaac.evaluate(mapping, 0.5);
+
+    Table table("Fig 12 (" + title + "): layer-wise ISAAC energy / "
+                            "NEBULA-ANN energy",
+                {"layer", "name", "Rf", "kernels", "NEBULA (nJ)",
+                 "ISAAC (nJ)", "ISAAC/NEBULA"});
+    for (size_t i = 0; i < mapping.layers.size(); ++i) {
+        table.row()
+            .add(static_cast<long long>(i + 1))
+            .add(mapping.layers[i].name)
+            .add(static_cast<long long>(mapping.layers[i].rf))
+            .add(static_cast<long long>(mapping.layers[i].kernels))
+            .add(toNj(nebula_e.layers[i].energy), 2)
+            .add(toNj(isaac_e.layers[i].energy), 2)
+            .add(formatRatio(isaac_e.layers[i].energy /
+                             nebula_e.layers[i].energy));
+    }
+    table.print(std::cout);
+    std::cout << "Total: NEBULA " << formatDouble(toUj(nebula_e.totalEnergy), 2)
+              << " uJ vs ISAAC " << formatDouble(toUj(isaac_e.totalEnergy), 2)
+              << " uJ -> " << formatRatio(isaac_e.totalEnergy /
+                                          nebula_e.totalEnergy)
+              << " (paper: MobileNet ~7.9x, AlexNet ~2.8x)\n";
+}
+
+void
+BM_MapAndEvaluateMobileNet(benchmark::State &state)
+{
+    for (auto _ : state) {
+        NetworkMapping mapping = bench::mapPaperModel("mobilenet");
+        EnergyModel model;
+        const auto result = model.evaluateAnn(
+            mapping, ActivityProfile::uniform(mapping.layers.size(), 0.5));
+        benchmark::DoNotOptimize(result.totalEnergy);
+    }
+}
+BENCHMARK(BM_MapAndEvaluateMobileNet)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace nebula
+
+int
+main(int argc, char **argv)
+{
+    nebula::reportModel("alexnet", "AlexNet");
+    nebula::reportModel("mobilenet", "MobileNet-v1");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

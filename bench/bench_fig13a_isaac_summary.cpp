@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces paper Fig. 13(a): average energy consumption of ISAAC
+ * (4-bit adapted) normalized to NEBULA-ANN across the ANN benchmark
+ * suite. Expected shape: NEBULA wins everywhere (paper: 2.8x AlexNet up
+ * to 7.9x MobileNet); savings are largest for networks dominated by
+ * small receptive fields (depthwise/pointwise convolutions).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "baselines/isaac.hpp"
+#include "bench_common.hpp"
+
+namespace nebula {
+namespace {
+
+void
+report()
+{
+    struct Row { const char *id; const char *label; };
+    const Row rows[] = {
+        {"mlp3", "3-layer MLP (MNIST)"},
+        {"lenet5", "LeNet5 (MNIST)"},
+        {"vgg13", "VGG-13 (CIFAR-10)"},
+        {"mobilenet", "MobileNet-v1 (CIFAR-10)"},
+        {"svhn", "SVHN Network"},
+        {"alexnet", "AlexNet (ImageNet-like)"},
+    };
+
+    EnergyModel model;
+    IsaacModel isaac;
+    IsaacModel isaac16(IsaacConfig::original16bit());
+
+    Table table("Fig 13(a): ISAAC energy normalized to NEBULA-ANN",
+                {"benchmark", "NEBULA (uJ)", "ISAAC-4b (uJ)",
+                 "ISAAC-4b/NEBULA", "ISAAC-16b/NEBULA"});
+    double worst = 0.0, best = 1e30;
+    for (const Row &row : rows) {
+        NetworkMapping mapping = bench::mapPaperModel(row.id);
+        const auto act =
+            ActivityProfile::uniform(mapping.layers.size(), 0.5);
+        const auto nebula_e = model.evaluateAnn(mapping, act);
+        const auto isaac_e = isaac.evaluate(mapping, 0.5);
+        const auto isaac16_e = isaac16.evaluate(mapping, 0.5);
+        const double ratio = isaac_e.totalEnergy / nebula_e.totalEnergy;
+        worst = std::max(worst, ratio);
+        best = std::min(best, ratio);
+        table.row()
+            .add(row.label)
+            .add(toUj(nebula_e.totalEnergy), 3)
+            .add(toUj(isaac_e.totalEnergy), 3)
+            .add(formatRatio(ratio))
+            .add(formatRatio(isaac16_e.totalEnergy /
+                             nebula_e.totalEnergy));
+    }
+    table.print(std::cout);
+    std::cout << "NEBULA-ANN is " << formatRatio(best) << " to "
+              << formatRatio(worst)
+              << " more energy-efficient than 4-bit ISAAC "
+                 "(paper: 2.8x to 7.9x, MobileNet highest).\n";
+}
+
+void
+BM_IsaacEvaluate(benchmark::State &state)
+{
+    NetworkMapping mapping = bench::mapPaperModel("vgg13");
+    IsaacModel isaac;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(isaac.evaluate(mapping, 0.5).totalEnergy);
+}
+BENCHMARK(BM_IsaacEvaluate)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace nebula
+
+int
+main(int argc, char **argv)
+{
+    nebula::report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

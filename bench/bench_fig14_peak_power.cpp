@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces paper Fig. 14: layer-wise peak power of NEBULA-ANN
+ * relative to NEBULA-SNN across the benchmark models. Expected shape:
+ * ANN peak power is an order of magnitude above SNN on every layer (the
+ * paper reports up to ~50x), because ANN drives every row with
+ * multi-level 0.75 V DACs each cycle while SNN drives only spiking rows
+ * with 1-bit 0.25 V drivers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace nebula {
+namespace {
+
+void
+reportModel(const char *id, const char *label)
+{
+    NetworkMapping mapping = bench::mapPaperModel(id);
+    EnergyModel model;
+    const auto ann = model.evaluateAnn(
+        mapping, ActivityProfile::uniform(mapping.layers.size(), 0.5));
+    const auto snn = model.evaluateSnn(
+        mapping, ActivityProfile::decaying(mapping.layers.size()), 100);
+
+    Table table(std::string("Fig 14 (") + label +
+                    "): layer-wise peak power, ANN vs SNN",
+                {"layer", "name", "ANN peak (mW)", "SNN peak (mW)",
+                 "ANN/SNN"});
+    double max_ratio = 0.0, sum_ratio = 0.0;
+    for (size_t i = 0; i < mapping.layers.size(); ++i) {
+        const double ratio =
+            ann.layers[i].peakPower / snn.layers[i].peakPower;
+        max_ratio = std::max(max_ratio, ratio);
+        sum_ratio += ratio;
+        table.row()
+            .add(static_cast<long long>(i + 1))
+            .add(mapping.layers[i].name)
+            .add(toMw(ann.layers[i].peakPower), 3)
+            .add(toMw(snn.layers[i].peakPower), 3)
+            .add(formatRatio(ratio));
+    }
+    table.print(std::cout);
+    std::cout << label << ": mean peak-power ratio "
+              << formatRatio(sum_ratio / mapping.layers.size())
+              << ", max " << formatRatio(max_ratio)
+              << " (paper: up to ~50x).\n";
+}
+
+void
+BM_PeakPowerSweep(benchmark::State &state)
+{
+    NetworkMapping mapping = bench::mapPaperModel("vgg13");
+    EnergyModel model;
+    const auto act = ActivityProfile::decaying(mapping.layers.size());
+    for (auto _ : state) {
+        double sum = 0.0;
+        for (size_t i = 0; i < mapping.layers.size(); ++i)
+            sum += model.layerActivePower(mapping.layers[i], Mode::SNN,
+                                          act.inputActivity[i]);
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_PeakPowerSweep);
+
+} // namespace
+} // namespace nebula
+
+int
+main(int argc, char **argv)
+{
+    nebula::reportModel("mlp3", "3-layer MLP");
+    nebula::reportModel("lenet5", "LeNet5");
+    nebula::reportModel("vgg13", "VGG-13");
+    nebula::reportModel("mobilenet", "MobileNet-v1");
+    nebula::reportModel("svhn", "SVHN Network");
+    nebula::reportModel("alexnet", "AlexNet");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Reproduces paper Fig. 15: component-wise energy breakdown of VGGNet
+ * on NEBULA in (a) SNN and (b) ANN modes. Expected shape: in SNN mode
+ * the memories (SRAM buffers + eDRAM) dominate and the single ADC's
+ * share grows (~12%) because it stays busy across all timesteps; in ANN
+ * mode the crossbars + DACs dominate (~65% combined in the paper).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace nebula {
+namespace {
+
+void
+printBreakdown(const char *title, const InferenceEnergy &result)
+{
+    Table table(title, {"component", "energy (uJ)", "share"});
+    for (const auto &kv : result.byComponent) {
+        table.row()
+            .add(kv.first)
+            .add(toUj(kv.second), 4)
+            .add(formatDouble(100.0 * kv.second / result.totalEnergy, 1) +
+                 "%");
+    }
+    table.row().add("TOTAL").add(toUj(result.totalEnergy), 4).add("100%");
+    table.print(std::cout);
+}
+
+void
+printLayerwise(const char *title, const NetworkMapping &mapping,
+               const InferenceEnergy &result)
+{
+    Table table(title, {"layer", "crossbar", "driver/dac", "sram",
+                        "edram", "adc", "other", "total (nJ)"});
+    for (size_t i = 0; i < result.layers.size(); ++i) {
+        const auto &layer = result.layers[i];
+        auto share = [&](const char *name) {
+            auto it = layer.byComponent.find(name);
+            const double v =
+                it == layer.byComponent.end() ? 0.0 : it->second;
+            return formatDouble(100.0 * v / layer.energy, 1) + "%";
+        };
+        const double other = layer.byComponent.at("neuron") +
+                             layer.byComponent.at("ru") +
+                             layer.byComponent.at("noc");
+        table.row()
+            .add(mapping.layers[i].name)
+            .add(share("crossbar"))
+            .add(share("driver/dac"))
+            .add(share("sram"))
+            .add(share("edram"))
+            .add(share("adc"))
+            .add(formatDouble(100.0 * other / layer.energy, 1) + "%")
+            .add(toNj(layer.energy), 1);
+    }
+    table.print(std::cout);
+}
+
+void
+report()
+{
+    NetworkMapping mapping = bench::mapPaperModel("vgg13");
+    EnergyModel model;
+
+    const auto snn = model.evaluateSnn(
+        mapping, ActivityProfile::decaying(mapping.layers.size()), 300);
+    const auto ann = model.evaluateAnn(
+        mapping, ActivityProfile::uniform(mapping.layers.size(), 0.5));
+
+    printBreakdown("Fig 15(a): VGG-13 SNN-mode component breakdown "
+                   "(T=300)",
+                   snn);
+    printLayerwise("Fig 15(a) layer-wise shares (SNN)", mapping, snn);
+    printBreakdown("Fig 15(b): VGG-13 ANN-mode component breakdown", ann);
+    printLayerwise("Fig 15(b) layer-wise shares (ANN)", mapping, ann);
+
+    std::cout << "Paper shape check: SNN memory (sram+edram) share "
+              << formatDouble(100 * (snn.componentShare("sram") +
+                                     snn.componentShare("edram")), 1)
+              << "% > ANN "
+              << formatDouble(100 * (ann.componentShare("sram") +
+                                     ann.componentShare("edram")), 1)
+              << "%; ANN crossbar+dac share "
+              << formatDouble(100 * (ann.componentShare("crossbar") +
+                                     ann.componentShare("driver/dac")), 1)
+              << "% (paper ~65%); SNN adc share "
+              << formatDouble(100 * snn.componentShare("adc"), 1)
+              << "% (paper ~12%).\n";
+}
+
+void
+BM_BreakdownEvaluate(benchmark::State &state)
+{
+    NetworkMapping mapping = bench::mapPaperModel("vgg13");
+    EnergyModel model;
+    const auto act = ActivityProfile::decaying(mapping.layers.size());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            model.evaluateSnn(mapping, act, 300).totalEnergy);
+}
+BENCHMARK(BM_BreakdownEvaluate)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace nebula
+
+int
+main(int argc, char **argv)
+{
+    nebula::report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

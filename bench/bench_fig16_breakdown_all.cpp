@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reproduces paper Fig. 16: component-wise relative energy breakdown of
+ * all benchmark models on NEBULA in (a) SNN and (b) ANN modes. Expected
+ * shape (paper): in SNN mode SRAM memories and crossbars followed by
+ * eDRAM dominate; in ANN mode crossbars and DACs are the major
+ * consumers, consistently across models.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace nebula {
+namespace {
+
+struct ModelCase
+{
+    const char *id;
+    const char *label;
+    int timesteps;
+};
+
+const ModelCase kModels[] = {
+    {"mlp3", "MLP (MNIST)", 50},
+    {"lenet5", "LeNet5 (MNIST)", 40},
+    {"vgg13", "VGG-13 (C10)", 300},
+    {"vgg13-c100", "VGG-13 (C100)", 1000},
+    {"mobilenet", "MobileNet (C10)", 500},
+    {"mobilenet-c100", "MobileNet (C100)", 1000},
+    {"svhn", "SVHN Net", 100},
+    {"alexnet", "AlexNet", 500},
+};
+
+void
+report(Mode mode)
+{
+    Table table(mode == Mode::SNN
+                    ? "Fig 16(a): SNN-mode component shares across models"
+                    : "Fig 16(b): ANN-mode component shares across models",
+                {"model", "crossbar", "driver/dac", "sram", "edram", "adc",
+                 "noc+ru+nu", "total (uJ)"});
+    EnergyModel model;
+    for (const ModelCase &mc : kModels) {
+        NetworkMapping mapping = bench::mapPaperModel(mc.id);
+        InferenceEnergy result;
+        if (mode == Mode::SNN) {
+            result = model.evaluateSnn(
+                mapping, ActivityProfile::decaying(mapping.layers.size()),
+                mc.timesteps);
+        } else {
+            result = model.evaluateAnn(
+                mapping,
+                ActivityProfile::uniform(mapping.layers.size(), 0.5));
+        }
+        auto pct = [&](double share) {
+            return formatDouble(100.0 * share, 1) + "%";
+        };
+        table.row()
+            .add(mc.label)
+            .add(pct(result.componentShare("crossbar")))
+            .add(pct(result.componentShare("driver/dac")))
+            .add(pct(result.componentShare("sram")))
+            .add(pct(result.componentShare("edram")))
+            .add(pct(result.componentShare("adc")))
+            .add(pct(result.componentShare("noc") +
+                     result.componentShare("ru") +
+                     result.componentShare("neuron")))
+            .add(toUj(result.totalEnergy), 2);
+    }
+    table.print(std::cout);
+}
+
+void
+BM_AllModelsBreakdown(benchmark::State &state)
+{
+    EnergyModel model;
+    for (auto _ : state) {
+        double total = 0.0;
+        for (const ModelCase &mc : {kModels[0], kModels[1]}) {
+            NetworkMapping mapping = bench::mapPaperModel(mc.id);
+            total += model
+                         .evaluateSnn(mapping,
+                                      ActivityProfile::decaying(
+                                          mapping.layers.size()),
+                                      mc.timesteps)
+                         .totalEnergy;
+        }
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_AllModelsBreakdown)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace nebula
+
+int
+main(int argc, char **argv)
+{
+    nebula::report(nebula::Mode::SNN);
+    nebula::report(nebula::Mode::ANN);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Reproduces paper Fig. 17: energy (top axes, normalized to SNN) and
+ * average power (bottom axes, normalized to ANN) of SNN vs hybrid vs
+ * ANN execution on NEBULA, for AlexNet, VGGNet and the SVHN network.
+ *
+ * Expected shape: pure-SNN energy is several times the ANN energy (the
+ * cost of distributing computation over T timesteps) and hybrids sit in
+ * between, improving as more trailing layers move to the ANN domain and
+ * as the iso-accuracy timestep count shrinks (paper Table II); power
+ * ordering is the reverse -- ANN highest (6.25-10x SNN), hybrids in
+ * between.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace nebula {
+namespace {
+
+struct HybridPoint
+{
+    const char *label;
+    int annLayers; //!< 0 = pure SNN, -1 = pure ANN
+    int timesteps; //!< iso-accuracy timesteps (paper Table II trend)
+};
+
+void
+reportModel(const char *id, const char *label, int snn_timesteps,
+            const std::vector<HybridPoint> &points)
+{
+    NetworkMapping mapping = bench::mapPaperModel(id);
+    EnergyModel model;
+    const auto snn_act = ActivityProfile::decaying(mapping.layers.size());
+    const auto ann_act =
+        ActivityProfile::uniform(mapping.layers.size(), 0.5);
+    const int n = static_cast<int>(mapping.layers.size());
+
+    const auto snn = model.evaluateSnn(mapping, snn_act, snn_timesteps);
+    const auto ann = model.evaluateAnn(mapping, ann_act);
+
+    Table table(std::string("Fig 17 (") + label +
+                    "): SNN vs hybrid vs ANN",
+                {"config", "t-steps", "energy (uJ)", "E/E_snn",
+                 "power (mW)", "P/P_ann"});
+    auto add_row = [&](const char *name, int t,
+                       const InferenceEnergy &r) {
+        table.row()
+            .add(name)
+            .add(static_cast<long long>(t))
+            .add(toUj(r.totalEnergy), 2)
+            .add(formatRatio(r.totalEnergy / snn.totalEnergy))
+            .add(toMw(r.avgPower), 2)
+            .add(formatRatio(r.avgPower / ann.avgPower));
+    };
+
+    add_row("SNN", snn_timesteps, snn);
+    for (const HybridPoint &p : points) {
+        const int split = n - p.annLayers;
+        // Boundary interface width and accumulated spikes, estimated
+        // from the mapped geometry and the activity profile.
+        const long long boundary_neurons =
+            mapping.layers[static_cast<size_t>(split - 1)].outputElements;
+        const double boundary_activity =
+            snn_act.inputActivity[static_cast<size_t>(split - 1)];
+        const long long boundary_spikes = static_cast<long long>(
+            boundary_neurons * boundary_activity * p.timesteps);
+        const auto hybrid =
+            model.evaluateHybrid(mapping, snn_act, split, p.timesteps,
+                                 boundary_neurons, boundary_spikes);
+        add_row(p.label, p.timesteps, hybrid);
+    }
+    add_row("ANN", 1, ann);
+    table.print(std::cout);
+
+    std::cout << label << ": E_snn/E_ann = "
+              << formatRatio(snn.totalEnergy / ann.totalEnergy)
+              << " (paper: ~5-10x), P_ann/P_snn = "
+              << formatRatio(ann.avgPower / snn.avgPower)
+              << " (paper: 6.25-10x).\n";
+}
+
+void
+BM_HybridEvaluate(benchmark::State &state)
+{
+    NetworkMapping mapping = bench::mapPaperModel("vgg13");
+    EnergyModel model;
+    const auto act = ActivityProfile::decaying(mapping.layers.size());
+    const int n = static_cast<int>(mapping.layers.size());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            model.evaluateHybrid(mapping, act, n - 2, 200, 512, 50000)
+                .totalEnergy);
+}
+BENCHMARK(BM_HybridEvaluate)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace nebula
+
+int
+main(int argc, char **argv)
+{
+    using nebula::HybridPoint;
+    // Iso-accuracy timesteps follow the paper's Table II trend: more
+    // ANN layers -> fewer timesteps needed.
+    nebula::reportModel("alexnet", "AlexNet", 500,
+                        {{"Hyb-1", 1, 400},
+                         {"Hyb-2", 2, 300},
+                         {"Hyb-3", 3, 200}});
+    nebula::reportModel("vgg13", "VGGNet", 300,
+                        {{"Hyb-1", 1, 250},
+                         {"Hyb-2", 2, 200},
+                         {"Hyb-3", 3, 100}});
+    nebula::reportModel("svhn", "SVHN", 100,
+                        {{"Hyb-1", 1, 80},
+                         {"Hyb-2", 2, 60},
+                         {"Hyb-3", 3, 40}});
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

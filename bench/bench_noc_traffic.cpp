@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Extension study (not a paper figure): simulated mesh-NoC traffic of
+ * one inference with the layers placed on the 14x14 chip (paper
+ * Fig. 6b), comparing ANN and SNN modes. Replaces the energy model's
+ * analytic average-hop estimate with per-packet XY routing including
+ * link contention. Expected: SNN rounds move far fewer flits per
+ * timestep (sparse 1-bit spikes vs dense 4-bit maps), and spilled
+ * layers add partial-sum convergecast traffic.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "arch/placement.hpp"
+#include "bench_common.hpp"
+
+namespace nebula {
+namespace {
+
+MeshNoc
+chipNoc()
+{
+    NocConfig cfg;
+    cfg.width = 14;
+    cfg.height = 14;
+    return MeshNoc(cfg);
+}
+
+void
+report()
+{
+    ChipPlacer placer;
+    Table table("Simulated NoC traffic per inference (14x14 mesh)",
+                {"model", "mode", "packets", "flits", "energy (nJ)",
+                 "avg hops", "avg latency (cyc)", "worst (cyc)",
+                 "cores", "fits"});
+
+    for (const char *name : {"svhn", "vgg13", "mobilenet"}) {
+        NetworkMapping mapping = bench::mapPaperModel(name);
+        const auto ann_act =
+            ActivityProfile::uniform(mapping.layers.size(), 0.5);
+        const auto snn_act =
+            ActivityProfile::decaying(mapping.layers.size());
+
+        for (Mode mode : {Mode::ANN, Mode::SNN}) {
+            const auto placement = placer.place(mapping, mode);
+            MeshNoc noc = chipNoc();
+            const auto stats = simulateInferenceTraffic(
+                mapping, placement, noc, mode,
+                mode == Mode::ANN ? ann_act : snn_act,
+                mode == Mode::SNN ? 10 : 1);
+            table.row()
+                .add(name)
+                .add(mode == Mode::ANN ? "ANN" : "SNN x10 steps")
+                .add(stats.packets)
+                .add(stats.flits)
+                .add(toNj(stats.energy), 2)
+                .add(stats.avgHops, 2)
+                .add(stats.avgLatency, 1)
+                .add(stats.worstLatency)
+                .add(placement.coresUsed)
+                .add(placement.fits ? "yes" : "wraps");
+        }
+    }
+    table.print(std::cout);
+    std::cout << "Note: ANN layers wrap onto the chip's 14 dedicated ANN\n"
+                 "cores (time-multiplexed), while the 182 SNN cores hold\n"
+                 "whole networks resident -- the reason the paper gives\n"
+                 "the SNN fabric 13x more cores.\n";
+}
+
+void
+BM_TrafficSimulation(benchmark::State &state)
+{
+    ChipPlacer placer;
+    NetworkMapping mapping = bench::mapPaperModel("svhn");
+    const auto placement = placer.place(mapping, Mode::SNN);
+    const auto act = ActivityProfile::decaying(mapping.layers.size());
+    for (auto _ : state) {
+        MeshNoc noc = chipNoc();
+        benchmark::DoNotOptimize(
+            simulateInferenceTraffic(mapping, placement, noc, Mode::SNN,
+                                     act, 5)
+                .packets);
+    }
+}
+BENCHMARK(BM_TrafficSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace nebula
+
+int
+main(int argc, char **argv)
+{
+    nebula::report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

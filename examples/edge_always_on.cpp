@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Scenario: always-on digit recognition at the edge (the paper's
+ * low-power motivation, Sec. I). A battery-powered sensor must classify
+ * house-number digits continuously within a ~2 mW power envelope.
+ *
+ * The example maps the SVHN network onto NEBULA, compares the ANN, SNN
+ * and hybrid execution modes against the power budget, and reports the
+ * battery life each mode achieves -- showing why the SNN/hybrid modes
+ * are the only viable always-on configurations, and what latency they
+ * trade for it.
+ *
+ * Build & run:  ./examples-bin/edge_always_on
+ */
+
+#include <iostream>
+
+#include "arch/energy_model.hpp"
+#include "arch/pipeline.hpp"
+#include "common/table.hpp"
+#include "nn/models.hpp"
+
+using namespace nebula;
+
+int
+main()
+{
+    std::cout << "== Always-on edge inference on NEBULA ==\n\n";
+
+    // Full-size SVHN network mapped onto the chip.
+    Network net = buildPaperModel("svhn");
+    Tensor probe({1, 3, 32, 32});
+    net.forward(probe);
+    LayerMapper mapper;
+    const auto mapping = mapper.map(net);
+
+    std::cout << "SVHN network: " << mapping.layers.size()
+              << " weight layers, " << mapping.totalCores()
+              << " neural cores, "
+              << (mapping.anyAdc() ? "uses" : "avoids")
+              << " the ADC spill path.\n\n";
+
+    EnergyModel model;
+    PipelineModel pipeline;
+    const auto snn_act = ActivityProfile::decaying(mapping.layers.size());
+    const auto ann_act =
+        ActivityProfile::uniform(mapping.layers.size(), 0.5);
+
+    const double budget = 2.0e-3;      // 2 mW envelope
+    const double battery_j = 3.7 * 0.2 * 3600; // 200 mAh @ 3.7 V
+
+    struct ModeRow
+    {
+        const char *name;
+        InferenceEnergy energy;
+        double latency;
+    };
+
+    const int T = 100;
+    std::vector<ModeRow> rows;
+    rows.push_back({"ANN", model.evaluateAnn(mapping, ann_act),
+                    pipeline.networkLatency(mapping, 1)});
+    rows.push_back({"SNN (T=100)", model.evaluateSnn(mapping, snn_act, T),
+                    pipeline.networkLatency(mapping, T)});
+    const int split = static_cast<int>(mapping.layers.size()) - 2;
+    const long long bneurons =
+        mapping.layers[static_cast<size_t>(split - 1)].outputElements;
+    rows.push_back(
+        {"Hybrid-2 (T=60)",
+         model.evaluateHybrid(mapping, snn_act, split, 60, bneurons,
+                              static_cast<long long>(bneurons * 0.1 * 60)),
+         pipeline.networkLatency(mapping, 60)});
+
+    Table table("Execution modes vs a 2 mW always-on budget",
+                {"mode", "power (mW)", "within budget",
+                 "latency/frame (us)", "energy/frame (uJ)",
+                 "battery life (days)"});
+    for (const ModeRow &row : rows) {
+        // Always-on: one inference immediately follows another, so
+        // average power is the sustained draw.
+        const double days =
+            battery_j / row.energy.avgPower / (24 * 3600);
+        table.row()
+            .add(row.name)
+            .add(toMw(row.energy.avgPower), 3)
+            .add(row.energy.avgPower <= budget ? "yes" : "NO")
+            .add(row.latency / units::us, 1)
+            .add(toUj(row.energy.totalEnergy), 2)
+            .add(days, 1);
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nThe ANN mode blows the envelope; the SNN mode fits with\n"
+           "an order of magnitude to spare but pays ~"
+        << formatDouble(rows[1].latency / rows[0].latency, 0)
+        << "x the latency. The hybrid splits the difference -- the\n"
+           "paper's argument for a multi-modal chip (Sec. VI-C3).\n";
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Quickstart: the full NEBULA flow in one file.
+ *
+ *  1. Train a small CNN on the synthetic digit dataset.
+ *  2. Quantize it to the chip's 4-bit datapath.
+ *  3. Program it onto the NEBULA chip model and run ANN inference
+ *     through the DW-MTJ crossbars.
+ *  4. Convert it to a spiking network and run SNN inference on-chip.
+ *  5. Compare accuracy, energy and power of the two modes.
+ *
+ * Build & run:  ./examples-bin/quickstart
+ */
+
+#include <iostream>
+
+#include "arch/chip.hpp"
+#include "arch/energy_model.hpp"
+#include "common/table.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/datasets.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/quantize.hpp"
+#include "nn/trainer.hpp"
+#include "snn/convert.hpp"
+
+using namespace nebula;
+
+int
+main()
+{
+    std::cout << "== NEBULA quickstart ==\n\n";
+
+    // 1. Data + model + training. ---------------------------------------
+    SyntheticDigits train_set(1200, 16, /*seed=*/1);
+    SyntheticDigits test_set(300, 16, /*seed=*/2);
+
+    Rng rng(7);
+    Network net("quickstart-cnn");
+    net.add<Conv2d>(1, 8, 3, 1, 1)->initKaiming(rng);
+    net.add<Relu>();
+    net.add<AvgPool2d>(2);
+    net.add<Conv2d>(8, 16, 3, 1, 1)->initKaiming(rng);
+    net.add<Relu>();
+    net.add<AvgPool2d>(2);
+    net.add<Flatten>();
+    net.add<Linear>(16 * 4 * 4, 10)->initKaiming(rng);
+
+    std::cout << net.summary() << "\n";
+
+    TrainConfig cfg;
+    cfg.epochs = 6;
+    cfg.learningRate = 0.08;
+    SgdTrainer trainer(cfg);
+    trainer.train(net, train_set);
+    const double float_acc = evaluateAccuracy(net, test_set);
+    std::cout << "float ANN accuracy: " << 100 * float_acc << "%\n";
+
+    // 2. Quantize to the 4-bit datapath. ---------------------------------
+    const Tensor calibration = train_set.firstImages(64);
+    const auto quant = quantizeNetwork(net, calibration, 16, 16);
+    const double quant_acc = evaluateAccuracy(net, test_set);
+    std::cout << "4-bit quantized accuracy: " << 100 * quant_acc << "%\n\n";
+
+    // 3. ANN mode on the chip model. --------------------------------------
+    NebulaChip chip;
+    chip.programAnn(net, quant);
+    int ann_correct = 0;
+    const int chip_images = 100;
+    for (int i = 0; i < chip_images; ++i) {
+        Tensor logits = chip.runAnn(test_set.image(i));
+        ann_correct += (logits.argmaxRow(0) == test_set.label(i));
+    }
+    std::cout << "on-chip ANN accuracy (" << chip_images
+              << " images): " << 100.0 * ann_correct / chip_images
+              << "%\n";
+    std::cout << "  crossbar evaluations: " << chip.stats().crossbarEvals
+              << ", analog array energy: "
+              << toNj(chip.stats().crossbarEnergy) << " nJ\n\n";
+
+    // 4. SNN mode on the chip model. --------------------------------------
+    SpikingModel snn = convertToSnn(net, calibration);
+    NebulaChip snn_chip;
+    snn_chip.programSnn(snn);
+    int snn_correct = 0;
+    const int timesteps = 50;
+    for (int i = 0; i < chip_images; ++i) {
+        const auto result = snn_chip.runSnn(test_set.image(i), timesteps);
+        snn_correct += (result.predictedClass() == test_set.label(i));
+    }
+    std::cout << "on-chip SNN accuracy (T=" << timesteps
+              << "): " << 100.0 * snn_correct / chip_images << "%\n";
+    std::cout << "  total spikes: " << snn_chip.stats().spikes << "\n\n";
+
+    // 5. Architectural energy / power accounting. -------------------------
+    const auto mapping = chip.mapping();
+    EnergyModel model;
+    const auto ann_energy = model.evaluateAnn(
+        mapping, ActivityProfile::uniform(mapping.layers.size(), 0.5));
+    const auto snn_energy = model.evaluateSnn(
+        mapping, ActivityProfile::decaying(mapping.layers.size()),
+        timesteps);
+
+    Table table("ANN vs SNN mode on NEBULA",
+                {"mode", "accuracy", "energy/inference (nJ)",
+                 "avg power (mW)", "peak power (mW)"});
+    table.row()
+        .add("ANN")
+        .add(formatDouble(100.0 * ann_correct / chip_images, 1) + "%")
+        .add(toNj(ann_energy.totalEnergy), 1)
+        .add(toMw(ann_energy.avgPower), 3)
+        .add(toMw(ann_energy.peakPower), 3);
+    table.row()
+        .add("SNN")
+        .add(formatDouble(100.0 * snn_correct / chip_images, 1) + "%")
+        .add(toNj(snn_energy.totalEnergy), 1)
+        .add(toMw(snn_energy.avgPower), 3)
+        .add(toMw(snn_energy.peakPower), 3);
+    table.print(std::cout);
+
+    std::cout << "\nSNN mode runs at "
+              << formatRatio(ann_energy.avgPower / snn_energy.avgPower)
+              << " lower average power; the energy cost is the "
+              << timesteps << "-step evidence integration.\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+#include "arch/accumulator.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+AccumulatorUnit::AccumulatorUnit(int lanes) : lanes_(lanes)
+{
+    NEBULA_ASSERT(lanes_ > 0, "AU needs at least one lane");
+    counts_.assign(static_cast<size_t>(lanes_), 0);
+}
+
+void
+AccumulatorUnit::accumulate(const std::vector<uint8_t> &spikes)
+{
+    NEBULA_ASSERT(spikes.size() <= static_cast<size_t>(lanes_),
+                  "spike vector wider than AU lanes: ", spikes.size(),
+                  " > ", lanes_);
+    for (size_t i = 0; i < spikes.size(); ++i) {
+        if (spikes[i]) {
+            counts_[i] = std::min(counts_[i] + 1, kMaxCount);
+            ++additions_;
+        }
+    }
+    ++window_;
+}
+
+int
+AccumulatorUnit::count(int i) const
+{
+    NEBULA_ASSERT(i >= 0 && i < lanes_, "AU lane out of range");
+    return counts_[static_cast<size_t>(i)];
+}
+
+std::vector<float>
+AccumulatorUnit::scaledValues(int timesteps, float lambda) const
+{
+    NEBULA_ASSERT(timesteps > 0, "bad accumulation window");
+    std::vector<float> out(static_cast<size_t>(lanes_));
+    for (int i = 0; i < lanes_; ++i)
+        out[static_cast<size_t>(i)] =
+            static_cast<float>(counts_[static_cast<size_t>(i)]) /
+            timesteps * lambda;
+    return out;
+}
+
+void
+AccumulatorUnit::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    additions_ = 0;
+    window_ = 0;
+}
+
+} // namespace nebula

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Digital Accumulator Unit (paper Fig. 6c, Table III): 1024 lanes of
+ * 8-bit adder + 16-bit register that count boundary-layer spikes over a
+ * time window in hybrid mode, before scaling hands the values to the
+ * ANN cores.
+ */
+
+#ifndef NEBULA_ARCH_ACCUMULATOR_HPP
+#define NEBULA_ARCH_ACCUMULATOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace nebula {
+
+/** Functional + energy model of one AU array. */
+class AccumulatorUnit
+{
+  public:
+    /** @param lanes Counter lanes (paper: 1024 per AU). */
+    explicit AccumulatorUnit(int lanes = 1024);
+
+    /**
+     * Accumulate one timestep of spikes; entries beyond the lane count
+     * are rejected (callers shard wide layers over several AUs).
+     */
+    void accumulate(const std::vector<uint8_t> &spikes);
+
+    /** Counter value of lane i. */
+    int count(int i) const;
+
+    /** Scaled continuous outputs: count / timesteps * lambda. */
+    std::vector<float> scaledValues(int timesteps, float lambda) const;
+
+    /** Clear all counters for the next inference. */
+    void reset();
+
+    /** Adds performed since construction (energy accounting). */
+    long long additions() const { return additions_; }
+
+    /** Timesteps observed since the last reset. */
+    int window() const { return window_; }
+
+    int lanes() const { return lanes_; }
+
+    /** 16-bit registers saturate (paper register width). */
+    static constexpr int kMaxCount = 65535;
+
+  private:
+    int lanes_;
+    std::vector<int> counts_;
+    long long additions_ = 0;
+    int window_ = 0;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_ARCH_ACCUMULATOR_HPP

@@ -1,0 +1,421 @@
+#include "arch/chip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/driver.hpp"
+#include "common/logging.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "snn/encoder.hpp"
+
+namespace nebula {
+
+NebulaChip::NebulaChip(const NebulaConfig &config, double variation_sigma,
+                       uint64_t seed)
+    : config_(config), variationSigma_(variation_sigma), seed_(seed),
+      mapper_(config), runSeeds_(seed ^ 0xc41bu)
+{
+    NocConfig noc_cfg;
+    noc_cfg.width = config_.meshWidth;
+    noc_cfg.height = config_.meshHeight;
+    noc_ = MeshNoc(noc_cfg);
+}
+
+NebulaChip::MappedLayer
+NebulaChip::mapWeightLayer(const Layer &layer, int index,
+                           float weight_scale, Mode mode)
+{
+    MappedLayer mapped;
+    mapped.source = &layer;
+    mapped.map = mapper_.mapLayer(layer, index);
+    mapped.weightScale = weight_scale > 0 ? weight_scale : 1.0f;
+
+    CrossbarParams xp;
+    xp.levels = 1 << config_.precisionBits;
+    xp.readVoltage = mode == Mode::ANN ? 0.75 : 0.25;
+    xp.variationSigma = variationSigma_;
+    xp.variationSeed = seed_ + static_cast<uint64_t>(index) * 977;
+
+    const int m = config_.atomicSize;
+    auto &mutable_layer = const_cast<Layer &>(layer);
+    const auto params = mutable_layer.parameters();
+    const Tensor &w = *params[0];
+    if (params.size() > 1) {
+        const Tensor &b = *params[1];
+        mapped.bias.assign(b.data(), b.data() + b.size());
+    } else {
+        mapped.bias.assign(static_cast<size_t>(layer.numKernels()), 0.0f);
+    }
+
+    const int rf = layer.receptiveField();
+    const int kernels = layer.numKernels();
+
+    if (layer.kind() == LayerKind::DwConv && rf <= m) {
+        // Diagonal packing: kpa kernels per crossbar, disjoint row blocks.
+        const int kpa = std::max(1, m / rf);
+        mapped.dwKernelsPerAc = kpa;
+        const int groups = (kernels + kpa - 1) / kpa;
+        for (int g = 0; g < groups; ++g) {
+            const int local = std::min(kpa, kernels - g * kpa);
+            xp.rows = local * rf;
+            xp.cols = local;
+            std::vector<float> cells(
+                static_cast<size_t>(xp.rows) * xp.cols, 0.0f);
+            for (int j = 0; j < local; ++j) {
+                const int kernel = g * kpa + j;
+                for (int r = 0; r < rf; ++r) {
+                    cells[static_cast<size_t>(j * rf + r) * xp.cols + j] =
+                        w[static_cast<long long>(kernel) * rf + r] /
+                        mapped.weightScale;
+                }
+            }
+            auto xbar = std::make_unique<CrossbarArray>(xp);
+            xbar->programWeights(cells);
+            mapped.groups.push_back(std::move(xbar));
+        }
+    } else {
+        const int groups = (kernels + m - 1) / m;
+        for (int g = 0; g < groups; ++g) {
+            const int local = std::min(m, kernels - g * m);
+            xp.rows = rf;
+            xp.cols = local;
+            std::vector<float> cells(static_cast<size_t>(rf) * local, 0.0f);
+            for (int r = 0; r < rf; ++r)
+                for (int j = 0; j < local; ++j)
+                    cells[static_cast<size_t>(r) * local + j] =
+                        w[static_cast<long long>(g * m + j) * rf + r] /
+                        mapped.weightScale;
+            auto xbar = std::make_unique<CrossbarArray>(xp);
+            xbar->programWeights(cells);
+            mapped.groups.push_back(std::move(xbar));
+        }
+    }
+    return mapped;
+}
+
+void
+NebulaChip::programAnn(Network &net, const QuantizationResult &quant)
+{
+    annNet_ = &net;
+    snnModel_ = nullptr;
+    layers_.clear();
+    mapping_ = mapper_.map(net);
+    clearStats();
+
+    for (const LayerQuantInfo &info : quant.layers) {
+        Layer &layer = net.layer(info.layerIndex);
+        MappedLayer mapped = mapWeightLayer(layer, info.layerIndex,
+                                            info.weightMax, Mode::ANN);
+        mapped.inputCeiling = info.actCeiling;
+
+        // Output ceiling: the next ClippedRelu before another weight
+        // layer, if any.
+        for (int j = info.layerIndex + 1; j < net.numLayers(); ++j) {
+            if (net.layer(j).isWeightLayer())
+                break;
+            NEBULA_ASSERT(net.layer(j).kind() != LayerKind::Relu,
+                          "programAnn requires a quantized network");
+            if (net.layer(j).kind() == LayerKind::ClippedRelu) {
+                mapped.outputCeiling =
+                    static_cast<ClippedRelu &>(net.layer(j)).ceiling();
+                mapped.hasActivation = true;
+                break;
+            }
+        }
+
+        // One saturating-ReLU neuron unit per column group.
+        if (mapped.hasActivation) {
+            const double ceiling_alg =
+                mapped.outputCeiling /
+                (mapped.weightScale * mapped.inputCeiling);
+            for (auto &group : mapped.groups) {
+                NeuronUnitParams np;
+                np.count = group->cols();
+                np.levels = 1 << config_.precisionBits;
+                np.window = config_.cycleTime;
+                auto nu = std::make_unique<ReluNeuronUnit>(np);
+                nu->calibrate(group->currentScale(), ceiling_alg);
+                mapped.nus.push_back(std::move(nu));
+            }
+        }
+        layers_.push_back(std::move(mapped));
+    }
+}
+
+Tensor
+NebulaChip::evaluateLayer(MappedLayer &layer, const Tensor &input,
+                          bool binary)
+{
+    const Layer &src = *layer.source;
+    const DacDriver dac(config_.precisionBits, 0.75);
+    const float in_ceiling = binary ? 1.0f : layer.inputCeiling;
+    const int levels = 1 << config_.precisionBits;
+    const float step = layer.hasActivation
+                           ? layer.outputCeiling / (levels - 1)
+                           : 0.0f;
+
+    auto normalize = [&](float v) {
+        double x =
+            std::clamp(static_cast<double>(v) / in_ceiling, 0.0, 1.0);
+        if (!binary)
+            x = dac.normalizedOutput(dac.quantize(x));
+        return x;
+    };
+
+    /**
+     * Evaluate one column group for one input window and emit
+     * (kernel, value) pairs. With a following activation the column
+     * currents (plus the periphery bias injection) pass through the
+     * group's saturating-ReLU neuron unit; otherwise the raw weighted
+     * sum is reconstructed in real units for the ADC/RU path.
+     */
+    auto evalGroup = [&](size_t g, int group_offset, bool use_nu,
+                         const std::vector<double> &window, auto &&emit) {
+        CrossbarArray &xbar = *layer.groups[g];
+        auto eval = xbar.evaluateIdeal(window, config_.cycleTime);
+        ++stats_.crossbarEvals;
+        stats_.crossbarEnergy += eval.energy;
+        const double kappa = xbar.currentScale();
+        if (use_nu) {
+            std::vector<double> currents = eval.currents;
+            for (int j = 0; j < xbar.cols(); ++j)
+                currents[static_cast<size_t>(j)] +=
+                    kappa *
+                    layer.bias[static_cast<size_t>(group_offset + j)] /
+                    (layer.weightScale * in_ceiling);
+            const auto codes = layer.nus[g]->evaluate(currents);
+            for (int j = 0; j < xbar.cols(); ++j)
+                emit(group_offset + j,
+                     codes[static_cast<size_t>(j)] * step);
+        } else {
+            for (int j = 0; j < xbar.cols(); ++j) {
+                const double sum_norm =
+                    eval.currents[static_cast<size_t>(j)] / kappa;
+                emit(group_offset + j,
+                     static_cast<float>(
+                         sum_norm * layer.weightScale * in_ceiling +
+                         layer.bias[static_cast<size_t>(group_offset + j)]));
+            }
+        }
+    };
+
+    const bool use_nu = layer.hasActivation && !binary;
+    const int kernels = src.numKernels();
+    Tensor output;
+
+    if (src.kind() == LayerKind::Linear) {
+        const auto &fc = static_cast<const Linear &>(src);
+        NEBULA_ASSERT(input.size() == fc.inFeatures(),
+                      "linear input mismatch on chip");
+        std::vector<double> window(static_cast<size_t>(fc.inFeatures()));
+        for (long long i = 0; i < input.size(); ++i)
+            window[static_cast<size_t>(i)] = normalize(input[i]);
+
+        output = Tensor({1, kernels});
+        for (size_t g = 0; g < layer.groups.size(); ++g)
+            evalGroup(g, static_cast<int>(g) * config_.atomicSize, use_nu,
+                      window, [&](int kernel, float value) {
+                          output.at(0, kernel) = value;
+                      });
+    } else if (src.kind() == LayerKind::Conv) {
+        const auto &conv = static_cast<const Conv2d &>(src);
+        const int k = conv.kernel(), stride = conv.stride(),
+                  pad = conv.padding();
+        const int in_c = conv.inChannels();
+        const int in_h = input.dim(2), in_w = input.dim(3);
+        const int out_h = (in_h + 2 * pad - k) / stride + 1;
+        const int out_w = (in_w + 2 * pad - k) / stride + 1;
+
+        output = Tensor({1, kernels, out_h, out_w});
+        std::vector<double> window(
+            static_cast<size_t>(conv.receptiveField()));
+
+        for (int oh = 0; oh < out_h; ++oh) {
+            for (int ow = 0; ow < out_w; ++ow) {
+                size_t r = 0;
+                for (int c = 0; c < in_c; ++c)
+                    for (int kh = 0; kh < k; ++kh)
+                        for (int kw = 0; kw < k; ++kw, ++r) {
+                            const int ih = oh * stride - pad + kh;
+                            const int iw = ow * stride - pad + kw;
+                            window[r] = (ih < 0 || ih >= in_h || iw < 0 ||
+                                         iw >= in_w)
+                                            ? 0.0
+                                            : normalize(
+                                                  input.at(0, c, ih, iw));
+                        }
+                for (size_t g = 0; g < layer.groups.size(); ++g)
+                    evalGroup(g, static_cast<int>(g) * config_.atomicSize,
+                              use_nu, window,
+                              [&](int kernel, float value) {
+                                  output.at(0, kernel, oh, ow) = value;
+                              });
+            }
+        }
+    } else if (src.kind() == LayerKind::DwConv) {
+        const auto &conv = static_cast<const DwConv2d &>(src);
+        const int k = conv.kernel(), stride = conv.stride(),
+                  pad = conv.padding();
+        const int channels = conv.channels();
+        const int in_h = input.dim(2), in_w = input.dim(3);
+        const int out_h = (in_h + 2 * pad - k) / stride + 1;
+        const int out_w = (in_w + 2 * pad - k) / stride + 1;
+        const int kpa = layer.dwKernelsPerAc;
+        NEBULA_ASSERT(kpa > 0, "depthwise layer not diagonal-packed");
+
+        output = Tensor({1, channels, out_h, out_w});
+        for (int oh = 0; oh < out_h; ++oh) {
+            for (int ow = 0; ow < out_w; ++ow) {
+                for (size_t g = 0; g < layer.groups.size(); ++g) {
+                    CrossbarArray &xbar = *layer.groups[g];
+                    const int local = xbar.cols();
+                    std::vector<double> window(
+                        static_cast<size_t>(xbar.rows()), 0.0);
+                    for (int j = 0; j < local; ++j) {
+                        const int c = static_cast<int>(g) * kpa + j;
+                        size_t r = static_cast<size_t>(j) * k * k;
+                        for (int kh = 0; kh < k; ++kh)
+                            for (int kw = 0; kw < k; ++kw, ++r) {
+                                const int ih = oh * stride - pad + kh;
+                                const int iw = ow * stride - pad + kw;
+                                window[r] = (ih < 0 || ih >= in_h ||
+                                             iw < 0 || iw >= in_w)
+                                                ? 0.0
+                                                : normalize(input.at(
+                                                      0, c, ih, iw));
+                            }
+                    }
+                    evalGroup(g, static_cast<int>(g) * kpa, use_nu, window,
+                              [&](int kernel, float value) {
+                                  output.at(0, kernel, oh, ow) = value;
+                              });
+                }
+            }
+        }
+    } else {
+        NEBULA_PANIC("unsupported weight layer on chip: ", src.name());
+    }
+    return output;
+}
+
+Tensor
+NebulaChip::runAnn(const Tensor &image)
+{
+    NEBULA_ASSERT(annNet_, "no ANN programmed");
+    Network &net = *annNet_;
+
+    std::vector<int> batched;
+    batched.push_back(1);
+    for (int d = 0; d < image.rank(); ++d)
+        batched.push_back(image.dim(d));
+    Tensor x = image.reshaped(batched);
+
+    size_t next_mapped = 0;
+    for (int i = 0; i < net.numLayers(); ++i) {
+        Layer &layer = net.layer(i);
+        if (layer.isWeightLayer()) {
+            NEBULA_ASSERT(next_mapped < layers_.size(),
+                          "unmapped weight layer");
+            MappedLayer &mapped = layers_[next_mapped++];
+            x = evaluateLayer(mapped, x, false);
+            if (!mapped.hasActivation) {
+                // Output layer: partial sums digitized by the ADC.
+                stats_.adcConversions += x.size();
+            }
+            // Inter-layer traffic: 4-bit activations to the next core.
+            stats_.nocPackets++;
+            stats_.nocEnergy += noc_.transferEnergy(
+                {0, 0}, {1, 0}, x.size() * config_.precisionBits);
+        } else if (layer.kind() == LayerKind::ClippedRelu) {
+            // Already applied by the preceding layer's neuron units.
+            continue;
+        } else {
+            x = layer.forward(x, false);
+        }
+    }
+    return x;
+}
+
+void
+NebulaChip::programSnn(SpikingModel &model)
+{
+    snnModel_ = &model;
+    annNet_ = nullptr;
+    layers_.clear();
+    mapping_ = mapper_.map(model.net);
+    clearStats();
+
+    for (int i = 0; i < model.net.numLayers(); ++i) {
+        Layer &layer = model.net.layer(i);
+        if (!layer.isWeightLayer())
+            continue;
+        const Tensor &w = *layer.parameters()[0];
+        const float scale = std::max(w.maxAbs(), 1e-6f);
+        MappedLayer mapped = mapWeightLayer(layer, i, scale, Mode::SNN);
+        mapped.inputCeiling = 1.0f; // binary spike inputs
+        layers_.push_back(std::move(mapped));
+    }
+}
+
+SnnRunResult
+NebulaChip::runSnn(const Tensor &image, int timesteps)
+{
+    NEBULA_ASSERT(snnModel_, "no SNN programmed");
+    NEBULA_ASSERT(timesteps > 0, "need at least one timestep");
+    SpikingModel &model = *snnModel_;
+    model.resetState();
+
+    PoissonEncoder encoder(1.0, runSeeds_.next());
+
+    std::vector<int> batched;
+    batched.push_back(1);
+    for (int d = 0; d < image.rank(); ++d)
+        batched.push_back(image.dim(d));
+
+    SnnRunResult result;
+    result.timesteps = timesteps;
+    long long input_spikes = 0;
+
+    for (int t = 0; t < timesteps; ++t) {
+        Tensor spikes = encoder.encode(image);
+        input_spikes += static_cast<long long>(spikes.sum());
+        Tensor x = spikes.reshaped(batched);
+
+        size_t next_mapped = 0;
+        for (int i = 0; i < model.net.numLayers(); ++i) {
+            Layer &layer = model.net.layer(i);
+            if (layer.isWeightLayer()) {
+                NEBULA_ASSERT(next_mapped < layers_.size(),
+                              "unmapped weight layer");
+                x = evaluateLayer(layers_[next_mapped++], x, true);
+                stats_.nocPackets++;
+                stats_.nocEnergy +=
+                    noc_.transferEnergy({0, 0}, {1, 0}, x.size());
+            } else {
+                x = layer.forward(x, false);
+            }
+        }
+        if (t == 0)
+            result.logits = x;
+        else
+            result.logits.add(x);
+    }
+
+    result.inputRate =
+        static_cast<double>(input_spikes) / (image.size() * timesteps);
+    for (size_t k = 0; k < model.ifLayerIndices.size(); ++k) {
+        IfLayer &layer = model.ifLayer(static_cast<int>(k));
+        result.ifSpikes.push_back(layer.spikeCount());
+        result.ifNeurons.push_back(layer.neuronCount());
+        result.totalSpikes += layer.spikeCount();
+        const double neurons = std::max<long long>(layer.neuronCount(), 1);
+        result.ifActivity.push_back(layer.spikeCount() /
+                                    (neurons * timesteps));
+    }
+    stats_.spikes += result.totalSpikes;
+    return result;
+}
+
+} // namespace nebula

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Functional on-chip inference: executes a quantized ANN or a converted
+ * SNN through the actual circuit models -- programmed DW-MTJ crossbar
+ * arrays (with quantized conductances, optional device variation),
+ * multi-level DAC / 1-bit spike drivers, and saturating-ReLU neuron
+ * units -- following the layer mapping the LayerMapper produces.
+ *
+ * The spiking path computes column currents through the crossbars and
+ * integrates membranes with the algorithmic IF model; circuit-level
+ * tests (NeuronUnitCircuit.*) establish that the DW-MTJ neuron device
+ * matches that model to within pinning quantization, so the chip
+ * simulator does not instantiate per-output-position device objects.
+ *
+ * Used by the integration tests and the quickstart example to show the
+ * full device -> circuit -> architecture -> algorithm stack agreeing
+ * with the functional simulator.
+ */
+
+#ifndef NEBULA_ARCH_CHIP_HPP
+#define NEBULA_ARCH_CHIP_HPP
+
+#include <memory>
+#include <vector>
+
+#include "arch/energy_model.hpp"
+#include "arch/mapping.hpp"
+#include "circuit/crossbar.hpp"
+#include "circuit/neuron_unit.hpp"
+#include "nn/quantize.hpp"
+#include "noc/noc.hpp"
+#include "snn/convert.hpp"
+#include "snn/snn_sim.hpp"
+
+namespace nebula {
+
+/** Counters gathered while running on the chip model. */
+struct ChipStats
+{
+    long long crossbarEvals = 0;   //!< column-group evaluations
+    long long adcConversions = 0;  //!< output-layer + spill conversions
+    long long spikes = 0;          //!< SNN spikes emitted
+    double crossbarEnergy = 0.0;   //!< device-level ohmic energy (J)
+    long long nocPackets = 0;      //!< inter-layer transfers
+    double nocEnergy = 0.0;        //!< J
+};
+
+/** The NEBULA chip functional model. */
+class NebulaChip
+{
+  public:
+    explicit NebulaChip(const NebulaConfig &config = {},
+                        double variation_sigma = 0.0, uint64_t seed = 5);
+
+    /**
+     * Program a quantized ANN (output of quantizeNetwork) onto ANN-mode
+     * crossbars. The network must contain no plain (unclipped) ReLUs.
+     */
+    void programAnn(Network &net, const QuantizationResult &quant);
+
+    /** Run one (C, H, W) image through the programmed ANN. */
+    Tensor runAnn(const Tensor &image);
+
+    /** Program a converted spiking model onto SNN-mode crossbars. */
+    void programSnn(SpikingModel &model);
+
+    /** Run one image for T timesteps through the programmed SNN. */
+    SnnRunResult runSnn(const Tensor &image, int timesteps);
+
+    const ChipStats &stats() const { return stats_; }
+    void clearStats() { stats_ = ChipStats(); }
+
+    /** Mapping of the currently programmed network. */
+    const NetworkMapping &mapping() const { return mapping_; }
+
+    const NebulaConfig &config() const { return config_; }
+
+  private:
+    /** One weight layer programmed onto crossbar column groups. */
+    struct MappedLayer
+    {
+        const Layer *source = nullptr;  //!< layer in the programmed net
+        LayerMapping map;
+        std::vector<std::unique_ptr<CrossbarArray>> groups;
+        std::vector<std::unique_ptr<ReluNeuronUnit>> nus; //!< per group
+        std::vector<float> bias;  //!< real-unit bias per kernel
+        float weightScale = 1.0f; //!< |w| normalization used on the cells
+        float inputCeiling = 1.0f;  //!< a_max of the incoming activation
+        float outputCeiling = 0.0f; //!< a_max after the following ReLU
+        bool hasActivation = false;
+        int dwKernelsPerAc = 0;     //!< >0 for diagonal-packed depthwise
+    };
+
+    /** Program one weight layer's crossbars. */
+    MappedLayer mapWeightLayer(const Layer &layer, int index,
+                               float weight_scale, Mode mode);
+
+    /**
+     * Evaluate a mapped weight layer on a real-unit input tensor,
+     * returning real-unit pre-activations (1, K, H', W') or (1, K).
+     * @param binary True when inputs are spike maps (SNN drivers).
+     */
+    Tensor evaluateLayer(MappedLayer &layer, const Tensor &input,
+                         bool binary);
+
+    NebulaConfig config_;
+    double variationSigma_;
+    uint64_t seed_;
+    LayerMapper mapper_;
+    MeshNoc noc_;
+
+    Network *annNet_ = nullptr;
+    SpikingModel *snnModel_ = nullptr;
+    std::vector<MappedLayer> layers_; //!< one per weight layer, in order
+    NetworkMapping mapping_;
+    ChipStats stats_;
+    Rng runSeeds_;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_ARCH_CHIP_HPP

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Top-level NEBULA architecture configuration (paper Sec. IV, Table III).
+ */
+
+#ifndef NEBULA_ARCH_CONFIG_HPP
+#define NEBULA_ARCH_CONFIG_HPP
+
+#include "circuit/component_db.hpp"
+#include "common/units.hpp"
+
+namespace nebula {
+
+/** Chip-level architectural parameters. */
+struct NebulaConfig
+{
+    /** Atomic crossbar dimension M (rows == cols). */
+    int atomicSize = 128;
+
+    /** Atomic crossbars per morphable tile (2 x 2). */
+    int acsPerTile = 4;
+
+    /** Morphable tiles per super-tile (2 x 2). */
+    int tilesPerSupertile = 4;
+
+    /** Pipeline stage / crossbar evaluation time (s). */
+    double cycleTime = 110 * units::ns;
+
+    /** Weight/activation precision (bits). */
+    int precisionBits = 4;
+
+    /** Mesh geometry (14 x 14 NCs: 14 ANN + 182 SNN + AUs). */
+    int meshWidth = 14;
+    int meshHeight = 14;
+    int annCores = 14;
+    int snnCores = 14 * 13;
+
+    /**
+     * Average ANN driver activity: mean activation level as a fraction
+     * of full scale, used to scale crossbar read energy. Calibrated per
+     * network from the functional simulator when available.
+     */
+    double defaultAnnActivity = 0.5;
+
+    // -- Access-energy constants (32 nm class) ----------------------------
+    //
+    // The buffers and eDRAM are charged per access (their Table III
+    // powers correspond to sustained-bandwidth operation) plus a small
+    // always-on leakage while a layer's cores are active. This is what
+    // lets the event-driven SNN mode's energy scale with spike activity
+    // (paper Sec. VI-C1).
+
+    /** eDRAM energy per bit moved. */
+    double edramBitEnergy = 0.8e-12;
+
+    /** Input/output SRAM buffer energy per bit moved. */
+    double sramBitEnergy = 0.15e-12;
+
+    /** Leakage per active ANN core (W). */
+    double annCoreLeakage = 1.5e-3;
+
+    /** Leakage per active SNN core (W); SNN cores are smaller. */
+    double snnCoreLeakage = 0.8e-3;
+
+    /** Atomic crossbars per neural core. */
+    int acsPerCore() const { return acsPerTile * tilesPerSupertile; }
+
+    /** Max receptive field the NU hierarchy sums in-core (16M). */
+    int maxInCoreRf() const { return acsPerCore() * atomicSize; }
+
+    /** Crossbar cells per core. */
+    long long cellsPerCore() const
+    {
+        return static_cast<long long>(acsPerCore()) * atomicSize *
+               atomicSize;
+    }
+};
+
+} // namespace nebula
+
+#endif // NEBULA_ARCH_CONFIG_HPP

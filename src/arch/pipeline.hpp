@@ -1,0 +1,54 @@
+/**
+ * @file
+ * NEBULA pipeline timing model (paper Sec. IV-B5, Fig. 8). Every stage
+ * is one 110 ns cycle: eDRAM->IB fetch, crossbar evaluation (+ in-core
+ * NU thresholding), OB->eDRAM writeback. Kernels that spill over
+ * multiple NCs add ADC digitization and a log-depth RU reduction tree
+ * before activation (the dashed stages in Fig. 8).
+ */
+
+#ifndef NEBULA_ARCH_PIPELINE_HPP
+#define NEBULA_ARCH_PIPELINE_HPP
+
+#include "arch/mapping.hpp"
+
+namespace nebula {
+
+/** Latency/throughput model of the NC pipeline. */
+class PipelineModel
+{
+  public:
+    explicit PipelineModel(const NebulaConfig &config = {});
+
+    /** Pipeline depth (stages) for one layer's evaluations. */
+    int stagesFor(const LayerMapping &layer) const;
+
+    /**
+     * Cycles to stream all of a layer's positions through its pipeline:
+     * depth + positions - 1.
+     */
+    long long layerLatencyCycles(const LayerMapping &layer) const;
+
+    /** Sequential whole-network latency (cycles) for one image. */
+    long long networkLatencyCycles(const NetworkMapping &mapping) const;
+
+    /** Same in seconds; SNN mode multiplies by timesteps. */
+    double networkLatency(const NetworkMapping &mapping,
+                          int timesteps = 1) const;
+
+    /**
+     * Steady-state throughput (images/s) if layers are pipelined across
+     * cores: bounded by the slowest layer.
+     */
+    double throughput(const NetworkMapping &mapping,
+                      int timesteps = 1) const;
+
+    const NebulaConfig &config() const { return config_; }
+
+  private:
+    NebulaConfig config_;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_ARCH_PIPELINE_HPP

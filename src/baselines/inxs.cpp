@@ -1,0 +1,77 @@
+#include "baselines/inxs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+InxsModel::InxsModel(const InxsConfig &config) : config_(config)
+{
+}
+
+InxsLayerEnergy
+InxsModel::evaluateLayer(const LayerMapping &layer, double input_activity,
+                         int timesteps) const
+{
+    NEBULA_ASSERT(timesteps > 0, "need at least one timestep");
+    const double alpha = std::clamp(input_activity, 0.0, 1.0);
+
+    InxsLayerEnergy out;
+    out.layerIndex = layer.layerIndex;
+    out.name = layer.name;
+
+    // Output neurons of this layer (each holds a membrane potential).
+    const long long neurons = layer.outputElements;
+
+    // Every timestep, every neuron's increment is digitized, shipped
+    // and merged into the SRAM-resident membrane.
+    out.neuronUpdates = neurons * timesteps;
+    out.adcEnergy = static_cast<double>(out.neuronUpdates) *
+                    config_.adcConversionEnergy;
+    out.membraneEnergy =
+        static_cast<double>(out.neuronUpdates) *
+        (config_.sramReadEnergy + config_.sramWriteEnergy +
+         config_.addCompareEnergy);
+    const double noc_energy = static_cast<double>(out.neuronUpdates) *
+                              config_.nocTransferEnergy;
+
+    // Crossbar evaluations: positions per timestep; read energy scales
+    // with active cells.
+    const double cells =
+        static_cast<double>(layer.rf) * layer.kernels;
+    const double xbar_energy = cells * alpha * config_.cellReadEnergy *
+                               static_cast<double>(layer.positions) *
+                               timesteps;
+    const long long crossbars =
+        ((layer.rf + config_.crossbarSize - 1) / config_.crossbarSize) *
+        ((layer.kernels + config_.crossbarSize - 1) /
+         config_.crossbarSize);
+    const double periphery_energy =
+        static_cast<double>(crossbars) * config_.crossbarPeripheryPower *
+        static_cast<double>(layer.positions) * timesteps *
+        config_.cycleTime;
+
+    out.energy = out.adcEnergy + out.membraneEnergy + noc_energy +
+                 xbar_energy + periphery_energy;
+    return out;
+}
+
+InxsEnergy
+InxsModel::evaluate(const NetworkMapping &mapping,
+                    const std::vector<double> &activity,
+                    int timesteps) const
+{
+    NEBULA_ASSERT(activity.size() == mapping.layers.size(),
+                  "activity profile size mismatch");
+    InxsEnergy out;
+    for (size_t i = 0; i < mapping.layers.size(); ++i) {
+        out.layers.push_back(
+            evaluateLayer(mapping.layers[i], activity[i], timesteps));
+        out.totalEnergy += out.layers.back().energy;
+    }
+    return out;
+}
+
+} // namespace nebula

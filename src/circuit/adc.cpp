@@ -1,0 +1,50 @@
+#include "circuit/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+Adc::Adc(int bits, double fullScale) : bits_(bits), fullScale_(fullScale)
+{
+    NEBULA_ASSERT(bits_ >= 1 && bits_ <= 16, "unsupported ADC resolution");
+    NEBULA_ASSERT(fullScale_ > 0.0, "ADC full scale must be positive");
+}
+
+void
+Adc::setFullScale(double fullScale)
+{
+    NEBULA_ASSERT(fullScale > 0.0, "ADC full scale must be positive");
+    fullScale_ = fullScale;
+}
+
+int
+Adc::convert(double value)
+{
+    ++conversions_;
+    const int hi = (1 << (bits_ - 1)) - 1;
+    const int lo = -(1 << (bits_ - 1));
+    const double normalized = value / fullScale_; // [-1, 1] nominal
+    int code = static_cast<int>(std::lround(normalized * hi));
+    return std::clamp(code, lo, hi);
+}
+
+std::vector<int>
+Adc::convertAll(const std::vector<double> &values)
+{
+    std::vector<int> codes(values.size());
+    for (size_t i = 0; i < values.size(); ++i)
+        codes[i] = convert(values[i]);
+    return codes;
+}
+
+double
+Adc::reconstruct(int code) const
+{
+    const int hi = (1 << (bits_ - 1)) - 1;
+    return fullScale_ * static_cast<double>(code) / hi;
+}
+
+} // namespace nebula

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The sparingly-used 4-bit ADC (paper Sec. IV-B3/IV-B5). NEBULA only
+ * digitizes column currents when a kernel's receptive field overflows the
+ * super-tile (Rf > 16M) and partial sums must cross the NoC. One ADC per
+ * NC, time-multiplexed across at most 128 columns per 110 ns stage.
+ */
+
+#ifndef NEBULA_CIRCUIT_ADC_HPP
+#define NEBULA_CIRCUIT_ADC_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace nebula {
+
+/** Successive-approximation style signed current-input ADC model. */
+class Adc
+{
+  public:
+    /**
+     * @param bits       Resolution (paper: 4).
+     * @param fullScale  Full-scale input magnitude; signed inputs span
+     *                   [-fullScale, +fullScale].
+     */
+    Adc(int bits = 4, double fullScale = 1.0);
+
+    /** Convert one sample to a signed code in [-(2^(b-1)), 2^(b-1)-1]. */
+    int convert(double value);
+
+    /** Convert a vector of samples (counts conversions). */
+    std::vector<int> convertAll(const std::vector<double> &values);
+
+    /** Reconstruct the analog value a code represents. */
+    double reconstruct(int code) const;
+
+    /** Number of conversions performed so far. */
+    long long conversions() const { return conversions_; }
+
+    /** Max conversions available in one pipeline stage (paper: 128). */
+    int conversionsPerStage() const { return 128; }
+
+    int bits() const { return bits_; }
+    double fullScale() const { return fullScale_; }
+
+    /** Update the full-scale range (per-layer ranging). */
+    void setFullScale(double fullScale);
+
+  private:
+    int bits_;
+    double fullScale_;
+    long long conversions_ = 0;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_CIRCUIT_ADC_HPP

@@ -1,0 +1,209 @@
+#include "circuit/crossbar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+CrossbarArray::CrossbarArray(const CrossbarParams &params)
+    : p_(params), cell_(params.mtj)
+{
+    NEBULA_ASSERT(p_.rows > 0 && p_.cols > 0, "bad crossbar geometry");
+    NEBULA_ASSERT(p_.levels >= 2, "need at least 2 conductance levels");
+    gMid_ = 0.5 * (cell_.conductanceP() + cell_.conductanceAp());
+    gHalfSwing_ = 0.5 * (cell_.conductanceP() - cell_.conductanceAp());
+    // cols + 1: the extra column is the shared reference column at G_mid.
+    conductance_.assign(static_cast<size_t>(p_.rows) * (p_.cols + 1), gMid_);
+}
+
+void
+CrossbarArray::programWeights(const std::vector<float> &weights)
+{
+    NEBULA_ASSERT(weights.size() ==
+                      static_cast<size_t>(p_.rows) * p_.cols,
+                  "weight matrix size mismatch: got ", weights.size(),
+                  " want ", p_.rows * p_.cols);
+
+    VariabilityModel variation(p_.variationSigma, p_.variationSeed);
+    const int top = p_.levels - 1;
+
+    for (int i = 0; i < p_.rows; ++i) {
+        for (int j = 0; j < p_.cols; ++j) {
+            double w = std::clamp<double>(
+                weights[static_cast<size_t>(i) * p_.cols + j], -1.0, 1.0);
+            // Quantize to the discrete DW pinning states.
+            const int level =
+                static_cast<int>(std::lround((w + 1.0) / 2.0 * top));
+            const double wq = 2.0 * level / top - 1.0;
+            double g = gMid_ + wq * gHalfSwing_;
+            if (p_.variationSigma > 0.0)
+                g *= variation.sampleFactor();
+            g = std::clamp(g, 0.25 * cell_.conductanceAp(),
+                           2.0 * cell_.conductanceP());
+            conductance_[static_cast<size_t>(i) * (p_.cols + 1) + j] = g;
+        }
+        // Reference column stays at G_mid (possibly with variation too).
+        double gref = gMid_;
+        if (p_.variationSigma > 0.0)
+            gref *= variation.sampleFactor();
+        conductance_[static_cast<size_t>(i) * (p_.cols + 1) + p_.cols] = gref;
+    }
+}
+
+double
+CrossbarArray::conductanceAt(int row, int col) const
+{
+    NEBULA_ASSERT(row >= 0 && row < p_.rows && col >= 0 && col <= p_.cols,
+                  "conductanceAt out of range");
+    return conductance_[static_cast<size_t>(row) * (p_.cols + 1) + col];
+}
+
+double
+CrossbarArray::weightAt(int row, int col) const
+{
+    return (conductanceAt(row, col) - gMid_) / gHalfSwing_;
+}
+
+double
+CrossbarArray::currentScale() const
+{
+    return p_.readVoltage * gHalfSwing_;
+}
+
+double
+CrossbarArray::maxColumnCurrent() const
+{
+    return p_.readVoltage * cell_.conductanceP() * p_.rows;
+}
+
+CrossbarEval
+CrossbarArray::evaluateIdeal(const std::vector<double> &inputs,
+                             double duration) const
+{
+    NEBULA_ASSERT(inputs.size() == static_cast<size_t>(p_.rows),
+                  "input vector size mismatch");
+
+    CrossbarEval eval;
+    eval.currents.assign(p_.cols, 0.0);
+
+    double ref_current = 0.0;
+    double power = 0.0;
+    for (int i = 0; i < p_.rows; ++i) {
+        const double v = std::clamp(inputs[i], 0.0, 1.0) * p_.readVoltage;
+        if (v == 0.0)
+            continue;
+        const double *row =
+            &conductance_[static_cast<size_t>(i) * (p_.cols + 1)];
+        double row_g = 0.0;
+        for (int j = 0; j < p_.cols; ++j) {
+            eval.currents[j] += v * row[j];
+            row_g += row[j];
+        }
+        ref_current += v * row[p_.cols];
+        row_g += row[p_.cols];
+        power += v * v * row_g;
+    }
+    for (auto &current : eval.currents)
+        current -= ref_current;
+    eval.energy = power * duration;
+    return eval;
+}
+
+CrossbarEval
+CrossbarArray::evaluateParasitic(const std::vector<double> &inputs,
+                                 double duration, int max_iters,
+                                 double tolerance) const
+{
+    NEBULA_ASSERT(inputs.size() == static_cast<size_t>(p_.rows),
+                  "input vector size mismatch");
+
+    const int rows = p_.rows;
+    const int cols = p_.cols + 1; // includes the reference column
+    const double gw = 1.0 / p_.wireResistance;
+
+    // Node voltages: vr (bit-line side) and vc (source-line side).
+    std::vector<double> vr(static_cast<size_t>(rows) * cols, 0.0);
+    std::vector<double> vc(static_cast<size_t>(rows) * cols, 0.0);
+    std::vector<double> source(rows);
+    for (int i = 0; i < rows; ++i)
+        source[i] = std::clamp(inputs[i], 0.0, 1.0) * p_.readVoltage;
+
+    auto g = [&](int i, int j) {
+        return conductance_[static_cast<size_t>(i) * cols + j];
+    };
+    auto idx = [&](int i, int j) {
+        return static_cast<size_t>(i) * cols + j;
+    };
+
+    // Initial guess: ideal voltages (sources on rows, ground on columns).
+    for (int i = 0; i < rows; ++i)
+        for (int j = 0; j < cols; ++j)
+            vr[idx(i, j)] = source[i];
+
+    double delta = 0.0;
+    for (int iter = 0; iter < max_iters; ++iter) {
+        delta = 0.0;
+        for (int i = 0; i < rows; ++i) {
+            for (int j = 0; j < cols; ++j) {
+                // Row node (i, j): neighbors are the driver (j == 0),
+                // adjacent row nodes, and the cell to the column node.
+                double num = g(i, j) * vc[idx(i, j)];
+                double den = g(i, j);
+                if (j == 0) {
+                    num += gw * source[i];
+                    den += gw;
+                } else {
+                    num += gw * vr[idx(i, j - 1)];
+                    den += gw;
+                }
+                if (j + 1 < cols) {
+                    num += gw * vr[idx(i, j + 1)];
+                    den += gw;
+                }
+                const double nv = num / den;
+                delta = std::max(delta, std::abs(nv - vr[idx(i, j)]));
+                vr[idx(i, j)] = nv;
+
+                // Column node (i, j): neighbors are adjacent column nodes
+                // and ground (the spin neuron's magneto-metallic input)
+                // at the bottom (i == rows - 1).
+                double cnum = g(i, j) * vr[idx(i, j)];
+                double cden = g(i, j);
+                if (i > 0) {
+                    cnum += gw * vc[idx(i - 1, j)];
+                    cden += gw;
+                }
+                if (i + 1 < rows) {
+                    cnum += gw * vc[idx(i + 1, j)];
+                    cden += gw;
+                } else {
+                    // bottom node tied to ground through one wire segment
+                    cden += gw;
+                }
+                const double ncv = cnum / cden;
+                delta = std::max(delta, std::abs(ncv - vc[idx(i, j)]));
+                vc[idx(i, j)] = ncv;
+            }
+        }
+        if (delta < tolerance)
+            break;
+    }
+
+    CrossbarEval eval;
+    eval.currents.assign(p_.cols, 0.0);
+    // Column output current = bottom node voltage / wire segment to gnd.
+    const double ref = vc[idx(rows - 1, p_.cols)] * gw;
+    for (int j = 0; j < p_.cols; ++j)
+        eval.currents[j] = vc[idx(rows - 1, j)] * gw - ref;
+
+    // Power delivered by the row drivers.
+    double power = 0.0;
+    for (int i = 0; i < rows; ++i)
+        power += source[i] * (source[i] - vr[idx(i, 0)]) * gw;
+    eval.energy = power * duration;
+    return eval;
+}
+
+} // namespace nebula

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Behavioural model of the all-spin neuromorphic crossbar (paper Fig. 3).
+ *
+ * Synaptic DW-MTJ cells sit at the row/column intersections; input
+ * voltages driven on the bit-lines are weighted by the programmed cell
+ * conductances and the resulting currents sum along the source-lines
+ * (Kirchhoff's current law), evaluating a full matrix-vector product in
+ * one 110 ns stage.
+ *
+ * Signed weights use a reference-column scheme: each cell stores
+ * G = G_mid + w * dG/2 (w in [-1, 1]) and a shared reference column
+ * programmed to G_mid is subtracted from every column current, so the
+ * differential current is proportional to the signed dot product. The
+ * current-driven spin neurons integrate that signed current directly --
+ * no I-to-V conversion is needed (Sec. II-C).
+ *
+ * Two evaluation modes are provided:
+ *  - ideal: exact Kirchhoff summation;
+ *  - parasitic: wire resistance along rows/columns is included via a
+ *    full nodal Gauss-Seidel solve (slow, for validation and the supply
+ *    voltage ablation) or a fast per-cell attenuation approximation.
+ */
+
+#ifndef NEBULA_CIRCUIT_CROSSBAR_HPP
+#define NEBULA_CIRCUIT_CROSSBAR_HPP
+
+#include <vector>
+
+#include "device/dw_params.hpp"
+#include "device/mtj.hpp"
+#include "device/variability.hpp"
+
+namespace nebula {
+
+/** Crossbar electrical configuration. */
+struct CrossbarParams
+{
+    int rows = 128;
+    int cols = 128;
+
+    /** Read supply voltage on the bit-lines (V). SNN 0.25, ANN 0.75. */
+    double readVoltage = 0.25;
+
+    /** Number of programmable conductance levels per cell. */
+    int levels = 16;
+
+    /** MTJ stack of the synaptic cells. */
+    MtjParams mtj;
+
+    /** Wire resistance between adjacent cells on a row/column (ohm). */
+    double wireResistance = 2.5;
+
+    /** Relative device-to-device conductance variation (0 = none). */
+    double variationSigma = 0.0;
+    uint64_t variationSeed = 7;
+};
+
+/** Result of one crossbar evaluation. */
+struct CrossbarEval
+{
+    /** Differential (signed) column currents (A), one per column. */
+    std::vector<double> currents;
+
+    /** Total ohmic energy dissipated in the array this evaluation (J). */
+    double energy = 0.0;
+};
+
+/** A single M x N analog crossbar array. */
+class CrossbarArray
+{
+  public:
+    explicit CrossbarArray(const CrossbarParams &params);
+
+    /**
+     * Program signed normalized weights.
+     *
+     * @param weights Row-major rows x cols matrix, entries in [-1, 1];
+     *                values are quantized to the cell's discrete levels
+     *                and perturbed by device variation if configured.
+     */
+    void programWeights(const std::vector<float> &weights);
+
+    /**
+     * Evaluate the ideal dot product for normalized inputs in [0, 1]
+     * (inputs are quantized to the driver resolution by the caller).
+     *
+     * @param inputs     One normalized voltage factor per row.
+     * @param duration   Evaluation window (s), for energy accounting.
+     */
+    CrossbarEval evaluateIdeal(const std::vector<double> &inputs,
+                               double duration) const;
+
+    /**
+     * Evaluate with interconnect parasitics using a nodal Gauss-Seidel
+     * solve of the full resistive network. Accurate but O(rows*cols*iters);
+     * intended for validation and small ablation sweeps.
+     */
+    CrossbarEval evaluateParasitic(const std::vector<double> &inputs,
+                                   double duration, int max_iters = 400,
+                                   double tolerance = 1e-9) const;
+
+    /**
+     * Signed dot-product scale: current per unit (w * x) where w, x are
+     * the normalized weight/input. currents = kappa * (W^T x).
+     */
+    double currentScale() const;
+
+    /** Conductance actually programmed at (row, col). */
+    double conductanceAt(int row, int col) const;
+
+    /** Normalized signed weight recovered from the programmed cell. */
+    double weightAt(int row, int col) const;
+
+    /** Worst-case (all cells on, all inputs max) column current (A). */
+    double maxColumnCurrent() const;
+
+    int rows() const { return p_.rows; }
+    int cols() const { return p_.cols; }
+    const CrossbarParams &params() const { return p_; }
+
+  private:
+    CrossbarParams p_;
+    MtjStack cell_;
+    std::vector<double> conductance_; //!< rows x cols, row-major
+    double gMid_;
+    double gHalfSwing_;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_CIRCUIT_CROSSBAR_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Bit-line drivers. ANN neural cores use multi-level (4-bit, 0.75 V)
+ * drivers so a multi-bit activation is applied in a single cycle
+ * (Sec. IV-B1); SNN cores use 1-bit 0.25 V spike drivers.
+ */
+
+#ifndef NEBULA_CIRCUIT_DRIVER_HPP
+#define NEBULA_CIRCUIT_DRIVER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace nebula {
+
+/** Multi-level DAC driver for ANN inputs. */
+class DacDriver
+{
+  public:
+    /**
+     * @param bits          Resolution (4 -> 16 levels).
+     * @param supplyVoltage Full-scale voltage (0.75 V).
+     */
+    DacDriver(int bits = 4, double supplyVoltage = 0.75);
+
+    /** Quantize a normalized activation in [0, 1] to a level code. */
+    int quantize(double normalized) const;
+
+    /** Normalized voltage factor (voltage / readVoltage) for a code. */
+    double normalizedOutput(int code) const;
+
+    /** Quantize a whole input vector in place, returning voltage factors. */
+    std::vector<double> drive(const std::vector<double> &normalized) const;
+
+    int levels() const { return levels_; }
+    double supplyVoltage() const { return supply_; }
+
+  private:
+    int bits_;
+    int levels_;
+    double supply_;
+};
+
+/** 1-bit spike driver for SNN inputs. */
+class SpikeDriver
+{
+  public:
+    explicit SpikeDriver(double supplyVoltage = 0.25) : supply_(supplyVoltage)
+    {
+    }
+
+    /** Convert a spike bitmap into voltage factors (0 or 1). */
+    std::vector<double> drive(const std::vector<uint8_t> &spikes) const;
+
+    double supplyVoltage() const { return supply_; }
+
+  private:
+    double supply_;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_CIRCUIT_DRIVER_HPP

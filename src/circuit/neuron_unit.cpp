@@ -1,0 +1,157 @@
+#include "circuit/neuron_unit.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+namespace {
+
+/**
+ * Compute the periphery gain that maps an algorithmic sum equal to
+ * @p full_scale onto a full-track traversal within one window, given the
+ * crossbar's current scale. Returns the gain applied to the column
+ * current and the signed depinning bias added when the input is nonzero.
+ */
+void
+computeScaling(const NeuronDeviceParams &device, double window,
+               double current_scale, double full_scale, double &gain,
+               double &bias)
+{
+    NEBULA_ASSERT(current_scale > 0.0, "current scale must be positive");
+    NEBULA_ASSERT(full_scale > 0.0, "algorithmic full scale must be > 0");
+
+    const DwTrackParams &track = device.track;
+    // Velocity needed to cross the track in one window when the
+    // algorithmic sum equals full_scale.
+    const double v_full = track.length / window;
+    NEBULA_ASSERT(v_full <= track.saturationVelocity,
+                  "window too short: full-scale velocity ", v_full,
+                  " exceeds saturation ", track.saturationVelocity);
+    // v = mobility * (J - Jc); at full scale we need
+    //   J - Jc = v_full / mobility.
+    const double overdrive_density = v_full / track.mobility;
+    const double full_current =
+        overdrive_density * track.hmCrossSection();
+
+    gain = full_current / (current_scale * full_scale);
+    bias = track.criticalDensity * track.hmCrossSection();
+}
+
+/** Device drive current for a signed column current. */
+double
+deviceCurrent(double column_current, double gain, double bias)
+{
+    if (column_current == 0.0)
+        return 0.0;
+    const double scaled = gain * column_current;
+    return scaled >= 0.0 ? scaled + bias : scaled - bias;
+}
+
+} // namespace
+
+SpikingNeuronUnit::SpikingNeuronUnit(const NeuronUnitParams &params)
+    : p_(params)
+{
+    NEBULA_ASSERT(p_.count > 0, "neuron unit must have neurons");
+    neurons_.reserve(p_.count);
+    for (int i = 0; i < p_.count; ++i)
+        neurons_.emplace_back(p_.device);
+}
+
+void
+SpikingNeuronUnit::calibrate(double current_scale, double threshold)
+{
+    computeScaling(p_.device, p_.window, current_scale, threshold,
+                   currentGain_, biasCurrent_);
+}
+
+std::vector<uint8_t>
+SpikingNeuronUnit::step(const std::vector<double> &currents, Rng *rng)
+{
+    NEBULA_ASSERT(currents.size() == static_cast<size_t>(p_.count),
+                  "column current count mismatch");
+    std::vector<uint8_t> spikes(p_.count, 0);
+    for (int i = 0; i < p_.count; ++i) {
+        const double drive =
+            deviceCurrent(currents[i], currentGain_, biasCurrent_);
+        if (neurons_[i].integrate(drive, p_.window, rng))
+            spikes[i] = 1;
+    }
+    return spikes;
+}
+
+void
+SpikingNeuronUnit::reset()
+{
+    for (auto &neuron : neurons_)
+        neuron.reset();
+}
+
+double
+SpikingNeuronUnit::membraneFraction(int i) const
+{
+    NEBULA_ASSERT(i >= 0 && i < p_.count, "neuron index out of range");
+    return neurons_[i].membraneFraction();
+}
+
+double
+SpikingNeuronUnit::energy() const
+{
+    double total = 0.0;
+    for (const auto &neuron : neurons_)
+        total += neuron.energy();
+    return total;
+}
+
+long long
+SpikingNeuronUnit::spikeCount() const
+{
+    long long total = 0;
+    for (const auto &neuron : neurons_)
+        total += neuron.spikeCount();
+    return total;
+}
+
+ReluNeuronUnit::ReluNeuronUnit(const NeuronUnitParams &params) : p_(params)
+{
+    NEBULA_ASSERT(p_.count > 0, "neuron unit must have neurons");
+    neurons_.reserve(p_.count);
+    for (int i = 0; i < p_.count; ++i)
+        neurons_.emplace_back(p_.device);
+}
+
+void
+ReluNeuronUnit::calibrate(double current_scale, double ceiling)
+{
+    computeScaling(p_.device, p_.window, current_scale, ceiling,
+                   currentGain_, biasCurrent_);
+}
+
+std::vector<int>
+ReluNeuronUnit::evaluate(const std::vector<double> &currents, Rng *rng)
+{
+    NEBULA_ASSERT(currents.size() == static_cast<size_t>(p_.count),
+                  "column current count mismatch");
+    std::vector<int> levels(p_.count, 0);
+    for (int i = 0; i < p_.count; ++i) {
+        // ReLU: negative sums cannot move the wall forward.
+        const double drive =
+            deviceCurrent(std::max(currents[i], 0.0), currentGain_,
+                          biasCurrent_);
+        levels[i] = neurons_[i].evaluate(drive, p_.window, p_.levels, rng);
+    }
+    return levels;
+}
+
+double
+ReluNeuronUnit::energy() const
+{
+    double total = 0.0;
+    for (const auto &neuron : neurons_)
+        total += neuron.energy();
+    return total;
+}
+
+} // namespace nebula

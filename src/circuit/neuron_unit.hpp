@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A Neuron Unit (NU): the column-side array of M spin neurons attached to
+ * an atomic crossbar (paper Fig. 7). The NU periphery scales the signed
+ * differential column currents onto the neuron devices so that the
+ * algorithmic threshold (SNN) or activation ceiling (ANN) corresponds to
+ * a full domain-wall traversal in one 110 ns window.
+ *
+ * The velocity law of the track has a depinning offset (no motion below
+ * J_crit), so the periphery adds a signed bias current at the critical
+ * level whenever the input is non-zero; displacement is then linear in
+ * the algorithmic sum, which is what Fig. 1(b) reports for the device.
+ */
+
+#ifndef NEBULA_CIRCUIT_NEURON_UNIT_HPP
+#define NEBULA_CIRCUIT_NEURON_UNIT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "device/neuron_device.hpp"
+
+namespace nebula {
+
+/** Configuration of one neuron unit. */
+struct NeuronUnitParams
+{
+    int count = 128;             //!< neurons (one per column)
+    double window = 110e-9;      //!< integration window (s)
+    NeuronDeviceParams device;   //!< underlying DW-MTJ neuron
+    int levels = 16;             //!< ANN output resolution
+};
+
+/** NU operating as spiking (IF) neurons. */
+class SpikingNeuronUnit
+{
+  public:
+    explicit SpikingNeuronUnit(const NeuronUnitParams &params);
+
+    /**
+     * Set the algorithmic-to-device scaling.
+     *
+     * @param current_scale Crossbar current per unit algorithmic sum
+     *                      (CrossbarArray::currentScale()).
+     * @param threshold     Algorithmic firing threshold (in units of the
+     *                      normalized weighted sum).
+     */
+    void calibrate(double current_scale, double threshold);
+
+    /**
+     * Integrate one timestep of column currents.
+     *
+     * @param currents Signed differential column currents (A).
+     * @param rng      Optional RNG for thermal jitter.
+     * @return one bit per neuron: fired this step or not.
+     */
+    std::vector<uint8_t> step(const std::vector<double> &currents,
+                              Rng *rng = nullptr);
+
+    /** Reset all membranes (start of a new inference). */
+    void reset();
+
+    /** Membrane potential of neuron @p i as a fraction of threshold. */
+    double membraneFraction(int i) const;
+
+    /** Total energy consumed by the devices so far (J). */
+    double energy() const;
+
+    /** Total spikes fired so far. */
+    long long spikeCount() const;
+
+    int count() const { return p_.count; }
+
+  private:
+    NeuronUnitParams p_;
+    std::vector<SpikingNeuronDevice> neurons_;
+    double currentGain_ = 1.0;
+    double biasCurrent_ = 0.0;
+};
+
+/** NU operating as saturating-ReLU (ANN) neurons. */
+class ReluNeuronUnit
+{
+  public:
+    explicit ReluNeuronUnit(const NeuronUnitParams &params);
+
+    /**
+     * Set the algorithmic-to-device scaling.
+     *
+     * @param current_scale Crossbar current per unit algorithmic sum.
+     * @param ceiling       Algorithmic sum that saturates the output
+     *                      (the layer's clipped activation maximum).
+     */
+    void calibrate(double current_scale, double ceiling);
+
+    /**
+     * Evaluate one cycle of column currents.
+     * @return one output level in [0, levels-1] per neuron.
+     */
+    std::vector<int> evaluate(const std::vector<double> &currents,
+                              Rng *rng = nullptr);
+
+    double energy() const;
+    int count() const { return p_.count; }
+    int levels() const { return p_.levels; }
+
+  private:
+    NeuronUnitParams p_;
+    std::vector<ReluNeuronDevice> neurons_;
+    double currentGain_ = 1.0;
+    double biasCurrent_ = 0.0;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_CIRCUIT_NEURON_UNIT_HPP

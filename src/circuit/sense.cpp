@@ -1,0 +1,81 @@
+#include "circuit/sense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+SenseCircuit::SenseCircuit(const MtjParams &neuron_mtj, double reference,
+                           double supply, double inverterThreshold)
+    : neuronMtj_(neuron_mtj), supply_(supply),
+      inverterThreshold_(inverterThreshold)
+{
+    NEBULA_ASSERT(reference >= 0.0 && reference <= 1.0,
+                  "reference fraction out of range");
+    NEBULA_ASSERT(supply_ > 0.0, "sense supply must be positive");
+    NEBULA_ASSERT(inverterThreshold_ > 0.0 && inverterThreshold_ < 1.0,
+                  "inverter threshold must be a supply fraction");
+    referenceResistance_ = neuronMtj_.resistanceAt(reference);
+}
+
+double
+SenseCircuit::dividerVoltage(double neuron_parallel_fraction) const
+{
+    // Supply -> neuron MTJ -> midpoint -> reference MTJ -> ground.
+    const double r_neuron =
+        neuronMtj_.resistanceAt(neuron_parallel_fraction);
+    return supply_ * referenceResistance_ /
+           (r_neuron + referenceResistance_);
+}
+
+bool
+SenseCircuit::spikeDetected(double neuron_parallel_fraction) const
+{
+    return dividerVoltage(neuron_parallel_fraction) >=
+           inverterThreshold_ * supply_;
+}
+
+double
+SenseCircuit::tripFraction() const
+{
+    // Solve V_mid(f) == vth * supply for f via the monotone divider.
+    double lo = 0.0, hi = 1.0;
+    if (spikeDetected(lo))
+        return 0.0;
+    if (!spikeDetected(hi))
+        return 1.0;
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (spikeDetected(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+double
+SenseCircuit::saturatingOutput(double neuron_parallel_fraction) const
+{
+    // Transistor in saturation: output tracks (V_mid - V_cutin) linearly
+    // and clamps at full scale. Cut-in at the fully-AP divider voltage.
+    const double v = dividerVoltage(neuron_parallel_fraction);
+    const double v_cutin = dividerVoltage(0.0);
+    const double v_full = dividerVoltage(1.0);
+    if (v_full <= v_cutin)
+        return 0.0;
+    return std::clamp((v - v_cutin) / (v_full - v_cutin), 0.0, 1.0);
+}
+
+double
+SenseCircuit::staticPower(double neuron_parallel_fraction) const
+{
+    const double r_total =
+        neuronMtj_.resistanceAt(neuron_parallel_fraction) +
+        referenceResistance_;
+    return supply_ * supply_ / r_total;
+}
+
+} // namespace nebula

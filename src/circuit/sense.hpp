@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Spike-detection interface circuit (paper Fig. 2a): the neuron's edge
+ * MTJ forms a resistive divider with a reference MTJ; when the domain
+ * wall arrives under the edge MTJ its state flips from anti-parallel to
+ * parallel, the divider midpoint crosses the inverter's switching
+ * threshold, and the inverter rail-to-rail output is the spike.
+ *
+ * For the non-spiking (ANN) neuron the same divider drives a transistor
+ * in saturation instead, producing an output current proportional to
+ * the divider voltage (the Saturating Rectified Linear transfer of
+ * Fig. 2b).
+ */
+
+#ifndef NEBULA_CIRCUIT_SENSE_HPP
+#define NEBULA_CIRCUIT_SENSE_HPP
+
+#include "device/mtj.hpp"
+
+namespace nebula {
+
+/** Divider + inverter (SNN) / saturating transistor (ANN) interface. */
+class SenseCircuit
+{
+  public:
+    /**
+     * @param neuron_mtj       Edge MTJ of the neuron track.
+     * @param reference        Reference-MTJ parallel fraction: the
+     *                         divider is balanced when the neuron MTJ
+     *                         matches this state (0.5 = mid-resistance).
+     * @param supply           Sense supply voltage (V).
+     * @param inverterThreshold Inverter switching point as a fraction
+     *                         of the supply.
+     */
+    explicit SenseCircuit(const MtjParams &neuron_mtj = {},
+                          double reference = 0.5, double supply = 0.25,
+                          double inverterThreshold = 0.5);
+
+    /**
+     * Divider midpoint voltage for a neuron-MTJ parallel fraction.
+     * The neuron MTJ is the high side: as the wall arrives (fraction
+     * -> 1) its resistance drops and the midpoint rises.
+     */
+    double dividerVoltage(double neuron_parallel_fraction) const;
+
+    /** True when the inverter input crosses threshold (a spike). */
+    bool spikeDetected(double neuron_parallel_fraction) const;
+
+    /**
+     * Smallest neuron parallel fraction that trips the inverter --
+     * the electrical margin of the spike detector.
+     */
+    double tripFraction() const;
+
+    /**
+     * ANN readout: saturating-transistor output as a fraction of full
+     * scale, linear in the divider voltage above the cut-in point and
+     * clamped at 1 (the Saturating ReLU of Fig. 2b).
+     */
+    double saturatingOutput(double neuron_parallel_fraction) const;
+
+    /** Static power burned in the divider branch (W). */
+    double staticPower(double neuron_parallel_fraction) const;
+
+    double supply() const { return supply_; }
+
+  private:
+    MtjStack neuronMtj_;
+    double referenceResistance_;
+    double supply_;
+    double inverterThreshold_;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_CIRCUIT_SENSE_HPP

@@ -1,0 +1,57 @@
+#include "common/logging.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace nebula {
+
+namespace {
+bool g_quiet = false;
+} // namespace
+
+bool
+logQuiet()
+{
+    return g_quiet;
+}
+
+void
+setLogQuiet(bool quiet)
+{
+    g_quiet = quiet;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!g_quiet)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!g_quiet)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace nebula

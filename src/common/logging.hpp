@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 idiom.
+ *
+ * Two error paths are provided and they are not interchangeable:
+ *  - panic()  : an internal invariant was violated (a simulator bug).
+ *               Prints the message and calls std::abort().
+ *  - fatal()  : the simulation cannot continue because of a user-level
+ *               problem (bad configuration, impossible parameters).
+ *               Prints the message and calls std::exit(1).
+ *
+ * Non-terminating status messages:
+ *  - warn()   : something may be modelled imprecisely.
+ *  - inform() : normal operating status the user may want to see.
+ */
+
+#ifndef NEBULA_COMMON_LOGGING_HPP
+#define NEBULA_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace nebula {
+
+namespace detail {
+
+/** Terminate with an "abort" after printing a panic message. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Terminate with exit(1) after printing a fatal message. */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Print a non-fatal warning message to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Concatenate a parameter pack into one string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** True once quietMode() has been called; suppresses warn/inform output. */
+bool logQuiet();
+
+/** Suppress (or re-enable) warn()/inform() output, e.g. inside tests. */
+void setLogQuiet(bool quiet);
+
+} // namespace nebula
+
+#define NEBULA_PANIC(...)                                                     \
+    ::nebula::detail::panicImpl(__FILE__, __LINE__,                           \
+                                ::nebula::detail::concat(__VA_ARGS__))
+
+#define NEBULA_FATAL(...)                                                     \
+    ::nebula::detail::fatalImpl(__FILE__, __LINE__,                           \
+                                ::nebula::detail::concat(__VA_ARGS__))
+
+#define NEBULA_WARN(...)                                                      \
+    ::nebula::detail::warnImpl(::nebula::detail::concat(__VA_ARGS__))
+
+#define NEBULA_INFORM(...)                                                    \
+    ::nebula::detail::informImpl(::nebula::detail::concat(__VA_ARGS__))
+
+/** panic() unless the given condition holds. */
+#define NEBULA_ASSERT(cond, ...)                                              \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::nebula::detail::panicImpl(                                      \
+                __FILE__, __LINE__,                                           \
+                ::nebula::detail::concat("assertion '", #cond, "' failed: ", \
+                                         ##__VA_ARGS__));                     \
+        }                                                                     \
+    } while (0)
+
+#endif // NEBULA_COMMON_LOGGING_HPP

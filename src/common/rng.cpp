@@ -1,0 +1,145 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+namespace {
+
+/** SplitMix64 step, used only to expand seeds. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : state_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    NEBULA_ASSERT(hi >= lo, "uniformInt range inverted: ", lo, " > ", hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next() % span);
+}
+
+double
+Rng::gaussian()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    hasSpare_ = true;
+    return u * mul;
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+int
+Rng::poisson(double lambda)
+{
+    if (lambda <= 0.0)
+        return 0;
+    if (lambda < 30.0) {
+        // Knuth's multiplication method.
+        const double limit = std::exp(-lambda);
+        double prod = uniform();
+        int n = 0;
+        while (prod > limit) {
+            prod *= uniform();
+            ++n;
+        }
+        return n;
+    }
+    // Gaussian approximation for large rates.
+    const double draw = gaussian(lambda, std::sqrt(lambda));
+    return draw < 0.0 ? 0 : static_cast<int>(draw + 0.5);
+}
+
+void
+Rng::shuffle(std::vector<int> &values)
+{
+    for (size_t i = values.size(); i > 1; --i) {
+        size_t j = next() % i;
+        std::swap(values[i - 1], values[j]);
+    }
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ull);
+}
+
+} // namespace nebula

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic random number generation for simulation components.
+ *
+ * Every stochastic component in the simulator draws from an Rng instance
+ * seeded explicitly, so whole-chip simulations are reproducible bit-for-bit
+ * given a seed. The generator is xoshiro256** which is fast, tiny and has
+ * no global state.
+ */
+
+#ifndef NEBULA_COMMON_RNG_HPP
+#define NEBULA_COMMON_RNG_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace nebula {
+
+/**
+ * Small deterministic PRNG (xoshiro256**) with the distribution helpers
+ * simulation code needs: uniforms, Gaussians, Bernoulli and Poisson draws.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (SplitMix64 expansion of the seed). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int uniformInt(int lo, int hi);
+
+    /** Standard normal draw (Marsaglia polar method with caching). */
+    double gaussian();
+
+    /** Normal draw with the given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+    /** Bernoulli draw: true with probability p (p clamped to [0,1]). */
+    bool bernoulli(double p);
+
+    /** Poisson draw with the given rate (Knuth for small, normal approx). */
+    int poisson(double lambda);
+
+    /** Fisher-Yates shuffle of an index vector. */
+    void shuffle(std::vector<int> &values);
+
+    /** Fork a child generator with a decorrelated seed stream. */
+    Rng fork();
+
+  private:
+    uint64_t state_[4];
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_COMMON_RNG_HPP

@@ -1,0 +1,121 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+void
+ScalarStat::sample(double value)
+{
+    sum_ += value;
+    ++count_;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+ScalarStat::add(double value)
+{
+    sum_ += value;
+}
+
+void
+ScalarStat::reset()
+{
+    *this = ScalarStat();
+}
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), bins_(static_cast<size_t>(std::max(1, buckets)), 0)
+{
+    NEBULA_ASSERT(hi > lo, "histogram range inverted");
+}
+
+void
+Histogram::sample(double value)
+{
+    const int n = static_cast<int>(bins_.size());
+    double t = (value - lo_) / (hi_ - lo_) * n;
+    int idx = static_cast<int>(t);
+    idx = std::clamp(idx, 0, n - 1);
+    ++bins_[static_cast<size_t>(idx)];
+    ++count_;
+}
+
+double
+Histogram::binLow(int i) const
+{
+    return lo_ + (hi_ - lo_) * i / static_cast<double>(bins_.size());
+}
+
+double
+Histogram::binHigh(int i) const
+{
+    return lo_ + (hi_ - lo_) * (i + 1) / static_cast<double>(bins_.size());
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    count_ = 0;
+}
+
+ScalarStat &
+StatGroup::scalar(const std::string &name)
+{
+    return scalars_[name];
+}
+
+bool
+StatGroup::hasScalar(const std::string &name) const
+{
+    return scalars_.count(name) > 0;
+}
+
+const ScalarStat &
+StatGroup::scalarAt(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    NEBULA_ASSERT(it != scalars_.end(), "unknown stat '", name, "' in group '",
+                  name_, "'");
+    return it->second;
+}
+
+std::vector<std::string>
+StatGroup::scalarNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(scalars_.size());
+    for (const auto &kv : scalars_)
+        names.push_back(kv.first);
+    return names;
+}
+
+Table
+StatGroup::toTable() const
+{
+    Table table(name_, {"stat", "sum", "count", "mean", "min", "max"});
+    for (const auto &kv : scalars_) {
+        const ScalarStat &s = kv.second;
+        table.row()
+            .add(kv.first)
+            .add(s.sum(), 4)
+            .add(static_cast<long long>(s.count()))
+            .add(s.mean(), 4)
+            .add(s.min(), 4)
+            .add(s.max(), 4);
+    }
+    return table;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : scalars_)
+        kv.second.reset();
+}
+
+} // namespace nebula

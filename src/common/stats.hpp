@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lightweight named-statistics registry in the spirit of gem5's stats
+ * package. Components register scalar counters, distributions and
+ * per-bucket vectors against a StatGroup; the group can be rendered as a
+ * table or CSV at the end of a run.
+ */
+
+#ifndef NEBULA_COMMON_STATS_HPP
+#define NEBULA_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace nebula {
+
+/** A running scalar statistic (sum / count / min / max). */
+class ScalarStat
+{
+  public:
+    /** Add one sample. */
+    void sample(double value);
+
+    /** Add @p value to the running sum without counting a sample. */
+    void add(double value);
+
+    /** Increment the sum by one. */
+    void inc() { add(1.0); }
+
+    double sum() const { return sum_; }
+    uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Reset to the initial state. */
+    void reset();
+
+  private:
+    double sum_ = 0.0;
+    uint64_t count_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** A fixed-bucket histogram statistic. */
+class Histogram
+{
+  public:
+    /** Create with @p buckets equal-width bins spanning [lo, hi). */
+    Histogram(double lo = 0.0, double hi = 1.0, int buckets = 10);
+
+    /** Add one sample (out-of-range samples clamp to the edge bins). */
+    void sample(double value);
+
+    uint64_t count() const { return count_; }
+    const std::vector<uint64_t> &bins() const { return bins_; }
+    double binLow(int i) const;
+    double binHigh(int i) const;
+
+    /** Reset all bins. */
+    void reset();
+
+  private:
+    double lo_, hi_;
+    std::vector<uint64_t> bins_;
+    uint64_t count_ = 0;
+};
+
+/**
+ * A named collection of statistics. Lookup creates on first use, so
+ * components can write `group.scalar("adc.conversions").inc()` without
+ * registration boilerplate.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "stats") : name_(std::move(name)) {}
+
+    /** Scalar stat by name (created on first use). */
+    ScalarStat &scalar(const std::string &name);
+
+    /** True if the named scalar exists. */
+    bool hasScalar(const std::string &name) const;
+
+    /** Read-only access; panics if the stat does not exist. */
+    const ScalarStat &scalarAt(const std::string &name) const;
+
+    /** All scalar names in sorted order. */
+    std::vector<std::string> scalarNames() const;
+
+    /** Render all scalar stats as a table. */
+    Table toTable() const;
+
+    /** Reset every stat in the group. */
+    void reset();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, ScalarStat> scalars_;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_COMMON_STATS_HPP

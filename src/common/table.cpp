@@ -1,0 +1,147 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+formatRatio(double value, int precision)
+{
+    return formatDouble(value, precision) + "x";
+}
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::add(const std::string &cell)
+{
+    NEBULA_ASSERT(!rows_.empty(), "add() before row()");
+    NEBULA_ASSERT(rows_.back().size() < headers_.size(),
+                  "row has more cells than headers in table '", title_, "'");
+    rows_.back().push_back(cell);
+    return *this;
+}
+
+Table &
+Table::add(double value, int precision)
+{
+    return add(formatDouble(value, precision));
+}
+
+Table &
+Table::add(long long value)
+{
+    return add(std::to_string(value));
+}
+
+namespace {
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+              c == '-' || c == '+' || c == 'e' || c == 'x' || c == '%'))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    size_t total = headers_.size() * 3 + 1;
+    for (size_t w : widths)
+        total += w;
+
+    os << "\n== " << title_ << " ==\n";
+    auto rule = [&]() { os << std::string(total, '-') << "\n"; };
+
+    rule();
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << " " << std::setw(static_cast<int>(widths[c])) << std::left
+           << headers_[c] << " |";
+    os << "\n";
+    rule();
+    for (const auto &row : rows_) {
+        os << "|";
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string cell = c < row.size() ? row[c] : "";
+            os << " " << std::setw(static_cast<int>(widths[c]));
+            if (looksNumeric(cell))
+                os << std::right;
+            else
+                os << std::left;
+            os << cell << " |";
+        }
+        os << "\n";
+    }
+    rule();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            // Quote cells containing commas.
+            if (cells[c].find(',') != std::string::npos)
+                os << '"' << cells[c] << '"';
+            else
+                os << cells[c];
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+bool
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    printCsv(out);
+    return static_cast<bool>(out);
+}
+
+} // namespace nebula

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * ASCII and CSV table rendering used by the benchmark harness to print
+ * the paper's tables and figure series in a uniform format.
+ */
+
+#ifndef NEBULA_COMMON_TABLE_HPP
+#define NEBULA_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nebula {
+
+/**
+ * Simple row/column table. Cells are stored as strings; numeric helpers
+ * format with a fixed precision. Rendering right-aligns numeric-looking
+ * cells and left-aligns text.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given title and column headers. */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent add* calls append cells to it. */
+    Table &row();
+
+    /** Append a text cell to the current row. */
+    Table &add(const std::string &cell);
+
+    /** Append a formatted numeric cell (fixed, @p precision decimals). */
+    Table &add(double value, int precision = 3);
+
+    /** Append an integer cell. */
+    Table &add(long long value);
+
+    /** Number of data rows so far. */
+    size_t numRows() const { return rows_.size(); }
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header row + data rows). */
+    void printCsv(std::ostream &os) const;
+
+    /** Write the CSV rendering to a file; returns false on I/O error. */
+    bool writeCsv(const std::string &path) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of significant decimals. */
+std::string formatDouble(double value, int precision = 3);
+
+/** Format a ratio as e.g. "7.9x". */
+std::string formatRatio(double value, int precision = 2);
+
+} // namespace nebula
+
+#endif // NEBULA_COMMON_TABLE_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Physical-unit helpers. All simulator-internal quantities are SI doubles
+ * (seconds, amperes, volts, joules, watts, metres); these constants and
+ * conversion helpers keep call sites readable and conversion-error free.
+ */
+
+#ifndef NEBULA_COMMON_UNITS_HPP
+#define NEBULA_COMMON_UNITS_HPP
+
+namespace nebula {
+namespace units {
+
+// Time.
+constexpr double sec = 1.0;
+constexpr double ms = 1e-3;
+constexpr double us = 1e-6;
+constexpr double ns = 1e-9;
+constexpr double ps = 1e-12;
+
+// Electrical.
+constexpr double volt = 1.0;
+constexpr double mV = 1e-3;
+constexpr double amp = 1.0;
+constexpr double mA = 1e-3;
+constexpr double uA = 1e-6;
+constexpr double nA = 1e-9;
+constexpr double ohm = 1.0;
+constexpr double kOhm = 1e3;
+constexpr double MOhm = 1e6;
+constexpr double siemens = 1.0;
+constexpr double uS = 1e-6;
+
+// Energy / power.
+constexpr double joule = 1.0;
+constexpr double mJ = 1e-3;
+constexpr double uJ = 1e-6;
+constexpr double nJ = 1e-9;
+constexpr double pJ = 1e-12;
+constexpr double fJ = 1e-15;
+constexpr double watt = 1.0;
+constexpr double mW = 1e-3;
+constexpr double uW = 1e-6;
+
+// Geometry.
+constexpr double metre = 1.0;
+constexpr double um = 1e-6;
+constexpr double nm = 1e-9;
+constexpr double mm2 = 1e-6; // square metres in one mm^2
+
+} // namespace units
+
+/** Convert joules to picojoules (for reporting). */
+constexpr double toPj(double joules) { return joules / units::pJ; }
+
+/** Convert joules to nanojoules (for reporting). */
+constexpr double toNj(double joules) { return joules / units::nJ; }
+
+/** Convert joules to microjoules (for reporting). */
+constexpr double toUj(double joules) { return joules / units::uJ; }
+
+/** Convert watts to milliwatts (for reporting). */
+constexpr double toMw(double watts) { return watts / units::mW; }
+
+} // namespace nebula
+
+#endif // NEBULA_COMMON_UNITS_HPP

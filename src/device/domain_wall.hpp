@@ -1,0 +1,74 @@
+/**
+ * @file
+ * 1-D collective-coordinate model of spin-Hall-driven domain-wall motion.
+ *
+ * This replaces the paper's MuMax micromagnetic simulation with the
+ * standard rigid-wall approximation: below the critical current density
+ * the wall stays pinned; above it the velocity grows linearly with
+ * overdrive and saturates at the Walker ceiling. Stable positions are
+ * quantized to a pinning grid (notch array), which is what gives the
+ * synapse its 16 discrete conductance states.
+ */
+
+#ifndef NEBULA_DEVICE_DOMAIN_WALL_HPP
+#define NEBULA_DEVICE_DOMAIN_WALL_HPP
+
+#include "common/rng.hpp"
+#include "device/dw_params.hpp"
+
+namespace nebula {
+
+/**
+ * One domain-wall track. Position 0 means the track is fully
+ * anti-parallel under the read MTJ; position == length means fully
+ * parallel.
+ */
+class DomainWallTrack
+{
+  public:
+    explicit DomainWallTrack(const DwTrackParams &params);
+
+    /**
+     * Apply a current pulse through the heavy metal.
+     *
+     * @param current  Signed charge current (A); sign selects direction.
+     * @param duration Pulse width (s).
+     * @param rng      Optional RNG for thermal jitter (may be null).
+     * @return displacement actually achieved (m, signed).
+     */
+    double applyCurrent(double current, double duration, Rng *rng = nullptr);
+
+    /** DW velocity (m/s) for a given current density (A/m^2), signed. */
+    double velocityAt(double density) const;
+
+    /** Convert a charge current (A) to a current density (A/m^2). */
+    double densityFor(double current) const;
+
+    /** Continuous wall position in [0, length]. */
+    double position() const { return position_; }
+
+    /** Position snapped to the pinning grid (what a read sees). */
+    double pinnedPosition() const;
+
+    /** Discrete state index in [0, numStates]. */
+    int stateIndex() const;
+
+    /** Fraction of the track in the parallel configuration, [0, 1]. */
+    double parallelFraction() const { return pinnedPosition() / p_.length; }
+
+    /** Force the wall to a given position (used by reset circuitry). */
+    void setPosition(double position);
+
+    /** Reset the wall to the start of the track. */
+    void reset() { position_ = 0.0; }
+
+    const DwTrackParams &params() const { return p_; }
+
+  private:
+    DwTrackParams p_;
+    double position_ = 0.0;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_DEVICE_DOMAIN_WALL_HPP

@@ -1,0 +1,44 @@
+#include "device/mtj.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+MtjStack::MtjStack(const MtjParams &params) : p_(params)
+{
+    NEBULA_ASSERT(p_.area > 0, "MTJ area must be positive");
+    NEBULA_ASSERT(p_.apOverP > 1.0, "AP/P ratio must exceed 1");
+    const double ra = raForThickness(p_, p_.oxideThickness);
+    const double rP = ra / p_.area;
+    gP_ = 1.0 / rP;
+    gAp_ = gP_ / p_.apOverP;
+}
+
+double
+MtjStack::raForThickness(const MtjParams &params, double thickness)
+{
+    // Exponential tunnelling-barrier dependence around the nominal point.
+    const double delta = thickness - params.oxideThickness;
+    return params.raProductP * std::exp(delta / params.oxideLambda);
+}
+
+double
+MtjStack::conductanceAt(double parallel_fraction) const
+{
+    NEBULA_ASSERT(parallel_fraction >= -1e-9 && parallel_fraction <= 1 + 1e-9,
+                  "parallel fraction out of range: ", parallel_fraction);
+    const double f = parallel_fraction < 0   ? 0.0
+                     : parallel_fraction > 1 ? 1.0
+                                             : parallel_fraction;
+    return f * gP_ + (1.0 - f) * gAp_;
+}
+
+double
+MtjStack::resistanceAt(double parallel_fraction) const
+{
+    return 1.0 / conductanceAt(parallel_fraction);
+}
+
+} // namespace nebula

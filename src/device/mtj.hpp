@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Electrical model of the read MTJ stack sitting on a domain-wall track.
+ *
+ * The free layer under the pillar is split by the domain wall into a
+ * parallel and an anti-parallel fraction which conduct in parallel:
+ *
+ *   G(x) = f * G_P + (1 - f) * G_AP,   f = parallel fraction.
+ *
+ * G_P comes from the RA product (scaled exponentially with barrier
+ * thickness, the NEGF-lite approximation); G_AP = G_P / (AP/P ratio).
+ */
+
+#ifndef NEBULA_DEVICE_MTJ_HPP
+#define NEBULA_DEVICE_MTJ_HPP
+
+#include "device/dw_params.hpp"
+
+namespace nebula {
+
+/** Read-path MTJ with a domain-wall-controlled intermediate conductance. */
+class MtjStack
+{
+  public:
+    explicit MtjStack(const MtjParams &params);
+
+    /** Conductance of the fully parallel state (S). */
+    double conductanceP() const { return gP_; }
+
+    /** Conductance of the fully anti-parallel state (S). */
+    double conductanceAp() const { return gAp_; }
+
+    /** Conductance at a given parallel fraction in [0, 1]. */
+    double conductanceAt(double parallel_fraction) const;
+
+    /** Resistance at a given parallel fraction. */
+    double resistanceAt(double parallel_fraction) const;
+
+    /** ON/OFF conductance ratio (== AP/P resistance ratio). */
+    double onOffRatio() const { return p_.apOverP; }
+
+    const MtjParams &params() const { return p_; }
+
+    /**
+     * RA product after adjusting the barrier thickness; used by design
+     * sweeps that trade read current against dot-product fidelity.
+     */
+    static double raForThickness(const MtjParams &params, double thickness);
+
+  private:
+    MtjParams p_;
+    double gP_;
+    double gAp_;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_DEVICE_MTJ_HPP

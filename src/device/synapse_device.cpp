@@ -1,0 +1,78 @@
+#include "device/synapse_device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+SynapseDevice::SynapseDevice(const SynapseDeviceParams &params)
+    : p_(params), track_(params.track), mtj_(params.mtj)
+{
+}
+
+double
+SynapseDevice::pulseEnergy()
+    const
+{
+    // E = V^2 / R * t for a full-drive pulse through the heavy metal.
+    const double i = p_.programVoltage / p_.track.writePathResistance;
+    return p_.programVoltage * i * p_.pulseWidth;
+}
+
+int
+SynapseDevice::program(int level, int levels, Rng *rng)
+{
+    const int n = levels > 0 ? levels : p_.track.numStates();
+    NEBULA_ASSERT(level >= 0 && level < n, "program level ", level,
+                  " out of range [0,", n - 1, ")");
+
+    // Target pinned position for this level: level 0 -> AP end (x = 0),
+    // level n-1 -> P end (x = length).
+    const double target =
+        p_.track.length * (static_cast<double>(level) / (n - 1));
+
+    const double full_current =
+        p_.programVoltage / p_.track.writePathResistance;
+
+    int pulses = 0;
+    // Closed-loop program-and-verify: each iteration applies one pulse
+    // sized by the linear device law, then verifies via the pinned
+    // position. Thermal jitter (if enabled) may require extra trims.
+    for (; pulses < 64; ++pulses) {
+        const double err = target - track_.pinnedPosition();
+        if (std::abs(err) < p_.track.pinPitch / 2)
+            break;
+
+        // Current needed to cover err in one pulse, clamped to full drive.
+        const double density_needed =
+            std::abs(err) / (p_.track.mobility * p_.pulseWidth) +
+            p_.track.criticalDensity;
+        double current = density_needed * p_.track.hmCrossSection();
+        current = std::min(current, full_current);
+        if (err < 0)
+            current = -current;
+
+        track_.applyCurrent(current, p_.pulseWidth, rng);
+        programEnergy_ += std::abs(current) * p_.programVoltage *
+                          p_.pulseWidth;
+    }
+    return pulses;
+}
+
+double
+SynapseDevice::conductance() const
+{
+    return mtj_.conductanceAt(track_.parallelFraction());
+}
+
+double
+SynapseDevice::normalizedWeight() const
+{
+    const double g = conductance();
+    return (g - mtj_.conductanceAp()) /
+           (mtj_.conductanceP() - mtj_.conductanceAp());
+}
+
+} // namespace nebula

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The DW-MTJ synapse: a domain-wall track with a read MTJ (paper Fig. 1a).
+ *
+ * Programming current through the heavy metal (terminals T2-T3) moves the
+ * wall and changes the T1-T3 read conductance linearly with the wall
+ * displacement; reads through the MTJ do not disturb the wall. During
+ * inference the write word-lines are off and the device is a fixed
+ * multi-level resistor.
+ */
+
+#ifndef NEBULA_DEVICE_SYNAPSE_DEVICE_HPP
+#define NEBULA_DEVICE_SYNAPSE_DEVICE_HPP
+
+#include "device/domain_wall.hpp"
+#include "device/mtj.hpp"
+
+namespace nebula {
+
+/** A single programmable synapse cell. */
+class SynapseDevice
+{
+  public:
+    explicit SynapseDevice(const SynapseDeviceParams &params = {});
+
+    /**
+     * Program the device to a discrete level.
+     *
+     * Programming is modelled closed-loop: a sequence of fixed-width
+     * pulses with magnitude chosen from the linear device law, followed
+     * by a verify-read, as a real programmer would do. Accumulates
+     * programming energy.
+     *
+     * @param level   Target level in [0, levels-1]; level 0 is the
+     *                lowest conductance (fully AP), levels-1 the highest.
+     * @param levels  Number of levels (defaults to the track's state
+     *                count, 16 for paper parameters).
+     * @param rng     Optional RNG for thermal write jitter.
+     * @return number of pulses used.
+     */
+    int program(int level, int levels = 0, Rng *rng = nullptr);
+
+    /** Read conductance at the current (pinned) wall position. */
+    double conductance() const;
+
+    /** Read current for an applied read voltage. */
+    double readCurrent(double voltage) const { return voltage * conductance(); }
+
+    /** Normalized weight in [0, 1]: (G - G_AP) / (G_P - G_AP). */
+    double normalizedWeight() const;
+
+    /** Discrete level currently programmed. */
+    int level() const { return track_.stateIndex(); }
+
+    /** Total energy spent programming this device so far (J). */
+    double programEnergy() const { return programEnergy_; }
+
+    /** Energy of a single programming pulse at full drive (J). */
+    double pulseEnergy() const;
+
+    const DomainWallTrack &track() const { return track_; }
+    const MtjStack &mtj() const { return mtj_; }
+    const SynapseDeviceParams &params() const { return p_; }
+
+  private:
+    SynapseDeviceParams p_;
+    DomainWallTrack track_;
+    MtjStack mtj_;
+    double programEnergy_ = 0.0;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_DEVICE_SYNAPSE_DEVICE_HPP

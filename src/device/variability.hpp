@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Device-variability model for Monte-Carlo robustness studies
+ * (paper Sec. IV-D: 10% weight variation costs <1% accuracy).
+ */
+
+#ifndef NEBULA_DEVICE_VARIABILITY_HPP
+#define NEBULA_DEVICE_VARIABILITY_HPP
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace nebula {
+
+/**
+ * Samples multiplicative conductance perturbations. Each device gets an
+ * independent N(1, sigma) factor, truncated to stay positive.
+ */
+class VariabilityModel
+{
+  public:
+    /** @param sigma Relative std-dev (0.10 for the paper's study). */
+    explicit VariabilityModel(double sigma, uint64_t seed = 1);
+
+    /** One multiplicative factor. */
+    double sampleFactor();
+
+    /** Perturb a weight vector in place. */
+    void perturb(std::vector<float> &weights);
+
+    double sigma() const { return sigma_; }
+
+  private:
+    double sigma_;
+    Rng rng_;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_DEVICE_VARIABILITY_HPP

@@ -1,0 +1,161 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+BatchNorm2d::BatchNorm2d(int channels, float momentum, float epsilon)
+    : channels_(channels), momentum_(momentum), epsilon_(epsilon),
+      gamma_({channels}), beta_({channels}), gammaGrad_({channels}),
+      betaGrad_({channels}), runningMean_({channels}), runningVar_({channels})
+{
+    NEBULA_ASSERT(channels > 0, "bad batchnorm channels");
+    gamma_.fill(1.0f);
+    runningVar_.fill(1.0f);
+}
+
+std::string
+BatchNorm2d::name() const
+{
+    std::ostringstream oss;
+    oss << "batchnorm(" << channels_ << ")";
+    return oss.str();
+}
+
+Tensor
+BatchNorm2d::forward(const Tensor &input, bool train)
+{
+    NEBULA_ASSERT(input.rank() == 4 && input.dim(1) == channels_,
+                  "batchnorm shape mismatch");
+    const int batch = input.dim(0);
+    const int h = input.dim(2), w = input.dim(3);
+    const long long per_channel = static_cast<long long>(batch) * h * w;
+
+    Tensor output(input.shape());
+
+    if (train) {
+        input_ = input;
+        batchMean_.assign(channels_, 0.0f);
+        batchVar_.assign(channels_, 0.0f);
+        for (int c = 0; c < channels_; ++c) {
+            double sum = 0.0, sq = 0.0;
+            for (int n = 0; n < batch; ++n)
+                for (int y = 0; y < h; ++y)
+                    for (int x = 0; x < w; ++x) {
+                        const double v = input.at(n, c, y, x);
+                        sum += v;
+                        sq += v * v;
+                    }
+            const double mean = sum / per_channel;
+            const double var = sq / per_channel - mean * mean;
+            batchMean_[c] = static_cast<float>(mean);
+            batchVar_[c] = static_cast<float>(std::max(var, 0.0));
+            runningMean_[c] = (1 - momentum_) * runningMean_[c] +
+                              momentum_ * batchMean_[c];
+            runningVar_[c] =
+                (1 - momentum_) * runningVar_[c] + momentum_ * batchVar_[c];
+        }
+        for (int c = 0; c < channels_; ++c) {
+            const float inv_std =
+                1.0f / std::sqrt(batchVar_[c] + epsilon_);
+            for (int n = 0; n < batch; ++n)
+                for (int y = 0; y < h; ++y)
+                    for (int x = 0; x < w; ++x)
+                        output.at(n, c, y, x) =
+                            gamma_[c] * (input.at(n, c, y, x) -
+                                         batchMean_[c]) * inv_std +
+                            beta_[c];
+        }
+    } else {
+        for (int c = 0; c < channels_; ++c) {
+            const float inv_std =
+                1.0f / std::sqrt(runningVar_[c] + epsilon_);
+            const float scale = gamma_[c] * inv_std;
+            const float shift = beta_[c] - scale * runningMean_[c];
+            for (int n = 0; n < batch; ++n)
+                for (int y = 0; y < h; ++y)
+                    for (int x = 0; x < w; ++x)
+                        output.at(n, c, y, x) =
+                            scale * input.at(n, c, y, x) + shift;
+        }
+    }
+    return output;
+}
+
+Tensor
+BatchNorm2d::backward(const Tensor &grad_output)
+{
+    NEBULA_ASSERT(input_.size() > 0, "batchnorm backward before forward");
+    const int batch = input_.dim(0);
+    const int h = input_.dim(2), w = input_.dim(3);
+    const double m = static_cast<double>(batch) * h * w;
+
+    Tensor grad_input(input_.shape());
+    for (int c = 0; c < channels_; ++c) {
+        const double mean = batchMean_[c];
+        const double inv_std = 1.0 / std::sqrt(batchVar_[c] + epsilon_);
+
+        // Accumulate the three reductions of the standard BN backward.
+        double sum_dy = 0.0, sum_dy_xhat = 0.0;
+        for (int n = 0; n < batch; ++n)
+            for (int y = 0; y < h; ++y)
+                for (int x = 0; x < w; ++x) {
+                    const double dy = grad_output.at(n, c, y, x);
+                    const double xhat =
+                        (input_.at(n, c, y, x) - mean) * inv_std;
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * xhat;
+                }
+        gammaGrad_[c] += static_cast<float>(sum_dy_xhat);
+        betaGrad_[c] += static_cast<float>(sum_dy);
+
+        const double g = gamma_[c];
+        for (int n = 0; n < batch; ++n)
+            for (int y = 0; y < h; ++y)
+                for (int x = 0; x < w; ++x) {
+                    const double dy = grad_output.at(n, c, y, x);
+                    const double xhat =
+                        (input_.at(n, c, y, x) - mean) * inv_std;
+                    grad_input.at(n, c, y, x) = static_cast<float>(
+                        g * inv_std *
+                        (dy - sum_dy / m - xhat * sum_dy_xhat / m));
+                }
+    }
+    return grad_input;
+}
+
+std::vector<Tensor *>
+BatchNorm2d::parameters()
+{
+    return {&gamma_, &beta_};
+}
+
+std::vector<Tensor *>
+BatchNorm2d::gradients()
+{
+    return {&gammaGrad_, &betaGrad_};
+}
+
+std::vector<Tensor *>
+BatchNorm2d::state()
+{
+    return {&gamma_, &beta_, &runningMean_, &runningVar_};
+}
+
+void
+BatchNorm2d::effectiveAffine(std::vector<float> &scale,
+                             std::vector<float> &shift) const
+{
+    scale.resize(channels_);
+    shift.resize(channels_);
+    for (int c = 0; c < channels_; ++c) {
+        const float inv_std = 1.0f / std::sqrt(runningVar_[c] + epsilon_);
+        scale[c] = gamma_[c] * inv_std;
+        shift[c] = beta_[c] - scale[c] * runningMean_[c];
+    }
+}
+
+} // namespace nebula

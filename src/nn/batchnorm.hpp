@@ -1,0 +1,70 @@
+/**
+ * @file
+ * 2-D batch normalization. At inference time BN layers are folded back
+ * into the preceding weight layer (paper Sec. V-A, following Rueckauer
+ * et al.) so the network maps cleanly onto crossbars; the folding
+ * helper lives in nn/network.hpp.
+ */
+
+#ifndef NEBULA_NN_BATCHNORM_HPP
+#define NEBULA_NN_BATCHNORM_HPP
+
+#include "nn/layer.hpp"
+
+namespace nebula {
+
+/** Per-channel batch normalization over (N, H, W). */
+class BatchNorm2d : public Layer
+{
+  public:
+    explicit BatchNorm2d(int channels, float momentum = 0.1f,
+                         float epsilon = 1e-5f);
+
+    Tensor forward(const Tensor &input, bool train = false) override;
+    Tensor backward(const Tensor &grad_output) override;
+
+    std::vector<Tensor *> parameters() override;
+    std::vector<Tensor *> gradients() override;
+    std::vector<Tensor *> state() override;
+
+    LayerKind kind() const override { return LayerKind::BatchNorm; }
+    std::string name() const override;
+    LayerPtr clone() const override
+    {
+        return std::make_unique<BatchNorm2d>(*this);
+    }
+
+    int channels() const { return channels_; }
+    float epsilon() const { return epsilon_; }
+
+    Tensor &gamma() { return gamma_; }
+    Tensor &beta() { return beta_; }
+    Tensor &runningMean() { return runningMean_; }
+    Tensor &runningVar() { return runningVar_; }
+    const Tensor &gamma() const { return gamma_; }
+    const Tensor &beta() const { return beta_; }
+    const Tensor &runningMean() const { return runningMean_; }
+    const Tensor &runningVar() const { return runningVar_; }
+
+    /**
+     * Effective affine transform y = scale[c] * x + shift[c] using the
+     * running statistics; this is what gets folded into conv weights.
+     */
+    void effectiveAffine(std::vector<float> &scale,
+                         std::vector<float> &shift) const;
+
+  private:
+    int channels_;
+    float momentum_, epsilon_;
+    Tensor gamma_, beta_;
+    Tensor gammaGrad_, betaGrad_;
+    Tensor runningMean_, runningVar_;
+
+    // Cached train-mode state for backward.
+    Tensor input_;
+    std::vector<float> batchMean_, batchVar_;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_NN_BATCHNORM_HPP

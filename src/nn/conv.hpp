@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Dense and depthwise 2-D convolution layers (im2col + GEMM for the
+ * dense case). These are the layers that map onto NEBULA crossbars: a
+ * KH x KW x C kernel flattens onto Rf crossbar rows and each of the
+ * Cout kernels occupies one column (paper Fig. 5).
+ */
+
+#ifndef NEBULA_NN_CONV_HPP
+#define NEBULA_NN_CONV_HPP
+
+#include "nn/layer.hpp"
+
+namespace nebula {
+
+/** Dense 2-D convolution with square kernel, stride and zero padding. */
+class Conv2d : public Layer
+{
+  public:
+    /**
+     * @param in_channels  input channels C
+     * @param out_channels kernels / output channels
+     * @param kernel       square kernel size K
+     * @param stride       stride
+     * @param padding      symmetric zero padding
+     * @param bias         include a bias vector
+     */
+    Conv2d(int in_channels, int out_channels, int kernel, int stride = 1,
+           int padding = 0, bool bias = true);
+
+    Tensor forward(const Tensor &input, bool train = false) override;
+    Tensor backward(const Tensor &grad_output) override;
+
+    std::vector<Tensor *> parameters() override;
+    std::vector<Tensor *> gradients() override;
+
+    LayerKind kind() const override { return LayerKind::Conv; }
+    std::string name() const override;
+    LayerPtr clone() const override { return std::make_unique<Conv2d>(*this); }
+
+    bool isWeightLayer() const override { return true; }
+    int receptiveField() const override
+    {
+        return inChannels_ * kernel_ * kernel_;
+    }
+    int numKernels() const override { return outChannels_; }
+    long long outputPositions() const override { return outH_ * 1ll * outW_; }
+    long long outputElements() const override
+    {
+        return static_cast<long long>(outChannels_) * outH_ * outW_;
+    }
+
+    /** Weight tensor, shape (Cout, Cin, K, K). */
+    Tensor &weight() { return weight_; }
+    const Tensor &weight() const { return weight_; }
+    Tensor &bias() { return bias_; }
+    const Tensor &bias() const { return bias_; }
+    bool hasBias() const { return hasBias_; }
+    /** Enable/disable the bias term (used by batch-norm folding). */
+    void setHasBias(bool has_bias) { hasBias_ = has_bias; }
+
+    int inChannels() const { return inChannels_; }
+    int outChannels() const { return outChannels_; }
+    int kernel() const { return kernel_; }
+    int stride() const { return stride_; }
+    int padding() const { return padding_; }
+
+    /** Kaiming-uniform initialization. */
+    void initKaiming(Rng &rng);
+
+  private:
+    void computeOutputGeometry(int in_h, int in_w);
+    void im2col(const Tensor &input, int n, std::vector<float> &col) const;
+    void col2im(const std::vector<float> &col, Tensor &grad_input,
+                int n) const;
+
+    int inChannels_, outChannels_, kernel_, stride_, padding_;
+    bool hasBias_;
+    Tensor weight_, bias_;
+    Tensor weightGrad_, biasGrad_;
+    Tensor input_;           //!< cached for backward (train mode)
+    int inH_ = 0, inW_ = 0;
+    int outH_ = 0, outW_ = 0;
+};
+
+/** Depthwise convolution (one KxK filter per channel, MobileNet-v1). */
+class DwConv2d : public Layer
+{
+  public:
+    DwConv2d(int channels, int kernel, int stride = 1, int padding = 0,
+             bool bias = true);
+
+    Tensor forward(const Tensor &input, bool train = false) override;
+    Tensor backward(const Tensor &grad_output) override;
+
+    std::vector<Tensor *> parameters() override;
+    std::vector<Tensor *> gradients() override;
+
+    LayerKind kind() const override { return LayerKind::DwConv; }
+    std::string name() const override;
+    LayerPtr clone() const override { return std::make_unique<DwConv2d>(*this); }
+
+    bool isWeightLayer() const override { return true; }
+    /**
+     * A depthwise kernel touches only one input channel, so its
+     * receptive field on a crossbar is K*K rows (paper Sec. VI-A notes
+     * the resulting low crossbar utilization of separable convolutions).
+     */
+    int receptiveField() const override { return kernel_ * kernel_; }
+    int numKernels() const override { return channels_; }
+    long long outputPositions() const override { return outH_ * 1ll * outW_; }
+    long long outputElements() const override
+    {
+        return static_cast<long long>(channels_) * outH_ * outW_;
+    }
+
+    Tensor &weight() { return weight_; }
+    const Tensor &weight() const { return weight_; }
+    Tensor &bias() { return bias_; }
+    bool hasBias() const { return hasBias_; }
+    /** Enable/disable the bias term (used by batch-norm folding). */
+    void setHasBias(bool has_bias) { hasBias_ = has_bias; }
+    int channels() const { return channels_; }
+    int kernel() const { return kernel_; }
+    int stride() const { return stride_; }
+    int padding() const { return padding_; }
+
+    void initKaiming(Rng &rng);
+
+  private:
+    int channels_, kernel_, stride_, padding_;
+    bool hasBias_;
+    Tensor weight_, bias_;       //!< weight shape (C, K, K)
+    Tensor weightGrad_, biasGrad_;
+    Tensor input_;
+    int outH_ = 0, outW_ = 0;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_NN_CONV_HPP

@@ -1,0 +1,266 @@
+#include "nn/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+Tensor
+Dataset::batchImages(const std::vector<int> &indices) const
+{
+    NEBULA_ASSERT(!indices.empty(), "empty batch");
+    const Tensor &first = image(indices[0]);
+    Tensor batch({static_cast<int>(indices.size()), first.dim(0),
+                  first.dim(1), first.dim(2)});
+    const long long per = first.size();
+    for (size_t k = 0; k < indices.size(); ++k) {
+        const Tensor &img = image(indices[k]);
+        std::copy(img.data(), img.data() + per,
+                  batch.data() + static_cast<long long>(k) * per);
+    }
+    return batch;
+}
+
+std::vector<int>
+Dataset::batchLabels(const std::vector<int> &indices) const
+{
+    std::vector<int> out(indices.size());
+    for (size_t k = 0; k < indices.size(); ++k)
+        out[k] = label(indices[k]);
+    return out;
+}
+
+Tensor
+Dataset::firstImages(int n) const
+{
+    n = std::min(n, size());
+    std::vector<int> indices(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        indices[static_cast<size_t>(i)] = i;
+    return batchImages(indices);
+}
+
+std::vector<int>
+Dataset::firstLabels(int n) const
+{
+    n = std::min(n, size());
+    std::vector<int> indices(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        indices[static_cast<size_t>(i)] = i;
+    return batchLabels(indices);
+}
+
+namespace {
+
+/** 5x7 digit glyphs, '#' = ink. */
+const char *const kGlyphs[10][7] = {
+    {" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "}, // 0
+    {"  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "}, // 1
+    {" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"}, // 2
+    {" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "}, // 3
+    {"   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "}, // 4
+    {"#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "}, // 5
+    {" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "}, // 6
+    {"#####", "    #", "   # ", "  #  ", "  #  ", "  #  ", "  #  "}, // 7
+    {" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "}, // 8
+    {" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "}, // 9
+};
+
+/**
+ * Render glyph @p digit into channel @p c of @p img scaled to roughly
+ * fill the image, with sub-glyph translation jitter.
+ */
+void
+renderGlyph(Tensor &img, int c, int digit, int dx, int dy, float ink,
+            double scale)
+{
+    const int hw = img.dim(2);
+    const int gw = 5, gh = 7;
+    // Size of the rendered glyph in pixels.
+    const int rh = std::max(4, static_cast<int>(hw * scale));
+    const int rw = std::max(3, rh * gw / gh);
+    const int y0 = (hw - rh) / 2 + dy;
+    const int x0 = (hw - rw) / 2 + dx;
+    for (int y = 0; y < rh; ++y) {
+        const int gy = std::min(gh - 1, y * gh / rh);
+        const int iy = y0 + y;
+        if (iy < 0 || iy >= hw)
+            continue;
+        for (int x = 0; x < rw; ++x) {
+            const int gx = std::min(gw - 1, x * gw / rw);
+            const int ix = x0 + x;
+            if (ix < 0 || ix >= hw)
+                continue;
+            if (kGlyphs[digit][gy][gx] == '#')
+                img.at(0, c, iy, ix) = ink;
+        }
+    }
+}
+
+void
+clampUnit(Tensor &img)
+{
+    for (long long i = 0; i < img.size(); ++i)
+        img[i] = std::clamp(img[i], 0.0f, 1.0f);
+}
+
+/** One sinusoidal plane-wave texture component. */
+struct Wave
+{
+    double fx, fy, phase, amp;
+};
+
+} // namespace
+
+SyntheticDigits::SyntheticDigits(int count, int imageSize, uint64_t seed,
+                                 double noise)
+    : Dataset("synthetic-digits", 10, 1, imageSize)
+{
+    NEBULA_ASSERT(imageSize >= 8, "digits need at least 8x8 images");
+    Rng rng(seed ^ 0xd1d5u);
+    images_.reserve(static_cast<size_t>(count));
+    labels_.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const int digit = rng.uniformInt(0, 9);
+        Tensor img({1, 1, imageSize, imageSize});
+        const int jitter = std::max(1, imageSize / 8);
+        const int dx = rng.uniformInt(-jitter, jitter);
+        const int dy = rng.uniformInt(-jitter, jitter);
+        const double scale = rng.uniform(0.65, 0.9);
+        const float ink = static_cast<float>(rng.uniform(0.75, 1.0));
+        renderGlyph(img, 0, digit, dx, dy, ink, scale);
+        if (noise > 0.0)
+            for (long long k = 0; k < img.size(); ++k)
+                img[k] += static_cast<float>(rng.gaussian(0.0, noise));
+        clampUnit(img);
+        img.reshape({1, imageSize, imageSize});
+        images_.push_back(std::move(img));
+        labels_.push_back(digit);
+    }
+}
+
+SyntheticTextures::SyntheticTextures(int count, int classes, int imageSize,
+                                     int channels, uint64_t seed,
+                                     double noise)
+    : Dataset("synthetic-textures", classes, channels, imageSize)
+{
+    NEBULA_ASSERT(classes >= 2, "need at least two classes");
+    // Class prototypes depend only on the dataset geometry, NOT on the
+    // sample seed, so train/test splits built with different seeds are
+    // draws from the same task.
+    Rng proto_rng(0x7e47u ^ (static_cast<uint64_t>(classes) << 20) ^
+                  (static_cast<uint64_t>(imageSize) << 8) ^
+                  static_cast<uint64_t>(channels));
+
+    // Fixed per-class prototypes: waves per channel plus a base tint.
+    const int waves_per_channel = 3;
+    std::vector<std::vector<Wave>> prototypes;   // [class*channel] waves
+    std::vector<float> tint(
+        static_cast<size_t>(classes) * channels);
+    prototypes.resize(static_cast<size_t>(classes) * channels);
+    for (int cls = 0; cls < classes; ++cls) {
+        for (int c = 0; c < channels; ++c) {
+            auto &waves = prototypes[static_cast<size_t>(cls) * channels + c];
+            for (int w = 0; w < waves_per_channel; ++w) {
+                Wave wave;
+                const double freq = proto_rng.uniform(1.0, 5.0);
+                const double theta = proto_rng.uniform(0.0, 2 * M_PI);
+                wave.fx = freq * std::cos(theta) * 2 * M_PI / imageSize;
+                wave.fy = freq * std::sin(theta) * 2 * M_PI / imageSize;
+                wave.phase = proto_rng.uniform(0.0, 2 * M_PI);
+                wave.amp = proto_rng.uniform(0.1, 0.25);
+                waves.push_back(wave);
+            }
+            tint[static_cast<size_t>(cls) * channels + c] =
+                static_cast<float>(proto_rng.uniform(0.3, 0.7));
+        }
+    }
+
+    Rng rng(seed ^ 0x5a5au);
+    images_.reserve(static_cast<size_t>(count));
+    labels_.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const int cls = rng.uniformInt(0, classes - 1);
+        // Per-sample jitter: translation (cyclic) and small phase shift.
+        const int sx = rng.uniformInt(0, imageSize - 1);
+        const int sy = rng.uniformInt(0, imageSize - 1);
+        const double dphase = rng.uniform(-0.5, 0.5);
+
+        Tensor img({channels, imageSize, imageSize});
+        for (int c = 0; c < channels; ++c) {
+            const auto &waves =
+                prototypes[static_cast<size_t>(cls) * channels + c];
+            const float base =
+                tint[static_cast<size_t>(cls) * channels + c];
+            for (int y = 0; y < imageSize; ++y) {
+                for (int x = 0; x < imageSize; ++x) {
+                    double v = base;
+                    const int yy = (y + sy) % imageSize;
+                    const int xx = (x + sx) % imageSize;
+                    for (const Wave &wave : waves)
+                        v += wave.amp * std::sin(wave.fx * xx +
+                                                 wave.fy * yy +
+                                                 wave.phase + dphase);
+                    v += rng.gaussian(0.0, noise);
+                    img[(static_cast<long long>(c) * imageSize + y) *
+                            imageSize +
+                        x] = static_cast<float>(v);
+                }
+            }
+        }
+        clampUnit(img);
+        images_.push_back(std::move(img));
+        labels_.push_back(cls);
+    }
+}
+
+SyntheticSvhn::SyntheticSvhn(int count, int imageSize, uint64_t seed,
+                             double noise)
+    : Dataset("synthetic-svhn", 10, 3, imageSize)
+{
+    Rng rng(seed ^ 0x54a3u);
+    images_.reserve(static_cast<size_t>(count));
+    labels_.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const int digit = rng.uniformInt(0, 9);
+        Tensor img({1, 3, imageSize, imageSize});
+
+        // Textured background: low-frequency sinusoid per channel.
+        for (int c = 0; c < 3; ++c) {
+            const double base = rng.uniform(0.2, 0.6);
+            const double amp = rng.uniform(0.05, 0.2);
+            const double fx = rng.uniform(0.5, 2.0) * 2 * M_PI / imageSize;
+            const double fy = rng.uniform(0.5, 2.0) * 2 * M_PI / imageSize;
+            const double phase = rng.uniform(0.0, 2 * M_PI);
+            for (int y = 0; y < imageSize; ++y)
+                for (int x = 0; x < imageSize; ++x)
+                    img.at(0, c, y, x) = static_cast<float>(
+                        base + amp * std::sin(fx * x + fy * y + phase));
+        }
+
+        // Digit in a random saturated color.
+        const int hue = rng.uniformInt(0, 2);
+        const int jitter = std::max(1, imageSize / 8);
+        const int dx = rng.uniformInt(-jitter, jitter);
+        const int dy = rng.uniformInt(-jitter, jitter);
+        const double scale = rng.uniform(0.5, 0.8);
+        for (int c = 0; c < 3; ++c) {
+            const float ink = (c == hue)
+                                  ? static_cast<float>(rng.uniform(0.8, 1.0))
+                                  : static_cast<float>(rng.uniform(0.0, 0.2));
+            renderGlyph(img, c, digit, dx, dy, ink, scale);
+        }
+
+        if (noise > 0.0)
+            for (long long k = 0; k < img.size(); ++k)
+                img[k] += static_cast<float>(rng.gaussian(0.0, noise));
+        clampUnit(img);
+        img.reshape({3, imageSize, imageSize});
+        images_.push_back(std::move(img));
+        labels_.push_back(digit);
+    }
+}
+
+} // namespace nebula

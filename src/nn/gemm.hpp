@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Small blocked single-precision GEMM kernels used by the conv and
+ * linear layers. Not tuned for peak FLOPs -- just cache-blocked enough to
+ * make training the scaled benchmark networks practical on one core.
+ */
+
+#ifndef NEBULA_NN_GEMM_HPP
+#define NEBULA_NN_GEMM_HPP
+
+namespace nebula {
+
+/**
+ * C (MxN) += A (MxK) * B (KxN), all row-major.
+ * If @p accumulate is false, C is overwritten instead.
+ */
+void gemm(int M, int N, int K, const float *A, const float *B, float *C,
+          bool accumulate = false);
+
+/** C (MxN) += A^T (A is KxM) * B (KxN), row-major. */
+void gemmTransA(int M, int N, int K, const float *A, const float *B,
+                float *C, bool accumulate = false);
+
+/** C (MxN) += A (MxK) * B^T (B is NxK), row-major. */
+void gemmTransB(int M, int N, int K, const float *A, const float *B,
+                float *C, bool accumulate = false);
+
+} // namespace nebula
+
+#endif // NEBULA_NN_GEMM_HPP

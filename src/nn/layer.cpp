@@ -1,0 +1,44 @@
+#include "nn/layer.hpp"
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv:        return "conv";
+      case LayerKind::DwConv:      return "dwconv";
+      case LayerKind::Linear:      return "linear";
+      case LayerKind::AvgPool:     return "avgpool";
+      case LayerKind::MaxPool:     return "maxpool";
+      case LayerKind::BatchNorm:   return "batchnorm";
+      case LayerKind::Relu:        return "relu";
+      case LayerKind::ClippedRelu: return "clipped_relu";
+      case LayerKind::Flatten:     return "flatten";
+      case LayerKind::If:          return "if";
+    }
+    return "unknown";
+}
+
+Tensor
+Layer::backward(const Tensor &)
+{
+    NEBULA_PANIC("backward not implemented for layer ", name());
+}
+
+std::string
+Layer::name() const
+{
+    return layerKindName(kind());
+}
+
+void
+Layer::zeroGrad()
+{
+    for (Tensor *g : gradients())
+        g->zero();
+}
+
+} // namespace nebula

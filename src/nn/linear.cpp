@@ -1,0 +1,98 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "nn/gemm.hpp"
+
+namespace nebula {
+
+Linear::Linear(int in_features, int out_features, bool bias)
+    : inFeatures_(in_features), outFeatures_(out_features), hasBias_(bias),
+      weight_({out_features, in_features}), bias_({out_features}),
+      weightGrad_({out_features, in_features}), biasGrad_({out_features})
+{
+    NEBULA_ASSERT(in_features > 0 && out_features > 0, "bad linear geometry");
+}
+
+void
+Linear::initKaiming(Rng &rng)
+{
+    const float bound = std::sqrt(6.0f / inFeatures_);
+    weight_.uniform(rng, -bound, bound);
+    if (hasBias_)
+        bias_.zero();
+}
+
+std::string
+Linear::name() const
+{
+    std::ostringstream oss;
+    oss << "linear(" << inFeatures_ << "->" << outFeatures_ << ")";
+    return oss.str();
+}
+
+Tensor
+Linear::forward(const Tensor &input, bool train)
+{
+    NEBULA_ASSERT(input.rank() == 2, "linear expects (N, F) input, got ",
+                  input.shapeString());
+    NEBULA_ASSERT(input.dim(1) == inFeatures_, "linear fan-in mismatch: ",
+                  input.dim(1), " != ", inFeatures_);
+    const int batch = input.dim(0);
+    if (train)
+        input_ = input;
+
+    Tensor output({batch, outFeatures_});
+    // out (N x out) = in (N x in) * W^T (in x out); W is (out x in).
+    gemmTransB(batch, outFeatures_, inFeatures_, input.data(), weight_.data(),
+               output.data());
+    if (hasBias_) {
+        for (int n = 0; n < batch; ++n)
+            for (int f = 0; f < outFeatures_; ++f)
+                output.at(n, f) += bias_[f];
+    }
+    return output;
+}
+
+Tensor
+Linear::backward(const Tensor &grad_output)
+{
+    NEBULA_ASSERT(input_.size() > 0, "linear backward before train forward");
+    const int batch = input_.dim(0);
+
+    // dX (N x in) = dY (N x out) * W (out x in)
+    Tensor grad_input({batch, inFeatures_});
+    gemm(batch, inFeatures_, outFeatures_, grad_output.data(),
+         weight_.data(), grad_input.data());
+
+    // dW (out x in) += dY^T (out x N) * X (N x in)
+    gemmTransA(outFeatures_, inFeatures_, batch, grad_output.data(),
+               input_.data(), weightGrad_.data(), true);
+
+    if (hasBias_) {
+        for (int n = 0; n < batch; ++n)
+            for (int f = 0; f < outFeatures_; ++f)
+                biasGrad_[f] += grad_output.at(n, f);
+    }
+    return grad_input;
+}
+
+std::vector<Tensor *>
+Linear::parameters()
+{
+    if (hasBias_)
+        return {&weight_, &bias_};
+    return {&weight_};
+}
+
+std::vector<Tensor *>
+Linear::gradients()
+{
+    if (hasBias_)
+        return {&weightGrad_, &biasGrad_};
+    return {&weightGrad_};
+}
+
+} // namespace nebula

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fully connected layer. Maps onto crossbars with Rf == fan-in rows and
+ * one column per output unit; evaluated in a single crossbar cycle per
+ * input vector.
+ */
+
+#ifndef NEBULA_NN_LINEAR_HPP
+#define NEBULA_NN_LINEAR_HPP
+
+#include "nn/layer.hpp"
+
+namespace nebula {
+
+/** y = W x + b with W of shape (out, in). */
+class Linear : public Layer
+{
+  public:
+    Linear(int in_features, int out_features, bool bias = true);
+
+    Tensor forward(const Tensor &input, bool train = false) override;
+    Tensor backward(const Tensor &grad_output) override;
+
+    std::vector<Tensor *> parameters() override;
+    std::vector<Tensor *> gradients() override;
+
+    LayerKind kind() const override { return LayerKind::Linear; }
+    std::string name() const override;
+    LayerPtr clone() const override { return std::make_unique<Linear>(*this); }
+
+    bool isWeightLayer() const override { return true; }
+    int receptiveField() const override { return inFeatures_; }
+    int numKernels() const override { return outFeatures_; }
+    long long outputPositions() const override { return 1; }
+    long long outputElements() const override { return outFeatures_; }
+
+    Tensor &weight() { return weight_; }
+    const Tensor &weight() const { return weight_; }
+    Tensor &bias() { return bias_; }
+    const Tensor &bias() const { return bias_; }
+    bool hasBias() const { return hasBias_; }
+
+    int inFeatures() const { return inFeatures_; }
+    int outFeatures() const { return outFeatures_; }
+
+    void initKaiming(Rng &rng);
+
+  private:
+    int inFeatures_, outFeatures_;
+    bool hasBias_;
+    Tensor weight_, bias_;
+    Tensor weightGrad_, biasGrad_;
+    Tensor input_;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_NN_LINEAR_HPP

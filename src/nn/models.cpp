@@ -1,0 +1,279 @@
+#include "nn/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace nebula {
+
+const std::vector<PaperBenchmark> &
+paperBenchmarks()
+{
+    // Paper Table I.
+    static const std::vector<PaperBenchmark> table = {
+        {"3-layer MLP", "MNIST", 96.81, 95.75, 50, 3},
+        {"Lenet5", "MNIST", 99.12, 98.56, 40, 5},
+        {"MobileNet-v1", "CIFAR-10", 91.00, 81.08, 500, 29},
+        {"VGG-13", "CIFAR-10", 91.60, 90.05, 300, 20},
+        {"MobileNet-v1", "CIFAR-100", 66.06, 56.88, 1000, 29},
+        {"VGG-13", "CIFAR-100", 71.50, 68.32, 1000, 18},
+        {"SVHN Network", "SVHN", 94.96, 94.48, 100, 12},
+        {"AlexNet", "ImageNet", 51.0, 50.0, 500, 11},
+    };
+    return table;
+}
+
+namespace {
+
+/** Width-scaled channel count, at least 4 and rounded to multiple of 4. */
+int
+scaled(int channels, float width)
+{
+    const int c = static_cast<int>(std::lround(channels * width));
+    return std::max(4, (c + 3) / 4 * 4);
+}
+
+/** Add conv(+BN)+ReLU. */
+void
+addConvBlock(Network &net, Rng &rng, int in_c, int out_c, int kernel,
+             int stride, int padding, bool batchnorm)
+{
+    auto *conv = net.add<Conv2d>(in_c, out_c, kernel, stride, padding,
+                                 /*bias=*/!batchnorm);
+    conv->initKaiming(rng);
+    if (batchnorm)
+        net.add<BatchNorm2d>(out_c);
+    net.add<Relu>();
+}
+
+/** Add depthwise(+BN)+ReLU then pointwise(+BN)+ReLU (MobileNet block). */
+void
+addSeparableBlock(Network &net, Rng &rng, int in_c, int out_c, int stride,
+                  bool batchnorm)
+{
+    auto *dw = net.add<DwConv2d>(in_c, 3, stride, 1, /*bias=*/!batchnorm);
+    dw->initKaiming(rng);
+    if (batchnorm)
+        net.add<BatchNorm2d>(in_c);
+    net.add<Relu>();
+
+    auto *pw = net.add<Conv2d>(in_c, out_c, 1, 1, 0, /*bias=*/!batchnorm);
+    pw->initKaiming(rng);
+    if (batchnorm)
+        net.add<BatchNorm2d>(out_c);
+    net.add<Relu>();
+}
+
+} // namespace
+
+Network
+buildMlp3(int image_size, int channels, int classes, uint64_t seed)
+{
+    Rng rng(seed);
+    Network net("mlp3");
+    const int in = image_size * image_size * channels;
+    net.add<Flatten>();
+    net.add<Linear>(in, 128)->initKaiming(rng);
+    net.add<Relu>();
+    net.add<Linear>(128, 64)->initKaiming(rng);
+    net.add<Relu>();
+    net.add<Linear>(64, classes)->initKaiming(rng);
+    return net;
+}
+
+Network
+buildLenet5(int image_size, int channels, int classes, uint64_t seed)
+{
+    Rng rng(seed);
+    Network net("lenet5");
+    // Conversion-friendly LeNet5: average pooling, ReLU.
+    addConvBlock(net, rng, channels, 6, 5, 1, 2, false);
+    net.add<AvgPool2d>(2);
+    addConvBlock(net, rng, 6, 16, 5, 1, 0, false);
+    net.add<AvgPool2d>(2);
+    net.add<Flatten>();
+
+    const int after_pool1 = image_size / 2;       // conv1 keeps size (pad 2)
+    const int after_conv2 = after_pool1 - 4;      // 5x5, no pad
+    const int after_pool2 = after_conv2 / 2;
+    const int flat = 16 * after_pool2 * after_pool2;
+    NEBULA_ASSERT(after_pool2 > 0, "lenet5 input too small: ", image_size);
+
+    net.add<Linear>(flat, 120)->initKaiming(rng);
+    net.add<Relu>();
+    net.add<Linear>(120, 84)->initKaiming(rng);
+    net.add<Relu>();
+    net.add<Linear>(84, classes)->initKaiming(rng);
+    return net;
+}
+
+Network
+buildVgg13(int image_size, int channels, int classes, float width,
+           uint64_t seed, bool batchnorm)
+{
+    Rng rng(seed);
+    Network net("vgg13");
+    struct Stage { int channels; int convs; };
+    const Stage stages[5] = {{64, 2}, {128, 2}, {256, 2}, {512, 2}, {512, 2}};
+
+    int in_c = channels;
+    int spatial = image_size;
+    for (const Stage &stage : stages) {
+        const int out_c = scaled(stage.channels, width);
+        for (int k = 0; k < stage.convs; ++k) {
+            addConvBlock(net, rng, in_c, out_c, 3, 1, 1, batchnorm);
+            in_c = out_c;
+        }
+        if (spatial >= 2) {
+            net.add<AvgPool2d>(2);
+            spatial /= 2;
+        }
+    }
+    net.add<Flatten>();
+    const int flat = in_c * spatial * spatial;
+    const int fc = scaled(512, width);
+    net.add<Linear>(flat, fc)->initKaiming(rng);
+    net.add<Relu>();
+    net.add<Linear>(fc, fc)->initKaiming(rng);
+    net.add<Relu>();
+    net.add<Linear>(fc, classes)->initKaiming(rng);
+    return net;
+}
+
+Network
+buildMobilenetV1(int image_size, int channels, int classes, float width,
+                 uint64_t seed, bool batchnorm)
+{
+    Rng rng(seed);
+    Network net("mobilenet-v1");
+
+    // (out channels, stride) for the 13 separable blocks; strides follow
+    // the CIFAR variant of MobileNet-v1.
+    const int block_channels[13] = {64,  128, 128, 256, 256, 512, 512,
+                                    512, 512, 512, 512, 1024, 1024};
+    const int block_strides[13] = {1, 2, 1, 2, 1, 2, 1, 1, 1, 1, 1, 2, 1};
+
+    int in_c = scaled(32, width);
+    addConvBlock(net, rng, channels, in_c, 3, 1, 1, batchnorm);
+
+    int spatial = image_size;
+    for (int b = 0; b < 13; ++b) {
+        const int out_c = scaled(block_channels[b], width);
+        int stride = block_strides[b];
+        if (stride == 2 && spatial <= 2)
+            stride = 1;
+        addSeparableBlock(net, rng, in_c, out_c, stride, batchnorm);
+        in_c = out_c;
+        if (stride == 2)
+            spatial = (spatial + 1) / 2;
+    }
+    if (spatial >= 2) {
+        net.add<AvgPool2d>(spatial);
+        spatial = 1;
+    }
+    net.add<Flatten>();
+    net.add<Linear>(in_c, classes)->initKaiming(rng);
+    return net;
+}
+
+Network
+buildSvhnNet(int image_size, int channels, int classes, float width,
+             uint64_t seed, bool batchnorm)
+{
+    Rng rng(seed);
+    Network net("svhn-net");
+    struct Stage { int channels; int convs; };
+    const Stage stages[4] = {{32, 2}, {64, 2}, {128, 3}, {256, 3}};
+
+    int in_c = channels;
+    int spatial = image_size;
+    for (const Stage &stage : stages) {
+        const int out_c = scaled(stage.channels, width);
+        for (int k = 0; k < stage.convs; ++k) {
+            addConvBlock(net, rng, in_c, out_c, 3, 1, 1, batchnorm);
+            in_c = out_c;
+        }
+        if (spatial >= 2) {
+            net.add<AvgPool2d>(2);
+            spatial /= 2;
+        }
+    }
+    net.add<Flatten>();
+    const int flat = in_c * spatial * spatial;
+    net.add<Linear>(flat, scaled(256, width))->initKaiming(rng);
+    net.add<Relu>();
+    net.add<Linear>(scaled(256, width), classes)->initKaiming(rng);
+    return net;
+}
+
+Network
+buildAlexNet(int image_size, int channels, int classes, float width,
+             uint64_t seed, bool batchnorm)
+{
+    Rng rng(seed);
+    Network net("alexnet");
+    // AlexNet adapted to modest inputs: the classic 11x11 stride-4 stem
+    // and 5x5 second conv, then 5 conv + 3 FC with average pooling
+    // (conversion constraint) instead of max pooling.
+    const int c1 = scaled(64, width), c2 = scaled(192, width),
+              c3 = scaled(384, width), c4 = scaled(256, width),
+              c5 = scaled(256, width);
+
+    addConvBlock(net, rng, channels, c1, 11, 4, 5, batchnorm);
+    net.add<AvgPool2d>(2);
+    addConvBlock(net, rng, c1, c2, 5, 1, 2, batchnorm);
+    addConvBlock(net, rng, c2, c3, 3, 1, 1, batchnorm);
+    addConvBlock(net, rng, c3, c4, 3, 1, 1, batchnorm);
+    addConvBlock(net, rng, c4, c5, 3, 1, 1, batchnorm);
+    net.add<AvgPool2d>(2);
+    net.add<Flatten>();
+
+    int spatial = image_size;
+    spatial = (spatial + 2 * 5 - 11) / 4 + 1; // conv1 stride 4
+    spatial /= 2;                             // pool1
+    spatial /= 2;                             // pool2
+    NEBULA_ASSERT(spatial > 0, "alexnet input too small: ", image_size);
+    const int flat = c5 * spatial * spatial;
+    const int fc = scaled(1024, width);
+
+    net.add<Linear>(flat, fc)->initKaiming(rng);
+    net.add<Relu>();
+    net.add<Linear>(fc, fc)->initKaiming(rng);
+    net.add<Relu>();
+    net.add<Linear>(fc, classes)->initKaiming(rng);
+    return net;
+}
+
+Network
+buildPaperModel(const std::string &name, int classes_override)
+{
+    const uint64_t seed = 1234;
+    auto classes = [&](int dflt) {
+        return classes_override > 0 ? classes_override : dflt;
+    };
+    if (name == "mlp3")
+        return buildMlp3(28, 1, classes(10), seed);
+    if (name == "lenet5")
+        return buildLenet5(28, 1, classes(10), seed);
+    if (name == "vgg13")
+        return buildVgg13(32, 3, classes(10), 1.0f, seed);
+    if (name == "vgg13-c100")
+        return buildVgg13(32, 3, classes(100), 1.0f, seed);
+    if (name == "mobilenet")
+        return buildMobilenetV1(32, 3, classes(10), 1.0f, seed);
+    if (name == "mobilenet-c100")
+        return buildMobilenetV1(32, 3, classes(100), 1.0f, seed);
+    if (name == "svhn")
+        return buildSvhnNet(32, 3, classes(10), 1.0f, seed);
+    if (name == "alexnet")
+        return buildAlexNet(64, 3, classes(100), 1.0f, seed);
+    NEBULA_FATAL("unknown paper model '", name, "'");
+}
+
+} // namespace nebula

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Model zoo: the benchmark network topologies of the paper's Table I
+ * (3-layer MLP, LeNet5, VGG-13, MobileNet-v1, the SVHN network and
+ * AlexNet), parameterized by input geometry, class count and a width
+ * scale so the deep models can also be trained at reduced width on one
+ * core. All models follow the ANN-to-SNN conversion constraints of
+ * Sec. V-A: ReLU activations and average pooling only.
+ */
+
+#ifndef NEBULA_NN_MODELS_HPP
+#define NEBULA_NN_MODELS_HPP
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace nebula {
+
+/** Published Table I row for a benchmark (paper reference values). */
+struct PaperBenchmark
+{
+    std::string model;
+    std::string dataset;
+    double annAccuracy;   //!< paper ANN accuracy (%)
+    double snnAccuracy;   //!< paper SNN accuracy (%)
+    int timesteps;        //!< paper SNN evidence-integration steps
+    int depth;            //!< paper-reported depth
+};
+
+/** All eight Table I rows. */
+const std::vector<PaperBenchmark> &paperBenchmarks();
+
+/** 3-layer MLP: in -> 128 -> 64 -> classes. */
+Network buildMlp3(int image_size, int channels, int classes, uint64_t seed);
+
+/** LeNet5: 2 conv (6, 16 @5x5) + avgpool + 3 FC (120, 84, classes). */
+Network buildLenet5(int image_size, int channels, int classes,
+                    uint64_t seed);
+
+/**
+ * VGG-13: conv blocks [64,64 | 128,128 | 256,256 | 512,512 | 512,512]
+ * with 2x2 average pooling between blocks, then FC 512 -> 512 -> classes.
+ * @param width  Channel width multiplier (1.0 = paper size).
+ * @param batchnorm Insert BatchNorm after every conv (folded before
+ *                  mapping / conversion).
+ */
+Network buildVgg13(int image_size, int channels, int classes, float width,
+                   uint64_t seed, bool batchnorm = true);
+
+/**
+ * MobileNet-v1 for 32x32 inputs: stem conv(32) then 13 depthwise-
+ * separable blocks (dw3x3 + pw1x1), global average pool, FC.
+ * 27 weight layers + FC == the paper's 29-layer depth.
+ */
+Network buildMobilenetV1(int image_size, int channels, int classes,
+                         float width, uint64_t seed, bool batchnorm = true);
+
+/** SVHN network (depth 12): 10 conv + 2 FC. */
+Network buildSvhnNet(int image_size, int channels, int classes, float width,
+                     uint64_t seed, bool batchnorm = true);
+
+/** AlexNet-style: 5 conv + 3 FC, average pooling. */
+Network buildAlexNet(int image_size, int channels, int classes, float width,
+                     uint64_t seed, bool batchnorm = false);
+
+/**
+ * Build a full-size (width 1.0) paper topology by model name
+ * ("mlp3", "lenet5", "vgg13", "mobilenet", "svhn", "alexnet") with the
+ * dataset geometry the paper used. Weights are seeded, not trained --
+ * used by the mapping/energy studies, which depend only on topology and
+ * activity statistics.
+ */
+Network buildPaperModel(const std::string &name, int classes_override = 0);
+
+} // namespace nebula
+
+#endif // NEBULA_NN_MODELS_HPP

@@ -1,0 +1,179 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/logging.hpp"
+#include "device/variability.hpp"
+#include "nn/activations.hpp"
+#include "nn/trainer.hpp"
+
+namespace nebula {
+
+float
+absPercentile(const Tensor &t, double p)
+{
+    NEBULA_ASSERT(t.size() > 0, "percentile of empty tensor");
+    NEBULA_ASSERT(p >= 0.0 && p <= 1.0, "percentile out of range");
+    std::vector<float> mags(static_cast<size_t>(t.size()));
+    for (long long i = 0; i < t.size(); ++i)
+        mags[static_cast<size_t>(i)] = std::abs(t[i]);
+    const size_t k = std::min(
+        mags.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(mags.size() - 1) + 0.5));
+    std::nth_element(mags.begin(), mags.begin() + static_cast<long>(k),
+                     mags.end());
+    return mags[k];
+}
+
+void
+quantizeTensorSymmetric(Tensor &t, float clip, int levels)
+{
+    NEBULA_ASSERT(levels >= 2, "need at least 2 levels");
+    if (clip <= 0.0f) {
+        t.zero();
+        return;
+    }
+    // 'levels' resistance states span [-clip, +clip].
+    const float step = 2.0f * clip / (levels - 1);
+    for (long long i = 0; i < t.size(); ++i) {
+        float v = std::clamp(t[i], -clip, clip);
+        v = std::round((v + clip) / step) * step - clip;
+        t[i] = v;
+    }
+}
+
+std::vector<float>
+calibrateActivations(Network &net, const Tensor &calibration,
+                     double percentile)
+{
+    std::vector<Tensor> outputs;
+    net.forwardCollect(calibration, outputs);
+
+    std::vector<float> ceilings(static_cast<size_t>(net.numLayers()), 0.0f);
+    float last = 1.0f; // input images are normalized to [0, 1]
+    for (int i = 0; i < net.numLayers(); ++i) {
+        const LayerKind kind = net.layer(i).kind();
+        if (kind == LayerKind::Relu || kind == LayerKind::ClippedRelu) {
+            float c = absPercentile(outputs[static_cast<size_t>(i)],
+                                    percentile);
+            if (c <= 0.0f)
+                c = 1e-3f;
+            last = c;
+        }
+        ceilings[static_cast<size_t>(i)] = last;
+    }
+    return ceilings;
+}
+
+namespace {
+
+/** Per-output-channel symmetric clip + quantize of a weight tensor. */
+void
+quantizePerChannel(Tensor &w, int channels, double percentile, int levels)
+{
+    NEBULA_ASSERT(channels > 0 && w.size() % channels == 0,
+                  "weight tensor not divisible into channels");
+    const long long per = w.size() / channels;
+    for (int c = 0; c < channels; ++c) {
+        Tensor slice({static_cast<int>(per)});
+        for (long long k = 0; k < per; ++k)
+            slice[k] = w[c * per + k];
+        const float clip = absPercentile(slice, percentile);
+        quantizeTensorSymmetric(slice, clip, levels);
+        for (long long k = 0; k < per; ++k)
+            w[c * per + k] = slice[k];
+    }
+}
+
+} // namespace
+
+QuantizationResult
+quantizeNetwork(Network &net, const Tensor &calibration, int weight_levels,
+                int act_levels, double act_percentile,
+                double weight_percentile, bool per_channel)
+{
+    if (net.hasBatchNorm())
+        net.foldBatchNorm();
+
+    const auto ceilings = calibrateActivations(net, calibration,
+                                               act_percentile);
+
+    // Swap every ReLU for a clipped/quantized one.
+    for (int i = 0; i < net.numLayers(); ++i) {
+        if (net.layer(i).kind() == LayerKind::Relu) {
+            net.replaceLayer(
+                i, std::make_unique<ClippedRelu>(
+                       ceilings[static_cast<size_t>(i)], act_levels));
+        }
+    }
+
+    // Clip + quantize weights.
+    QuantizationResult result;
+    float input_ceiling = 1.0f;
+    for (int i = 0; i < net.numLayers(); ++i) {
+        Layer &layer = net.layer(i);
+        if (!layer.isWeightLayer()) {
+            if (layer.kind() == LayerKind::ClippedRelu)
+                input_ceiling = ceilings[static_cast<size_t>(i)];
+            continue;
+        }
+        auto params = layer.parameters();
+        NEBULA_ASSERT(!params.empty(), "weight layer without parameters");
+        Tensor &w = *params[0];
+        const float clip = absPercentile(w, weight_percentile);
+        if (per_channel)
+            quantizePerChannel(w, layer.numKernels(), weight_percentile,
+                               weight_levels);
+        else
+            quantizeTensorSymmetric(w, clip, weight_levels);
+
+        LayerQuantInfo info;
+        info.layerIndex = i;
+        // Record the actual post-quantization range so crossbar mapping
+        // (w / weightMax) never clips.
+        info.weightMax = std::max(w.maxAbs(), clip);
+        info.actCeiling = input_ceiling;
+        info.weightLevels = weight_levels;
+        info.actLevels = act_levels;
+        result.layers.push_back(info);
+    }
+    return result;
+}
+
+double
+fineTuneQuantized(Network &net, const Dataset &train,
+                  const QuantizationResult &quant, int epochs, double lr)
+{
+    TrainConfig cfg;
+    cfg.epochs = epochs;
+    cfg.learningRate = lr;
+    cfg.weightDecay = 0.0;
+    SgdTrainer trainer(cfg);
+    const double acc = trainer.train(net, train);
+
+    // Re-quantize the fine-tuned weights onto the cell grid.
+    for (const LayerQuantInfo &info : quant.layers) {
+        Layer &layer = net.layer(info.layerIndex);
+        Tensor &w = *layer.parameters()[0];
+        quantizePerChannel(w, layer.numKernels(), 0.997,
+                           info.weightLevels);
+    }
+    return acc;
+}
+
+void
+injectWeightNoise(Network &net, double sigma, uint64_t seed)
+{
+    VariabilityModel noise(sigma, seed);
+    const auto indices = net.weightLayerIndices();
+    for (int i : indices) {
+        auto params = net.layer(i).parameters();
+        Tensor &w = *params[0];
+        for (long long k = 0; k < w.size(); ++k)
+            w[k] = static_cast<float>(w[k] * noise.sampleFactor());
+    }
+}
+
+} // namespace nebula

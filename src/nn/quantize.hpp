@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Post-training quantization pipeline (paper Sec. IV-C):
+ *
+ *  1. Activation calibration: run a calibration set through the model
+ *     and record a per-layer activation ceiling a_max at a percentile,
+ *     beyond which activations are clipped.
+ *  2. Activation quantization: replace each ReLU with a clipped,
+ *     range-based linear quantizer (16 levels for the 4-bit datapath).
+ *  3. Weight clipping + quantization: clip each weight layer to an
+ *     empirically chosen symmetric range (percentile of |w|, respecting
+ *     the crossbar's limited conductance ratio) and quantize to the
+ *     cell's discrete levels.
+ *
+ * Also provides the Monte-Carlo weight-noise injection used by the
+ * Sec. IV-D variability study.
+ */
+
+#ifndef NEBULA_NN_QUANTIZE_HPP
+#define NEBULA_NN_QUANTIZE_HPP
+
+#include <vector>
+
+#include "nn/datasets.hpp"
+#include "nn/network.hpp"
+
+namespace nebula {
+
+/** Per-weight-layer quantization record (used by the chip mapper). */
+struct LayerQuantInfo
+{
+    int layerIndex = -1;    //!< index in the network
+    float weightMax = 0.0f; //!< symmetric clip range for weights
+    float actCeiling = 0.0f; //!< a_max of the activation feeding this layer
+    int weightLevels = 16;
+    int actLevels = 16;
+};
+
+/** Result of quantizing a network. */
+struct QuantizationResult
+{
+    std::vector<LayerQuantInfo> layers;
+};
+
+/**
+ * Record the per-layer post-activation ceilings.
+ *
+ * @param net         Network (BN should be folded first).
+ * @param calibration Calibration images (N, C, H, W).
+ * @param percentile  Activation percentile used as the clip point
+ *                    (paper clips at a high percentile; 0.999 default).
+ * @return one ceiling per layer (non-activation layers get the ceiling
+ *         of the most recent activation; index 0 is the input ceiling).
+ */
+std::vector<float> calibrateActivations(Network &net,
+                                        const Tensor &calibration,
+                                        double percentile = 0.999);
+
+/**
+ * Quantize a network in place: replaces every Relu with a ClippedRelu
+ * (quantized to @p act_levels) and clips+quantizes the weights of every
+ * weight layer to @p weight_levels.
+ *
+ * @param weight_percentile Percentile of |w| used as the clip range.
+ * @return per-layer quantization records.
+ */
+/**
+ * @param per_channel Clip/quantize each output channel (crossbar column)
+ *        with its own range. The column-wise scale is absorbed by the
+ *        neuron periphery (paper Sec. II-B3: threshold scaling via
+ *        synaptic range / read-voltage shifts); essential for
+ *        batch-norm-folded depthwise layers.
+ */
+QuantizationResult quantizeNetwork(Network &net, const Tensor &calibration,
+                                   int weight_levels = 16,
+                                   int act_levels = 16,
+                                   double act_percentile = 0.999,
+                                   double weight_percentile = 0.997,
+                                   bool per_channel = true);
+
+/**
+ * Quantization-aware fine-tuning (paper Sec. IV-C cites post-training
+ * quantization *and fine-tuning* [2]): train the already-quantized
+ * network for a few epochs -- the ClippedRelu layers quantize in the
+ * forward pass and pass gradients straight-through within the clip
+ * range -- then re-quantize the drifted weights.
+ *
+ * @return accuracy on the training set after fine-tuning.
+ */
+double fineTuneQuantized(Network &net, const Dataset &train,
+                         const QuantizationResult &quant, int epochs = 2,
+                         double lr = 0.01);
+
+/** Clip and quantize one tensor symmetrically to @p levels levels. */
+void quantizeTensorSymmetric(Tensor &t, float clip, int levels);
+
+/** Percentile of |values| (p in [0,1]). */
+float absPercentile(const Tensor &t, double p);
+
+/**
+ * Inject multiplicative Gaussian noise into every weight tensor
+ * (Sec. IV-D Monte-Carlo study). Biases are left untouched.
+ */
+void injectWeightNoise(Network &net, double sigma, uint64_t seed);
+
+} // namespace nebula
+
+#endif // NEBULA_NN_QUANTIZE_HPP

@@ -1,0 +1,161 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace nebula {
+
+LossResult
+softmaxCrossEntropy(const Tensor &logits, const std::vector<int> &labels)
+{
+    NEBULA_ASSERT(logits.rank() == 2, "loss expects 2-D logits");
+    const int batch = logits.dim(0);
+    const int classes = logits.dim(1);
+    NEBULA_ASSERT(labels.size() == static_cast<size_t>(batch),
+                  "label count mismatch");
+
+    LossResult result;
+    result.grad = Tensor({batch, classes});
+
+    for (int n = 0; n < batch; ++n) {
+        // Stable softmax.
+        float maxv = logits.at(n, 0);
+        for (int c = 1; c < classes; ++c)
+            maxv = std::max(maxv, logits.at(n, c));
+        double denom = 0.0;
+        for (int c = 0; c < classes; ++c)
+            denom += std::exp(static_cast<double>(logits.at(n, c)) - maxv);
+
+        const int y = labels[static_cast<size_t>(n)];
+        NEBULA_ASSERT(y >= 0 && y < classes, "label out of range");
+        const double log_py =
+            static_cast<double>(logits.at(n, y)) - maxv - std::log(denom);
+        result.loss -= log_py;
+
+        int best = 0;
+        for (int c = 1; c < classes; ++c)
+            if (logits.at(n, c) > logits.at(n, best))
+                best = c;
+        result.correct += (best == y);
+
+        for (int c = 0; c < classes; ++c) {
+            const double p =
+                std::exp(static_cast<double>(logits.at(n, c)) - maxv) / denom;
+            result.grad.at(n, c) =
+                static_cast<float>((p - (c == y ? 1.0 : 0.0)) / batch);
+        }
+    }
+    result.loss /= batch;
+    return result;
+}
+
+SgdTrainer::SgdTrainer(TrainConfig config)
+    : config_(config), currentLr_(config.learningRate)
+{
+}
+
+void
+SgdTrainer::step(Network &net, int /*batch_size*/)
+{
+    auto params = net.parameters();
+    auto grads = net.gradients();
+    NEBULA_ASSERT(params.size() == grads.size(), "param/grad mismatch");
+
+    if (velocity_.size() != params.size()) {
+        velocity_.assign(params.size(), {});
+        for (size_t k = 0; k < params.size(); ++k)
+            velocity_[k].assign(static_cast<size_t>(params[k]->size()),
+                                0.0f);
+    }
+
+    for (size_t k = 0; k < params.size(); ++k) {
+        Tensor &p = *params[k];
+        Tensor &g = *grads[k];
+        auto &v = velocity_[k];
+        NEBULA_ASSERT(p.size() == g.size() &&
+                          v.size() == static_cast<size_t>(p.size()),
+                      "optimizer state mismatch");
+        const float lr = static_cast<float>(currentLr_);
+        const float mu = static_cast<float>(config_.momentum);
+        const float wd = static_cast<float>(config_.weightDecay);
+        for (long long i = 0; i < p.size(); ++i) {
+            const float grad = g[i] + wd * p[i];
+            v[static_cast<size_t>(i)] =
+                mu * v[static_cast<size_t>(i)] - lr * grad;
+            p[i] += v[static_cast<size_t>(i)];
+        }
+    }
+}
+
+double
+SgdTrainer::train(Network &net, const Dataset &data)
+{
+    Rng rng(config_.shuffleSeed);
+    std::vector<int> order(static_cast<size_t>(data.size()));
+    for (int i = 0; i < data.size(); ++i)
+        order[static_cast<size_t>(i)] = i;
+
+    currentLr_ = config_.learningRate;
+    double accuracy = 0.0;
+
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+        rng.shuffle(order);
+        double loss_sum = 0.0;
+        int correct = 0, seen = 0, batches = 0;
+
+        for (int start = 0; start < data.size();
+             start += config_.batchSize) {
+            const int end =
+                std::min(start + config_.batchSize, data.size());
+            std::vector<int> idx(order.begin() + start, order.begin() + end);
+            Tensor images = data.batchImages(idx);
+            const auto labels = data.batchLabels(idx);
+
+            net.zeroGrad();
+            Tensor logits = net.forward(images, true);
+            LossResult loss = softmaxCrossEntropy(logits, labels);
+            net.backward(loss.grad);
+            step(net, end - start);
+
+            loss_sum += loss.loss;
+            correct += loss.correct;
+            seen += end - start;
+            ++batches;
+        }
+        accuracy = static_cast<double>(correct) / seen;
+        if (config_.verbose) {
+            NEBULA_INFORM("epoch ", epoch + 1, "/", config_.epochs,
+                          " loss=", loss_sum / std::max(batches, 1),
+                          " acc=", accuracy);
+        }
+        currentLr_ *= config_.lrDecay;
+    }
+    return accuracy;
+}
+
+double
+evaluateAccuracy(Network &net, const Dataset &data, int max_samples,
+                 int batch_size)
+{
+    const int total = max_samples > 0 ? std::min(max_samples, data.size())
+                                      : data.size();
+    int correct = 0;
+    for (int start = 0; start < total; start += batch_size) {
+        const int end = std::min(start + batch_size, total);
+        std::vector<int> idx;
+        idx.reserve(static_cast<size_t>(end - start));
+        for (int i = start; i < end; ++i)
+            idx.push_back(i);
+        Tensor images = data.batchImages(idx);
+        const auto labels = data.batchLabels(idx);
+        const auto pred = net.predict(images);
+        for (size_t k = 0; k < pred.size(); ++k)
+            correct += (pred[k] == labels[k]);
+    }
+    return total ? static_cast<double>(correct) / total : 0.0;
+}
+
+} // namespace nebula

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * From-scratch training engine: SGD with momentum and weight decay,
+ * softmax cross-entropy, mini-batch loop and accuracy evaluation. Used
+ * to train the small benchmark networks on the synthetic datasets so the
+ * ANN-to-SNN conversion studies (Tables I/II, Figs. 9/10) run against
+ * genuinely trained weights.
+ */
+
+#ifndef NEBULA_NN_TRAINER_HPP
+#define NEBULA_NN_TRAINER_HPP
+
+#include "nn/datasets.hpp"
+#include "nn/network.hpp"
+
+namespace nebula {
+
+/** Softmax cross-entropy loss and gradient. */
+struct LossResult
+{
+    double loss = 0.0;      //!< mean loss over the batch
+    Tensor grad;            //!< dL/dlogits (already averaged)
+    int correct = 0;        //!< correct predictions in the batch
+};
+
+/** Compute softmax cross-entropy for a batch of logits. */
+LossResult softmaxCrossEntropy(const Tensor &logits,
+                               const std::vector<int> &labels);
+
+/** Training hyperparameters. */
+struct TrainConfig
+{
+    int epochs = 5;
+    int batchSize = 32;
+    double learningRate = 0.05;
+    double momentum = 0.9;
+    double weightDecay = 5e-4;
+    double lrDecay = 0.7;      //!< multiplicative decay per epoch
+    uint64_t shuffleSeed = 3;
+    bool verbose = false;
+};
+
+/** SGD-with-momentum trainer. */
+class SgdTrainer
+{
+  public:
+    explicit SgdTrainer(TrainConfig config = {});
+
+    /**
+     * Train the network on a dataset.
+     * @return final training accuracy (fraction).
+     */
+    double train(Network &net, const Dataset &data);
+
+    /** One optimizer step using the accumulated gradients. */
+    void step(Network &net, int batch_size);
+
+    const TrainConfig &config() const { return config_; }
+
+  private:
+    TrainConfig config_;
+    double currentLr_;
+    std::vector<std::vector<float>> velocity_;
+};
+
+/** Classification accuracy of a network on a dataset (fraction). */
+double evaluateAccuracy(Network &net, const Dataset &data,
+                        int max_samples = 0, int batch_size = 64);
+
+} // namespace nebula
+
+#endif // NEBULA_NN_TRAINER_HPP

@@ -1,0 +1,151 @@
+#include "snn/convert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "nn/quantize.hpp"
+
+namespace nebula {
+
+void
+SpikingModel::resetState()
+{
+    for (int i : ifLayerIndices)
+        static_cast<IfLayer &>(net.layer(i)).resetState();
+}
+
+IfLayer &
+SpikingModel::ifLayer(int k)
+{
+    NEBULA_ASSERT(k >= 0 && k < static_cast<int>(ifLayerIndices.size()),
+                  "IF layer index out of range");
+    return static_cast<IfLayer &>(
+        net.layer(ifLayerIndices[static_cast<size_t>(k)]));
+}
+
+namespace {
+
+bool
+isActivation(LayerKind kind)
+{
+    return kind == LayerKind::Relu || kind == LayerKind::ClippedRelu;
+}
+
+/** Scale a weight layer: w *= in/out, b /= out. */
+void
+normalizeWeightLayer(Layer &layer, float lambda_in, float lambda_out)
+{
+    auto params = layer.parameters();
+    NEBULA_ASSERT(!params.empty(), "weight layer without parameters");
+    Tensor &w = *params[0];
+    const float w_scale = lambda_in / lambda_out;
+    for (long long i = 0; i < w.size(); ++i)
+        w[i] *= w_scale;
+    if (params.size() > 1) {
+        Tensor &b = *params[1];
+        for (long long i = 0; i < b.size(); ++i)
+            b[i] /= lambda_out;
+    }
+}
+
+} // namespace
+
+SpikingModel
+convertToSnn(Network &ann, const Tensor &calibration,
+             const ConversionConfig &config)
+{
+    if (ann.hasBatchNorm())
+        ann.foldBatchNorm();
+
+    // Collect ANN activations for the normalization scales.
+    std::vector<Tensor> outputs;
+    ann.forwardCollect(calibration, outputs);
+
+    const int n = ann.numLayers();
+
+    // lambda_out[i]: normalization scale of source layer i's output.
+    std::vector<float> lambda_out(static_cast<size_t>(n), 1.0f);
+    float running = 1.0f;
+    for (int i = 0; i < n; ++i) {
+        if (ann.layer(i).isWeightLayer()) {
+            // Scale of this layer's output = scale of the next activation
+            // (pools/flattens in between are scale-preserving); if there
+            // is no later activation this is the output layer.
+            float lambda = 0.0f;
+            bool found = false;
+            for (int j = i + 1; j < n; ++j) {
+                if (ann.layer(j).isWeightLayer())
+                    break;
+                if (isActivation(ann.layer(j).kind())) {
+                    lambda = absPercentile(outputs[static_cast<size_t>(j)],
+                                           config.percentile);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                lambda = absPercentile(outputs[static_cast<size_t>(i)],
+                                       config.percentile);
+            if (lambda <= 1e-6f) {
+                NEBULA_WARN("degenerate activation scale at layer ", i,
+                            "; clamping");
+                lambda = 1e-6f;
+            }
+            running = lambda;
+        }
+        lambda_out[static_cast<size_t>(i)] = running;
+    }
+
+    // Build the converted network.
+    SpikingModel model;
+    model.net.setName(ann.name() + "-snn");
+
+    float lambda_in = 1.0f;
+    for (int i = 0; i < n; ++i) {
+        Layer &src = ann.layer(i);
+        const LayerKind kind = src.kind();
+        const float l_out = lambda_out[static_cast<size_t>(i)];
+
+        if (src.isWeightLayer()) {
+            LayerPtr copy = src.clone();
+            normalizeWeightLayer(*copy, lambda_in, l_out);
+            model.sourceLayerOf.push_back(i);
+            model.lambdas.push_back(l_out);
+            model.net.addLayer(std::move(copy));
+            lambda_in = l_out;
+        } else if (isActivation(kind)) {
+            model.ifLayerIndices.push_back(model.net.numLayers());
+            model.sourceLayerOf.push_back(i);
+            model.lambdas.push_back(l_out);
+            model.net.addLayer(
+                std::make_unique<IfLayer>(1.0f, config.reset));
+        } else if (kind == LayerKind::AvgPool) {
+            model.sourceLayerOf.push_back(i);
+            model.lambdas.push_back(l_out);
+            model.net.addLayer(src.clone());
+            if (config.ifAfterPool) {
+                model.ifLayerIndices.push_back(model.net.numLayers());
+                model.sourceLayerOf.push_back(-1);
+                model.lambdas.push_back(l_out);
+                model.net.addLayer(
+                    std::make_unique<IfLayer>(1.0f, config.reset));
+            }
+        } else if (kind == LayerKind::Flatten) {
+            model.sourceLayerOf.push_back(i);
+            model.lambdas.push_back(l_out);
+            model.net.addLayer(src.clone());
+        } else if (kind == LayerKind::MaxPool) {
+            NEBULA_FATAL("max pooling is not SNN-convertible; train with "
+                         "average pooling (paper Sec. V-A)");
+        } else if (kind == LayerKind::BatchNorm) {
+            NEBULA_PANIC("batchnorm survived folding");
+        } else {
+            NEBULA_FATAL("layer kind '", layerKindName(kind),
+                         "' unsupported by the converter");
+        }
+    }
+    return model;
+}
+
+} // namespace nebula

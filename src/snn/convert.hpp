@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ANN-to-SNN conversion (paper Sec. V-A, following Cao / Diehl /
+ * Rueckauer):
+ *
+ *  - batch-norm layers are folded into the preceding weight layer;
+ *  - every ReLU is replaced by an integrate-and-fire layer;
+ *  - an extra IF layer is inserted after every average pool so that all
+ *    inter-layer traffic stays binary (hardware-mappable);
+ *  - weights are data-based normalized: with lambda_l the high
+ *    percentile of layer l's ANN activation, each weight layer is
+ *    rescaled w <- w * lambda_in / lambda_out, b <- b / lambda_out so
+ *    all IF thresholds can be 1.0 and activations correspond to firing
+ *    rates in [0, 1].
+ *
+ * Max pooling is rejected -- networks must be trained with average
+ * pooling (the paper's conversion constraint).
+ */
+
+#ifndef NEBULA_SNN_CONVERT_HPP
+#define NEBULA_SNN_CONVERT_HPP
+
+#include <vector>
+
+#include "nn/network.hpp"
+#include "snn/if_layer.hpp"
+
+namespace nebula {
+
+/** Conversion options. */
+struct ConversionConfig
+{
+    /** Activation percentile used for the normalization scales. */
+    double percentile = 0.999;
+
+    /**
+     * Membrane reset behaviour. Reset-by-subtraction is the default:
+     * it preserves the sub-threshold residual so firing rates track the
+     * ANN activations exactly, which deep conversions require
+     * (Rueckauer et al.). The DW neuron realizes it with a calibrated
+     * reverse reset pulse of one threshold-worth of displacement;
+     * ResetMode::Zero models the simpler reset-to-edge pulse and is
+     * kept for ablation.
+     */
+    ResetMode reset = ResetMode::Subtract;
+
+    /** Insert an IF layer after each average pool (Sec. V-A item 2). */
+    bool ifAfterPool = true;
+};
+
+/** A converted spiking network plus its bookkeeping. */
+struct SpikingModel
+{
+    Network net;                     //!< converted layer stack
+    std::vector<int> ifLayerIndices; //!< positions of IF layers in net
+    std::vector<float> lambdas;      //!< per-net-layer activation scale:
+                                     //!< ANN value ~ spike rate * lambda
+    std::vector<int> sourceLayerOf;  //!< net idx -> source idx (-1: inserted)
+
+    /** Reset the state of every IF layer (new inference). */
+    void resetState();
+
+    /** Typed access to IF layer k (by position in ifLayerIndices). */
+    IfLayer &ifLayer(int k);
+};
+
+/**
+ * Convert a trained ANN into a rate-coded spiking network.
+ *
+ * @param ann         Source network; batch norm is folded in place.
+ *                    The source layers are cloned, not moved.
+ * @param calibration Calibration batch for the normalization scales.
+ */
+SpikingModel convertToSnn(Network &ann, const Tensor &calibration,
+                          const ConversionConfig &config = {});
+
+} // namespace nebula
+
+#endif // NEBULA_SNN_CONVERT_HPP

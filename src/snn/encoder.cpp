@@ -1,0 +1,32 @@
+#include "snn/encoder.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+PoissonEncoder::PoissonEncoder(double rate_scale, uint64_t seed)
+    : rateScale_(std::clamp(rate_scale, 0.0, 1.0)), seed_(seed), rng_(seed)
+{
+}
+
+Tensor
+PoissonEncoder::encode(const Tensor &image)
+{
+    Tensor spikes(image.shape());
+    for (long long i = 0; i < image.size(); ++i) {
+        const double p =
+            std::clamp(static_cast<double>(image[i]), 0.0, 1.0) * rateScale_;
+        spikes[i] = rng_.bernoulli(p) ? 1.0f : 0.0f;
+    }
+    return spikes;
+}
+
+void
+PoissonEncoder::reset()
+{
+    rng_ = Rng(seed_);
+}
+
+} // namespace nebula

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Rate encoding of input images into Poisson spike trains (paper
+ * Sec. V-A item 1): each pixel intensity becomes the per-timestep firing
+ * probability of the corresponding input line.
+ */
+
+#ifndef NEBULA_SNN_ENCODER_HPP
+#define NEBULA_SNN_ENCODER_HPP
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace nebula {
+
+/** Bernoulli-per-step (binned Poisson) rate encoder. */
+class PoissonEncoder
+{
+  public:
+    /**
+     * @param rate_scale Firing probability per step at intensity 1.0
+     *                   (clamped to [0, 1]).
+     * @param seed       Spike-train seed.
+     */
+    explicit PoissonEncoder(double rate_scale = 1.0, uint64_t seed = 11);
+
+    /**
+     * One timestep of spikes for the given intensity image in [0, 1].
+     * Output has the same shape with entries in {0, 1}.
+     */
+    Tensor encode(const Tensor &image);
+
+    /** Restart the spike-train stream (same seed -> same train). */
+    void reset();
+
+    double rateScale() const { return rateScale_; }
+
+  private:
+    double rateScale_;
+    uint64_t seed_;
+    Rng rng_;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_SNN_ENCODER_HPP

@@ -1,0 +1,123 @@
+#include "snn/hybrid.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "snn/encoder.hpp"
+
+namespace nebula {
+
+HybridNetwork::HybridNetwork(Network &ann, const Tensor &calibration,
+                             int ann_layers, const ConversionConfig &config,
+                             uint64_t seed)
+    : seedStream_(seed)
+{
+    SpikingModel full = convertToSnn(ann, calibration, config);
+
+    const auto weight_indices = full.net.weightLayerIndices();
+    const int total_weights = static_cast<int>(weight_indices.size());
+    NEBULA_ASSERT(ann_layers >= 1 && ann_layers < total_weights,
+                  "hybrid split must leave 1..", total_weights - 1,
+                  " ANN layers, got ", ann_layers);
+    annLayers_ = ann_layers;
+    spikingLayers_ = total_weights - ann_layers;
+
+    // First weight layer that runs in the ANN domain (converted coords).
+    const int boundary_weight =
+        weight_indices[static_cast<size_t>(total_weights - ann_layers)];
+
+    // The spiking prefix ends at the last IF before that weight layer.
+    int q = -1;
+    for (int idx : full.ifLayerIndices)
+        if (idx < boundary_weight)
+            q = std::max(q, idx);
+    NEBULA_ASSERT(q >= 0, "no IF layer before the hybrid boundary");
+
+    // Clone the prefix out of the converted model.
+    prefix_.net.setName(ann.name() + "-hybrid-prefix");
+    for (int i = 0; i <= q; ++i) {
+        if (full.net.layer(i).kind() == LayerKind::If)
+            prefix_.ifLayerIndices.push_back(prefix_.net.numLayers());
+        prefix_.sourceLayerOf.push_back(
+            full.sourceLayerOf[static_cast<size_t>(i)]);
+        prefix_.lambdas.push_back(full.lambdas[static_cast<size_t>(i)]);
+        prefix_.net.addLayer(full.net.layer(i).clone());
+    }
+    boundaryLambda_ = full.lambdas[static_cast<size_t>(q)];
+
+    // Suffix: the original (un-normalized) source layers after the
+    // boundary activation.
+    int boundary_source = -1;
+    for (int i = 0; i <= q; ++i)
+        boundary_source =
+            std::max(boundary_source,
+                     full.sourceLayerOf[static_cast<size_t>(i)]);
+    NEBULA_ASSERT(boundary_source >= 0, "could not locate boundary source");
+
+    suffix_.setName(ann.name() + "-hybrid-suffix");
+    for (int j = boundary_source + 1; j < ann.numLayers(); ++j)
+        suffix_.addLayer(ann.layer(j).clone());
+    NEBULA_ASSERT(!suffix_.weightLayerIndices().empty(),
+                  "hybrid suffix has no weight layers");
+}
+
+HybridRunResult
+HybridNetwork::run(const Tensor &image, int timesteps)
+{
+    NEBULA_ASSERT(timesteps > 0, "need at least one timestep");
+    prefix_.resetState();
+    PoissonEncoder encoder(inputRate_, seedStream_.next());
+
+    std::vector<int> batched;
+    batched.push_back(1);
+    for (int d = 0; d < image.rank(); ++d)
+        batched.push_back(image.dim(d));
+
+    for (int t = 0; t < timesteps; ++t) {
+        Tensor spikes = encoder.encode(image);
+        Tensor x = spikes.reshaped(batched);
+        prefix_.net.forward(x, false);
+    }
+
+    // Accumulator Unit: spike counts -> continuous activations.
+    const int last_if =
+        static_cast<int>(prefix_.ifLayerIndices.size()) - 1;
+    IfLayer &boundary = prefix_.ifLayer(last_if);
+    boundaryNeurons_ = boundary.neuronCount();
+
+    Tensor accumulated(boundary.membrane().shape());
+    const auto &counts = boundary.spikeCounts();
+    const float scale = boundaryLambda_ / static_cast<float>(timesteps);
+    for (long long i = 0; i < accumulated.size(); ++i)
+        accumulated[i] =
+            static_cast<float>(counts[static_cast<size_t>(i)]) * scale;
+
+    HybridRunResult result;
+    result.timesteps = timesteps;
+    result.logits = suffix_.forward(accumulated, false);
+    result.auAccumulations = boundary.spikeCount();
+    for (size_t k = 0; k < prefix_.ifLayerIndices.size(); ++k) {
+        IfLayer &layer = prefix_.ifLayer(static_cast<int>(k));
+        result.prefixSpikes += layer.spikeCount();
+        const double neurons = std::max<long long>(layer.neuronCount(), 1);
+        result.ifActivity.push_back(layer.spikeCount() /
+                                    (neurons * timesteps));
+    }
+    return result;
+}
+
+double
+HybridNetwork::evaluateAccuracy(const Dataset &data, int max_samples,
+                                int timesteps)
+{
+    const int total =
+        max_samples > 0 ? std::min(max_samples, data.size()) : data.size();
+    int correct = 0;
+    for (int i = 0; i < total; ++i) {
+        const HybridRunResult result = run(data.image(i), timesteps);
+        correct += (result.predictedClass() == data.label(i));
+    }
+    return total ? static_cast<double>(correct) / total : 0.0;
+}
+
+} // namespace nebula

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Hybrid SNN-ANN networks (paper Sec. V-B, Fig. 11): the front of the
+ * network runs in the spiking domain for T timesteps; an Accumulator
+ * Unit gathers the boundary layer's spikes over the time window, scales
+ * them back to the continuous domain (rate * lambda), and the remaining
+ * layers execute once as a conventional ANN. This recovers accuracy at
+ * far fewer timesteps than a pure SNN while keeping most of the compute
+ * in the low-power spiking cores.
+ */
+
+#ifndef NEBULA_SNN_HYBRID_HPP
+#define NEBULA_SNN_HYBRID_HPP
+
+#include "nn/datasets.hpp"
+#include "snn/convert.hpp"
+#include "snn/snn_sim.hpp"
+
+namespace nebula {
+
+/** Result of one hybrid inference. */
+struct HybridRunResult
+{
+    Tensor logits;               //!< (1, classes), from the ANN suffix
+    int timesteps = 0;
+    long long prefixSpikes = 0;  //!< spikes in the spiking prefix
+    long long auAccumulations = 0; //!< AU add operations performed
+    std::vector<double> ifActivity; //!< per prefix-IF activity
+
+    int predictedClass() const { return logits.argmaxRow(0); }
+};
+
+/** A network split into a spiking prefix and an ANN suffix. */
+class HybridNetwork
+{
+  public:
+    /**
+     * @param ann         Trained source network (BN folded in place).
+     * @param calibration Calibration batch for normalization scales.
+     * @param ann_layers  Number of *trailing weight layers* to keep in
+     *                    the ANN domain (the paper's Hyb-1/2/3).
+     * @param config      Conversion options for the prefix.
+     * @param seed        Encoder seed.
+     */
+    HybridNetwork(Network &ann, const Tensor &calibration, int ann_layers,
+                  const ConversionConfig &config = {}, uint64_t seed = 33);
+
+    /** Run one (C, H, W) image: T spiking steps, then one ANN pass. */
+    HybridRunResult run(const Tensor &image, int timesteps);
+
+    /** Accuracy over the first @p max_samples samples. */
+    double evaluateAccuracy(const Dataset &data, int max_samples,
+                            int timesteps);
+
+    /** Number of weight layers in the ANN suffix. */
+    int annLayers() const { return annLayers_; }
+
+    /** Number of weight layers in the spiking prefix. */
+    int spikingLayers() const { return spikingLayers_; }
+
+    /** Number of neurons at the SNN->ANN boundary (AU width). */
+    long long boundaryNeurons() const { return boundaryNeurons_; }
+
+    /** The spiking prefix model (for energy accounting). */
+    SpikingModel &prefix() { return prefix_; }
+
+    /** The ANN suffix (for energy accounting). */
+    Network &suffix() { return suffix_; }
+
+  private:
+    SpikingModel prefix_;
+    Network suffix_;       //!< unnormalized source clones after the boundary
+    float boundaryLambda_ = 1.0f;
+    int annLayers_ = 0;
+    int spikingLayers_ = 0;
+    long long boundaryNeurons_ = 0;
+    double inputRate_ = 1.0;
+    Rng seedStream_;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_SNN_HYBRID_HPP

@@ -1,0 +1,87 @@
+#include "snn/if_layer.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+IfLayer::IfLayer(float threshold, ResetMode reset, IfOptions options)
+    : threshold_(threshold), resetMode_(reset), options_(options)
+{
+    NEBULA_ASSERT(threshold_ > 0.0f, "IF threshold must be positive");
+    NEBULA_ASSERT(options_.leak >= 0.0f && options_.leak < 1.0f,
+                  "leak must be in [0, 1)");
+    NEBULA_ASSERT(options_.refractory >= 0,
+                  "refractory period must be non-negative");
+}
+
+std::string
+IfLayer::name() const
+{
+    std::ostringstream oss;
+    oss << "if(vth=" << threshold_
+        << (resetMode_ == ResetMode::Zero ? ",reset0" : ",soft");
+    if (options_.leak > 0.0f)
+        oss << ",leak=" << options_.leak;
+    if (options_.refractory > 0)
+        oss << ",refr=" << options_.refractory;
+    oss << ")";
+    return oss.str();
+}
+
+LayerPtr
+IfLayer::clone() const
+{
+    // Clones start with fresh state.
+    return std::make_unique<IfLayer>(threshold_, resetMode_, options_);
+}
+
+Tensor
+IfLayer::forward(const Tensor &input, bool)
+{
+    if (!membrane_.sameShape(input)) {
+        membrane_ = Tensor(input.shape());
+        spikeCounts_.assign(static_cast<size_t>(input.size()), 0);
+        refractoryLeft_.assign(static_cast<size_t>(input.size()), 0);
+        spikes_ = 0;
+    }
+
+    const float keep = 1.0f - options_.leak;
+    Tensor spikes(input.shape());
+    for (long long i = 0; i < input.size(); ++i) {
+        const size_t k = static_cast<size_t>(i);
+        if (options_.refractory > 0 && refractoryLeft_[k] > 0) {
+            --refractoryLeft_[k];
+            spikes[i] = 0.0f;
+            continue;
+        }
+        if (options_.leak > 0.0f)
+            membrane_[i] *= keep;
+        membrane_[i] += input[i];
+        if (membrane_[i] >= threshold_) {
+            spikes[i] = 1.0f;
+            membrane_[i] = resetMode_ == ResetMode::Zero
+                               ? 0.0f
+                               : membrane_[i] - threshold_;
+            if (options_.refractory > 0)
+                refractoryLeft_[k] = options_.refractory;
+            ++spikes_;
+            ++spikeCounts_[k];
+        } else {
+            spikes[i] = 0.0f;
+        }
+    }
+    return spikes;
+}
+
+void
+IfLayer::resetState()
+{
+    membrane_ = Tensor();
+    spikeCounts_.clear();
+    refractoryLeft_.clear();
+    spikes_ = 0;
+}
+
+} // namespace nebula

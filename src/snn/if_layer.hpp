@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Linear integrate-and-fire neuron layer (paper Eq. 2). This is the
+ * algorithmic gold model the DW-MTJ spiking neuron device implements:
+ * the membrane potential integrates the weighted input each timestep and
+ * the neuron emits a binary spike (and resets) on crossing the
+ * threshold. No leak, no refractory period (Sec. II-A).
+ */
+
+#ifndef NEBULA_SNN_IF_LAYER_HPP
+#define NEBULA_SNN_IF_LAYER_HPP
+
+#include "nn/layer.hpp"
+
+namespace nebula {
+
+/** How the membrane resets after a spike. */
+enum class ResetMode {
+    Zero,      //!< reset to v_reset = 0 (what the DW reset pulse does)
+    Subtract,  //!< subtract the threshold (soft reset)
+};
+
+/**
+ * Optional biofidelity extensions (paper Sec. II-A: "our proposal can
+ * be easily extended to incorporate such additional characteristics").
+ * Defaults are the paper's plain leak-free, refractory-free IF neuron.
+ */
+struct IfOptions
+{
+    /**
+     * Membrane leak per timestep: u <- u * (1 - leak) before
+     * integration. 0 disables (the paper's default model); on the
+     * device this corresponds to a weak restoring drift of the wall.
+     */
+    float leak = 0.0f;
+
+    /**
+     * Refractory period in timesteps: after firing, the neuron ignores
+     * input for this many steps (the reset pulse keeps the wall pinned).
+     */
+    int refractory = 0;
+};
+
+/**
+ * Stateful IF layer. forward() advances ONE timestep: it adds the input
+ * to the membrane and returns the binary spike map. State persists
+ * across calls until resetState().
+ */
+class IfLayer : public Layer
+{
+  public:
+    explicit IfLayer(float threshold = 1.0f,
+                     ResetMode reset = ResetMode::Zero,
+                     IfOptions options = {});
+
+    Tensor forward(const Tensor &input, bool train = false) override;
+    LayerKind kind() const override { return LayerKind::If; }
+    std::string name() const override;
+    LayerPtr clone() const override;
+
+    /** Clear membrane state and spike statistics for a new inference. */
+    void resetState();
+
+    /** Total spikes emitted since the last resetState(). */
+    long long spikeCount() const { return spikes_; }
+
+    /** Number of neurons (known after the first forward). */
+    long long neuronCount() const { return membrane_.size(); }
+
+    /** Membrane tensor (empty before the first forward). */
+    const Tensor &membrane() const { return membrane_; }
+
+    /** Spike count per neuron since the last resetState(). */
+    const std::vector<int> &spikeCounts() const { return spikeCounts_; }
+
+    float threshold() const { return threshold_; }
+    void setThreshold(float threshold) { threshold_ = threshold; }
+    ResetMode resetMode() const { return resetMode_; }
+    const IfOptions &options() const { return options_; }
+
+  private:
+    float threshold_;
+    ResetMode resetMode_;
+    IfOptions options_;
+    Tensor membrane_;
+    std::vector<int> spikeCounts_;
+    std::vector<int> refractoryLeft_;
+    long long spikes_ = 0;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_SNN_IF_LAYER_HPP

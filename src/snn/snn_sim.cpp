@@ -1,0 +1,97 @@
+#include "snn/snn_sim.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+SnnSimulator::SnnSimulator(SpikingModel &model, double input_rate,
+                           uint64_t seed)
+    : model_(model), inputRate_(input_rate), seedStream_(seed)
+{
+}
+
+SnnRunResult
+SnnSimulator::run(const Tensor &image, int timesteps)
+{
+    NEBULA_ASSERT(timesteps > 0, "need at least one timestep");
+    NEBULA_ASSERT(image.rank() == 3 || image.rank() == 2,
+                  "run expects a single (C,H,W) or (F) image");
+
+    model_.resetState();
+    PoissonEncoder encoder(inputRate_, seedStream_.next());
+
+    // Batch-of-one input shape.
+    std::vector<int> batched;
+    batched.push_back(1);
+    for (int d = 0; d < image.rank(); ++d)
+        batched.push_back(image.dim(d));
+
+    SnnRunResult result;
+    result.timesteps = timesteps;
+    long long input_spikes = 0;
+
+    for (int t = 0; t < timesteps; ++t) {
+        Tensor spikes = encoder.encode(image);
+        input_spikes += static_cast<long long>(spikes.sum());
+        Tensor x = spikes.reshaped(batched);
+        x = model_.net.forward(x, false);
+        if (t == 0)
+            result.logits = x;
+        else
+            result.logits.add(x);
+    }
+    result.inputRate =
+        static_cast<double>(input_spikes) / (image.size() * timesteps);
+
+    for (size_t k = 0; k < model_.ifLayerIndices.size(); ++k) {
+        IfLayer &layer = model_.ifLayer(static_cast<int>(k));
+        result.ifSpikes.push_back(layer.spikeCount());
+        result.ifNeurons.push_back(layer.neuronCount());
+        result.totalSpikes += layer.spikeCount();
+        const double neurons =
+            std::max<long long>(layer.neuronCount(), 1);
+        result.ifActivity.push_back(layer.spikeCount() /
+                                    (neurons * timesteps));
+    }
+    lastTimesteps_ = timesteps;
+    return result;
+}
+
+Tensor
+SnnSimulator::scaledRateMap(int k) const
+{
+    NEBULA_ASSERT(lastTimesteps_ > 0, "scaledRateMap before any run");
+    NEBULA_ASSERT(k >= 0 &&
+                      k < static_cast<int>(model_.ifLayerIndices.size()),
+                  "IF index out of range");
+    const int net_index = model_.ifLayerIndices[static_cast<size_t>(k)];
+    const IfLayer &layer =
+        static_cast<const IfLayer &>(model_.net.layer(net_index));
+    NEBULA_ASSERT(layer.neuronCount() > 0, "IF layer never ran");
+
+    const float lambda = model_.lambdas[static_cast<size_t>(net_index)];
+    Tensor map(layer.membrane().shape());
+    const auto &counts = layer.spikeCounts();
+    for (long long i = 0; i < map.size(); ++i)
+        map[i] = static_cast<float>(counts[static_cast<size_t>(i)]) /
+                 lastTimesteps_ * lambda;
+    return map;
+}
+
+double
+SnnSimulator::evaluateAccuracy(const Dataset &data, int max_samples,
+                               int timesteps)
+{
+    const int total =
+        max_samples > 0 ? std::min(max_samples, data.size()) : data.size();
+    int correct = 0;
+    for (int i = 0; i < total; ++i) {
+        const SnnRunResult result = run(data.image(i), timesteps);
+        correct += (result.predictedClass() == data.label(i));
+    }
+    return total ? static_cast<double>(correct) / total : 0.0;
+}
+
+} // namespace nebula

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Timestep-driven simulator for converted spiking networks: Poisson
+ * rate encoding at the input, one network sweep per timestep, output
+ * logits accumulated at the final layer. Produces the per-layer spiking
+ * activity statistics behind paper Figs. 4 and 10 and the activity
+ * factors consumed by the architecture energy model.
+ */
+
+#ifndef NEBULA_SNN_SNN_SIM_HPP
+#define NEBULA_SNN_SNN_SIM_HPP
+
+#include <vector>
+
+#include "nn/datasets.hpp"
+#include "snn/convert.hpp"
+#include "snn/encoder.hpp"
+
+namespace nebula {
+
+/** Statistics of one SNN inference. */
+struct SnnRunResult
+{
+    Tensor logits;              //!< accumulated output, shape (1, classes)
+    int timesteps = 0;
+    long long totalSpikes = 0;  //!< spikes across all IF layers
+    double inputRate = 0.0;     //!< measured input spikes/pixel/step
+
+    /** Average spikes per neuron per timestep, one entry per IF layer. */
+    std::vector<double> ifActivity;
+
+    /** Spikes and neuron counts per IF layer. */
+    std::vector<long long> ifSpikes;
+    std::vector<long long> ifNeurons;
+
+    int predictedClass() const { return logits.argmaxRow(0); }
+};
+
+/** Simulator for a SpikingModel. */
+class SnnSimulator
+{
+  public:
+    /**
+     * @param model      Converted spiking network (state is owned there).
+     * @param input_rate Peak input firing probability per step.
+     * @param seed       Encoder seed (per-image trains fork from it).
+     */
+    explicit SnnSimulator(SpikingModel &model, double input_rate = 1.0,
+                          uint64_t seed = 21);
+
+    /**
+     * Run one image for T timesteps.
+     * @param image (C, H, W) intensity tensor in [0, 1].
+     */
+    SnnRunResult run(const Tensor &image, int timesteps);
+
+    /**
+     * ANN-domain rate map of IF layer @p k from the most recent run:
+     * spikeCount / T * lambda, shaped like the layer output. Used for
+     * the Fig. 10 ANN/SNN feature-map correlation study.
+     */
+    Tensor scaledRateMap(int k) const;
+
+    /** Classification accuracy over the first @p max_samples of a set. */
+    double evaluateAccuracy(const Dataset &data, int max_samples,
+                            int timesteps);
+
+    SpikingModel &model() { return model_; }
+
+  private:
+    SpikingModel &model_;
+    double inputRate_;
+    Rng seedStream_;
+    int lastTimesteps_ = 0;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_SNN_SNN_SIM_HPP

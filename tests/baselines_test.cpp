@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Baseline-model tests (ISAAC, INXS) and the headline cross-model
+ * comparisons of the paper's abstract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/energy_model.hpp"
+#include "baselines/inxs.hpp"
+#include "baselines/isaac.hpp"
+#include "nn/conv.hpp"
+#include "nn/models.hpp"
+
+namespace nebula {
+namespace {
+
+NetworkMapping
+mapModel(Network &net, int channels, int spatial)
+{
+    Tensor x({1, channels, spatial, spatial});
+    net.forward(x);
+    return LayerMapper().map(net);
+}
+
+TEST(Isaac, SlicesAndBitSerialCycles)
+{
+    IsaacConfig cfg;
+    EXPECT_EQ(cfg.weightSlices(), 2); // 4-bit weights in 2-bit cells
+    EXPECT_EQ(cfg.inputBits, 4);
+
+    const IsaacConfig full = IsaacConfig::original16bit();
+    EXPECT_EQ(full.weightSlices(), 8);
+    EXPECT_EQ(full.inputBits, 16);
+}
+
+TEST(Isaac, CrossbarCountDenseLayer)
+{
+    Conv2d conv(64, 128, 3, 1, 1); // Rf 576, kernels 128
+    Tensor x({1, 64, 8, 8});
+    conv.forward(x);
+    const auto m = LayerMapper().mapLayer(conv, 0);
+    IsaacModel isaac;
+    // rows: ceil(576/128)=5 chunks; cols: 128*2 slices -> 2 chunks.
+    EXPECT_EQ(isaac.crossbarsFor(m), 10);
+}
+
+TEST(Isaac, CrossbarCountDepthwiseDiagonal)
+{
+    DwConv2d conv(512, 3, 1, 1);
+    Tensor x({1, 512, 4, 4});
+    conv.forward(x);
+    const auto m = LayerMapper().mapLayer(conv, 0);
+    IsaacModel isaac;
+    // 14 kernels per crossbar (128/9 by rows) -> ceil(512/14) = 37.
+    EXPECT_EQ(isaac.crossbarsFor(m), 37);
+}
+
+TEST(Isaac, EnergyScalesWithBitSerialCycles)
+{
+    Conv2d conv(64, 64, 3, 1, 1);
+    Tensor x({1, 64, 8, 8});
+    conv.forward(x);
+    const auto m = LayerMapper().mapLayer(conv, 0);
+
+    IsaacConfig cfg4;
+    IsaacModel isaac4(cfg4);
+    IsaacConfig cfg8 = cfg4;
+    cfg8.inputBits = 8;
+    IsaacModel isaac8(cfg8);
+    const double e4 = isaac4.evaluateLayer(m, 0.5).energy;
+    const double e8 = isaac8.evaluateLayer(m, 0.5).energy;
+    EXPECT_NEAR(e8 / e4, 2.0, 1e-9);
+}
+
+TEST(Isaac, AdcShareDominates)
+{
+    Conv2d conv(64, 64, 3, 1, 1);
+    Tensor x({1, 64, 8, 8});
+    conv.forward(x);
+    const auto m = LayerMapper().mapLayer(conv, 0);
+    IsaacModel isaac;
+    const auto e = isaac.evaluateLayer(m, 0.5);
+    EXPECT_GT(e.adcEnergy / e.energy, 0.3);
+    EXPECT_LT(e.adcEnergy, e.energy);
+}
+
+TEST(Isaac, NebulaWinsOnEveryBenchmark)
+{
+    // Paper Figs. 12/13a: NEBULA-ANN is ~2.8-7.9x more energy-efficient
+    // than 4-bit-adapted ISAAC, with MobileNet the biggest win.
+    struct Case { const char *name; Network net; int ch, sp, T; };
+    EnergyModel model;
+    IsaacModel isaac;
+
+    auto ratio_for = [&](Network net, int ch, int sp) {
+        const auto mapping = mapModel(net, ch, sp);
+        const auto act =
+            ActivityProfile::uniform(mapping.layers.size(), 0.5);
+        const auto nebula_e = model.evaluateAnn(mapping, act);
+        const auto isaac_e = isaac.evaluate(mapping, 0.5);
+        return isaac_e.totalEnergy / nebula_e.totalEnergy;
+    };
+
+    const double vgg = ratio_for(buildVgg13(32, 3, 10, 1.0f, 1), 3, 32);
+    const double mobilenet =
+        ratio_for(buildMobilenetV1(32, 3, 10, 1.0f, 1), 3, 32);
+    const double alexnet =
+        ratio_for(buildAlexNet(64, 3, 100, 1.0f, 1), 3, 64);
+
+    EXPECT_GT(vgg, 2.0);
+    EXPECT_GT(alexnet, 2.0);
+    EXPECT_GT(mobilenet, 4.0);
+    EXPECT_LT(mobilenet, 12.0);
+    // MobileNet shows the largest savings (paper: 7.9x).
+    EXPECT_GT(mobilenet, vgg);
+    EXPECT_GT(mobilenet, alexnet);
+}
+
+TEST(Isaac, DepthwiseLayersSaveMore)
+{
+    // Paper Fig. 12: depthwise (even) layers show higher savings than
+    // pointwise (odd) layers on average.
+    Network net = buildMobilenetV1(32, 3, 10, 1.0f, 1);
+    const auto mapping = mapModel(net, 3, 32);
+    EnergyModel model;
+    IsaacModel isaac;
+    const auto act = ActivityProfile::uniform(mapping.layers.size(), 0.5);
+    const auto nebula_e = model.evaluateAnn(mapping, act);
+    const auto isaac_e = isaac.evaluate(mapping, 0.5);
+
+    double dw_ratio = 0.0, pw_ratio = 0.0;
+    int dw_n = 0, pw_n = 0;
+    for (size_t i = 0; i < mapping.layers.size(); ++i) {
+        const double r =
+            isaac_e.layers[i].energy / nebula_e.layers[i].energy;
+        if (mapping.layers[i].kind == LayerKind::DwConv) {
+            dw_ratio += r;
+            ++dw_n;
+        } else if (mapping.layers[i].rf <= 128 &&
+                   mapping.layers[i].kind == LayerKind::Conv &&
+                   i > 0) {
+            pw_ratio += r;
+            ++pw_n;
+        }
+    }
+    ASSERT_GT(dw_n, 0);
+    ASSERT_GT(pw_n, 0);
+    EXPECT_GT(dw_ratio / dw_n, pw_ratio / pw_n);
+}
+
+TEST(Inxs, NeuronUpdatesCountEveryTimestep)
+{
+    Conv2d conv(16, 32, 3, 1, 1);
+    Tensor x({1, 16, 8, 8});
+    conv.forward(x);
+    const auto m = LayerMapper().mapLayer(conv, 0);
+    InxsModel inxs;
+    const auto e = inxs.evaluateLayer(m, 0.1, 50);
+    EXPECT_EQ(e.neuronUpdates, 32LL * 8 * 8 * 50);
+    EXPECT_GT(e.membraneEnergy, 0.0);
+    EXPECT_GT(e.adcEnergy, 0.0);
+}
+
+TEST(Inxs, EnergyLinearInTimesteps)
+{
+    Conv2d conv(16, 32, 3, 1, 1);
+    Tensor x({1, 16, 8, 8});
+    conv.forward(x);
+    const auto m = LayerMapper().mapLayer(conv, 0);
+    InxsModel inxs;
+    const double e50 = inxs.evaluateLayer(m, 0.1, 50).energy;
+    const double e100 = inxs.evaluateLayer(m, 0.1, 100).energy;
+    EXPECT_NEAR(e100 / e50, 2.0, 0.01);
+}
+
+TEST(Inxs, MembraneTrafficDominates)
+{
+    // The SRAM read-modify-write per neuron per timestep is the
+    // overhead NEBULA's DW neurons eliminate.
+    Conv2d conv(64, 128, 3, 1, 1);
+    Tensor x({1, 64, 8, 8});
+    conv.forward(x);
+    const auto m = LayerMapper().mapLayer(conv, 0);
+    InxsModel inxs;
+    const auto e = inxs.evaluateLayer(m, 0.05, 100);
+    EXPECT_GT(e.membraneEnergy / e.energy, 0.4);
+}
+
+TEST(Inxs, NebulaSnnRoughlyFortyFiveTimesBetter)
+{
+    // Paper Sec. VI-B: ~45x on VGG, FC layers saving more than conv.
+    Network net = buildVgg13(32, 3, 10, 1.0f, 1);
+    const auto mapping = mapModel(net, 3, 32);
+    EnergyModel model;
+    InxsModel inxs;
+    const auto act = ActivityProfile::decaying(mapping.layers.size());
+    const int T = 300;
+
+    const auto nebula_e = model.evaluateSnn(mapping, act, T);
+    const auto inxs_e = inxs.evaluate(mapping, act.inputActivity, T);
+    const double ratio = inxs_e.totalEnergy / nebula_e.totalEnergy;
+    EXPECT_GT(ratio, 20.0);
+    EXPECT_LT(ratio, 90.0);
+
+    // FC layers save more than convs (small Rf avoids NEBULA's ADC).
+    double fc_ratio = 0.0, conv_ratio = 0.0;
+    int fc_n = 0, conv_n = 0;
+    for (size_t i = 0; i < mapping.layers.size(); ++i) {
+        const double r =
+            inxs_e.layers[i].energy / nebula_e.layers[i].energy;
+        if (mapping.layers[i].kind == LayerKind::Linear) {
+            fc_ratio += r;
+            ++fc_n;
+        } else {
+            conv_ratio += r;
+            ++conv_n;
+        }
+    }
+    ASSERT_GT(fc_n, 0);
+    ASSERT_GT(conv_n, 0);
+    EXPECT_GT(fc_ratio / fc_n, conv_ratio / conv_n);
+}
+
+} // namespace
+} // namespace nebula

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Full-stack integration tests: quantized networks executed through the
+ * chip model (DW-MTJ crossbars + drivers + neuron units) must agree
+ * with the functional simulator, in both ANN and SNN modes; plus the
+ * accumulator unit and chip statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accumulator.hpp"
+#include "arch/chip.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/datasets.hpp"
+#include "nn/linear.hpp"
+#include "nn/models.hpp"
+#include "nn/pooling.hpp"
+#include "nn/quantize.hpp"
+#include "nn/trainer.hpp"
+#include "snn/convert.hpp"
+#include "snn/snn_sim.hpp"
+
+namespace nebula {
+namespace {
+
+/** Small trained CNN on 12x12 digits for end-to-end runs. */
+Network
+trainedTinyCnn(const SyntheticDigits &train_set)
+{
+    Rng rng(7);
+    Network net("tinycnn");
+    net.add<Conv2d>(1, 6, 3, 1, 1)->initKaiming(rng);
+    net.add<Relu>();
+    net.add<AvgPool2d>(2);
+    net.add<Flatten>();
+    net.add<Linear>(6 * 6 * 6, 10)->initKaiming(rng);
+
+    TrainConfig cfg;
+    cfg.epochs = 5;
+    cfg.batchSize = 32;
+    cfg.learningRate = 0.08;
+    SgdTrainer trainer(cfg);
+    trainer.train(net, train_set);
+    return net;
+}
+
+TEST(Accumulator, CountsAndScales)
+{
+    AccumulatorUnit au(8);
+    au.accumulate({1, 0, 1, 1, 0, 0, 0, 1});
+    au.accumulate({1, 0, 0, 1, 0, 0, 0, 0});
+    EXPECT_EQ(au.count(0), 2);
+    EXPECT_EQ(au.count(1), 0);
+    EXPECT_EQ(au.count(3), 2);
+    EXPECT_EQ(au.additions(), 6);
+    EXPECT_EQ(au.window(), 2);
+
+    const auto values = au.scaledValues(2, 3.0f);
+    EXPECT_FLOAT_EQ(values[0], 3.0f);  // 2/2 * 3
+    EXPECT_FLOAT_EQ(values[7], 1.5f);  // 1/2 * 3
+}
+
+TEST(Accumulator, ResetClears)
+{
+    AccumulatorUnit au(4);
+    au.accumulate({1, 1, 1, 1});
+    au.reset();
+    EXPECT_EQ(au.count(0), 0);
+    EXPECT_EQ(au.additions(), 0);
+    EXPECT_EQ(au.window(), 0);
+}
+
+TEST(Accumulator, SaturatesAtRegisterWidth)
+{
+    AccumulatorUnit au(1);
+    for (int i = 0; i < AccumulatorUnit::kMaxCount + 100; ++i)
+        au.accumulate({1});
+    EXPECT_EQ(au.count(0), AccumulatorUnit::kMaxCount);
+}
+
+TEST(Accumulator, RejectsWideInput)
+{
+    AccumulatorUnit au(2);
+    EXPECT_DEATH({ au.accumulate({1, 1, 1}); }, "wider than AU lanes");
+}
+
+TEST(ChipAnn, MatchesFunctionalQuantizedNetwork)
+{
+    SyntheticDigits train_set(1000, 12, 301);
+    SyntheticDigits test_set(60, 12, 302);
+    Network net = trainedTinyCnn(train_set);
+    const auto quant = quantizeNetwork(net, train_set.firstImages(64));
+
+    NebulaChip chip;
+    chip.programAnn(net, quant);
+
+    int agree = 0;
+    const int n = 25;
+    for (int i = 0; i < n; ++i) {
+        const Tensor &image = test_set.image(i);
+        Tensor chip_logits = chip.runAnn(image);
+        Tensor func_logits =
+            net.forward(image.reshaped({1, 1, 12, 12}), false);
+        ASSERT_TRUE(chip_logits.sameShape(func_logits));
+        agree += (chip_logits.argmaxRow(0) == func_logits.argmaxRow(0));
+    }
+    // The chip path adds crossbar/neuron quantization on top of the
+    // functional 4-bit model; predictions should agree almost always.
+    EXPECT_GE(agree, n - 2);
+}
+
+TEST(ChipAnn, AccuracyCloseToFunctional)
+{
+    SyntheticDigits train_set(1000, 12, 303);
+    SyntheticDigits test_set(80, 12, 304);
+    Network net = trainedTinyCnn(train_set);
+    const double float_acc = evaluateAccuracy(net, test_set);
+    const auto quant = quantizeNetwork(net, train_set.firstImages(64));
+
+    NebulaChip chip;
+    chip.programAnn(net, quant);
+
+    int correct = 0;
+    for (int i = 0; i < test_set.size(); ++i) {
+        Tensor logits = chip.runAnn(test_set.image(i));
+        correct += (logits.argmaxRow(0) == test_set.label(i));
+    }
+    const double chip_acc = correct / static_cast<double>(test_set.size());
+    EXPECT_GT(chip_acc, float_acc - 0.10);
+    EXPECT_GT(chip_acc, 0.7);
+}
+
+TEST(ChipAnn, StatsCounted)
+{
+    SyntheticDigits train_set(600, 12, 305);
+    Network net = trainedTinyCnn(train_set);
+    const auto quant = quantizeNetwork(net, train_set.firstImages(32));
+
+    NebulaChip chip;
+    chip.programAnn(net, quant);
+    chip.runAnn(train_set.image(0));
+
+    const ChipStats &stats = chip.stats();
+    // conv: 144 positions x 1 group + linear: 2 groups (216 rows -> 1?).
+    EXPECT_GT(stats.crossbarEvals, 100);
+    EXPECT_GT(stats.crossbarEnergy, 0.0);
+    EXPECT_GT(stats.adcConversions, 0); // output layer readout
+    EXPECT_GT(stats.nocPackets, 0);
+    EXPECT_GT(stats.nocEnergy, 0.0);
+}
+
+TEST(ChipAnn, DeviceVariationDegradesGracefully)
+{
+    SyntheticDigits train_set(1000, 12, 306);
+    SyntheticDigits test_set(60, 12, 307);
+    Network net = trainedTinyCnn(train_set);
+    const auto quant = quantizeNetwork(net, train_set.firstImages(64));
+
+    NebulaChip noisy({}, /*variation=*/0.10, /*seed=*/9);
+    noisy.programAnn(net, quant);
+    int correct = 0;
+    for (int i = 0; i < test_set.size(); ++i) {
+        Tensor logits = noisy.runAnn(test_set.image(i));
+        correct += (logits.argmaxRow(0) == test_set.label(i));
+    }
+    // Sec. IV-D: 10% device variation costs only a little accuracy.
+    EXPECT_GT(correct / static_cast<double>(test_set.size()), 0.6);
+}
+
+TEST(ChipAnn, MappingExposed)
+{
+    SyntheticDigits train_set(600, 12, 308);
+    Network net = trainedTinyCnn(train_set);
+    const auto quant = quantizeNetwork(net, train_set.firstImages(32));
+    NebulaChip chip;
+    chip.programAnn(net, quant);
+    EXPECT_EQ(chip.mapping().layers.size(), 2u);
+    EXPECT_EQ(chip.mapping().layers[0].rf, 9);
+    EXPECT_EQ(chip.mapping().layers[1].rf, 216);
+}
+
+TEST(ChipSnn, MatchesSnnSimulator)
+{
+    SyntheticDigits train_set(1000, 12, 309);
+    SyntheticDigits test_set(40, 12, 310);
+    Network net = trainedTinyCnn(train_set);
+    const Tensor calibration = train_set.firstImages(64);
+
+    // Two identical converted models (conversion mutates nothing after
+    // folding, so converting twice from the same net is deterministic).
+    SpikingModel model_a = convertToSnn(net, calibration);
+    SpikingModel model_b = convertToSnn(net, calibration);
+
+    SnnSimulator sim(model_a, 1.0, 71);
+    NebulaChip chip;
+    chip.programSnn(model_b);
+
+    int agree = 0;
+    const int n = 15, T = 40;
+    for (int i = 0; i < n; ++i) {
+        const auto functional = sim.run(test_set.image(i), T);
+        const auto on_chip = chip.runSnn(test_set.image(i), T);
+        agree += (functional.predictedClass() == on_chip.predictedClass());
+    }
+    EXPECT_GE(agree, n - 2);
+}
+
+TEST(ChipSnn, SpikeStatisticsPopulated)
+{
+    SyntheticDigits train_set(600, 12, 311);
+    Network net = trainedTinyCnn(train_set);
+    SpikingModel model = convertToSnn(net, train_set.firstImages(32));
+
+    NebulaChip chip;
+    chip.programSnn(model);
+    const auto result = chip.runSnn(train_set.image(0), 30);
+    EXPECT_EQ(result.timesteps, 30);
+    EXPECT_GT(result.totalSpikes, 0);
+    EXPECT_EQ(result.ifActivity.size(), 2u); // relu IF + pool IF
+    EXPECT_GT(chip.stats().spikes, 0);
+    EXPECT_GT(chip.stats().crossbarEvals, 0);
+}
+
+TEST(ChipSnn, AccuracyNearAnn)
+{
+    SyntheticDigits train_set(1000, 12, 312);
+    SyntheticDigits test_set(60, 12, 313);
+    Network net = trainedTinyCnn(train_set);
+    const double ann_acc = evaluateAccuracy(net, test_set);
+
+    SpikingModel model = convertToSnn(net, train_set.firstImages(64));
+    NebulaChip chip;
+    chip.programSnn(model);
+
+    int correct = 0;
+    for (int i = 0; i < test_set.size(); ++i) {
+        const auto result = chip.runSnn(test_set.image(i), 50);
+        correct += (result.predictedClass() == test_set.label(i));
+    }
+    const double snn_acc = correct / static_cast<double>(test_set.size());
+    EXPECT_GT(snn_acc, ann_acc - 0.15);
+}
+
+TEST(Chip, RequiresProgramBeforeRun)
+{
+    NebulaChip chip;
+    Tensor image({1, 12, 12});
+    EXPECT_DEATH({ chip.runAnn(image); }, "no ANN programmed");
+    EXPECT_DEATH({ chip.runSnn(image, 10); }, "no SNN programmed");
+}
+
+} // namespace
+} // namespace nebula

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RNG distributions, stats
+ * accounting and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace nebula {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShifted)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(3.0, 0.5);
+    EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdges)
+{
+    Rng rng(23);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+        EXPECT_FALSE(rng.bernoulli(-1.0));
+        EXPECT_TRUE(rng.bernoulli(2.0));
+    }
+}
+
+TEST(Rng, PoissonMean)
+{
+    Rng rng(29);
+    for (double lambda : {0.5, 3.0, 12.0, 50.0}) {
+        double sum = 0.0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            sum += rng.poisson(lambda);
+        EXPECT_NEAR(sum / n, lambda, lambda * 0.05 + 0.05)
+            << "lambda=" << lambda;
+    }
+}
+
+TEST(Rng, PoissonZeroRate)
+{
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, UniformIntRange)
+{
+    Rng rng(37);
+    for (int i = 0; i < 1000; ++i) {
+        const int v = rng.uniformInt(-3, 5);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 5);
+    }
+    // Degenerate range.
+    EXPECT_EQ(rng.uniformInt(4, 4), 4);
+}
+
+TEST(Rng, ShufflePermutes)
+{
+    Rng rng(41);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+    auto sorted = v;
+    rng.shuffle(v);
+    EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng parent(43);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (parent.next() == child.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(ScalarStat, Accumulates)
+{
+    ScalarStat s;
+    s.sample(1.0);
+    s.sample(3.0);
+    s.sample(2.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(ScalarStat, EmptyIsZero)
+{
+    ScalarStat s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(ScalarStat, AddWithoutCount)
+{
+    ScalarStat s;
+    s.add(5.0);
+    s.inc();
+    EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(ScalarStat, Reset)
+{
+    ScalarStat s;
+    s.sample(9.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, BinsAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(0.5);   // bin 0
+    h.sample(9.5);   // bin 9
+    h.sample(-1.0);  // clamps to bin 0
+    h.sample(99.0);  // clamps to bin 9
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bins()[0], 2u);
+    EXPECT_EQ(h.bins()[9], 2u);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(9), 10.0);
+}
+
+TEST(StatGroup, CreateOnUse)
+{
+    StatGroup group("test");
+    EXPECT_FALSE(group.hasScalar("a"));
+    group.scalar("a").inc();
+    EXPECT_TRUE(group.hasScalar("a"));
+    EXPECT_DOUBLE_EQ(group.scalarAt("a").sum(), 1.0);
+}
+
+TEST(StatGroup, NamesSorted)
+{
+    StatGroup group;
+    group.scalar("zeta");
+    group.scalar("alpha");
+    auto names = group.scalarNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(StatGroup, TableHasAllRows)
+{
+    StatGroup group("g");
+    group.scalar("x").sample(1);
+    group.scalar("y").sample(2);
+    EXPECT_EQ(group.toTable().numRows(), 2u);
+}
+
+TEST(Table, RendersAllCells)
+{
+    Table t("demo", {"name", "value"});
+    t.row().add("alpha").add(1.5, 1);
+    t.row().add("beta").add(2LL);
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("beta"), std::string::npos);
+    EXPECT_NE(out.find("demo"), std::string::npos);
+}
+
+TEST(Table, CsvFormat)
+{
+    Table t("demo", {"a", "b"});
+    t.row().add("x,y").add(1LL);
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n\"x,y\",1\n");
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(formatRatio(7.9, 1), "7.9x");
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(toPj(1e-12), 1.0);
+    EXPECT_DOUBLE_EQ(toNj(2e-9), 2.0);
+    EXPECT_DOUBLE_EQ(toMw(0.005), 5.0);
+    EXPECT_DOUBLE_EQ(110 * units::ns, 1.1e-7);
+}
+
+} // namespace
+} // namespace nebula

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the synthetic dataset generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/datasets.hpp"
+
+namespace nebula {
+namespace {
+
+TEST(Digits, ShapesAndRange)
+{
+    SyntheticDigits data(50, 16, 1);
+    EXPECT_EQ(data.size(), 50);
+    EXPECT_EQ(data.numClasses(), 10);
+    EXPECT_EQ(data.channels(), 1);
+    const Tensor &img = data.image(0);
+    EXPECT_EQ(img.shape(), (std::vector<int>{1, 16, 16}));
+    for (long long i = 0; i < img.size(); ++i) {
+        ASSERT_GE(img[i], 0.0f);
+        ASSERT_LE(img[i], 1.0f);
+    }
+}
+
+TEST(Digits, DeterministicInSeed)
+{
+    SyntheticDigits a(20, 16, 7), b(20, 16, 7);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(a.label(i), b.label(i));
+        for (long long k = 0; k < a.image(i).size(); ++k)
+            ASSERT_EQ(a.image(i)[k], b.image(i)[k]);
+    }
+}
+
+TEST(Digits, DifferentSeedsDiffer)
+{
+    SyntheticDigits a(20, 16, 1), b(20, 16, 2);
+    int identical = 0;
+    for (int i = 0; i < 20; ++i) {
+        bool same = a.label(i) == b.label(i);
+        if (same) {
+            for (long long k = 0; k < a.image(i).size() && same; ++k)
+                same = (a.image(i)[k] == b.image(i)[k]);
+            identical += same;
+        }
+    }
+    EXPECT_LT(identical, 3);
+}
+
+TEST(Digits, AllClassesPresent)
+{
+    SyntheticDigits data(500, 16, 3);
+    std::vector<int> histogram(10, 0);
+    for (int i = 0; i < data.size(); ++i)
+        ++histogram[static_cast<size_t>(data.label(i))];
+    for (int c = 0; c < 10; ++c)
+        EXPECT_GT(histogram[static_cast<size_t>(c)], 10) << "class " << c;
+}
+
+TEST(Digits, GlyphsHaveInk)
+{
+    SyntheticDigits data(20, 16, 4, /*noise=*/0.0);
+    for (int i = 0; i < data.size(); ++i) {
+        EXPECT_GT(data.image(i).sum(), 5.0f) << "image " << i;
+    }
+}
+
+TEST(Digits, ClassesAreVisuallyDistinct)
+{
+    // Noise-free class means should correlate with themselves more than
+    // with other classes (sanity of the generator's signal).
+    SyntheticDigits data(400, 16, 5, 0.0);
+    std::vector<Tensor> mean(10, Tensor({1, 16, 16}));
+    std::vector<int> count(10, 0);
+    for (int i = 0; i < data.size(); ++i) {
+        mean[static_cast<size_t>(data.label(i))].add(
+            data.image(i).reshaped({1, 16, 16}));
+        ++count[static_cast<size_t>(data.label(i))];
+    }
+    for (int c = 0; c < 10; ++c)
+        mean[static_cast<size_t>(c)].scale(
+            1.0f / std::max(count[static_cast<size_t>(c)], 1));
+    // Distinct digits should not be near-identical.
+    EXPECT_LT(correlation(mean[0], mean[1]), 0.95);
+    EXPECT_LT(correlation(mean[3], mean[7]), 0.95);
+}
+
+TEST(Textures, ShapesAndClasses)
+{
+    SyntheticTextures data(40, 10, 32, 3, 1);
+    EXPECT_EQ(data.numClasses(), 10);
+    EXPECT_EQ(data.image(0).shape(), (std::vector<int>{3, 32, 32}));
+}
+
+TEST(Textures, SupportsHundredClasses)
+{
+    SyntheticTextures data(300, 100, 16, 3, 2);
+    int max_label = 0;
+    for (int i = 0; i < data.size(); ++i)
+        max_label = std::max(max_label, data.label(i));
+    EXPECT_GT(max_label, 80);
+}
+
+TEST(Textures, ValuesInRange)
+{
+    SyntheticTextures data(10, 10, 32, 3, 3);
+    for (int i = 0; i < data.size(); ++i)
+        for (long long k = 0; k < data.image(i).size(); ++k) {
+            ASSERT_GE(data.image(i)[k], 0.0f);
+            ASSERT_LE(data.image(i)[k], 1.0f);
+        }
+}
+
+TEST(Svhn, ShapesAndRange)
+{
+    SyntheticSvhn data(30, 32, 1);
+    EXPECT_EQ(data.numClasses(), 10);
+    EXPECT_EQ(data.channels(), 3);
+    EXPECT_EQ(data.image(0).shape(), (std::vector<int>{3, 32, 32}));
+    for (long long k = 0; k < data.image(0).size(); ++k) {
+        ASSERT_GE(data.image(0)[k], 0.0f);
+        ASSERT_LE(data.image(0)[k], 1.0f);
+    }
+}
+
+TEST(Dataset, BatchAssembly)
+{
+    SyntheticDigits data(10, 12, 6);
+    Tensor batch = data.batchImages({0, 3, 7});
+    EXPECT_EQ(batch.shape(), (std::vector<int>{3, 1, 12, 12}));
+    const auto labels = data.batchLabels({0, 3, 7});
+    EXPECT_EQ(labels.size(), 3u);
+    // Row 1 of the batch must equal image 3.
+    const Tensor &img = data.image(3);
+    for (long long k = 0; k < img.size(); ++k)
+        ASSERT_EQ(batch[img.size() + k], img[k]);
+}
+
+TEST(Dataset, FirstImagesClamp)
+{
+    SyntheticDigits data(5, 12, 7);
+    Tensor batch = data.firstImages(100);
+    EXPECT_EQ(batch.dim(0), 5);
+    EXPECT_EQ(data.firstLabels(100).size(), 5u);
+}
+
+} // namespace
+} // namespace nebula

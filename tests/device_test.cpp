@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Unit and property tests for the DW-MTJ device models: domain-wall
+ * dynamics, MTJ conductance, synapse programming and neuron behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "device/domain_wall.hpp"
+#include "device/mtj.hpp"
+#include "device/neuron_device.hpp"
+#include "device/synapse_device.hpp"
+#include "device/variability.hpp"
+
+namespace nebula {
+namespace {
+
+using namespace units;
+
+TEST(DomainWall, DefaultsHaveSixteenStates)
+{
+    DwTrackParams p;
+    EXPECT_EQ(p.numStates(), 16);
+}
+
+TEST(DomainWall, NoMotionBelowCriticalCurrent)
+{
+    DwTrackParams p;
+    DomainWallTrack track(p);
+    const double subcritical =
+        0.9 * p.criticalDensity * p.hmCrossSection();
+    track.applyCurrent(subcritical, 110 * ns);
+    EXPECT_DOUBLE_EQ(track.position(), 0.0);
+}
+
+TEST(DomainWall, DisplacementLinearInOverdrive)
+{
+    // Fig. 1(b): displacement proportional to programming current above
+    // the critical current.
+    DwTrackParams p;
+    const double i1 = 2.0 * p.criticalDensity * p.hmCrossSection();
+    const double i2 = 3.0 * p.criticalDensity * p.hmCrossSection();
+
+    DomainWallTrack a(p), b(p);
+    const double d1 = a.applyCurrent(i1, 10 * ns);
+    const double d2 = b.applyCurrent(i2, 10 * ns);
+    // Overdrive (J - Jc) doubles from i1 to i2.
+    EXPECT_NEAR(d2 / d1, 2.0, 1e-9);
+}
+
+TEST(DomainWall, VelocitySaturates)
+{
+    DwTrackParams p;
+    const double huge = 1e4 * p.criticalDensity;
+    EXPECT_DOUBLE_EQ(std::abs(DomainWallTrack(p).velocityAt(huge)),
+                     p.saturationVelocity);
+}
+
+TEST(DomainWall, PositionClampsToTrack)
+{
+    DwTrackParams p;
+    DomainWallTrack track(p);
+    const double big = 100.0 * p.criticalDensity * p.hmCrossSection();
+    track.applyCurrent(big, 1e-3);
+    EXPECT_DOUBLE_EQ(track.position(), p.length);
+    track.applyCurrent(-big, 1e-3);
+    EXPECT_DOUBLE_EQ(track.position(), 0.0);
+}
+
+TEST(DomainWall, NegativeCurrentReversesDirection)
+{
+    DwTrackParams p;
+    DomainWallTrack track(p);
+    track.setPosition(p.length / 2);
+    const double i = -2.0 * p.criticalDensity * p.hmCrossSection();
+    const double d = track.applyCurrent(i, 10 * ns);
+    EXPECT_LT(d, 0.0);
+}
+
+TEST(DomainWall, PinnedPositionSnapsToGrid)
+{
+    DwTrackParams p;
+    DomainWallTrack track(p);
+    const double pitch = p.pinPitch;
+    track.setPosition(1.4 * pitch);
+    EXPECT_NEAR(track.pinnedPosition(), pitch, 1e-15);
+    EXPECT_EQ(track.stateIndex(), 1);
+    track.setPosition(1.6 * pitch);
+    EXPECT_NEAR(track.pinnedPosition(), 2 * pitch, 1e-15);
+    EXPECT_EQ(track.stateIndex(), 2);
+}
+
+TEST(DomainWall, StateIndexSpansAllStates)
+{
+    DwTrackParams p;
+    DomainWallTrack track(p);
+    track.setPosition(0.0);
+    EXPECT_EQ(track.stateIndex(), 0);
+    track.setPosition(p.length);
+    EXPECT_EQ(track.stateIndex(), p.numStates() - 1);
+}
+
+TEST(Mtj, ConductanceEndpoints)
+{
+    MtjParams p;
+    MtjStack mtj(p);
+    EXPECT_NEAR(mtj.conductanceAt(1.0), mtj.conductanceP(), 1e-18);
+    EXPECT_NEAR(mtj.conductanceAt(0.0), mtj.conductanceAp(), 1e-18);
+    EXPECT_NEAR(mtj.conductanceP() / mtj.conductanceAp(), p.apOverP, 1e-9);
+}
+
+TEST(Mtj, ConductanceMonotonic)
+{
+    MtjStack mtj((MtjParams()));
+    double prev = -1.0;
+    for (int i = 0; i <= 16; ++i) {
+        const double g = mtj.conductanceAt(i / 16.0);
+        EXPECT_GT(g, prev);
+        prev = g;
+    }
+}
+
+TEST(Mtj, OxideThicknessRaisesResistance)
+{
+    MtjParams p;
+    const double ra_thin = MtjStack::raForThickness(p, 0.9 * nm);
+    const double ra_nom = MtjStack::raForThickness(p, p.oxideThickness);
+    const double ra_thick = MtjStack::raForThickness(p, 1.2 * nm);
+    EXPECT_LT(ra_thin, ra_nom);
+    EXPECT_GT(ra_thick, ra_nom);
+    EXPECT_NEAR(ra_nom, p.raProductP, 1e-18);
+}
+
+TEST(Mtj, ResistanceIsReciprocal)
+{
+    MtjStack mtj((MtjParams()));
+    for (double f : {0.0, 0.3, 0.7, 1.0})
+        EXPECT_NEAR(mtj.resistanceAt(f) * mtj.conductanceAt(f), 1.0, 1e-12);
+}
+
+class SynapseLevels : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SynapseLevels, ProgramsEveryLevelExactly)
+{
+    const int levels = GetParam();
+    SynapseDeviceParams p;
+    for (int level = 0; level < levels; ++level) {
+        SynapseDevice dev(p);
+        dev.program(level, levels);
+        const double expected =
+            static_cast<double>(level) / (levels - 1);
+        EXPECT_NEAR(dev.normalizedWeight(), expected, 0.5 / (levels - 1))
+            << "level " << level << "/" << levels;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllResolutions, SynapseLevels,
+                         ::testing::Values(2, 4, 8, 16));
+
+TEST(Synapse, ConductanceMonotonicInLevel)
+{
+    SynapseDeviceParams p;
+    double prev = -1.0;
+    for (int level = 0; level < 16; ++level) {
+        SynapseDevice dev(p);
+        dev.program(level, 16);
+        EXPECT_GT(dev.conductance(), prev) << "level " << level;
+        prev = dev.conductance();
+    }
+}
+
+TEST(Synapse, ReprogramMovesBothDirections)
+{
+    SynapseDevice dev;
+    dev.program(15, 16);
+    const double high = dev.conductance();
+    dev.program(3, 16);
+    const double low = dev.conductance();
+    EXPECT_LT(low, high);
+    dev.program(12, 16);
+    EXPECT_GT(dev.conductance(), low);
+}
+
+TEST(Synapse, ProgramEnergyIsFemtojouleScale)
+{
+    // Paper Sec. II-B2: DW-MTJ programming energy ~100 fJ, orders below
+    // the pJ-scale PCM/RRAM writes.
+    SynapseDevice dev;
+    dev.program(15, 16);
+    EXPECT_GT(dev.programEnergy(), 1 * fJ);
+    EXPECT_LT(dev.programEnergy(), 1000 * fJ);
+}
+
+TEST(Synapse, ReadDoesNotDisturbState)
+{
+    SynapseDevice dev;
+    dev.program(9, 16);
+    const double g = dev.conductance();
+    for (int i = 0; i < 100; ++i)
+        dev.readCurrent(0.25);
+    EXPECT_DOUBLE_EQ(dev.conductance(), g);
+}
+
+TEST(Synapse, ReadCurrentScalesWithVoltage)
+{
+    SynapseDevice dev;
+    dev.program(8, 16);
+    EXPECT_NEAR(dev.readCurrent(0.5), 2.0 * dev.readCurrent(0.25), 1e-15);
+}
+
+TEST(SpikingNeuron, IntegratesAndFires)
+{
+    NeuronDeviceParams p;
+    SpikingNeuronDevice neuron(p);
+    const double window = 110 * ns;
+    // Threshold current crosses the full track in one window.
+    const double i_th = neuron.thresholdCurrent(window);
+
+    // Half the threshold drive: no spike after one step, spike by three.
+    const double bias =
+        p.track.criticalDensity * p.track.hmCrossSection();
+    const double half = bias + 0.5 * (i_th - bias);
+    EXPECT_FALSE(neuron.integrate(half, window));
+    EXPECT_GT(neuron.membraneFraction(), 0.3);
+    bool fired = neuron.integrate(half, window);
+    if (!fired)
+        fired = neuron.integrate(half, window);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(neuron.spikeCount(), 1);
+    // Membrane reset after the spike.
+    EXPECT_DOUBLE_EQ(neuron.membraneFraction(), 0.0);
+}
+
+TEST(SpikingNeuron, FullDriveFiresEveryStep)
+{
+    SpikingNeuronDevice neuron;
+    const double window = 110 * ns;
+    const double i_th = 1.01 * neuron.thresholdCurrent(window);
+    for (int t = 0; t < 5; ++t)
+        EXPECT_TRUE(neuron.integrate(i_th, window)) << "step " << t;
+    EXPECT_EQ(neuron.spikeCount(), 5);
+}
+
+TEST(SpikingNeuron, MembranePersistsAcrossQuietSteps)
+{
+    // The DW position *is* the membrane potential: with zero input it
+    // must hold its value with no refresh (the paper's key SRAM saving).
+    NeuronDeviceParams p;
+    SpikingNeuronDevice neuron(p);
+    const double window = 110 * ns;
+    const double i_th = neuron.thresholdCurrent(window);
+    neuron.integrate(0.6 * i_th, window);
+    const double held = neuron.membraneFraction();
+    for (int t = 0; t < 10; ++t)
+        neuron.integrate(0.0, window);
+    EXPECT_DOUBLE_EQ(neuron.membraneFraction(), held);
+}
+
+TEST(SpikingNeuron, InhibitoryCurrentLowersMembrane)
+{
+    SpikingNeuronDevice neuron;
+    const double window = 110 * ns;
+    const double i_th = neuron.thresholdCurrent(window);
+    neuron.integrate(0.8 * i_th, window);
+    const double before = neuron.membraneFraction();
+    neuron.integrate(-0.5 * i_th, window);
+    EXPECT_LT(neuron.membraneFraction(), before);
+    EXPECT_GE(neuron.membraneFraction(), 0.0);
+}
+
+TEST(SpikingNeuron, EnergyAccumulates)
+{
+    SpikingNeuronDevice neuron;
+    const double window = 110 * ns;
+    const double i_th = neuron.thresholdCurrent(window);
+    EXPECT_DOUBLE_EQ(neuron.energy(), 0.0);
+    neuron.integrate(i_th, window);
+    const double e1 = neuron.energy();
+    EXPECT_GT(e1, 0.0);
+    neuron.integrate(i_th, window);
+    EXPECT_GT(neuron.energy(), e1);
+    neuron.clearStats();
+    EXPECT_DOUBLE_EQ(neuron.energy(), 0.0);
+    EXPECT_EQ(neuron.spikeCount(), 0);
+}
+
+TEST(ReluNeuron, OutputProportionalToDrive)
+{
+    ReluNeuronDevice neuron;
+    const double window = 110 * ns;
+    const double i_th = neuron.thresholdCurrent(window);
+    const double bias = neuron.params().track.criticalDensity *
+                        neuron.params().track.hmCrossSection();
+
+    // Drive producing half-track displacement -> mid-level output.
+    const double half = bias + 0.5 * (i_th - bias);
+    const int level = neuron.evaluate(half, window, 16);
+    EXPECT_NEAR(level, 8, 1);
+}
+
+TEST(ReluNeuron, SaturatesAtTop)
+{
+    ReluNeuronDevice neuron;
+    const double window = 110 * ns;
+    const int level =
+        neuron.evaluate(5.0 * neuron.thresholdCurrent(window), window, 16);
+    EXPECT_EQ(level, 15);
+}
+
+TEST(ReluNeuron, NegativeDriveGivesZero)
+{
+    ReluNeuronDevice neuron;
+    const double window = 110 * ns;
+    const int level =
+        neuron.evaluate(-neuron.thresholdCurrent(window), window, 16);
+    EXPECT_EQ(level, 0);
+}
+
+TEST(ReluNeuron, ResetBetweenEvaluations)
+{
+    // Unlike the spiking neuron, the ANN neuron is stateless: two equal
+    // evaluations give equal outputs.
+    ReluNeuronDevice neuron;
+    const double window = 110 * ns;
+    const double i = 0.7 * neuron.thresholdCurrent(window);
+    const int a = neuron.evaluate(i, window, 16);
+    const int b = neuron.evaluate(i, window, 16);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Variability, ZeroSigmaIsIdentity)
+{
+    VariabilityModel v(0.0);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_DOUBLE_EQ(v.sampleFactor(), 1.0);
+}
+
+TEST(Variability, FactorsCenteredOnOne)
+{
+    VariabilityModel v(0.1, 99);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double f = v.sampleFactor();
+        EXPECT_GT(f, 0.0);
+        sum += f;
+    }
+    EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Variability, PerturbPreservesSize)
+{
+    VariabilityModel v(0.1, 5);
+    std::vector<float> w(100, 1.0f);
+    v.perturb(w);
+    EXPECT_EQ(w.size(), 100u);
+    bool changed = false;
+    for (float x : w)
+        changed |= (x != 1.0f);
+    EXPECT_TRUE(changed);
+}
+
+} // namespace
+} // namespace nebula

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Cross-module integration and property tests that tie the stack
+ * together: device-vs-circuit consistency, whole-zoo construction,
+ * energy/pipeline/traffic coherence, and stochastic device behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/energy_model.hpp"
+#include "arch/pipeline.hpp"
+#include "arch/placement.hpp"
+#include "circuit/crossbar.hpp"
+#include "common/units.hpp"
+#include "device/synapse_device.hpp"
+#include "nn/models.hpp"
+#include "nn/quantize.hpp"
+#include "nn/trainer.hpp"
+#include "snn/convert.hpp"
+#include "snn/snn_sim.hpp"
+
+namespace nebula {
+namespace {
+
+using namespace units;
+
+TEST(DeviceCircuit, SynapseDeviceMatchesCrossbarCellLaw)
+{
+    // The crossbar's conductance-from-weight law must agree with what a
+    // real SynapseDevice programs for the same discrete level.
+    CrossbarParams cp;
+    cp.rows = cp.cols = 4;
+    CrossbarArray xbar(cp);
+
+    // weight w in [-1,1] -> level round((w+1)/2 * 15).
+    std::vector<float> weights(16, 0.0f);
+    weights[0] = -1.0f; // level 0
+    weights[1] = 1.0f;  // level 15
+    weights[2] = 0.2f;  // level 9
+    std::vector<float> cells(16, 0.0f);
+    cells[0] = weights[0];
+    cells[1 * 4 + 1] = weights[1];
+    cells[2 * 4 + 2] = weights[2];
+    xbar.programWeights(cells);
+
+    auto device_conductance = [](int level) {
+        SynapseDevice dev;
+        dev.program(level, 16);
+        return dev.conductance();
+    };
+    EXPECT_NEAR(xbar.conductanceAt(0, 0), device_conductance(0), 1e-9);
+    EXPECT_NEAR(xbar.conductanceAt(1, 1), device_conductance(15), 1e-9);
+    EXPECT_NEAR(xbar.conductanceAt(2, 2), device_conductance(9), 1e-9);
+}
+
+TEST(DeviceStochastic, ThermalJitterNeedsTrimPulses)
+{
+    // With thermal jitter enabled, closed-loop programming still
+    // converges to the right state (possibly with extra trim pulses).
+    SynapseDeviceParams p;
+    p.track.thermalJitter = 0.6;
+    Rng rng(4242);
+    int total_pulses = 0;
+    for (int level : {3, 8, 14}) {
+        SynapseDevice dev(p);
+        total_pulses += dev.program(level, 16, &rng);
+        EXPECT_EQ(dev.level(), level);
+    }
+    // Deterministic programming of the same levels takes 3 pulses.
+    EXPECT_GE(total_pulses, 3);
+}
+
+TEST(DeviceStochastic, JitterIsZeroMeanOnAverage)
+{
+    DwTrackParams p;
+    p.thermalJitter = 0.5;
+    Rng rng(77);
+    const double i = 2.0 * p.criticalDensity * p.hmCrossSection();
+    double sum = 0.0;
+    const int n = 2000;
+    for (int k = 0; k < n; ++k) {
+        DomainWallTrack track(p);
+        sum += track.applyCurrent(i, 10 * ns, &rng);
+    }
+    DomainWallTrack clean((DwTrackParams()));
+    const double expected = clean.applyCurrent(i, 10 * ns);
+    EXPECT_NEAR(sum / n, expected, 0.1 * expected);
+}
+
+TEST(Zoo, EveryPaperModelBuildsAndMaps)
+{
+    struct Case { const char *name; int ch, sp; };
+    const Case cases[] = {
+        {"mlp3", 1, 28},       {"lenet5", 1, 28},
+        {"vgg13", 3, 32},      {"vgg13-c100", 3, 32},
+        {"mobilenet", 3, 32},  {"mobilenet-c100", 3, 32},
+        {"svhn", 3, 32},       {"alexnet", 3, 64},
+    };
+    for (const Case &c : cases) {
+        Network net = buildPaperModel(c.name);
+        Tensor x({1, c.ch, c.sp, c.sp});
+        Tensor y = net.forward(x);
+        EXPECT_EQ(y.rank(), 2) << c.name;
+        const auto mapping = LayerMapper().map(net);
+        EXPECT_EQ(mapping.layers.size(),
+                  net.weightLayerIndices().size())
+            << c.name;
+        for (const auto &m : mapping.layers) {
+            EXPECT_GT(m.coresNeeded, 0) << c.name << " " << m.name;
+            EXPECT_GT(m.utilization, 0.0) << c.name << " " << m.name;
+        }
+    }
+}
+
+TEST(Zoo, UnknownPaperModelIsFatal)
+{
+    EXPECT_DEATH({ buildPaperModel("resnet50"); }, "unknown paper model");
+}
+
+TEST(Coherence, EnergyCyclesMatchPipelinePositions)
+{
+    // The energy model's per-layer cycle count equals the mapper's
+    // positions (x timesteps), the same quantity the pipeline streams.
+    Network net = buildPaperModel("svhn");
+    Tensor x({1, 3, 32, 32});
+    net.forward(x);
+    const auto mapping = LayerMapper().map(net);
+    EnergyModel model;
+    const auto ann = model.evaluateAnn(
+        mapping, ActivityProfile::uniform(mapping.layers.size(), 0.5));
+    for (size_t i = 0; i < mapping.layers.size(); ++i)
+        EXPECT_EQ(ann.layers[i].cycles, mapping.layers[i].positions);
+
+    const int T = 7;
+    const auto snn = model.evaluateSnn(
+        mapping, ActivityProfile::decaying(mapping.layers.size()), T);
+    for (size_t i = 0; i < mapping.layers.size(); ++i)
+        EXPECT_EQ(snn.layers[i].cycles, mapping.layers[i].positions * T);
+}
+
+TEST(Coherence, PlacementCoresMatchMappingDemand)
+{
+    Network net = buildPaperModel("mobilenet");
+    Tensor x({1, 3, 32, 32});
+    net.forward(x);
+    const auto mapping = LayerMapper().map(net);
+    const auto placement = ChipPlacer().place(mapping, Mode::SNN);
+    for (size_t i = 0; i < mapping.layers.size(); ++i)
+        EXPECT_EQ(static_cast<long long>(placement.layers[i].cores.size()),
+                  mapping.layers[i].coresNeeded);
+}
+
+TEST(Coherence, QuantizedModelSurvivesConversionAndMapping)
+{
+    // quantize -> convert -> map: the full algorithmic pipeline on one
+    // model without a functional run.
+    Rng rng(9);
+    SyntheticDigits data(96, 12, 3131);
+    Network net = buildLenet5(12, 1, 10, 3131);
+    quantizeNetwork(net, data.firstImages(48), 16, 16);
+    SpikingModel model = convertToSnn(net, data.firstImages(48));
+
+    Tensor probe({1, 1, 12, 12});
+    model.resetState();
+    model.net.forward(probe);
+    const auto mapping = LayerMapper().map(model.net);
+    EXPECT_EQ(mapping.layers.size(), 5u);
+}
+
+TEST(Coherence, SnnEnergyUsesMeasuredActivity)
+{
+    // Measured activity from a real SNN run feeds the energy model; the
+    // result must be bounded by the same model at activity 0 and 1.
+    SyntheticDigits data(400, 12, 997);
+    Network net = buildLenet5(12, 1, 10, 997);
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    SgdTrainer trainer(cfg);
+    trainer.train(net, data);
+
+    SpikingModel model = convertToSnn(net, data.firstImages(32));
+    SnnSimulator sim(model, 1.0, 31);
+    const auto run = sim.run(data.image(0), 20);
+
+    Network full = buildPaperModel("lenet5");
+    Tensor x({1, 1, 28, 28});
+    full.forward(x);
+    const auto mapping = LayerMapper().map(full);
+
+    // Interpolate measured IF activity onto the full model's layers.
+    ActivityProfile measured;
+    for (size_t i = 0; i < mapping.layers.size(); ++i) {
+        const size_t k =
+            std::min(run.ifActivity.size() - 1,
+                     i * run.ifActivity.size() / mapping.layers.size());
+        measured.inputActivity.push_back(run.ifActivity[k]);
+    }
+
+    EnergyModel emodel;
+    const int T = 40;
+    const double e = emodel.evaluateSnn(mapping, measured, T).totalEnergy;
+    const double lo =
+        emodel
+            .evaluateSnn(mapping,
+                         ActivityProfile::uniform(mapping.layers.size(),
+                                                  0.0),
+                         T)
+            .totalEnergy;
+    const double hi =
+        emodel
+            .evaluateSnn(mapping,
+                         ActivityProfile::uniform(mapping.layers.size(),
+                                                  1.0),
+                         T)
+            .totalEnergy;
+    EXPECT_GT(e, lo);
+    EXPECT_LT(e, hi);
+}
+
+class CrossbarSizes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CrossbarSizes, IdealDotProductScalesExactly)
+{
+    const int n = GetParam();
+    CrossbarParams p;
+    p.rows = p.cols = n;
+    CrossbarArray xbar(p);
+    Rng rng(515);
+    std::vector<float> w(static_cast<size_t>(n) * n);
+    for (auto &x : w)
+        x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    xbar.programWeights(w);
+    std::vector<double> inputs(static_cast<size_t>(n));
+    for (auto &x : inputs)
+        x = rng.uniform(0.0, 1.0);
+
+    const auto eval = xbar.evaluateIdeal(inputs, 110 * ns);
+    const double kappa = xbar.currentScale();
+    // Reference with the quantized cell values the array actually holds.
+    for (int j = 0; j < std::min(n, 8); ++j) {
+        double ref = 0.0;
+        for (int i = 0; i < n; ++i)
+            ref += xbar.weightAt(i, j) * inputs[static_cast<size_t>(i)];
+        EXPECT_NEAR(eval.currents[static_cast<size_t>(j)] / kappa, ref,
+                    1e-6 * n)
+            << "col " << j << " size " << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrossbarSizes,
+                         ::testing::Values(8, 32, 100, 128, 256));
+
+} // namespace
+} // namespace nebula

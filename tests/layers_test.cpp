@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Layer tests: forward passes against hand references and numerical
+ * gradient checks for every trainable layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace nebula {
+namespace {
+
+TEST(Conv2d, IdentityKernel)
+{
+    Conv2d conv(1, 1, 1, 1, 0, false);
+    conv.weight()[0] = 1.0f;
+    Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+    Tensor y = conv.forward(x);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, HandComputed3x3)
+{
+    // 3x3 all-ones kernel over a 3x3 all-ones image, no padding -> 9.
+    Conv2d conv(1, 1, 3, 1, 0, false);
+    conv.weight().fill(1.0f);
+    Tensor x({1, 1, 3, 3});
+    x.fill(1.0f);
+    Tensor y = conv.forward(x);
+    ASSERT_EQ(y.size(), 1);
+    EXPECT_FLOAT_EQ(y[0], 9.0f);
+}
+
+TEST(Conv2d, PaddingKeepsSize)
+{
+    Conv2d conv(2, 3, 3, 1, 1);
+    Tensor x({2, 2, 8, 8});
+    Tensor y = conv.forward(x);
+    EXPECT_EQ(y.shape(), (std::vector<int>{2, 3, 8, 8}));
+}
+
+TEST(Conv2d, StrideHalvesSize)
+{
+    Conv2d conv(1, 4, 3, 2, 1);
+    Tensor x({1, 1, 8, 8});
+    Tensor y = conv.forward(x);
+    EXPECT_EQ(y.shape(), (std::vector<int>{1, 4, 4, 4}));
+}
+
+TEST(Conv2d, BiasAdds)
+{
+    Conv2d conv(1, 2, 1, 1, 0, true);
+    conv.weight().zero();
+    conv.bias()[0] = 1.5f;
+    conv.bias()[1] = -2.5f;
+    Tensor x({1, 1, 2, 2});
+    Tensor y = conv.forward(x);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.5f);
+    EXPECT_FLOAT_EQ(y.at(0, 1, 1, 1), -2.5f);
+}
+
+TEST(Conv2d, GeometryForMapper)
+{
+    Conv2d conv(64, 128, 3, 1, 1);
+    EXPECT_TRUE(conv.isWeightLayer());
+    EXPECT_EQ(conv.receptiveField(), 3 * 3 * 64);
+    EXPECT_EQ(conv.numKernels(), 128);
+    Tensor x({1, 64, 16, 16});
+    conv.forward(x);
+    EXPECT_EQ(conv.outputPositions(), 16 * 16);
+    EXPECT_EQ(conv.outputElements(), 128 * 16 * 16);
+}
+
+TEST(DwConv2d, PerChannelFiltering)
+{
+    DwConv2d conv(2, 1, 1, 0, false);
+    conv.weight()[0] = 2.0f; // channel 0 filter
+    conv.weight()[1] = 3.0f; // channel 1 filter
+    Tensor x({1, 2, 2, 2});
+    x.fill(1.0f);
+    Tensor y = conv.forward(x);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), 3.0f);
+}
+
+TEST(DwConv2d, ReceptiveFieldIsKernelOnly)
+{
+    DwConv2d conv(256, 3, 1, 1);
+    // Depthwise kernels occupy only K*K crossbar rows (low utilization,
+    // the effect behind MobileNet's big win in Fig. 12).
+    EXPECT_EQ(conv.receptiveField(), 9);
+    EXPECT_EQ(conv.numKernels(), 256);
+}
+
+TEST(Linear, HandComputed)
+{
+    Linear fc(2, 2, true);
+    fc.weight()[0] = 1.0f; // w00
+    fc.weight()[1] = 2.0f; // w01
+    fc.weight()[2] = 3.0f; // w10
+    fc.weight()[3] = 4.0f; // w11
+    fc.bias()[0] = 0.5f;
+    fc.bias()[1] = -0.5f;
+    Tensor x({1, 2}, {1.0f, 1.0f});
+    Tensor y = fc.forward(x);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 3.5f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 6.5f);
+}
+
+TEST(AvgPool, HandComputed)
+{
+    AvgPool2d pool(2);
+    Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+    Tensor y = pool.forward(x);
+    ASSERT_EQ(y.size(), 1);
+    EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(MaxPool, HandComputed)
+{
+    MaxPool2d pool(2);
+    Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+    Tensor y = pool.forward(x);
+    ASSERT_EQ(y.size(), 1);
+    EXPECT_FLOAT_EQ(y[0], 4.0f);
+}
+
+TEST(Relu, ZeroesNegatives)
+{
+    Relu relu;
+    Tensor x({4}, {-1.0f, 0.0f, 2.0f, -3.0f});
+    Tensor y = relu.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.0f);
+    EXPECT_FLOAT_EQ(y[2], 2.0f);
+    EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+TEST(ClippedRelu, ClipsAndQuantizes)
+{
+    ClippedRelu act(2.0f, 5); // levels at 0, .5, 1, 1.5, 2
+    Tensor x({5}, {-1.0f, 0.6f, 1.2f, 1.9f, 5.0f});
+    Tensor y = act.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.5f);
+    EXPECT_FLOAT_EQ(y[2], 1.0f);
+    EXPECT_FLOAT_EQ(y[3], 2.0f);
+    EXPECT_FLOAT_EQ(y[4], 2.0f);
+}
+
+TEST(ClippedRelu, NoQuantizationWhenDisabled)
+{
+    ClippedRelu act(1.0f, 0);
+    Tensor x({3}, {0.37f, -0.5f, 1.7f});
+    Tensor y = act.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 0.37f);
+    EXPECT_FLOAT_EQ(y[1], 0.0f);
+    EXPECT_FLOAT_EQ(y[2], 1.0f);
+}
+
+TEST(Flatten, RoundTrip)
+{
+    Flatten flat;
+    Tensor x({2, 3, 4, 4});
+    Tensor y = flat.forward(x, true);
+    EXPECT_EQ(y.shape(), (std::vector<int>{2, 48}));
+    Tensor g = flat.backward(y);
+    EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(BatchNorm, NormalizesInTrainMode)
+{
+    BatchNorm2d bn(1);
+    Rng rng(5);
+    Tensor x({8, 1, 4, 4});
+    x.randn(rng, 3.0f);
+    for (long long i = 0; i < x.size(); ++i)
+        x[i] += 10.0f;
+
+    Tensor y = bn.forward(x, true);
+    EXPECT_NEAR(y.mean(), 0.0, 1e-4);
+    double var = 0.0;
+    for (long long i = 0; i < y.size(); ++i)
+        var += y[i] * y[i];
+    var /= y.size();
+    EXPECT_NEAR(var, 1.0, 1e-2);
+}
+
+TEST(BatchNorm, RunningStatsConvergeToData)
+{
+    BatchNorm2d bn(1, 0.5f);
+    Rng rng(6);
+    for (int it = 0; it < 20; ++it) {
+        Tensor x({16, 1, 2, 2});
+        x.randn(rng, 2.0f);
+        for (long long i = 0; i < x.size(); ++i)
+            x[i] += 5.0f;
+        bn.forward(x, true);
+    }
+    EXPECT_NEAR(bn.runningMean()[0], 5.0f, 0.4f);
+    EXPECT_NEAR(bn.runningVar()[0], 4.0f, 1.0f);
+}
+
+TEST(BatchNorm, EffectiveAffineMatchesEvalForward)
+{
+    BatchNorm2d bn(2);
+    Rng rng(7);
+    Tensor x({4, 2, 3, 3});
+    x.randn(rng, 1.5f);
+    bn.forward(x, true); // populate running stats
+
+    std::vector<float> scale, shift;
+    bn.effectiveAffine(scale, shift);
+
+    Tensor y = bn.forward(x, false);
+    for (int n = 0; n < 4; ++n)
+        for (int c = 0; c < 2; ++c)
+            for (int h = 0; h < 3; ++h)
+                for (int w = 0; w < 3; ++w)
+                    EXPECT_NEAR(y.at(n, c, h, w),
+                                scale[static_cast<size_t>(c)] *
+                                        x.at(n, c, h, w) +
+                                    shift[static_cast<size_t>(c)],
+                                1e-5f);
+}
+
+// ---------------------------------------------------------------------
+// Numerical gradient checking
+// ---------------------------------------------------------------------
+
+/** Scalar loss = sum of elementwise squares / 2, dL/dy = y. */
+double
+halfSquaredSum(const Tensor &t)
+{
+    double s = 0.0;
+    for (long long i = 0; i < t.size(); ++i)
+        s += 0.5 * static_cast<double>(t[i]) * t[i];
+    return s;
+}
+
+/**
+ * Check dL/dx and dL/dw of a layer against central differences for the
+ * loss L = 0.5 * ||forward(x)||^2.
+ */
+void
+checkGradients(Layer &layer, Tensor x, double tol = 2e-2)
+{
+    Tensor y = layer.forward(x, true);
+    layer.zeroGrad();
+    Tensor grad_in = layer.backward(y); // dL/dy = y
+
+    const float eps = 1e-3f;
+
+    // Input gradients (sample a subset for speed).
+    const long long stride_x = std::max<long long>(1, x.size() / 40);
+    for (long long i = 0; i < x.size(); i += stride_x) {
+        Tensor xp = x, xm = x;
+        xp[i] += eps;
+        xm[i] -= eps;
+        const double lp = halfSquaredSum(layer.forward(xp, true));
+        const double lm = halfSquaredSum(layer.forward(xm, true));
+        const double numeric = (lp - lm) / (2.0 * eps);
+        EXPECT_NEAR(grad_in[i], numeric,
+                    tol * std::max(1.0, std::abs(numeric)))
+            << "input grad " << i;
+    }
+
+    // Parameter gradients.
+    auto params = layer.parameters();
+    auto grads = layer.gradients();
+    // Re-establish forward caches for the unmodified input.
+    layer.forward(x, true);
+    for (size_t p = 0; p < params.size(); ++p) {
+        Tensor &w = *params[p];
+        const long long stride_w = std::max<long long>(1, w.size() / 40);
+        for (long long i = 0; i < w.size(); i += stride_w) {
+            const float keep = w[i];
+            w[i] = keep + eps;
+            const double lp = halfSquaredSum(layer.forward(x, true));
+            w[i] = keep - eps;
+            const double lm = halfSquaredSum(layer.forward(x, true));
+            w[i] = keep;
+            const double numeric = (lp - lm) / (2.0 * eps);
+            EXPECT_NEAR((*grads[p])[i], numeric,
+                        tol * std::max(1.0, std::abs(numeric)))
+                << "param " << p << " grad " << i;
+        }
+    }
+}
+
+TEST(GradCheck, Linear)
+{
+    Rng rng(11);
+    Linear fc(6, 4);
+    fc.initKaiming(rng);
+    Tensor x({3, 6});
+    x.randn(rng);
+    checkGradients(fc, x);
+}
+
+TEST(GradCheck, Conv2d)
+{
+    Rng rng(12);
+    Conv2d conv(2, 3, 3, 1, 1);
+    conv.initKaiming(rng);
+    Tensor x({2, 2, 5, 5});
+    x.randn(rng);
+    checkGradients(conv, x);
+}
+
+TEST(GradCheck, Conv2dStride2NoBias)
+{
+    Rng rng(13);
+    Conv2d conv(1, 2, 3, 2, 1, false);
+    conv.initKaiming(rng);
+    Tensor x({1, 1, 6, 6});
+    x.randn(rng);
+    checkGradients(conv, x);
+}
+
+TEST(GradCheck, DwConv2d)
+{
+    Rng rng(14);
+    DwConv2d conv(3, 3, 1, 1);
+    conv.initKaiming(rng);
+    Tensor x({2, 3, 4, 4});
+    x.randn(rng);
+    checkGradients(conv, x);
+}
+
+TEST(GradCheck, AvgPool)
+{
+    Rng rng(15);
+    AvgPool2d pool(2);
+    Tensor x({2, 2, 4, 4});
+    x.randn(rng);
+    checkGradients(pool, x);
+}
+
+TEST(GradCheck, MaxPool)
+{
+    Rng rng(16);
+    MaxPool2d pool(2);
+    Tensor x({2, 2, 4, 4});
+    x.randn(rng);
+    // Max pooling is piecewise linear; keep x away from ties.
+    checkGradients(pool, x);
+}
+
+TEST(GradCheck, ReluAndClipped)
+{
+    Rng rng(17);
+    Relu relu;
+    Tensor x({3, 10});
+    x.randn(rng);
+    // Shift away from the kink at 0.
+    for (long long i = 0; i < x.size(); ++i)
+        if (std::abs(x[i]) < 0.05f)
+            x[i] += 0.1f;
+    checkGradients(relu, x);
+
+    ClippedRelu clipped(1.0f, 0);
+    Tensor x2 = x;
+    for (long long i = 0; i < x2.size(); ++i)
+        if (std::abs(x2[i] - 1.0f) < 0.05f)
+            x2[i] += 0.1f;
+    checkGradients(clipped, x2);
+}
+
+TEST(GradCheck, BatchNorm)
+{
+    Rng rng(18);
+    BatchNorm2d bn(2);
+    Tensor x({4, 2, 3, 3});
+    x.randn(rng);
+    checkGradients(bn, x, 5e-2);
+}
+
+} // namespace
+} // namespace nebula

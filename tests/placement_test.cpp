@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Placement + simulated-NoC-traffic tests (paper Fig. 6b mesh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/placement.hpp"
+#include "nn/models.hpp"
+
+namespace nebula {
+namespace {
+
+NetworkMapping
+mapModel(Network net, int channels, int spatial)
+{
+    Tensor x({1, channels, spatial, spatial});
+    net.forward(x);
+    return LayerMapper().map(net);
+}
+
+MeshNoc
+chipNoc()
+{
+    NocConfig cfg;
+    cfg.width = 14;
+    cfg.height = 14;
+    return MeshNoc(cfg);
+}
+
+TEST(Placer, AnnCoresLiveInFirstColumn)
+{
+    ChipPlacer placer;
+    for (int i = 0; i < 14; ++i) {
+        const NodeId node = placer.coreLocation(i, Mode::ANN);
+        EXPECT_EQ(node.x, 0);
+        EXPECT_EQ(node.y, i);
+    }
+    EXPECT_EQ(placer.coreBudget(Mode::ANN), 14);
+    EXPECT_EQ(placer.coreBudget(Mode::SNN), 182);
+}
+
+TEST(Placer, SnnCoresAvoidAnnColumn)
+{
+    ChipPlacer placer;
+    for (int i = 0; i < 182; ++i) {
+        const NodeId node = placer.coreLocation(i, Mode::SNN);
+        EXPECT_GE(node.x, 1);
+        EXPECT_LT(node.x, 14);
+        EXPECT_GE(node.y, 0);
+        EXPECT_LT(node.y, 14);
+    }
+}
+
+TEST(Placer, SnnLocationsAreDistinctWithinBudget)
+{
+    ChipPlacer placer;
+    std::set<std::pair<int, int>> seen;
+    for (int i = 0; i < 182; ++i) {
+        const NodeId node = placer.coreLocation(i, Mode::SNN);
+        EXPECT_TRUE(seen.insert({node.x, node.y}).second) << i;
+    }
+}
+
+TEST(Placer, SmallNetworkFits)
+{
+    ChipPlacer placer;
+    const auto mapping =
+        mapModel(buildSvhnNet(32, 3, 10, 0.25f, 1), 3, 32);
+    const auto placement = placer.place(mapping, Mode::SNN);
+    EXPECT_TRUE(placement.fits);
+    EXPECT_EQ(placement.layers.size(), mapping.layers.size());
+    for (size_t i = 0; i < mapping.layers.size(); ++i)
+        EXPECT_EQ(static_cast<long long>(placement.layers[i].cores.size()),
+                  mapping.layers[i].coresNeeded);
+}
+
+TEST(Placer, HugeNetworkWrapsAndReportsIt)
+{
+    ChipPlacer placer;
+    const auto mapping = mapModel(buildVgg13(32, 3, 10, 1.0f, 1), 3, 32);
+    // Full VGG-13 needs more ANN cores than the 14 available.
+    const auto placement = placer.place(mapping, Mode::ANN);
+    EXPECT_FALSE(placement.fits);
+    EXPECT_LE(placement.coresUsed, 14);
+}
+
+TEST(Traffic, DeliversEverything)
+{
+    ChipPlacer placer;
+    const auto mapping =
+        mapModel(buildSvhnNet(32, 3, 10, 0.25f, 1), 3, 32);
+    const auto placement = placer.place(mapping, Mode::ANN);
+    MeshNoc noc = chipNoc();
+    const auto act = ActivityProfile::uniform(mapping.layers.size(), 0.5);
+    const auto stats =
+        simulateInferenceTraffic(mapping, placement, noc, Mode::ANN, act);
+    EXPECT_GT(stats.packets, 0);
+    EXPECT_GT(stats.flits, 0);
+    EXPECT_GT(stats.energy, 0.0);
+    EXPECT_GT(stats.avgHops, 0.0);
+    EXPECT_GE(stats.worstLatency, static_cast<long long>(stats.avgLatency));
+}
+
+TEST(Traffic, SnnRoundsScaleWithTimesteps)
+{
+    ChipPlacer placer;
+    const auto mapping =
+        mapModel(buildSvhnNet(32, 3, 10, 0.25f, 1), 3, 32);
+    const auto placement = placer.place(mapping, Mode::SNN);
+    const auto act = ActivityProfile::decaying(mapping.layers.size());
+
+    MeshNoc noc_a = chipNoc();
+    const auto t10 = simulateInferenceTraffic(mapping, placement, noc_a,
+                                              Mode::SNN, act, 10);
+    MeshNoc noc_b = chipNoc();
+    const auto t20 = simulateInferenceTraffic(mapping, placement, noc_b,
+                                              Mode::SNN, act, 20);
+    EXPECT_EQ(t20.packets, 2 * t10.packets);
+    EXPECT_NEAR(t20.energy / t10.energy, 2.0, 1e-6);
+}
+
+TEST(Traffic, SpikeTrafficLighterThanAnn)
+{
+    // Binary sparse spikes move far fewer bits than 4-bit dense maps.
+    ChipPlacer placer;
+    const auto mapping =
+        mapModel(buildSvhnNet(32, 3, 10, 0.25f, 1), 3, 32);
+    const auto act = ActivityProfile::uniform(mapping.layers.size(), 0.05);
+
+    const auto ann_placement = placer.place(mapping, Mode::ANN);
+    MeshNoc noc_a = chipNoc();
+    const auto ann = simulateInferenceTraffic(mapping, ann_placement,
+                                              noc_a, Mode::ANN, act);
+    const auto snn_placement = placer.place(mapping, Mode::SNN);
+    MeshNoc noc_b = chipNoc();
+    const auto snn = simulateInferenceTraffic(mapping, snn_placement,
+                                              noc_b, Mode::SNN, act, 1);
+    EXPECT_LT(snn.flits, ann.flits);
+}
+
+TEST(Traffic, SpilledLayersSendPartialSums)
+{
+    ChipPlacer placer;
+    // Full-width VGG has spilled layers with multi-core kernels.
+    const auto mapping = mapModel(buildVgg13(32, 3, 10, 1.0f, 1), 3, 32);
+    const auto placement = placer.place(mapping, Mode::SNN);
+    const auto act = ActivityProfile::decaying(mapping.layers.size());
+
+    MeshNoc noc = chipNoc();
+    const auto with_spills =
+        simulateInferenceTraffic(mapping, placement, noc, Mode::SNN, act);
+
+    // Re-run with the spills suppressed to isolate their contribution.
+    NetworkMapping no_spill = mapping;
+    for (auto &layer : no_spill.layers)
+        layer.needsAdc = false;
+    MeshNoc noc2 = chipNoc();
+    const auto without =
+        simulateInferenceTraffic(no_spill, placement, noc2, Mode::SNN,
+                                 act);
+    EXPECT_GT(with_spills.packets, without.packets);
+}
+
+TEST(Traffic, DeterministicGivenSamePlacement)
+{
+    ChipPlacer placer;
+    const auto mapping =
+        mapModel(buildSvhnNet(32, 3, 10, 0.25f, 1), 3, 32);
+    const auto placement = placer.place(mapping, Mode::SNN);
+    const auto act = ActivityProfile::decaying(mapping.layers.size());
+    MeshNoc noc_a = chipNoc(), noc_b = chipNoc();
+    const auto a = simulateInferenceTraffic(mapping, placement, noc_a,
+                                            Mode::SNN, act, 5);
+    const auto b = simulateInferenceTraffic(mapping, placement, noc_b,
+                                            Mode::SNN, act, 5);
+    EXPECT_EQ(a.packets, b.packets);
+    EXPECT_DOUBLE_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.worstLatency, b.worstLatency);
+}
+
+} // namespace
+} // namespace nebula

@@ -1,0 +1,435 @@
+/**
+ * @file
+ * SNN tests: IF dynamics, Poisson encoding statistics, ANN-to-SNN
+ * conversion fidelity (rate ~ ReLU property, Table I behaviour at small
+ * scale) and hybrid SNN-ANN networks (Table II behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/models.hpp"
+#include "nn/pooling.hpp"
+#include "nn/trainer.hpp"
+#include "snn/convert.hpp"
+#include "snn/encoder.hpp"
+#include "snn/hybrid.hpp"
+#include "snn/if_layer.hpp"
+#include "snn/snn_sim.hpp"
+
+namespace nebula {
+namespace {
+
+TEST(IfLayer, IntegratesToThreshold)
+{
+    IfLayer neuron(1.0f);
+    Tensor x({1, 1}, {0.4f});
+    EXPECT_EQ(neuron.forward(x)[0], 0.0f); // u = 0.4
+    EXPECT_EQ(neuron.forward(x)[0], 0.0f); // u = 0.8
+    EXPECT_EQ(neuron.forward(x)[0], 1.0f); // u = 1.2 -> spike
+    EXPECT_EQ(neuron.spikeCount(), 1);
+    // Hard reset: membrane back to zero.
+    EXPECT_EQ(neuron.membrane()[0], 0.0f);
+}
+
+TEST(IfLayer, SubtractResetKeepsResidual)
+{
+    IfLayer neuron(1.0f, ResetMode::Subtract);
+    Tensor x({1, 1}, {0.7f});
+    neuron.forward(x);
+    neuron.forward(x); // u = 1.4 -> spike, residual 0.4
+    EXPECT_NEAR(neuron.membrane()[0], 0.4f, 1e-6f);
+}
+
+TEST(IfLayer, RateTracksInputHardReset)
+{
+    // With constant input x in (0, 1) and hard reset, the firing rate is
+    // 1 / ceil(vth / x) -- a staircase approximation of x.
+    IfLayer neuron(1.0f);
+    const float x = 0.3f;
+    Tensor in({1, 1}, {x});
+    const int T = 1000;
+    for (int t = 0; t < T; ++t)
+        neuron.forward(in);
+    const double rate = neuron.spikeCount() / static_cast<double>(T);
+    EXPECT_NEAR(rate, 1.0 / std::ceil(1.0 / x), 0.01);
+}
+
+TEST(IfLayer, SubtractResetRateIsExact)
+{
+    // Soft reset preserves the residual, so rate -> x exactly.
+    IfLayer neuron(1.0f, ResetMode::Subtract);
+    const float x = 0.37f;
+    Tensor in({1, 1}, {x});
+    const int T = 1000;
+    for (int t = 0; t < T; ++t)
+        neuron.forward(in);
+    EXPECT_NEAR(neuron.spikeCount() / static_cast<double>(T), x, 0.01);
+}
+
+TEST(IfLayer, ResetStateClearsEverything)
+{
+    IfLayer neuron(1.0f);
+    Tensor x({2, 3});
+    x.fill(2.0f);
+    neuron.forward(x);
+    EXPECT_EQ(neuron.spikeCount(), 6);
+    neuron.resetState();
+    EXPECT_EQ(neuron.spikeCount(), 0);
+    EXPECT_EQ(neuron.neuronCount(), 0);
+}
+
+TEST(IfLayer, NeverFiresBelowThreshold)
+{
+    IfLayer neuron(10.0f);
+    Tensor x({1, 4});
+    x.fill(0.01f);
+    for (int t = 0; t < 100; ++t)
+        neuron.forward(x);
+    EXPECT_EQ(neuron.spikeCount(), 0);
+}
+
+TEST(Encoder, RateMatchesIntensity)
+{
+    PoissonEncoder encoder(1.0, 5);
+    Tensor image({1, 10, 10});
+    image.fill(0.25f);
+    long long spikes = 0;
+    const int T = 400;
+    for (int t = 0; t < T; ++t)
+        spikes += static_cast<long long>(encoder.encode(image).sum());
+    const double rate = spikes / (100.0 * T);
+    EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(Encoder, RateScaleApplies)
+{
+    PoissonEncoder encoder(0.5, 6);
+    Tensor image({1, 8, 8});
+    image.fill(1.0f);
+    long long spikes = 0;
+    const int T = 400;
+    for (int t = 0; t < T; ++t)
+        spikes += static_cast<long long>(encoder.encode(image).sum());
+    EXPECT_NEAR(spikes / (64.0 * T), 0.5, 0.03);
+}
+
+TEST(Encoder, BinaryOutput)
+{
+    PoissonEncoder encoder(1.0, 7);
+    Tensor image({1, 4, 4});
+    image.fill(0.5f);
+    Tensor spikes = encoder.encode(image);
+    for (long long i = 0; i < spikes.size(); ++i)
+        EXPECT_TRUE(spikes[i] == 0.0f || spikes[i] == 1.0f);
+}
+
+TEST(Encoder, ResetReproducesTrain)
+{
+    PoissonEncoder encoder(1.0, 8);
+    Tensor image({1, 4, 4});
+    image.fill(0.5f);
+    Tensor a = encoder.encode(image);
+    encoder.reset();
+    Tensor b = encoder.encode(image);
+    for (long long i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+/** Train a small MLP for conversion tests. */
+Network
+trainedMlp(const SyntheticDigits &train_set)
+{
+    Network net = buildMlp3(16, 1, 10, 21);
+    TrainConfig cfg;
+    cfg.epochs = 5;
+    SgdTrainer trainer(cfg);
+    trainer.train(net, train_set);
+    return net;
+}
+
+TEST(Conversion, StructureIsSpiking)
+{
+    SyntheticDigits train_set(600, 16, 31);
+    Network net = trainedMlp(train_set);
+    SpikingModel model = convertToSnn(net, train_set.firstImages(32));
+
+    // Two hidden ReLUs -> two IF layers; weight layers preserved.
+    EXPECT_EQ(model.ifLayerIndices.size(), 2u);
+    EXPECT_EQ(model.net.weightLayerIndices().size(), 3u);
+    EXPECT_EQ(model.lambdas.size(),
+              static_cast<size_t>(model.net.numLayers()));
+}
+
+TEST(Conversion, IfInsertedAfterPool)
+{
+    Network conv_net("poolnet");
+    conv_net.add<Conv2d>(1, 4, 3, 1, 1);
+    conv_net.add<Relu>();
+    conv_net.add<AvgPool2d>(2);
+    conv_net.add<Flatten>();
+    conv_net.add<Linear>(4 * 4 * 4, 10);
+
+    Tensor calibration({4, 1, 8, 8});
+    Rng rng2(6);
+    calibration.uniform(rng2, 0.0f, 1.0f);
+    SpikingModel model = convertToSnn(conv_net, calibration);
+    // IF for the ReLU + IF after the pool.
+    EXPECT_EQ(model.ifLayerIndices.size(), 2u);
+    // Pool followed directly by an IF layer.
+    bool pool_then_if = false;
+    for (int i = 0; i + 1 < model.net.numLayers(); ++i)
+        if (model.net.layer(i).kind() == LayerKind::AvgPool &&
+            model.net.layer(i + 1).kind() == LayerKind::If)
+            pool_then_if = true;
+    EXPECT_TRUE(pool_then_if);
+}
+
+TEST(Conversion, MaxPoolRejected)
+{
+    Network net("bad");
+    net.add<Conv2d>(1, 2, 3, 1, 1);
+    net.add<Relu>();
+    net.add<MaxPool2d>(2);
+    net.add<Flatten>();
+    net.add<Linear>(2 * 4 * 4, 10);
+
+    Tensor calibration({2, 1, 8, 8});
+    EXPECT_DEATH(
+        { convertToSnn(net, calibration); }, "max pooling");
+}
+
+TEST(Conversion, SnnAccuracyApproachesAnn)
+{
+    // Small-scale Table I: the converted SNN should come within a few
+    // points of the ANN given enough timesteps.
+    SyntheticDigits train_set(1200, 16, 33);
+    SyntheticDigits test_set(200, 16, 34);
+    Network net = trainedMlp(train_set);
+    const double ann_acc = evaluateAccuracy(net, test_set);
+    ASSERT_GT(ann_acc, 0.85);
+
+    SpikingModel model = convertToSnn(net, train_set.firstImages(64));
+    SnnSimulator sim(model, 1.0, 99);
+    const double snn_acc = sim.evaluateAccuracy(test_set, 100, 60);
+    EXPECT_GT(snn_acc, ann_acc - 0.08);
+}
+
+TEST(Conversion, MoreTimestepsMoreAccuracy)
+{
+    SyntheticDigits train_set(1200, 16, 35);
+    SyntheticDigits test_set(120, 16, 36);
+    Network net = trainedMlp(train_set);
+
+    SpikingModel model = convertToSnn(net, train_set.firstImages(64));
+    SnnSimulator sim(model, 1.0, 100);
+    const double acc_short = sim.evaluateAccuracy(test_set, 120, 3);
+    const double acc_long = sim.evaluateAccuracy(test_set, 120, 60);
+    EXPECT_GE(acc_long, acc_short - 0.02);
+    EXPECT_GT(acc_long, 0.8);
+}
+
+TEST(Simulator, ActivityStatsPopulated)
+{
+    SyntheticDigits train_set(600, 16, 37);
+    Network net = trainedMlp(train_set);
+    SpikingModel model = convertToSnn(net, train_set.firstImages(32));
+    SnnSimulator sim(model, 1.0, 101);
+
+    const SnnRunResult result = sim.run(train_set.image(0), 40);
+    EXPECT_EQ(result.timesteps, 40);
+    EXPECT_EQ(result.ifActivity.size(), 2u);
+    for (double a : result.ifActivity) {
+        EXPECT_GE(a, 0.0);
+        EXPECT_LE(a, 1.0);
+    }
+    EXPECT_GT(result.inputRate, 0.0);
+    EXPECT_GT(result.totalSpikes, 0);
+}
+
+TEST(Simulator, ScaledRateMapCorrelatesWithAnnActivations)
+{
+    // Fig. 10 machinery: the SNN rate map scaled by lambda should
+    // correlate strongly with the ANN feature map at the same depth.
+    SyntheticDigits train_set(1200, 16, 38);
+    Network net = trainedMlp(train_set);
+
+    const Tensor calibration = train_set.firstImages(64);
+    SpikingModel model = convertToSnn(net, calibration);
+    SnnSimulator sim(model, 1.0, 102);
+
+    const Tensor &image = train_set.image(5);
+    sim.run(image, 200);
+    Tensor snn_map = sim.scaledRateMap(0);
+
+    // ANN activations at the first ReLU.
+    std::vector<Tensor> outputs;
+    net.forwardCollect(image.reshaped({1, 1, 16, 16}), outputs);
+    // Layer order: flatten, linear, relu -> index 2.
+    const Tensor &ann_map = outputs[2];
+    ASSERT_EQ(ann_map.size(), snn_map.size());
+    EXPECT_GT(correlation(ann_map, snn_map), 0.8);
+}
+
+TEST(Simulator, DeterministicGivenSeed)
+{
+    SyntheticDigits train_set(600, 16, 39);
+    Network net = trainedMlp(train_set);
+    SpikingModel model = convertToSnn(net, train_set.firstImages(32));
+
+    SnnSimulator sim_a(model, 1.0, 7);
+    const auto a = sim_a.run(train_set.image(0), 30);
+    SnnSimulator sim_b(model, 1.0, 7);
+    const auto b = sim_b.run(train_set.image(0), 30);
+    EXPECT_EQ(a.totalSpikes, b.totalSpikes);
+    for (long long i = 0; i < a.logits.size(); ++i)
+        EXPECT_FLOAT_EQ(a.logits[i], b.logits[i]);
+}
+
+TEST(Hybrid, SplitsAtRequestedDepth)
+{
+    SyntheticDigits train_set(600, 16, 40);
+    Network net = trainedMlp(train_set);
+    HybridNetwork hybrid(net, train_set.firstImages(32), 1);
+    EXPECT_EQ(hybrid.annLayers(), 1);
+    EXPECT_EQ(hybrid.spikingLayers(), 2);
+}
+
+TEST(Hybrid, AccuracyAtFewTimestepsBeatsPureSnn)
+{
+    // Table II behaviour: at small T the hybrid model (ANN tail) should
+    // be at least as accurate as the pure SNN.
+    SyntheticDigits train_set(1200, 16, 41);
+    SyntheticDigits test_set(120, 16, 42);
+    Network net = trainedMlp(train_set);
+    const Tensor calibration = train_set.firstImages(64);
+
+    const int T = 8;
+
+    Network net_copy = buildMlp3(16, 1, 10, 21);
+    net_copy.copyStateFrom(net);
+    SpikingModel snn = convertToSnn(net_copy, calibration);
+    SnnSimulator sim(snn, 1.0, 103);
+    const double snn_acc = sim.evaluateAccuracy(test_set, 120, T);
+
+    HybridNetwork hybrid(net, calibration, 1, {}, 104);
+    const double hybrid_acc = hybrid.evaluateAccuracy(test_set, 120, T);
+
+    EXPECT_GE(hybrid_acc, snn_acc - 0.03);
+    EXPECT_GT(hybrid_acc, 0.5);
+}
+
+TEST(Hybrid, RunStatsPopulated)
+{
+    SyntheticDigits train_set(600, 16, 43);
+    Network net = trainedMlp(train_set);
+    HybridNetwork hybrid(net, train_set.firstImages(32), 1);
+    const HybridRunResult result = hybrid.run(train_set.image(0), 20);
+    EXPECT_EQ(result.logits.shape(), (std::vector<int>{1, 10}));
+    EXPECT_GT(result.prefixSpikes, 0);
+    EXPECT_GE(result.auAccumulations, 0);
+    EXPECT_GT(hybrid.boundaryNeurons(), 0);
+}
+
+TEST(Hybrid, RejectsDegenerateSplits)
+{
+    SyntheticDigits train_set(300, 16, 44);
+    Network net = trainedMlp(train_set);
+    const Tensor calibration = train_set.firstImages(16);
+    EXPECT_DEATH({ HybridNetwork h(net, calibration, 0); }, "hybrid split");
+    EXPECT_DEATH({ HybridNetwork h(net, calibration, 3); }, "hybrid split");
+}
+
+
+TEST(IfExtensions, LeakDecaysMembrane)
+{
+    IfOptions opts;
+    opts.leak = 0.5f;
+    IfLayer neuron(1.0f, ResetMode::Zero, opts);
+    Tensor x({1, 1}, {0.4f});
+    neuron.forward(x); // u = 0.4
+    Tensor zero({1, 1});
+    neuron.forward(zero); // u = 0.2
+    neuron.forward(zero); // u = 0.1
+    EXPECT_NEAR(neuron.membrane()[0], 0.1f, 1e-6f);
+}
+
+TEST(IfExtensions, LeakLowersFiringRate)
+{
+    IfLayer plain(1.0f, ResetMode::Subtract);
+    IfOptions opts;
+    opts.leak = 0.3f;
+    IfLayer leaky(1.0f, ResetMode::Subtract, opts);
+    Tensor x({1, 1}, {0.4f});
+    for (int t = 0; t < 200; ++t) {
+        plain.forward(x);
+        leaky.forward(x);
+    }
+    EXPECT_LT(leaky.spikeCount(), plain.spikeCount());
+}
+
+TEST(IfExtensions, RefractoryCapsRate)
+{
+    IfOptions opts;
+    opts.refractory = 3;
+    IfLayer neuron(1.0f, ResetMode::Zero, opts);
+    Tensor x({1, 1}, {5.0f}); // would fire every step without refractory
+    int spikes = 0;
+    const int T = 100;
+    for (int t = 0; t < T; ++t)
+        spikes += static_cast<int>(neuron.forward(x)[0]);
+    // One spike then 3 silent steps -> rate 1/4.
+    EXPECT_NEAR(spikes / static_cast<double>(T), 0.25, 0.02);
+}
+
+TEST(IfExtensions, RefractoryIgnoresInput)
+{
+    IfOptions opts;
+    opts.refractory = 2;
+    IfLayer neuron(1.0f, ResetMode::Zero, opts);
+    Tensor big({1, 1}, {2.0f});
+    EXPECT_EQ(neuron.forward(big)[0], 1.0f); // fires
+    // During refractory the membrane must not integrate.
+    neuron.forward(big);
+    EXPECT_EQ(neuron.membrane()[0], 0.0f);
+    neuron.forward(big);
+    EXPECT_EQ(neuron.membrane()[0], 0.0f);
+    // Back to normal afterwards.
+    EXPECT_EQ(neuron.forward(big)[0], 1.0f);
+}
+
+TEST(IfExtensions, CloneCarriesOptions)
+{
+    IfOptions opts;
+    opts.leak = 0.2f;
+    opts.refractory = 5;
+    IfLayer neuron(2.0f, ResetMode::Subtract, opts);
+    LayerPtr copy = neuron.clone();
+    auto *dup = static_cast<IfLayer *>(copy.get());
+    EXPECT_FLOAT_EQ(dup->threshold(), 2.0f);
+    EXPECT_FLOAT_EQ(dup->options().leak, 0.2f);
+    EXPECT_EQ(dup->options().refractory, 5);
+    EXPECT_EQ(dup->resetMode(), ResetMode::Subtract);
+}
+
+TEST(IfExtensions, DefaultsMatchPlainIf)
+{
+    // The default options must reproduce the paper's leak-free,
+    // refractory-free neuron exactly.
+    IfLayer plain(1.0f, ResetMode::Subtract);
+    IfLayer configured(1.0f, ResetMode::Subtract, IfOptions{});
+    Tensor x({1, 3}, {0.3f, 0.7f, 1.4f});
+    for (int t = 0; t < 50; ++t) {
+        Tensor a = plain.forward(x);
+        Tensor b = configured.forward(x);
+        for (long long i = 0; i < a.size(); ++i)
+            ASSERT_EQ(a[i], b[i]);
+    }
+}
+
+} // namespace
+} // namespace nebula

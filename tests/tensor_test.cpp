@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the Tensor container and the GEMM kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gemm.hpp"
+#include "nn/tensor.hpp"
+
+namespace nebula {
+namespace {
+
+TEST(Tensor, ConstructZeroFilled)
+{
+    Tensor t({2, 3, 4, 5});
+    EXPECT_EQ(t.size(), 120);
+    EXPECT_EQ(t.rank(), 4);
+    EXPECT_EQ(t.dim(2), 4);
+    for (long long i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FourDAccessorRowMajor)
+{
+    Tensor t({2, 3, 4, 5});
+    t.at(1, 2, 3, 4) = 7.0f;
+    EXPECT_EQ(t[1 * 60 + 2 * 20 + 3 * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, TwoDAccessor)
+{
+    Tensor t({3, 4});
+    t.at(2, 1) = 5.0f;
+    EXPECT_EQ(t[9], 5.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t({2, 6});
+    t.at(1, 5) = 3.0f;
+    t.reshape({3, 4});
+    EXPECT_EQ(t[11], 3.0f);
+    EXPECT_EQ(t.dim(0), 3);
+}
+
+TEST(Tensor, FillAndScaleAndAdd)
+{
+    Tensor a({4});
+    a.fill(2.0f);
+    Tensor b({4});
+    b.fill(3.0f);
+    a.add(b).scale(2.0f);
+    for (long long i = 0; i < 4; ++i)
+        EXPECT_EQ(a[i], 10.0f);
+}
+
+TEST(Tensor, Reductions)
+{
+    Tensor t({4}, {1.0f, -5.0f, 3.0f, 1.0f});
+    EXPECT_EQ(t.maxAbs(), 5.0f);
+    EXPECT_EQ(t.max(), 3.0f);
+    EXPECT_EQ(t.sum(), 0.0f);
+    EXPECT_EQ(t.argmax(), 2);
+    EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+}
+
+TEST(Tensor, ArgmaxRow)
+{
+    Tensor t({2, 3}, {0.f, 2.f, 1.f, 5.f, 4.f, 3.f});
+    EXPECT_EQ(t.argmaxRow(0), 1);
+    EXPECT_EQ(t.argmaxRow(1), 0);
+}
+
+TEST(Tensor, RandnStatistics)
+{
+    Rng rng(3);
+    Tensor t({10000});
+    t.randn(rng, 2.0f);
+    EXPECT_NEAR(t.mean(), 0.0, 0.1);
+}
+
+TEST(Tensor, ShapeString)
+{
+    Tensor t({1, 3, 32, 32});
+    EXPECT_EQ(t.shapeString(), "[1, 3, 32, 32]");
+}
+
+TEST(Tensor, CorrelationIdentity)
+{
+    Rng rng(4);
+    Tensor a({100});
+    a.randn(rng);
+    EXPECT_NEAR(correlation(a, a), 1.0, 1e-9);
+}
+
+TEST(Tensor, CorrelationAntiAndZero)
+{
+    Rng rng(5);
+    Tensor a({1000});
+    a.randn(rng);
+    Tensor b = a;
+    b.scale(-2.0f);
+    EXPECT_NEAR(correlation(a, b), -1.0, 1e-9);
+
+    Tensor c({1000});
+    c.randn(rng);
+    EXPECT_NEAR(correlation(a, c), 0.0, 0.15);
+}
+
+TEST(Tensor, CorrelationOfConstantIsZero)
+{
+    Tensor a({10});
+    a.fill(2.0f);
+    Tensor b({10});
+    b.fill(5.0f);
+    EXPECT_DOUBLE_EQ(correlation(a, b), 0.0);
+}
+
+/** Naive reference O(MNK) multiply. */
+void
+referenceGemm(int M, int N, int K, const float *A, const float *B, float *C)
+{
+    for (int i = 0; i < M; ++i)
+        for (int j = 0; j < N; ++j) {
+            double acc = 0.0;
+            for (int k = 0; k < K; ++k)
+                acc += static_cast<double>(A[i * K + k]) * B[k * N + j];
+            C[i * N + j] = static_cast<float>(acc);
+        }
+}
+
+class GemmSizes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(GemmSizes, MatchesReference)
+{
+    const auto [M, N, K] = GetParam();
+    Rng rng(77);
+    std::vector<float> A(static_cast<size_t>(M) * K), B(
+        static_cast<size_t>(K) * N);
+    for (auto &x : A)
+        x = static_cast<float>(rng.gaussian());
+    for (auto &x : B)
+        x = static_cast<float>(rng.gaussian());
+
+    std::vector<float> C(static_cast<size_t>(M) * N),
+        ref(static_cast<size_t>(M) * N);
+    gemm(M, N, K, A.data(), B.data(), C.data());
+    referenceGemm(M, N, K, A.data(), B.data(), ref.data());
+    for (size_t i = 0; i < C.size(); ++i)
+        ASSERT_NEAR(C[i], ref[i], 1e-3f) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSizes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(64, 64, 64),
+                      std::make_tuple(65, 33, 129),
+                      std::make_tuple(128, 1, 200)));
+
+TEST(Gemm, AccumulateAddsToExisting)
+{
+    const float A[2] = {1.0f, 2.0f};
+    const float B[2] = {3.0f, 4.0f};
+    float C[1] = {10.0f};
+    gemm(1, 1, 2, A, B, C, true);
+    EXPECT_FLOAT_EQ(C[0], 10.0f + 11.0f);
+    gemm(1, 1, 2, A, B, C, false);
+    EXPECT_FLOAT_EQ(C[0], 11.0f);
+}
+
+TEST(Gemm, TransAMatchesReference)
+{
+    const int M = 7, N = 5, K = 11;
+    Rng rng(78);
+    std::vector<float> At(static_cast<size_t>(K) * M),
+        B(static_cast<size_t>(K) * N);
+    for (auto &x : At)
+        x = static_cast<float>(rng.gaussian());
+    for (auto &x : B)
+        x = static_cast<float>(rng.gaussian());
+
+    // Build A (MxK) from At (KxM).
+    std::vector<float> A(static_cast<size_t>(M) * K);
+    for (int k = 0; k < K; ++k)
+        for (int i = 0; i < M; ++i)
+            A[i * K + k] = At[k * M + i];
+
+    std::vector<float> C(static_cast<size_t>(M) * N),
+        ref(static_cast<size_t>(M) * N);
+    gemmTransA(M, N, K, At.data(), B.data(), C.data());
+    referenceGemm(M, N, K, A.data(), B.data(), ref.data());
+    for (size_t i = 0; i < C.size(); ++i)
+        ASSERT_NEAR(C[i], ref[i], 1e-3f);
+}
+
+TEST(Gemm, TransBMatchesReference)
+{
+    const int M = 6, N = 9, K = 13;
+    Rng rng(79);
+    std::vector<float> A(static_cast<size_t>(M) * K),
+        Bt(static_cast<size_t>(N) * K);
+    for (auto &x : A)
+        x = static_cast<float>(rng.gaussian());
+    for (auto &x : Bt)
+        x = static_cast<float>(rng.gaussian());
+
+    std::vector<float> B(static_cast<size_t>(K) * N);
+    for (int j = 0; j < N; ++j)
+        for (int k = 0; k < K; ++k)
+            B[k * N + j] = Bt[j * K + k];
+
+    std::vector<float> C(static_cast<size_t>(M) * N),
+        ref(static_cast<size_t>(M) * N);
+    gemmTransB(M, N, K, A.data(), Bt.data(), C.data());
+    referenceGemm(M, N, K, A.data(), B.data(), ref.data());
+    for (size_t i = 0; i < C.size(); ++i)
+        ASSERT_NEAR(C[i], ref[i], 1e-3f);
+}
+
+} // namespace
+} // namespace nebula

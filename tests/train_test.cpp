@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Training-engine tests: loss math, optimizer behaviour and end-to-end
+ * convergence of small models on the synthetic datasets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/datasets.hpp"
+#include "nn/linear.hpp"
+#include "nn/models.hpp"
+#include "nn/pooling.hpp"
+#include "nn/trainer.hpp"
+
+namespace nebula {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogC)
+{
+    Tensor logits({2, 4});
+    const LossResult r = softmaxCrossEntropy(logits, {0, 3});
+    EXPECT_NEAR(r.loss, std::log(4.0), 1e-6);
+}
+
+TEST(Loss, ConfidentCorrectIsNearZero)
+{
+    Tensor logits({1, 3}, {20.0f, 0.0f, 0.0f});
+    const LossResult r = softmaxCrossEntropy(logits, {0});
+    EXPECT_LT(r.loss, 1e-6);
+    EXPECT_EQ(r.correct, 1);
+}
+
+TEST(Loss, GradientSumsToZeroPerRow)
+{
+    Tensor logits({2, 5}, {1, 2, 3, 4, 5, -1, 0, 1, 0, -1});
+    const LossResult r = softmaxCrossEntropy(logits, {2, 4});
+    for (int n = 0; n < 2; ++n) {
+        double s = 0.0;
+        for (int c = 0; c < 5; ++c)
+            s += r.grad.at(n, c);
+        EXPECT_NEAR(s, 0.0, 1e-6);
+    }
+}
+
+TEST(Loss, GradientMatchesNumerical)
+{
+    Tensor logits({1, 3}, {0.5f, -0.2f, 0.1f});
+    const LossResult r = softmaxCrossEntropy(logits, {1});
+    const float eps = 1e-3f;
+    for (int c = 0; c < 3; ++c) {
+        Tensor lp = logits, lm = logits;
+        lp.at(0, c) += eps;
+        lm.at(0, c) -= eps;
+        const double num = (softmaxCrossEntropy(lp, {1}).loss -
+                            softmaxCrossEntropy(lm, {1}).loss) /
+                           (2 * eps);
+        EXPECT_NEAR(r.grad.at(0, c), num, 1e-4);
+    }
+}
+
+TEST(Trainer, StepMovesAgainstGradient)
+{
+    Rng rng(2);
+    Network net("t");
+    net.add<Linear>(2, 1, false)->initKaiming(rng);
+    auto *fc = static_cast<Linear *>(&net.layer(0));
+    fc->weight()[0] = 1.0f;
+    fc->weight()[1] = 1.0f;
+
+    // Manually set a gradient and step.
+    net.zeroGrad();
+    Tensor x({1, 2}, {1.0f, 0.0f});
+    net.forward(x, true);
+    Tensor g({1, 1}, {1.0f});
+    net.backward(g);
+
+    TrainConfig cfg;
+    cfg.learningRate = 0.1;
+    cfg.momentum = 0.0;
+    cfg.weightDecay = 0.0;
+    SgdTrainer trainer(cfg);
+    trainer.step(net, 1);
+    // dL/dw0 = x0 * g = 1 -> w0 decreases by lr.
+    EXPECT_NEAR(fc->weight()[0], 0.9f, 1e-6f);
+    EXPECT_NEAR(fc->weight()[1], 1.0f, 1e-6f);
+}
+
+TEST(Trainer, WeightDecayShrinksWeights)
+{
+    Rng rng(3);
+    Network net("t");
+    net.add<Linear>(1, 1, false);
+    auto *fc = static_cast<Linear *>(&net.layer(0));
+    fc->weight()[0] = 2.0f;
+
+    net.zeroGrad(); // gradient zero; only decay acts
+    TrainConfig cfg;
+    cfg.learningRate = 0.1;
+    cfg.momentum = 0.0;
+    cfg.weightDecay = 0.5;
+    SgdTrainer trainer(cfg);
+    trainer.step(net, 1);
+    EXPECT_NEAR(fc->weight()[0], 2.0f - 0.1f * 0.5f * 2.0f, 1e-6f);
+}
+
+TEST(Trainer, MlpLearnsSyntheticDigits)
+{
+    SyntheticDigits train_set(1200, 16, /*seed=*/100);
+    SyntheticDigits test_set(300, 16, /*seed=*/200);
+
+    Network net = buildMlp3(16, 1, 10, 42);
+    TrainConfig cfg;
+    cfg.epochs = 6;
+    cfg.batchSize = 32;
+    cfg.learningRate = 0.08;
+    SgdTrainer trainer(cfg);
+    const double train_acc = trainer.train(net, train_set);
+    EXPECT_GT(train_acc, 0.9);
+
+    const double test_acc = evaluateAccuracy(net, test_set);
+    EXPECT_GT(test_acc, 0.85);
+}
+
+TEST(Trainer, TinyConvNetLearnsDigits)
+{
+    SyntheticDigits train_set(800, 12, /*seed=*/101);
+    SyntheticDigits test_set(200, 12, /*seed=*/201);
+
+    Rng rng(7);
+    Network net("tinyconv");
+    net.add<Conv2d>(1, 6, 3, 1, 1)->initKaiming(rng);
+    net.add<Relu>();
+    net.add<AvgPool2d>(2);
+    net.add<Flatten>();
+    net.add<Linear>(6 * 6 * 6, 10)->initKaiming(rng);
+
+    TrainConfig cfg;
+    cfg.epochs = 5;
+    cfg.batchSize = 32;
+    cfg.learningRate = 0.08;
+    SgdTrainer trainer(cfg);
+    trainer.train(net, train_set);
+    EXPECT_GT(evaluateAccuracy(net, test_set), 0.8);
+}
+
+TEST(Trainer, AccuracyEvaluatorHonorsMaxSamples)
+{
+    SyntheticDigits data(50, 12, 5);
+    Network net = buildMlp3(12, 1, 10, 6);
+    const double acc = evaluateAccuracy(net, data, 10);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+}
+
+} // namespace
+} // namespace nebula
