@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_crossbar"
+  "../bench/bench_ablation_crossbar.pdb"
+  "CMakeFiles/bench_ablation_crossbar.dir/bench_ablation_crossbar.cpp.o"
+  "CMakeFiles/bench_ablation_crossbar.dir/bench_ablation_crossbar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

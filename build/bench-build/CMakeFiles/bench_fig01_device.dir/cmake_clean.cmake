@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_device"
+  "../bench/bench_fig01_device.pdb"
+  "CMakeFiles/bench_fig01_device.dir/bench_fig01_device.cpp.o"
+  "CMakeFiles/bench_fig01_device.dir/bench_fig01_device.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

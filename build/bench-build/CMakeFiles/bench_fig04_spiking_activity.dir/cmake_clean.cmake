@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_spiking_activity"
+  "../bench/bench_fig04_spiking_activity.pdb"
+  "CMakeFiles/bench_fig04_spiking_activity.dir/bench_fig04_spiking_activity.cpp.o"
+  "CMakeFiles/bench_fig04_spiking_activity.dir/bench_fig04_spiking_activity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_spiking_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_quantization"
+  "../bench/bench_fig09_quantization.pdb"
+  "CMakeFiles/bench_fig09_quantization.dir/bench_fig09_quantization.cpp.o"
+  "CMakeFiles/bench_fig09_quantization.dir/bench_fig09_quantization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

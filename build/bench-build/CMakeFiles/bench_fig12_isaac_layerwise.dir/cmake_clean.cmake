@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_isaac_layerwise"
+  "../bench/bench_fig12_isaac_layerwise.pdb"
+  "CMakeFiles/bench_fig12_isaac_layerwise.dir/bench_fig12_isaac_layerwise.cpp.o"
+  "CMakeFiles/bench_fig12_isaac_layerwise.dir/bench_fig12_isaac_layerwise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_isaac_layerwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

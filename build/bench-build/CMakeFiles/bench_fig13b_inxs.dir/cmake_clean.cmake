@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13b_inxs"
+  "../bench/bench_fig13b_inxs.pdb"
+  "CMakeFiles/bench_fig13b_inxs.dir/bench_fig13b_inxs.cpp.o"
+  "CMakeFiles/bench_fig13b_inxs.dir/bench_fig13b_inxs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13b_inxs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_breakdown_vgg"
+  "../bench/bench_fig15_breakdown_vgg.pdb"
+  "CMakeFiles/bench_fig15_breakdown_vgg.dir/bench_fig15_breakdown_vgg.cpp.o"
+  "CMakeFiles/bench_fig15_breakdown_vgg.dir/bench_fig15_breakdown_vgg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_breakdown_vgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

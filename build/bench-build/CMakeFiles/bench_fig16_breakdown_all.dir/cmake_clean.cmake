@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_breakdown_all"
+  "../bench/bench_fig16_breakdown_all.pdb"
+  "CMakeFiles/bench_fig16_breakdown_all.dir/bench_fig16_breakdown_all.cpp.o"
+  "CMakeFiles/bench_fig16_breakdown_all.dir/bench_fig16_breakdown_all.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_breakdown_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_noise_resilience"
+  "../bench/bench_noise_resilience.pdb"
+  "CMakeFiles/bench_noise_resilience.dir/bench_noise_resilience.cpp.o"
+  "CMakeFiles/bench_noise_resilience.dir/bench_noise_resilience.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noise_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_hybrid_acc"
+  "../bench/bench_table2_hybrid_acc.pdb"
+  "CMakeFiles/bench_table2_hybrid_acc.dir/bench_table2_hybrid_acc.cpp.o"
+  "CMakeFiles/bench_table2_hybrid_acc.dir/bench_table2_hybrid_acc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hybrid_acc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

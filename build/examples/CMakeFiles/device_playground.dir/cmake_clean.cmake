@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/device_playground"
+  "../examples-bin/device_playground.pdb"
+  "CMakeFiles/device_playground.dir/device_playground.cpp.o"
+  "CMakeFiles/device_playground.dir/device_playground.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/edge_always_on"
+  "../examples-bin/edge_always_on.pdb"
+  "CMakeFiles/edge_always_on.dir/edge_always_on.cpp.o"
+  "CMakeFiles/edge_always_on.dir/edge_always_on.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_always_on.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/hybrid_tradeoff"
+  "../examples-bin/hybrid_tradeoff.pdb"
+  "CMakeFiles/hybrid_tradeoff.dir/hybrid_tradeoff.cpp.o"
+  "CMakeFiles/hybrid_tradeoff.dir/hybrid_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

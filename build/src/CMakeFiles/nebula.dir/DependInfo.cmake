@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/accumulator.cpp" "src/CMakeFiles/nebula.dir/arch/accumulator.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/arch/accumulator.cpp.o.d"
+  "/root/repo/src/arch/chip.cpp" "src/CMakeFiles/nebula.dir/arch/chip.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/arch/chip.cpp.o.d"
+  "/root/repo/src/arch/energy_model.cpp" "src/CMakeFiles/nebula.dir/arch/energy_model.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/arch/energy_model.cpp.o.d"
+  "/root/repo/src/arch/mapping.cpp" "src/CMakeFiles/nebula.dir/arch/mapping.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/arch/mapping.cpp.o.d"
+  "/root/repo/src/arch/pipeline.cpp" "src/CMakeFiles/nebula.dir/arch/pipeline.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/arch/pipeline.cpp.o.d"
+  "/root/repo/src/arch/placement.cpp" "src/CMakeFiles/nebula.dir/arch/placement.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/arch/placement.cpp.o.d"
+  "/root/repo/src/baselines/inxs.cpp" "src/CMakeFiles/nebula.dir/baselines/inxs.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/baselines/inxs.cpp.o.d"
+  "/root/repo/src/baselines/isaac.cpp" "src/CMakeFiles/nebula.dir/baselines/isaac.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/baselines/isaac.cpp.o.d"
+  "/root/repo/src/circuit/adc.cpp" "src/CMakeFiles/nebula.dir/circuit/adc.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/circuit/adc.cpp.o.d"
+  "/root/repo/src/circuit/component_db.cpp" "src/CMakeFiles/nebula.dir/circuit/component_db.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/circuit/component_db.cpp.o.d"
+  "/root/repo/src/circuit/crossbar.cpp" "src/CMakeFiles/nebula.dir/circuit/crossbar.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/circuit/crossbar.cpp.o.d"
+  "/root/repo/src/circuit/driver.cpp" "src/CMakeFiles/nebula.dir/circuit/driver.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/circuit/driver.cpp.o.d"
+  "/root/repo/src/circuit/neuron_unit.cpp" "src/CMakeFiles/nebula.dir/circuit/neuron_unit.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/circuit/neuron_unit.cpp.o.d"
+  "/root/repo/src/circuit/sense.cpp" "src/CMakeFiles/nebula.dir/circuit/sense.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/circuit/sense.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/nebula.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/nebula.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/nebula.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/nebula.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/common/table.cpp.o.d"
+  "/root/repo/src/device/domain_wall.cpp" "src/CMakeFiles/nebula.dir/device/domain_wall.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/device/domain_wall.cpp.o.d"
+  "/root/repo/src/device/mtj.cpp" "src/CMakeFiles/nebula.dir/device/mtj.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/device/mtj.cpp.o.d"
+  "/root/repo/src/device/neuron_device.cpp" "src/CMakeFiles/nebula.dir/device/neuron_device.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/device/neuron_device.cpp.o.d"
+  "/root/repo/src/device/synapse_device.cpp" "src/CMakeFiles/nebula.dir/device/synapse_device.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/device/synapse_device.cpp.o.d"
+  "/root/repo/src/device/variability.cpp" "src/CMakeFiles/nebula.dir/device/variability.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/device/variability.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/nebula.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/nebula.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/CMakeFiles/nebula.dir/nn/conv.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/datasets.cpp" "src/CMakeFiles/nebula.dir/nn/datasets.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/datasets.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "src/CMakeFiles/nebula.dir/nn/gemm.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/gemm.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/CMakeFiles/nebula.dir/nn/layer.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/nebula.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/CMakeFiles/nebula.dir/nn/models.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/models.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/CMakeFiles/nebula.dir/nn/network.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/network.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/nebula.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/CMakeFiles/nebula.dir/nn/quantize.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/quantize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/CMakeFiles/nebula.dir/nn/tensor.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/tensor.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/CMakeFiles/nebula.dir/nn/trainer.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/nn/trainer.cpp.o.d"
+  "/root/repo/src/noc/noc.cpp" "src/CMakeFiles/nebula.dir/noc/noc.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/noc/noc.cpp.o.d"
+  "/root/repo/src/snn/convert.cpp" "src/CMakeFiles/nebula.dir/snn/convert.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/snn/convert.cpp.o.d"
+  "/root/repo/src/snn/encoder.cpp" "src/CMakeFiles/nebula.dir/snn/encoder.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/snn/encoder.cpp.o.d"
+  "/root/repo/src/snn/hybrid.cpp" "src/CMakeFiles/nebula.dir/snn/hybrid.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/snn/hybrid.cpp.o.d"
+  "/root/repo/src/snn/if_layer.cpp" "src/CMakeFiles/nebula.dir/snn/if_layer.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/snn/if_layer.cpp.o.d"
+  "/root/repo/src/snn/snn_sim.cpp" "src/CMakeFiles/nebula.dir/snn/snn_sim.cpp.o" "gcc" "src/CMakeFiles/nebula.dir/snn/snn_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_test.dir/chip_test.cpp.o"
+  "CMakeFiles/chip_test.dir/chip_test.cpp.o.d"
+  "chip_test"
+  "chip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snn_test.dir/snn_test.cpp.o"
+  "CMakeFiles/snn_test.dir/snn_test.cpp.o.d"
+  "snn_test"
+  "snn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
