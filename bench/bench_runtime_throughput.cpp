@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Serving-throughput study for the concurrent inference runtime:
+ * images/sec of the worker-pool engine at 1, 2, 4 and 8 workers on the
+ * paper's MLP workload (quantized, ANN mode, synthetic digits), with
+ * speedup relative to one worker and the mean request latency. Scaling
+ * tops out at the machine's core count: on an N-core host the curve
+ * should be near-linear up to N workers and flat beyond.
+ *
+ * Also microbenchmarks the per-request engine overhead (inline mode vs
+ * a direct chip call) so queue/promise costs stay visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/table.hpp"
+#include "nn/datasets.hpp"
+#include "nn/models.hpp"
+#include "nn/quantize.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/replica.hpp"
+
+namespace nebula {
+namespace {
+
+/** Quantized MLP prototype + images, built once. */
+struct Workload
+{
+    SyntheticDigits data{256, 16, /*seed=*/5};
+    Network net;
+    QuantizationResult quant;
+    std::vector<Tensor> images;
+
+    Workload() : net(buildMlp3(16, 1, 10, /*seed=*/11))
+    {
+        quant = quantizeNetwork(net, data.firstImages(64));
+        for (int i = 0; i < data.size(); ++i)
+            images.push_back(data.image(i));
+    }
+};
+
+Workload &
+workload()
+{
+    static Workload w;
+    return w;
+}
+
+/** One timed serving run; returns images/sec. */
+double
+measureThroughput(int workers, int batches, double *mean_latency_ms)
+{
+    Workload &w = workload();
+    EngineConfig cfg;
+    cfg.numWorkers = workers;
+    cfg.queueCapacity = 2 * w.images.size();
+    InferenceEngine engine(cfg, makeAnnReplicaFactory(w.net, w.quant));
+
+    // Warm-up: fault in every replica's code/data paths.
+    for (auto &f : engine.submitBatch({w.images[0], w.images[1]}))
+        f.get();
+
+    const auto start = std::chrono::steady_clock::now();
+    long long served = 0;
+    for (int b = 0; b < batches; ++b) {
+        auto futures = engine.submitBatch(w.images);
+        for (auto &future : futures)
+            future.get();
+        served += static_cast<long long>(futures.size());
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    if (mean_latency_ms) {
+        const StatGroup stats = engine.runtimeStats();
+        *mean_latency_ms = stats.scalarAt("latency_ms").mean();
+    }
+    engine.shutdown();
+    return served / seconds;
+}
+
+void
+printThroughputStudy()
+{
+    const unsigned cores = std::thread::hardware_concurrency();
+    Table table("Serving throughput vs worker count (MLP, ANN mode, " +
+                    std::to_string(workload().images.size()) +
+                    "-image batches; host has " + std::to_string(cores) +
+                    " core(s))",
+                {"workers", "images/sec", "speedup vs 1", "mean latency "
+                                                          "(ms)"});
+
+    double base = 0.0;
+    for (int workers : {1, 2, 4, 8}) {
+        double latency_ms = 0.0;
+        const double rate = measureThroughput(workers, 2, &latency_ms);
+        if (workers == 1)
+            base = rate;
+        table.row()
+            .add(static_cast<long long>(workers))
+            .add(rate, 1)
+            .add(formatRatio(rate / base))
+            .add(latency_ms, 3);
+    }
+    table.print(std::cout);
+    std::cout << "\nSpeedup saturates at the host core count (" << cores
+              << "); >2x at 4 workers requires >= 4 cores.\n\n";
+}
+
+/** Per-request overhead: inline engine vs direct chip call. */
+void
+BM_EngineInlineRequest(benchmark::State &state)
+{
+    Workload &w = workload();
+    EngineConfig cfg;
+    cfg.numWorkers = 0;
+    InferenceEngine engine(cfg, makeAnnReplicaFactory(w.net, w.quant));
+    size_t i = 0;
+    for (auto _ : state) {
+        auto future = engine.submit(w.images[i++ % w.images.size()]);
+        benchmark::DoNotOptimize(future.get().predictedClass);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineInlineRequest)->Unit(benchmark::kMicrosecond);
+
+void
+BM_EnginePoolRequest(benchmark::State &state)
+{
+    Workload &w = workload();
+    EngineConfig cfg;
+    cfg.numWorkers = static_cast<int>(state.range(0));
+    InferenceEngine engine(cfg, makeAnnReplicaFactory(w.net, w.quant));
+    size_t i = 0;
+    for (auto _ : state) {
+        auto future = engine.submit(w.images[i++ % w.images.size()]);
+        benchmark::DoNotOptimize(future.get().predictedClass);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnginePoolRequest)->Arg(1)->Arg(4)->Unit(
+    benchmark::kMicrosecond);
+
+} // namespace
+} // namespace nebula
+
+int
+main(int argc, char **argv)
+{
+    nebula::printThroughputStudy();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

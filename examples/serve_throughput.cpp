@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Serving example: the concurrent inference runtime end-to-end on the
+ * synthetic digit dataset.
+ *
+ *  1. Train a small MLP and quantize it to the 4-bit datapath.
+ *  2. Stand up an InferenceEngine whose workers each hold a programmed
+ *     NebulaChip replica, and serve the test set through submitBatch.
+ *  3. Do the same in SNN mode (per-request encoder seeds keep results
+ *     reproducible regardless of worker interleaving).
+ *  4. Print accuracy, throughput, latency distribution and the merged
+ *     chip counters.
+ *
+ * Build & run:  ./examples-bin/serve_throughput
+ */
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/table.hpp"
+#include "nn/datasets.hpp"
+#include "nn/models.hpp"
+#include "nn/quantize.hpp"
+#include "nn/trainer.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/replica.hpp"
+#include "snn/convert.hpp"
+
+using namespace nebula;
+
+namespace {
+
+struct ServeOutcome
+{
+    double accuracy = 0.0;
+    double imagesPerSec = 0.0;
+    double meanLatencyMs = 0.0;
+    double maxLatencyMs = 0.0;
+    long long crossbarEvals = 0;
+    long long spikes = 0;
+};
+
+/** Serve every test image through the engine; gather the scoreboard. */
+ServeOutcome
+serve(InferenceEngine &engine, const Dataset &test)
+{
+    std::vector<Tensor> images;
+    for (int i = 0; i < test.size(); ++i)
+        images.push_back(test.image(i));
+
+    const auto start = std::chrono::steady_clock::now();
+    auto futures = engine.submitBatch(images);
+    int correct = 0;
+    for (int i = 0; i < test.size(); ++i)
+        correct +=
+            (futures[static_cast<size_t>(i)].get().predictedClass ==
+             test.label(i));
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    ServeOutcome outcome;
+    outcome.accuracy = 100.0 * correct / test.size();
+    outcome.imagesPerSec = test.size() / seconds;
+    const StatGroup stats = engine.runtimeStats();
+    outcome.meanLatencyMs = stats.scalarAt("latency_ms").mean();
+    outcome.maxLatencyMs = stats.scalarAt("latency_ms").max();
+    const ChipStats chip = engine.chipStats();
+    outcome.crossbarEvals = chip.crossbarEvals;
+    outcome.spikes = chip.spikes;
+    return outcome;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "== NEBULA serving quickstart ==\n\n";
+
+    // 1. Train + quantize. ------------------------------------------------
+    SyntheticDigits train_set(1200, 16, /*seed=*/1);
+    SyntheticDigits test_set(300, 16, /*seed=*/2);
+
+    Network net = buildMlp3(16, 1, 10, /*seed=*/7);
+    TrainConfig tc;
+    tc.epochs = 6;
+    tc.learningRate = 0.08;
+    SgdTrainer trainer(tc);
+    trainer.train(net, train_set);
+
+    Network float_net = net.clone(); // SNN conversion wants plain ReLUs
+    const Tensor calibration = train_set.firstImages(64);
+    const auto quant = quantizeNetwork(net, calibration);
+
+    const int workers =
+        std::max(2u, std::thread::hardware_concurrency());
+    std::cout << "serving " << test_set.size() << " images with "
+              << workers << " workers\n\n";
+
+    // 2. ANN-mode engine. -------------------------------------------------
+    EngineConfig ann_cfg;
+    ann_cfg.numWorkers = workers;
+    ann_cfg.queueCapacity = 64;
+    InferenceEngine ann_engine(ann_cfg, makeAnnReplicaFactory(net, quant));
+    const ServeOutcome ann = serve(ann_engine, test_set);
+    ann_engine.shutdown();
+
+    // 3. SNN-mode engine. -------------------------------------------------
+    SpikingModel snn = convertToSnn(float_net, calibration);
+    EngineConfig snn_cfg;
+    snn_cfg.numWorkers = workers;
+    snn_cfg.defaultTimesteps = 40;
+    InferenceEngine snn_engine(snn_cfg, makeSnnReplicaFactory(snn));
+    const ServeOutcome snn_out = serve(snn_engine, test_set);
+    snn_engine.shutdown();
+
+    // 4. Scoreboard. ------------------------------------------------------
+    Table table("Worker-pool serving: ANN vs SNN mode",
+                {"mode", "accuracy", "images/sec", "mean latency (ms)",
+                 "max latency (ms)", "crossbar evals", "spikes"});
+    table.row()
+        .add("ANN")
+        .add(formatDouble(ann.accuracy, 1) + "%")
+        .add(ann.imagesPerSec, 1)
+        .add(ann.meanLatencyMs, 3)
+        .add(ann.maxLatencyMs, 3)
+        .add(ann.crossbarEvals)
+        .add(ann.spikes);
+    table.row()
+        .add("SNN (T=40)")
+        .add(formatDouble(snn_out.accuracy, 1) + "%")
+        .add(snn_out.imagesPerSec, 1)
+        .add(snn_out.meanLatencyMs, 3)
+        .add(snn_out.maxLatencyMs, 3)
+        .add(snn_out.crossbarEvals)
+        .add(snn_out.spikes);
+    table.print(std::cout);
+
+    std::cout << "\nDeterminism: every request carries its own encoder "
+                 "seed, so re-serving the same\nbatch -- with any worker "
+                 "count, including the inline numWorkers=0 mode -- "
+                 "reproduces\nbit-identical logits.\n";
+    return 0;
+}

@@ -12,6 +12,17 @@
 
 namespace nebula {
 
+void
+ChipStats::merge(const ChipStats &other)
+{
+    crossbarEvals += other.crossbarEvals;
+    adcConversions += other.adcConversions;
+    spikes += other.spikes;
+    crossbarEnergy += other.crossbarEnergy;
+    nocPackets += other.nocPackets;
+    nocEnergy += other.nocEnergy;
+}
+
 NebulaChip::NebulaChip(const NebulaConfig &config, double variation_sigma,
                        uint64_t seed)
     : config_(config), variationSigma_(variation_sigma), seed_(seed),
@@ -39,8 +50,7 @@ NebulaChip::mapWeightLayer(const Layer &layer, int index,
     xp.variationSeed = seed_ + static_cast<uint64_t>(index) * 977;
 
     const int m = config_.atomicSize;
-    auto &mutable_layer = const_cast<Layer &>(layer);
-    const auto params = mutable_layer.parameters();
+    const auto params = layer.constParameters();
     const Tensor &w = *params[0];
     if (params.size() > 1) {
         const Tensor &b = *params[1];
@@ -362,12 +372,19 @@ NebulaChip::programSnn(SpikingModel &model)
 SnnRunResult
 NebulaChip::runSnn(const Tensor &image, int timesteps)
 {
+    return runSnn(image, timesteps, runSeeds_.next());
+}
+
+SnnRunResult
+NebulaChip::runSnn(const Tensor &image, int timesteps,
+                   uint64_t encoder_seed)
+{
     NEBULA_ASSERT(snnModel_, "no SNN programmed");
     NEBULA_ASSERT(timesteps > 0, "need at least one timestep");
     SpikingModel &model = *snnModel_;
     model.resetState();
 
-    PoissonEncoder encoder(1.0, runSeeds_.next());
+    PoissonEncoder encoder(1.0, encoder_seed);
 
     std::vector<int> batched;
     batched.push_back(1);

@@ -43,6 +43,15 @@ struct ChipStats
     double crossbarEnergy = 0.0;   //!< device-level ohmic energy (J)
     long long nocPackets = 0;      //!< inter-layer transfers
     double nocEnergy = 0.0;        //!< J
+
+    /**
+     * Accumulate another chip's counters into this one. Every field is
+     * an additive total, so merging per-replica stats equals the stats
+     * one chip would have gathered serving all requests itself; the
+     * inference runtime uses this to aggregate worker-local counters
+     * without locking the per-request path.
+     */
+    void merge(const ChipStats &other);
 };
 
 /** The NEBULA chip functional model. */
@@ -64,8 +73,21 @@ class NebulaChip
     /** Program a converted spiking model onto SNN-mode crossbars. */
     void programSnn(SpikingModel &model);
 
-    /** Run one image for T timesteps through the programmed SNN. */
+    /**
+     * Run one image for T timesteps through the programmed SNN, using
+     * the chip's internal seed stream for the Poisson input encoder
+     * (results depend on how many runs preceded this one).
+     */
     SnnRunResult runSnn(const Tensor &image, int timesteps);
+
+    /**
+     * Run one image for T timesteps with an explicit encoder seed.
+     * Output is a pure function of (programmed state, image, timesteps,
+     * seed) -- the call-order-independent form the concurrent runtime
+     * uses so results stay bit-exact across worker replicas.
+     */
+    SnnRunResult runSnn(const Tensor &image, int timesteps,
+                        uint64_t encoder_seed);
 
     const ChipStats &stats() const { return stats_; }
     void clearStats() { stats_ = ChipStats(); }

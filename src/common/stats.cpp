@@ -27,6 +27,17 @@ ScalarStat::reset()
     *this = ScalarStat();
 }
 
+void
+ScalarStat::merge(const ScalarStat &other)
+{
+    sum_ += other.sum_;
+    count_ += other.count_;
+    // min_/max_ start at +/-inf, so merging an unsampled stat (or into
+    // one) degrades gracefully without special cases.
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
 Histogram::Histogram(double lo, double hi, int buckets)
     : lo_(lo), hi_(hi), bins_(static_cast<size_t>(std::max(1, buckets)), 0)
 {
@@ -116,6 +127,13 @@ StatGroup::reset()
 {
     for (auto &kv : scalars_)
         kv.second.reset();
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &kv : other.scalars_)
+        scalars_[kv.first].merge(kv.second);
 }
 
 } // namespace nebula

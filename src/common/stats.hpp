@@ -41,6 +41,13 @@ class ScalarStat
     /** Reset to the initial state. */
     void reset();
 
+    /**
+     * Fold another scalar into this one, as if every sample of
+     * @p other had been sampled here. Merging an empty stat is a
+     * no-op; merging into an empty stat copies @p other.
+     */
+    void merge(const ScalarStat &other);
+
   private:
     double sum_ = 0.0;
     uint64_t count_ = 0;
@@ -99,6 +106,13 @@ class StatGroup
 
     /** Reset every stat in the group. */
     void reset();
+
+    /**
+     * Merge another group's scalars into this one by name (used to
+     * aggregate worker-local stat groups after a run; keeps worker hot
+     * paths lock-free).
+     */
+    void merge(const StatGroup &other);
 
     const std::string &name() const { return name_; }
 

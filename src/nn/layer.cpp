@@ -34,6 +34,15 @@ Layer::name() const
     return layerKindName(kind());
 }
 
+std::vector<const Tensor *>
+Layer::constParameters() const
+{
+    // parameters() only hands out pointers and has no side effects;
+    // the cast is confined here so callers stay const-clean.
+    auto params = const_cast<Layer *>(this)->parameters();
+    return {params.begin(), params.end()};
+}
+
 void
 Layer::zeroGrad()
 {

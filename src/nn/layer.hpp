@@ -61,6 +61,12 @@ class Layer
     /** Learnable parameter tensors (empty if none). */
     virtual std::vector<Tensor *> parameters() { return {}; }
 
+    /**
+     * Read-only view of parameters(), callable on a const layer (the
+     * chip programs crossbars from layers it must not modify).
+     */
+    std::vector<const Tensor *> constParameters() const;
+
     /** Gradient tensors matching parameters(). */
     virtual std::vector<Tensor *> gradients() { return {}; }
 

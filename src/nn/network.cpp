@@ -58,6 +58,15 @@ Network::predict(const Tensor &input)
     return classes;
 }
 
+Network
+Network::clone() const
+{
+    Network copy(name_);
+    for (const auto &layer : layers_)
+        copy.addLayer(layer->clone());
+    return copy;
+}
+
 std::vector<int>
 Network::weightLayerIndices() const
 {

@@ -94,6 +94,13 @@ class Network
     /** True if any BatchNorm layer remains. */
     bool hasBatchNorm() const;
 
+    /**
+     * Deep copy: clones every layer (parameters included). Used by the
+     * inference runtime to give each worker replica a private network
+     * it can run without synchronization.
+     */
+    Network clone() const;
+
     /** Copy all persistent tensors from an identically-shaped network. */
     void copyStateFrom(Network &other);
 

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Configuration for the concurrent inference engine.
+ */
+
+#ifndef NEBULA_RUNTIME_CONFIG_HPP
+#define NEBULA_RUNTIME_CONFIG_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nebula {
+
+/** Knobs of the InferenceEngine worker pool. */
+struct EngineConfig
+{
+    /**
+     * Worker threads, each holding its own programmed chip replica.
+     * 0 selects the deterministic inline mode: requests execute
+     * synchronously on the submitting thread against a single replica,
+     * in exact submission order (the bit-exact reference mode).
+     */
+    int numWorkers = 2;
+
+    /** Bounded request-queue capacity (backpressure threshold). */
+    size_t queueCapacity = 64;
+
+    /** Evidence-integration steps for SNN/hybrid requests that pass 0. */
+    int defaultTimesteps = 32;
+
+    /**
+     * Salt for per-request encoder-seed derivation. Requests that do
+     * not carry an explicit seed get deriveRequestSeed(seedSalt, id),
+     * which keeps stochastic (SNN) inference reproducible independent
+     * of worker assignment and completion order.
+     */
+    uint64_t seedSalt = 0x9e3779b97f4a7c15ull;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_RUNTIME_CONFIG_HPP

@@ -1,0 +1,255 @@
+#include "runtime/engine.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+InferenceEngine::InferenceEngine(EngineConfig config,
+                                 const ReplicaFactory &factory)
+    : config_(config), queue_(config.queueCapacity)
+{
+    NEBULA_ASSERT(config_.numWorkers >= 0, "negative worker count");
+    NEBULA_ASSERT(factory, "null replica factory");
+
+    if (config_.numWorkers == 0) {
+        inlineReplica_ = factory(0);
+        NEBULA_ASSERT(inlineReplica_, "factory returned null replica");
+        return;
+    }
+    workers_.reserve(static_cast<size_t>(config_.numWorkers));
+    for (int i = 0; i < config_.numWorkers; ++i) {
+        auto replica = factory(i);
+        NEBULA_ASSERT(replica, "factory returned null replica");
+        workers_.push_back(std::make_unique<Worker>(
+            i, std::move(replica), &queue_, [this] { noteCompleted(); }));
+    }
+    for (auto &worker : workers_)
+        worker->start();
+}
+
+InferenceEngine::~InferenceEngine()
+{
+    shutdown();
+}
+
+void
+InferenceEngine::finalizeRequest(InferenceRequest &request)
+{
+    request.id = nextId_.fetch_add(1);
+    if (request.timesteps == 0)
+        request.timesteps = config_.defaultTimesteps;
+    if (request.seed == 0)
+        request.seed = seedFor(request.id);
+}
+
+std::future<InferenceResult>
+InferenceEngine::submit(const Tensor &image)
+{
+    InferenceRequest request;
+    request.image = image;
+    return submit(std::move(request));
+}
+
+std::future<InferenceResult>
+InferenceEngine::submit(InferenceRequest request)
+{
+    if (!accepting_.load())
+        throw std::runtime_error("InferenceEngine is shut down");
+    finalizeRequest(request);
+
+    if (inlineReplica_)
+        return runInline(std::move(request));
+
+    QueueItem item;
+    item.request = std::move(request);
+    item.enqueued = std::chrono::steady_clock::now();
+    std::future<InferenceResult> future = item.promise.get_future();
+
+    submitted_.fetch_add(1);
+    if (!queue_.push(std::move(item))) {
+        // Closed while we were blocked on a full queue.
+        submitted_.fetch_sub(1);
+        {
+            std::lock_guard<std::mutex> lock(idleMutex_);
+        }
+        idleCv_.notify_all();
+        throw std::runtime_error("InferenceEngine is shut down");
+    }
+    return future;
+}
+
+bool
+InferenceEngine::trySubmit(const Tensor &image,
+                           std::future<InferenceResult> &out)
+{
+    if (!accepting_.load())
+        throw std::runtime_error("InferenceEngine is shut down");
+
+    InferenceRequest request;
+    request.image = image;
+    if (inlineReplica_) {
+        finalizeRequest(request);
+        out = runInline(std::move(request));
+        return true;
+    }
+
+    QueueItem item;
+    item.request = std::move(request);
+    item.enqueued = std::chrono::steady_clock::now();
+    std::future<InferenceResult> future = item.promise.get_future();
+
+    submitted_.fetch_add(1);
+    // A refused trySubmit burns the id it drew: rolling the shared
+    // counter back would race with concurrent producers.
+    finalizeRequest(item.request);
+    if (!queue_.tryPush(item)) {
+        submitted_.fetch_sub(1);
+        {
+            std::lock_guard<std::mutex> lock(idleMutex_);
+        }
+        idleCv_.notify_all();
+        return false;
+    }
+    out = std::move(future);
+    return true;
+}
+
+std::vector<std::future<InferenceResult>>
+InferenceEngine::submitBatch(const std::vector<Tensor> &images)
+{
+    std::vector<std::future<InferenceResult>> futures;
+    futures.reserve(images.size());
+    for (const Tensor &image : images)
+        futures.push_back(submit(image));
+    return futures;
+}
+
+std::future<InferenceResult>
+InferenceEngine::runInline(InferenceRequest request)
+{
+    submitted_.fetch_add(1);
+    std::promise<InferenceResult> promise;
+    std::future<InferenceResult> future = promise.get_future();
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        InferenceResult result = inlineReplica_->run(request);
+        const auto end = std::chrono::steady_clock::now();
+        result.id = request.id;
+        result.workerId = -1;
+        result.serviceSeconds =
+            std::chrono::duration<double>(end - start).count();
+        inlineStats_.scalar("requests").inc();
+        inlineStats_.scalar("latency_ms").sample(1e3 *
+                                                 result.serviceSeconds);
+        inlineStats_.scalar("service_ms").sample(1e3 *
+                                                 result.serviceSeconds);
+        inlineStats_.scalar("wait_ms").sample(0.0);
+        inlineStats_.scalar("spikes").add(
+            static_cast<double>(result.spikes));
+        promise.set_value(std::move(result));
+    } catch (...) {
+        inlineStats_.scalar("failures").inc();
+        promise.set_exception(std::current_exception());
+    }
+    noteCompleted();
+    return future;
+}
+
+void
+InferenceEngine::noteCompleted()
+{
+    completed_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(idleMutex_);
+    }
+    idleCv_.notify_all();
+}
+
+void
+InferenceEngine::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(idleMutex_);
+    idleCv_.wait(lock,
+                 [&] { return completed_.load() >= submitted_.load(); });
+}
+
+void
+InferenceEngine::shutdown()
+{
+    std::lock_guard<std::mutex> lock(shutdownMutex_);
+    accepting_.store(false);
+    if (joined_)
+        return;
+    waitIdle();
+    queue_.close();
+    joinWorkers();
+}
+
+void
+InferenceEngine::shutdownNow()
+{
+    std::lock_guard<std::mutex> lock(shutdownMutex_);
+    accepting_.store(false);
+    if (joined_)
+        return;
+    auto pending = queue_.drain();
+    queue_.close();
+    for (QueueItem &item : pending) {
+        item.promise.set_exception(std::make_exception_ptr(
+            std::runtime_error("request discarded: engine shut down")));
+        noteCompleted();
+    }
+    waitIdle();
+    joinWorkers();
+}
+
+void
+InferenceEngine::joinWorkers()
+{
+    for (auto &worker : workers_)
+        worker->join();
+    joined_ = true;
+}
+
+ChipStats
+InferenceEngine::chipStats()
+{
+    waitIdle();
+    ChipStats total;
+    if (inlineReplica_ && inlineReplica_->chipStats())
+        total.merge(*inlineReplica_->chipStats());
+    for (const auto &worker : workers_)
+        if (const ChipStats *stats = worker->replica().chipStats())
+            total.merge(*stats);
+    return total;
+}
+
+StatGroup
+InferenceEngine::runtimeStats()
+{
+    waitIdle();
+    StatGroup group("runtime");
+    if (inlineReplica_)
+        group.merge(inlineStats_);
+    for (const auto &worker : workers_) {
+        group.merge(worker->stats());
+        if (worker->stats().hasScalar("requests"))
+            group
+                .scalar("worker" + std::to_string(worker->id()) +
+                        ".requests")
+                .add(worker->stats().scalarAt("requests").sum());
+    }
+    group.scalar("queue.capacity").add(
+        static_cast<double>(queue_.capacity()));
+    group.scalar("queue.high_water").add(
+        static_cast<double>(queue_.highWater()));
+    group.scalar("submitted").add(static_cast<double>(submitted_.load()));
+    group.scalar("completed").add(static_cast<double>(completed_.load()));
+    return group;
+}
+
+} // namespace nebula

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Concurrent batched inference engine: a pool of worker threads, each
+ * owning an identically-programmed NebulaChip replica, fed from one
+ * bounded MPMC request queue with future-based result delivery.
+ *
+ *   submit / submitBatch --> [bounded queue] --> worker 0..N-1
+ *                                                  |  private replica
+ *                                                  v
+ *                                        promise -> std::future
+ *
+ * Determinism guarantee: every request carries its own encoder seed
+ * (derived from the request id), and replicas are programmed from the
+ * same prototype with the same chip seed, so each request's output is
+ * bit-identical no matter how many workers serve the pool or in which
+ * order requests complete. numWorkers == 0 selects an inline mode that
+ * executes synchronously on the submitting thread -- the reference
+ * against which the threaded modes are tested.
+ *
+ * Statistics: workers accumulate latency/throughput counters and chip
+ * stats replica-locally (no locks on the hot path); chipStats() /
+ * runtimeStats() quiesce the pool (waitIdle) and merge.
+ */
+
+#ifndef NEBULA_RUNTIME_ENGINE_HPP
+#define NEBULA_RUNTIME_ENGINE_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "arch/chip.hpp"
+#include "common/stats.hpp"
+#include "runtime/config.hpp"
+#include "runtime/replica.hpp"
+#include "runtime/request.hpp"
+#include "runtime/request_queue.hpp"
+#include "runtime/worker.hpp"
+
+namespace nebula {
+
+/** Worker-pool inference engine over replicated NEBULA chips. */
+class InferenceEngine
+{
+  public:
+    /**
+     * Build the pool: @p factory is invoked once per worker (or once
+     * total in inline mode) and must produce identically-programmed
+     * replicas for the determinism guarantee to hold.
+     */
+    InferenceEngine(EngineConfig config, const ReplicaFactory &factory);
+
+    /** Drains and joins (shutdown()) if the caller has not already. */
+    ~InferenceEngine();
+
+    InferenceEngine(const InferenceEngine &) = delete;
+    InferenceEngine &operator=(const InferenceEngine &) = delete;
+
+    /**
+     * Enqueue one image with engine-default timesteps and a seed
+     * derived from the assigned request id. Blocks while the queue is
+     * full (backpressure). Throws if the engine is shut down.
+     */
+    std::future<InferenceResult> submit(const Tensor &image);
+
+    /**
+     * Enqueue a fully-specified request. The id is always overwritten
+     * with the engine's monotone counter; timesteps == 0 and seed == 0
+     * are replaced by the engine defaults/derivation.
+     */
+    std::future<InferenceResult> submit(InferenceRequest request);
+
+    /**
+     * Enqueue without blocking.
+     * @return false if the queue is full; @p out is untouched. A
+     * refused call burns one request id (the shared counter is never
+     * rolled back, to stay race-free with concurrent producers).
+     */
+    bool trySubmit(const Tensor &image, std::future<InferenceResult> &out);
+
+    /** Enqueue a whole batch (blocking); one future per image. */
+    std::vector<std::future<InferenceResult>>
+    submitBatch(const std::vector<Tensor> &images);
+
+    /** Block until every submitted request has completed. */
+    void waitIdle();
+
+    /**
+     * Stop accepting new requests, drain the queue, join the workers.
+     * Every outstanding future is fulfilled. Idempotent.
+     */
+    void shutdown();
+
+    /**
+     * Stop accepting, discard queued (not yet running) requests --
+     * their futures receive a std::runtime_error -- finish in-flight
+     * ones, join the workers. Idempotent with shutdown().
+     */
+    void shutdownNow();
+
+    /** True once shutdown()/shutdownNow() has begun. */
+    bool isShutdown() const { return !accepting_.load(); }
+
+    /**
+     * Aggregated chip counters across all replicas (quiesces first).
+     * Equals the counters of one chip serving the same requests
+     * sequentially, by construction of ChipStats::merge.
+     */
+    ChipStats chipStats();
+
+    /**
+     * Merged runtime statistics (quiesces first): request latency /
+     * service / wait distributions across workers, per-worker request
+     * counts, queue high-water mark and capacity.
+     */
+    StatGroup runtimeStats();
+
+    /** Seed a request with this id would get (for reference runs). */
+    uint64_t
+    seedFor(uint64_t id) const
+    {
+        return deriveRequestSeed(config_.seedSalt, id);
+    }
+
+    uint64_t submitted() const { return submitted_.load(); }
+    uint64_t completed() const { return completed_.load(); }
+    size_t queueDepth() const { return queue_.size(); }
+    int numWorkers() const { return static_cast<int>(workers_.size()); }
+    const EngineConfig &config() const { return config_; }
+
+  private:
+    /** Assign id/seed/timesteps defaults to a request. */
+    void finalizeRequest(InferenceRequest &request);
+
+    /** Execute a request synchronously on the inline replica. */
+    std::future<InferenceResult> runInline(InferenceRequest request);
+
+    /** Completion callback shared by workers and inline mode. */
+    void noteCompleted();
+
+    void joinWorkers();
+
+    EngineConfig config_;
+    BoundedQueue<QueueItem> queue_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::unique_ptr<ChipReplica> inlineReplica_; //!< numWorkers == 0
+    StatGroup inlineStats_{"inline"};
+
+    std::atomic<uint64_t> nextId_{0};
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<bool> accepting_{true};
+
+    std::mutex idleMutex_;
+    std::condition_variable idleCv_;
+
+    std::mutex shutdownMutex_;
+    bool joined_ = false;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_RUNTIME_ENGINE_HPP

@@ -1,0 +1,116 @@
+#include "runtime/replica.hpp"
+
+#include <memory>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+AnnChipReplica::AnnChipReplica(const Network &prototype,
+                               const QuantizationResult &quant,
+                               const NebulaConfig &config,
+                               double variation_sigma, uint64_t chip_seed)
+    : net_(prototype.clone()), quant_(quant),
+      chip_(config, variation_sigma, chip_seed)
+{
+    chip_.programAnn(net_, quant_);
+}
+
+InferenceResult
+AnnChipReplica::run(const InferenceRequest &request)
+{
+    InferenceResult result;
+    result.logits = chip_.runAnn(request.image);
+    result.predictedClass = result.logits.argmaxRow(0);
+    return result;
+}
+
+SnnChipReplica::SnnChipReplica(const SpikingModel &prototype,
+                               const NebulaConfig &config,
+                               double variation_sigma, uint64_t chip_seed)
+    : model_(prototype.clone()), chip_(config, variation_sigma, chip_seed)
+{
+    chip_.programSnn(model_);
+}
+
+InferenceResult
+SnnChipReplica::run(const InferenceRequest &request)
+{
+    NEBULA_ASSERT(request.timesteps > 0,
+                  "SNN request needs a timestep count");
+    const SnnRunResult snn =
+        chip_.runSnn(request.image, request.timesteps, request.seed);
+    InferenceResult result;
+    result.logits = snn.logits;
+    result.predictedClass = snn.predictedClass();
+    result.timesteps = snn.timesteps;
+    result.spikes = snn.totalSpikes;
+    return result;
+}
+
+HybridReplica::HybridReplica(std::unique_ptr<HybridNetwork> hybrid)
+    : hybrid_(std::move(hybrid))
+{
+    NEBULA_ASSERT(hybrid_, "null hybrid network");
+}
+
+InferenceResult
+HybridReplica::run(const InferenceRequest &request)
+{
+    NEBULA_ASSERT(request.timesteps > 0,
+                  "hybrid request needs a timestep count");
+    const HybridRunResult hyb =
+        hybrid_->run(request.image, request.timesteps, request.seed);
+    InferenceResult result;
+    result.logits = hyb.logits;
+    result.predictedClass = hyb.predictedClass();
+    result.timesteps = hyb.timesteps;
+    result.spikes = hyb.prefixSpikes;
+    return result;
+}
+
+ReplicaFactory
+makeAnnReplicaFactory(const Network &prototype,
+                      const QuantizationResult &quant,
+                      const NebulaConfig &config, double variation_sigma,
+                      uint64_t chip_seed)
+{
+    auto proto = std::make_shared<const Network>(prototype.clone());
+    return [proto, quant, config, variation_sigma,
+            chip_seed](int) -> std::unique_ptr<ChipReplica> {
+        return std::make_unique<AnnChipReplica>(*proto, quant, config,
+                                                variation_sigma, chip_seed);
+    };
+}
+
+ReplicaFactory
+makeSnnReplicaFactory(const SpikingModel &prototype,
+                      const NebulaConfig &config, double variation_sigma,
+                      uint64_t chip_seed)
+{
+    auto proto = std::make_shared<const SpikingModel>(prototype.clone());
+    return [proto, config, variation_sigma,
+            chip_seed](int) -> std::unique_ptr<ChipReplica> {
+        return std::make_unique<SnnChipReplica>(*proto, config,
+                                                variation_sigma, chip_seed);
+    };
+}
+
+ReplicaFactory
+makeHybridReplicaFactory(const Network &ann, const Tensor &calibration,
+                         int ann_layers, const ConversionConfig &config)
+{
+    auto proto = std::make_shared<const Network>(ann.clone());
+    auto calib = std::make_shared<const Tensor>(calibration);
+    return [proto, calib, ann_layers,
+            config](int) -> std::unique_ptr<ChipReplica> {
+        // HybridNetwork folds BN into its source in place, so each
+        // worker converts a private clone of the prototype.
+        Network source = proto->clone();
+        auto hybrid = std::make_unique<HybridNetwork>(source, *calib,
+                                                      ann_layers, config);
+        return std::make_unique<HybridReplica>(std::move(hybrid));
+    };
+}
+
+} // namespace nebula

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Worker-owned chip replicas. Each worker thread holds one replica: a
+ * private clone of the (quantized or converted) network programmed onto
+ * a private NebulaChip, so the hot path touches no shared mutable
+ * state and needs no locks. Replicas built from the same prototype and
+ * chip seed are programmed identically, which is what makes N-worker
+ * execution bit-identical to a sequential run.
+ */
+
+#ifndef NEBULA_RUNTIME_REPLICA_HPP
+#define NEBULA_RUNTIME_REPLICA_HPP
+
+#include <functional>
+#include <memory>
+
+#include "arch/chip.hpp"
+#include "runtime/request.hpp"
+#include "snn/hybrid.hpp"
+
+namespace nebula {
+
+/** One worker's private inference backend. */
+class ChipReplica
+{
+  public:
+    virtual ~ChipReplica() = default;
+
+    /**
+     * Execute one request. Fills the mode-dependent result fields
+     * (logits, prediction, spikes, timesteps); the worker adds the
+     * bookkeeping ones (id, timings, worker id).
+     */
+    virtual InferenceResult run(const InferenceRequest &request) = 0;
+
+    /** Chip counters accumulated so far (null: replica has no chip). */
+    virtual const ChipStats *chipStats() const { return nullptr; }
+
+    /** Reset the replica's chip counters. */
+    virtual void clearStats() {}
+
+    /** Replica mode tag ("ann" / "snn" / "hybrid"). */
+    virtual const char *mode() const = 0;
+};
+
+/**
+ * Factory invoked once per worker (and once for the inline replica);
+ * @p worker_id is 0-based. Factories returned by the helpers below own
+ * a private clone of the prototype, so the caller's network may be
+ * freed after the factory is created.
+ */
+using ReplicaFactory =
+    std::function<std::unique_ptr<ChipReplica>(int worker_id)>;
+
+/** ANN-mode replica: quantized network on ANN crossbars. */
+class AnnChipReplica : public ChipReplica
+{
+  public:
+    AnnChipReplica(const Network &prototype, const QuantizationResult &quant,
+                   const NebulaConfig &config, double variation_sigma,
+                   uint64_t chip_seed);
+
+    InferenceResult run(const InferenceRequest &request) override;
+    const ChipStats *chipStats() const override { return &chip_.stats(); }
+    void clearStats() override { chip_.clearStats(); }
+    const char *mode() const override { return "ann"; }
+
+  private:
+    Network net_;
+    QuantizationResult quant_;
+    NebulaChip chip_;
+};
+
+/** SNN-mode replica: converted spiking model on SNN crossbars. */
+class SnnChipReplica : public ChipReplica
+{
+  public:
+    SnnChipReplica(const SpikingModel &prototype, const NebulaConfig &config,
+                   double variation_sigma, uint64_t chip_seed);
+
+    InferenceResult run(const InferenceRequest &request) override;
+    const ChipStats *chipStats() const override { return &chip_.stats(); }
+    void clearStats() override { chip_.clearStats(); }
+    const char *mode() const override { return "snn"; }
+
+  private:
+    SpikingModel model_;
+    NebulaChip chip_;
+};
+
+/**
+ * Hybrid-mode replica: spiking prefix + ANN suffix (functional model;
+ * the hybrid pipeline is not chip-mapped yet, so chipStats() is null).
+ */
+class HybridReplica : public ChipReplica
+{
+  public:
+    /** Takes ownership of an already-built hybrid network. */
+    explicit HybridReplica(std::unique_ptr<HybridNetwork> hybrid);
+
+    InferenceResult run(const InferenceRequest &request) override;
+    const char *mode() const override { return "hybrid"; }
+
+  private:
+    std::unique_ptr<HybridNetwork> hybrid_;
+};
+
+/**
+ * Factory producing identically-programmed ANN replicas. The prototype
+ * must already be quantized (@p quant from quantizeNetwork); it is
+ * cloned once into the factory and again per worker.
+ */
+ReplicaFactory makeAnnReplicaFactory(const Network &prototype,
+                                     const QuantizationResult &quant,
+                                     const NebulaConfig &config = {},
+                                     double variation_sigma = 0.0,
+                                     uint64_t chip_seed = 5);
+
+/** Factory producing identically-programmed SNN replicas. */
+ReplicaFactory makeSnnReplicaFactory(const SpikingModel &prototype,
+                                     const NebulaConfig &config = {},
+                                     double variation_sigma = 0.0,
+                                     uint64_t chip_seed = 5);
+
+/**
+ * Factory producing hybrid replicas: each worker converts its own clone
+ * of @p ann (BN must already be folded) with @p ann_layers trailing
+ * weight layers kept in the ANN domain.
+ */
+ReplicaFactory makeHybridReplicaFactory(const Network &ann,
+                                        const Tensor &calibration,
+                                        int ann_layers,
+                                        const ConversionConfig &config = {});
+
+} // namespace nebula
+
+#endif // NEBULA_RUNTIME_REPLICA_HPP

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Request/result types for the concurrent inference runtime.
+ *
+ * A request carries one input image plus the per-request knobs that
+ * make execution order-independent: the SNN encoder seed travels with
+ * the request (not with the chip), so a request produces bit-identical
+ * output no matter which worker replica serves it or in which order.
+ */
+
+#ifndef NEBULA_RUNTIME_REQUEST_HPP
+#define NEBULA_RUNTIME_REQUEST_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+
+#include "nn/tensor.hpp"
+
+namespace nebula {
+
+/** One inference request submitted to the engine. */
+struct InferenceRequest
+{
+    uint64_t id = 0;     //!< engine-assigned, monotonically increasing
+    Tensor image;        //!< (C, H, W) input in [0, 1]
+    int timesteps = 0;   //!< SNN/hybrid evidence window (0: engine default)
+    uint64_t seed = 0;   //!< SNN/hybrid encoder seed (0: derived from id)
+};
+
+/** The completed inference for one request. */
+struct InferenceResult
+{
+    uint64_t id = 0;
+    Tensor logits;            //!< (1, classes) output (SNN: accumulated)
+    int predictedClass = -1;
+    int workerId = -1;        //!< serving worker (-1: inline mode)
+    double queueSeconds = 0.0;   //!< time spent waiting in the queue
+    double serviceSeconds = 0.0; //!< time spent on the chip replica
+    // -- mode-specific extras -------------------------------------------
+    int timesteps = 0;        //!< SNN/hybrid steps actually run
+    long long spikes = 0;     //!< SNN/hybrid spike count (0 for ANN)
+};
+
+/** A queued request together with its delivery channel. */
+struct QueueItem
+{
+    InferenceRequest request;
+    std::promise<InferenceResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+};
+
+/**
+ * Deterministic per-request seed derivation (SplitMix64 finalizer over
+ * the salted id). Exposed so a sequential reference run can reproduce
+ * the exact seeds the engine hands its workers.
+ */
+inline uint64_t
+deriveRequestSeed(uint64_t salt, uint64_t id)
+{
+    uint64_t z = salt + (id + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace nebula
+
+#endif // NEBULA_RUNTIME_REQUEST_HPP

@@ -1,0 +1,73 @@
+#include "runtime/worker.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+namespace nebula {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start,
+             std::chrono::steady_clock::time_point end)
+{
+    return std::chrono::duration<double>(end - start).count();
+}
+
+} // namespace
+
+Worker::Worker(int id, std::unique_ptr<ChipReplica> replica,
+               BoundedQueue<QueueItem> *queue,
+               std::function<void()> on_complete)
+    : id_(id), replica_(std::move(replica)), queue_(queue),
+      onComplete_(std::move(on_complete)),
+      stats_("worker" + std::to_string(id))
+{
+}
+
+void
+Worker::start()
+{
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+Worker::join()
+{
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+Worker::loop()
+{
+    while (auto item = queue_->pop()) {
+        const auto start = std::chrono::steady_clock::now();
+        const double wait = secondsSince(item->enqueued, start);
+        try {
+            InferenceResult result = replica_->run(item->request);
+            const auto end = std::chrono::steady_clock::now();
+            result.id = item->request.id;
+            result.workerId = id_;
+            result.queueSeconds = wait;
+            result.serviceSeconds = secondsSince(start, end);
+
+            stats_.scalar("requests").inc();
+            stats_.scalar("latency_ms").sample(
+                1e3 * (wait + result.serviceSeconds));
+            stats_.scalar("service_ms").sample(1e3 * result.serviceSeconds);
+            stats_.scalar("wait_ms").sample(1e3 * wait);
+            stats_.scalar("spikes").add(
+                static_cast<double>(result.spikes));
+
+            item->promise.set_value(std::move(result));
+        } catch (...) {
+            stats_.scalar("failures").inc();
+            item->promise.set_exception(std::current_exception());
+        }
+        onComplete_();
+    }
+}
+
+} // namespace nebula

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Worker thread of the inference engine: pops requests from the shared
+ * bounded queue, runs them on its private chip replica, fulfils the
+ * request's promise and records latency/throughput into a worker-local
+ * StatGroup. All per-request accounting is thread-local; the engine
+ * merges it only after the pool has quiesced, so the hot path takes no
+ * locks beyond the queue's own.
+ */
+
+#ifndef NEBULA_RUNTIME_WORKER_HPP
+#define NEBULA_RUNTIME_WORKER_HPP
+
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "common/stats.hpp"
+#include "runtime/replica.hpp"
+#include "runtime/request.hpp"
+#include "runtime/request_queue.hpp"
+
+namespace nebula {
+
+/** One worker thread plus its private replica and local stats. */
+class Worker
+{
+  public:
+    /**
+     * @param id           0-based worker id.
+     * @param replica      Private chip replica (takes ownership).
+     * @param queue        Shared request queue (not owned).
+     * @param on_complete  Engine callback fired after each request has
+     *                     been fully accounted (promise fulfilled and
+     *                     worker-local stats written).
+     */
+    Worker(int id, std::unique_ptr<ChipReplica> replica,
+           BoundedQueue<QueueItem> *queue,
+           std::function<void()> on_complete);
+
+    Worker(const Worker &) = delete;
+    Worker &operator=(const Worker &) = delete;
+
+    /** Launch the thread (runs until the queue closes and drains). */
+    void start();
+
+    /** Join the thread (must follow queue close). */
+    void join();
+
+    int id() const { return id_; }
+
+    /**
+     * Worker-local request statistics. Safe to read only while the
+     * worker is quiescent (engine guarantees this via waitIdle).
+     */
+    const StatGroup &stats() const { return stats_; }
+
+    const ChipReplica &replica() const { return *replica_; }
+
+  private:
+    void loop();
+
+    int id_;
+    std::unique_ptr<ChipReplica> replica_;
+    BoundedQueue<QueueItem> *queue_;
+    std::function<void()> onComplete_;
+    StatGroup stats_;
+    std::thread thread_;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_RUNTIME_WORKER_HPP

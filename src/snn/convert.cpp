@@ -15,6 +15,17 @@ SpikingModel::resetState()
         static_cast<IfLayer &>(net.layer(i)).resetState();
 }
 
+SpikingModel
+SpikingModel::clone() const
+{
+    SpikingModel copy;
+    copy.net = net.clone();
+    copy.ifLayerIndices = ifLayerIndices;
+    copy.lambdas = lambdas;
+    copy.sourceLayerOf = sourceLayerOf;
+    return copy;
+}
+
 IfLayer &
 SpikingModel::ifLayer(int k)
 {

@@ -60,6 +60,13 @@ struct SpikingModel
     /** Reset the state of every IF layer (new inference). */
     void resetState();
 
+    /**
+     * Deep copy (cloned network + bookkeeping). Worker replicas in the
+     * inference runtime each clone the converted model so membrane
+     * state stays private to their thread.
+     */
+    SpikingModel clone() const;
+
     /** Typed access to IF layer k (by position in ifLayerIndices). */
     IfLayer &ifLayer(int k);
 };

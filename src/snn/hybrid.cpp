@@ -64,9 +64,16 @@ HybridNetwork::HybridNetwork(Network &ann, const Tensor &calibration,
 HybridRunResult
 HybridNetwork::run(const Tensor &image, int timesteps)
 {
+    return run(image, timesteps, seedStream_.next());
+}
+
+HybridRunResult
+HybridNetwork::run(const Tensor &image, int timesteps,
+                   uint64_t encoder_seed)
+{
     NEBULA_ASSERT(timesteps > 0, "need at least one timestep");
     prefix_.resetState();
-    PoissonEncoder encoder(inputRate_, seedStream_.next());
+    PoissonEncoder encoder(inputRate_, encoder_seed);
 
     std::vector<int> batched;
     batched.push_back(1);

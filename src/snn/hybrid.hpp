@@ -48,6 +48,14 @@ class HybridNetwork
     /** Run one (C, H, W) image: T spiking steps, then one ANN pass. */
     HybridRunResult run(const Tensor &image, int timesteps);
 
+    /**
+     * Same, with an explicit encoder seed so the result does not
+     * depend on how many runs preceded it (used by the concurrent
+     * runtime's determinism guarantee).
+     */
+    HybridRunResult run(const Tensor &image, int timesteps,
+                        uint64_t encoder_seed);
+
     /** Accuracy over the first @p max_samples samples. */
     double evaluateAccuracy(const Dataset &data, int max_samples,
                             int timesteps);

@@ -45,6 +45,38 @@ trainedTinyCnn(const SyntheticDigits &train_set)
     return net;
 }
 
+TEST(ChipStats, MergeAddsEveryCounter)
+{
+    ChipStats a;
+    a.crossbarEvals = 3;
+    a.adcConversions = 10;
+    a.spikes = 7;
+    a.crossbarEnergy = 1.5;
+    a.nocPackets = 2;
+    a.nocEnergy = 0.25;
+
+    ChipStats b;
+    b.crossbarEvals = 5;
+    b.adcConversions = 1;
+    b.spikes = 11;
+    b.crossbarEnergy = 0.5;
+    b.nocPackets = 4;
+    b.nocEnergy = 0.75;
+
+    a.merge(b);
+    EXPECT_EQ(a.crossbarEvals, 8);
+    EXPECT_EQ(a.adcConversions, 11);
+    EXPECT_EQ(a.spikes, 18);
+    EXPECT_DOUBLE_EQ(a.crossbarEnergy, 2.0);
+    EXPECT_EQ(a.nocPackets, 6);
+    EXPECT_DOUBLE_EQ(a.nocEnergy, 1.0);
+
+    // Merging a default-constructed stats block is a no-op.
+    a.merge(ChipStats());
+    EXPECT_EQ(a.crossbarEvals, 8);
+    EXPECT_DOUBLE_EQ(a.nocEnergy, 1.0);
+}
+
 TEST(Accumulator, CountsAndScales)
 {
     AccumulatorUnit au(8);

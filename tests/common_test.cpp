@@ -188,6 +188,60 @@ TEST(ScalarStat, Reset)
     EXPECT_EQ(s.count(), 0u);
 }
 
+TEST(ScalarStat, MinMaxAfterReset)
+{
+    ScalarStat s;
+    s.sample(-4.0);
+    s.sample(9.0);
+    s.reset();
+    // A reset stat must not remember old extrema.
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    s.sample(2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 2.0);
+}
+
+TEST(ScalarStat, MergeCombinesMoments)
+{
+    ScalarStat a, b;
+    a.sample(1.0);
+    a.sample(5.0);
+    b.sample(-2.0);
+    b.sample(3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.sum(), 7.0);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.min(), -2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 1.75);
+}
+
+TEST(ScalarStat, MergeEmptyIsNoop)
+{
+    ScalarStat a, empty;
+    a.sample(2.0);
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.sum(), 2.0);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 2.0);
+
+    // Merging into an empty stat copies the other side.
+    ScalarStat c;
+    c.merge(a);
+    EXPECT_DOUBLE_EQ(c.min(), 2.0);
+    EXPECT_DOUBLE_EQ(c.max(), 2.0);
+    EXPECT_EQ(c.count(), 1u);
+
+    // Two empty stats stay empty (accessors keep returning 0).
+    ScalarStat d, e;
+    d.merge(e);
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+}
+
 TEST(Histogram, BinsAndClamping)
 {
     Histogram h(0.0, 10.0, 10);
@@ -228,6 +282,44 @@ TEST(StatGroup, TableHasAllRows)
     group.scalar("x").sample(1);
     group.scalar("y").sample(2);
     EXPECT_EQ(group.toTable().numRows(), 2u);
+}
+
+TEST(StatGroup, MergeByName)
+{
+    StatGroup a("a"), b("b");
+    a.scalar("latency").sample(1.0);
+    b.scalar("latency").sample(3.0);
+    b.scalar("spikes").add(10.0);
+    a.merge(b);
+    EXPECT_EQ(a.scalarAt("latency").count(), 2u);
+    EXPECT_DOUBLE_EQ(a.scalarAt("latency").max(), 3.0);
+    EXPECT_DOUBLE_EQ(a.scalarAt("spikes").sum(), 10.0);
+    // b is untouched.
+    EXPECT_EQ(b.scalarAt("latency").count(), 1u);
+}
+
+TEST(StatGroup, TableRendersEmptyStatAsZeros)
+{
+    StatGroup group("g");
+    group.scalar("untouched"); // registered but never sampled
+    std::ostringstream oss;
+    group.toTable().print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("untouched"), std::string::npos);
+    // min/max of an empty stat render as 0, not +/-inf.
+    EXPECT_EQ(out.find("inf"), std::string::npos);
+}
+
+TEST(StatGroup, CsvRendering)
+{
+    StatGroup group("g");
+    group.scalar("x").sample(2.0);
+    group.scalar("x").sample(4.0);
+    std::ostringstream oss;
+    group.toTable().printCsv(oss);
+    EXPECT_EQ(oss.str(),
+              "stat,sum,count,mean,min,max\n"
+              "x,6.0000,2,3.0000,2.0000,4.0000\n");
 }
 
 TEST(Table, RendersAllCells)
