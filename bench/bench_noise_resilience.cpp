@@ -7,6 +7,11 @@
  * Expected shape (paper): accuracy drops by well under a percent on
  * average (VGG-ANN 90.31%, VGG-SNN 89.41% with noise) -- neuromorphic
  * workloads tolerate analog imprecision.
+ *
+ * The sweep runs on the reliability subsystem's campaign runner
+ * (functional backend): the Gaussian variability model is the
+ * FaultModel special case the legacy VariabilityModel wraps, so this
+ * study and the stuck-at fault campaigns share one injection path.
  */
 
 #include <benchmark/benchmark.h>
@@ -15,6 +20,7 @@
 
 #include "bench_common.hpp"
 #include "nn/quantize.hpp"
+#include "reliability/campaign.hpp"
 
 namespace nebula {
 namespace {
@@ -29,52 +35,72 @@ report()
         [] { return buildVgg13(16, 3, 10, 0.25f, 42); }, train_set, 3);
     const Tensor calibration = train_set.firstImages(48);
 
-    // Clean quantized baselines.
-    Network clean_ann = buildVgg13(16, 3, 10, 0.25f, 42);
-    clean_ann.copyStateFrom(base);
-    quantizeNetwork(clean_ann, calibration, 16, 16);
-    const double ann_clean = evaluateAccuracy(clean_ann, test_set);
+    Network quantized = buildVgg13(16, 3, 10, 0.25f, 42);
+    quantized.copyStateFrom(base);
+    quantizeNetwork(quantized, calibration, 16, 16);
 
-    SpikingModel clean_snn = convertToSnn(clean_ann, calibration);
-    SnnSimulator clean_sim(clean_snn, 1.0, 55);
-    const double snn_clean = clean_sim.evaluateAccuracy(test_set, 60, 80);
+    // Sweep sigma {0, 0.10} x 5 device corners through the campaign's
+    // functional backend (faults applied straight to the weights).
+    CampaignConfig ann_cfg;
+    ann_cfg.modelFactory = [](double sigma) {
+        return std::make_shared<const GaussianVariabilityModel>(sigma);
+    };
+    ann_cfg.mitigations = {MitigationSpec::none()};
+    ann_cfg.runSnn = false;
+    ann_cfg.images = 200;
+
+    CampaignConfig snn_cfg = ann_cfg;
+    snn_cfg.runAnn = false;
+    snn_cfg.runSnn = true;
+    snn_cfg.images = 60;
+    snn_cfg.timesteps = 80;
+
+    const std::vector<uint64_t> corners{1000, 1001, 1002, 1003, 1004};
+
+    ann_cfg.rates = snn_cfg.rates = {0.0};
+    ann_cfg.seeds = snn_cfg.seeds = {55};
+    const CampaignResult ann_clean =
+        runFunctionalCampaign(quantized, calibration, test_set, ann_cfg);
+    const CampaignResult snn_clean =
+        runFunctionalCampaign(quantized, calibration, test_set, snn_cfg);
+    const double ann_base = ann_clean.meanAccuracy("ann", "none", 0.0);
+    const double snn_base = snn_clean.meanAccuracy("snn", "none", 0.0);
+
+    ann_cfg.rates = snn_cfg.rates = {0.10};
+    ann_cfg.seeds = snn_cfg.seeds = corners;
+    const CampaignResult ann_noisy =
+        runFunctionalCampaign(quantized, calibration, test_set, ann_cfg);
+    const CampaignResult snn_noisy =
+        runFunctionalCampaign(quantized, calibration, test_set, snn_cfg);
 
     Table table("Sec IV-D: Monte-Carlo 10% weight variability "
                 "(quantized VGG-13 scaled)",
                 {"trial", "ANN acc", "ANN delta", "SNN acc", "SNN delta"});
 
-    const int trials = 5;
     double ann_sum = 0.0, snn_sum = 0.0;
-    for (int trial = 0; trial < trials; ++trial) {
-        Network noisy = buildVgg13(16, 3, 10, 0.25f, 42);
-        noisy.copyStateFrom(base);
-        quantizeNetwork(noisy, calibration, 16, 16);
-        injectWeightNoise(noisy, 0.10, 1000 + trial);
-        const double ann_acc = evaluateAccuracy(noisy, test_set);
+    const size_t trials = corners.size();
+    for (size_t trial = 0; trial < trials; ++trial) {
+        const double ann_acc = ann_noisy.rows[trial].accuracy;
+        const double snn_acc = snn_noisy.rows[trial].accuracy;
         ann_sum += ann_acc;
-
-        SpikingModel snn = convertToSnn(noisy, calibration);
-        SnnSimulator sim(snn, 1.0, 77 + trial);
-        const double snn_acc = sim.evaluateAccuracy(test_set, 60, 80);
         snn_sum += snn_acc;
-
         table.row()
             .add(static_cast<long long>(trial + 1))
             .add(formatDouble(100 * ann_acc, 2) + "%")
-            .add(formatDouble(100 * (ann_acc - ann_clean), 2) + "%")
+            .add(formatDouble(100 * (ann_acc - ann_base), 2) + "%")
             .add(formatDouble(100 * snn_acc, 2) + "%")
-            .add(formatDouble(100 * (snn_acc - snn_clean), 2) + "%");
+            .add(formatDouble(100 * (snn_acc - snn_base), 2) + "%");
     }
     table.row()
         .add("mean")
         .add(formatDouble(100 * ann_sum / trials, 2) + "%")
-        .add(formatDouble(100 * (ann_sum / trials - ann_clean), 2) + "%")
+        .add(formatDouble(100 * (ann_sum / trials - ann_base), 2) + "%")
         .add(formatDouble(100 * snn_sum / trials, 2) + "%")
-        .add(formatDouble(100 * (snn_sum / trials - snn_clean), 2) + "%");
+        .add(formatDouble(100 * (snn_sum / trials - snn_base), 2) + "%");
     table.print(std::cout);
     std::cout << "Clean baselines: ANN "
-              << formatDouble(100 * ann_clean, 2) << "%, SNN "
-              << formatDouble(100 * snn_clean, 2)
+              << formatDouble(100 * ann_base, 2) << "%, SNN "
+              << formatDouble(100 * snn_base, 2)
               << "%.  Paper: 0.74% (ANN) and 0.81% (SNN) mean drop.\n";
 }
 
@@ -88,6 +114,19 @@ BM_NoiseInjection(benchmark::State &state)
     }
 }
 BENCHMARK(BM_NoiseInjection)->Unit(benchmark::kMillisecond);
+
+void
+BM_FaultMapSampling(benchmark::State &state)
+{
+    const StuckAtFaultModel model(0.01);
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        FaultMap map(128, 132);
+        model.sampleInto(map, seed++);
+        benchmark::DoNotOptimize(map.cellFaultCount());
+    }
+}
+BENCHMARK(BM_FaultMapSampling)->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace nebula

@@ -34,6 +34,25 @@ NebulaChip::NebulaChip(const NebulaConfig &config, double variation_sigma,
     noc_ = MeshNoc(noc_cfg);
 }
 
+void
+NebulaChip::programCrossbar(CrossbarArray &xbar,
+                            const std::vector<float> &cells)
+{
+    if (rel_.faults) {
+        FaultMap map(xbar.rows(), xbar.cols() + xbar.params().spareCols);
+        rel_.faults->sampleInto(
+            map, deriveFaultSeed(rel_.faultSeed,
+                                 static_cast<uint64_t>(crossbarIndex_)));
+        xbar.injectFaults(std::move(map));
+    }
+    ++crossbarIndex_;
+
+    ProgrammingConfig pc;
+    pc.writeVerify = rel_.writeVerify;
+    pc.repair = rel_.repair;
+    programReport_.merge(xbar.program(cells, pc));
+}
+
 NebulaChip::MappedLayer
 NebulaChip::mapWeightLayer(const Layer &layer, int index,
                            float weight_scale, Mode mode)
@@ -48,6 +67,7 @@ NebulaChip::mapWeightLayer(const Layer &layer, int index,
     xp.readVoltage = mode == Mode::ANN ? 0.75 : 0.25;
     xp.variationSigma = variationSigma_;
     xp.variationSeed = seed_ + static_cast<uint64_t>(index) * 977;
+    xp.spareCols = rel_.spareCols;
 
     const int m = config_.atomicSize;
     const auto params = layer.constParameters();
@@ -82,7 +102,7 @@ NebulaChip::mapWeightLayer(const Layer &layer, int index,
                 }
             }
             auto xbar = std::make_unique<CrossbarArray>(xp);
-            xbar->programWeights(cells);
+            programCrossbar(*xbar, cells);
             mapped.groups.push_back(std::move(xbar));
         }
     } else {
@@ -98,7 +118,7 @@ NebulaChip::mapWeightLayer(const Layer &layer, int index,
                         w[static_cast<long long>(g * m + j) * rf + r] /
                         mapped.weightScale;
             auto xbar = std::make_unique<CrossbarArray>(xp);
-            xbar->programWeights(cells);
+            programCrossbar(*xbar, cells);
             mapped.groups.push_back(std::move(xbar));
         }
     }
@@ -113,6 +133,8 @@ NebulaChip::programAnn(Network &net, const QuantizationResult &quant)
     layers_.clear();
     mapping_ = mapper_.map(net);
     clearStats();
+    programReport_ = ProgramReport();
+    crossbarIndex_ = 0;
 
     for (const LayerQuantInfo &info : quant.layers) {
         Layer &layer = net.layer(info.layerIndex);
@@ -356,6 +378,8 @@ NebulaChip::programSnn(SpikingModel &model)
     layers_.clear();
     mapping_ = mapper_.map(model.net);
     clearStats();
+    programReport_ = ProgramReport();
+    crossbarIndex_ = 0;
 
     for (int i = 0; i < model.net.numLayers(); ++i) {
         Layer &layer = model.net.layer(i);

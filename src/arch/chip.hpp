@@ -29,6 +29,7 @@
 #include "circuit/neuron_unit.hpp"
 #include "nn/quantize.hpp"
 #include "noc/noc.hpp"
+#include "reliability/mitigation.hpp"
 #include "snn/convert.hpp"
 #include "snn/snn_sim.hpp"
 
@@ -89,6 +90,23 @@ class NebulaChip
     SnnRunResult runSnn(const Tensor &image, int timesteps,
                         uint64_t encoder_seed);
 
+    /**
+     * Attach a reliability scenario; takes effect at the next
+     * programAnn/programSnn. Every crossbar then samples a private
+     * FaultMap from ReliabilityConfig::faultSeed (decorrelated per
+     * array, reproducible given the seed and the network shape) and is
+     * programmed with the configured mitigations. Reprogramming the
+     * same network resamples identical maps.
+     */
+    void setReliability(ReliabilityConfig rel) { rel_ = std::move(rel); }
+    const ReliabilityConfig &reliability() const { return rel_; }
+
+    /**
+     * Aggregate programming accounting (pulses, failed cells, repairs,
+     * program energy) of the last programAnn/programSnn.
+     */
+    const ProgramReport &programReport() const { return programReport_; }
+
     const ChipStats &stats() const { return stats_; }
     void clearStats() { stats_ = ChipStats(); }
 
@@ -118,6 +136,15 @@ class NebulaChip
                                float weight_scale, Mode mode);
 
     /**
+     * Sample this crossbar's fault map (if a fault model is attached)
+     * and program it with the configured mitigations, accumulating the
+     * report. Crossbars are numbered in programming order, so the maps
+     * are deterministic for a given network and faultSeed.
+     */
+    void programCrossbar(CrossbarArray &xbar,
+                         const std::vector<float> &cells);
+
+    /**
      * Evaluate a mapped weight layer on a real-unit input tensor,
      * returning real-unit pre-activations (1, K, H', W') or (1, K).
      * @param binary True when inputs are spike maps (SNN drivers).
@@ -128,6 +155,9 @@ class NebulaChip
     NebulaConfig config_;
     double variationSigma_;
     uint64_t seed_;
+    ReliabilityConfig rel_;
+    ProgramReport programReport_;
+    int crossbarIndex_ = 0; //!< programming-order counter for fault seeds
     LayerMapper mapper_;
     MeshNoc noc_;
 

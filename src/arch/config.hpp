@@ -29,6 +29,14 @@ struct NebulaConfig
     /** Weight/activation precision (bits). */
     int precisionBits = 4;
 
+    /**
+     * Physical spare columns per atomic crossbar for defect repair
+     * (0 = none provisioned). Spares are extra columns beyond the M
+     * logical ones; faulty columns are remapped onto them at program
+     * time (src/reliability). They cost area/utilization, not cycles.
+     */
+    int spareColsPerAc = 0;
+
     /** Mesh geometry (14 x 14 NCs: 14 ANN + 182 SNN + AUs). */
     int meshWidth = 14;
     int meshHeight = 14;

@@ -25,6 +25,15 @@ NetworkMapping::totalAcs() const
     return total;
 }
 
+long long
+NetworkMapping::totalSpareColumns() const
+{
+    long long total = 0;
+    for (const auto &m : layers)
+        total += m.spareColumns;
+    return total;
+}
+
 bool
 NetworkMapping::anyAdc() const
 {
@@ -120,9 +129,13 @@ LayerMapper::mapLayer(const Layer &layer, int index) const
 
     out.coresNeeded =
         (out.acsNeeded + config_.acsPerCore() - 1) / config_.acsPerCore();
+    out.spareColumns = out.acsNeeded * config_.spareColsPerAc;
+    // Spare columns are allocated area a defect-free array never uses,
+    // so they dilute utilization when provisioned.
     out.utilization =
         static_cast<double>(out.rf) * out.kernels /
-        (static_cast<double>(out.acsNeeded) * m * m);
+        (static_cast<double>(out.acsNeeded) * m *
+         (m + config_.spareColsPerAc));
     NEBULA_ASSERT(out.utilization <= 1.0 + 1e-9, "utilization > 1 for ",
                   out.name);
     return out;

@@ -45,7 +45,9 @@ struct LayerMapping
     long long columnGroups = 1;   //!< independent kernel groups of <= M
     long long acsNeeded = 1;      //!< atomic crossbars holding weights
     long long coresNeeded = 1;    //!< neural cores allocated
+    long long spareColumns = 0;   //!< repair spares provisioned (all ACs)
     double utilization = 0.0;     //!< programmed cells / allocated cells
+                                  //!< (spare columns count as allocated)
 
     long long dacRowsPerEval = 0; //!< drivers active per evaluation
     long long adcConversions = 0; //!< per image
@@ -60,6 +62,7 @@ struct NetworkMapping
 
     long long totalCores() const;
     long long totalAcs() const;
+    long long totalSpareColumns() const;
     bool anyAdc() const;
 };
 

@@ -52,6 +52,7 @@ ChipPlacer::place(const NetworkMapping &mapping, Mode mode) const
             used.insert({node.x, node.y});
             ++next_core;
         }
+        result.spareColumns += layer.spareColumns;
         result.layers.push_back(std::move(placement));
     }
     result.coresUsed = static_cast<long long>(used.size());

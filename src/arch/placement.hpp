@@ -31,6 +31,7 @@ struct PlacementResult
 {
     std::vector<LayerPlacement> layers;
     long long coresUsed = 0;   //!< distinct physical cores touched
+    long long spareColumns = 0; //!< repair spares across placed layers
     bool fits = false;         //!< true if no core is time-multiplexed
     Mode mode = Mode::SNN;
 };

@@ -2,54 +2,281 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.hpp"
+#include "device/synapse_device.hpp"
 
 namespace nebula {
+
+namespace {
+
+/** Energy of one full-drive program pulse (paper device parameters). */
+double
+programPulseEnergy()
+{
+    static const double energy = SynapseDevice().pulseEnergy();
+    return energy;
+}
+
+} // namespace
 
 CrossbarArray::CrossbarArray(const CrossbarParams &params)
     : p_(params), cell_(params.mtj)
 {
     NEBULA_ASSERT(p_.rows > 0 && p_.cols > 0, "bad crossbar geometry");
+    NEBULA_ASSERT(p_.spareCols >= 0, "negative spare column count");
     NEBULA_ASSERT(p_.levels >= 2, "need at least 2 conductance levels");
     gMid_ = 0.5 * (cell_.conductanceP() + cell_.conductanceAp());
     gHalfSwing_ = 0.5 * (cell_.conductanceP() - cell_.conductanceAp());
-    // cols + 1: the extra column is the shared reference column at G_mid.
-    conductance_.assign(static_cast<size_t>(p_.rows) * (p_.cols + 1), gMid_);
+    // +1: the extra column is the shared reference column at G_mid.
+    conductance_.assign(static_cast<size_t>(p_.rows) * physicalStride(),
+                        gMid_);
+    remap_.resize(static_cast<size_t>(p_.cols));
+    std::iota(remap_.begin(), remap_.end(), 0);
+}
+
+double &
+CrossbarArray::cellAt(int row, int phys_col)
+{
+    return conductance_[static_cast<size_t>(row) * physicalStride() +
+                        phys_col];
+}
+
+double
+CrossbarArray::cellAt(int row, int phys_col) const
+{
+    return conductance_[static_cast<size_t>(row) * physicalStride() +
+                        phys_col];
 }
 
 void
-CrossbarArray::programWeights(const std::vector<float> &weights)
+CrossbarArray::injectFaults(FaultMap faults)
+{
+    NEBULA_ASSERT(faults.rows() == p_.rows &&
+                      faults.cols() == physicalDataCols(),
+                  "fault map geometry mismatch: got ", faults.rows(), "x",
+                  faults.cols(), " want ", p_.rows, "x", physicalDataCols());
+    faults_ = std::move(faults);
+}
+
+const CellFault &
+CrossbarArray::faultAt(int row, int phys_col) const
+{
+    static const CellFault kNone{};
+    return faults_.empty() ? kNone : faults_.cell(row, phys_col);
+}
+
+bool
+CrossbarArray::openAt(int row, int phys_col) const
+{
+    return !faults_.empty() &&
+           (faults_.rowOpen(row) || faults_.colOpen(phys_col));
+}
+
+void
+CrossbarArray::planRepair(const ProgrammingConfig &config,
+                          ProgramReport &report)
+{
+    std::iota(remap_.begin(), remap_.end(), 0);
+    if (!config.repair.enabled || p_.spareCols <= 0 || faults_.empty())
+        return;
+
+    // Post-manufacture test knows the defect map; rank physical columns
+    // by the defects the selected programming flow cannot correct.
+    const int phys = physicalDataCols();
+    std::vector<int> defects(static_cast<size_t>(phys));
+    for (int p = 0; p < phys; ++p)
+        defects[static_cast<size_t>(p)] =
+            faults_.columnDefectCount(p, config.writeVerify.enabled);
+
+    std::vector<char> spare_free(static_cast<size_t>(phys), 0);
+    for (int s = p_.cols; s < phys; ++s)
+        spare_free[static_cast<size_t>(s)] = 1;
+
+    // Worst logical columns pick their spare first.
+    std::vector<int> order(static_cast<size_t>(p_.cols));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return defects[static_cast<size_t>(a)] >
+               defects[static_cast<size_t>(b)];
+    });
+
+    for (int j : order) {
+        const int victim = defects[static_cast<size_t>(j)];
+        if (victim <= config.repair.faultThreshold)
+            break; // sorted: nothing worse follows
+        int best = -1;
+        for (int s = p_.cols; s < phys; ++s) {
+            if (!spare_free[static_cast<size_t>(s)])
+                continue;
+            if (best < 0 || defects[static_cast<size_t>(s)] <
+                                defects[static_cast<size_t>(best)])
+                best = s;
+        }
+        // A spare is only worth taking when strictly healthier.
+        if (best >= 0 && defects[static_cast<size_t>(best)] < victim) {
+            spare_free[static_cast<size_t>(best)] = 0;
+            remap_[static_cast<size_t>(j)] = best;
+            ++report.repairedColumns;
+        } else {
+            ++report.irreparableColumns;
+        }
+    }
+}
+
+void
+CrossbarArray::programCell(int row, int phys_col, int level,
+                           const ProgrammingConfig &config,
+                           const GaussianVariabilityModel &noise, Rng &rng,
+                           ProgramReport &report)
+{
+    const int top = p_.levels - 1;
+    const double step = 2.0 * gHalfSwing_ / top;
+    const double g_lo = 0.25 * cell_.conductanceAp();
+    const double g_hi = 2.0 * cell_.conductanceP();
+    const double g_target = gMid_ + (2.0 * level / top - 1.0) * gHalfSwing_;
+    ++report.cells;
+
+    if (openAt(row, phys_col)) {
+        // Unwritable either way; closed loop detects the open line on
+        // the first verify read and gives up.
+        ++report.pulses;
+        report.programEnergy += programPulseEnergy();
+        if (config.writeVerify.enabled)
+            ++report.failedCells;
+        cellAt(row, phys_col) = 0.0;
+        return;
+    }
+
+    const CellFault fault = faultAt(row, phys_col);
+    const double stuck_value = fault.kind == FaultKind::StuckHigh
+                                   ? cell_.conductanceP()
+                                   : cell_.conductanceAp();
+
+    if (!config.writeVerify.enabled) {
+        // Open loop: one pulse, take whatever the device lands on.
+        ++report.pulses;
+        report.programEnergy += programPulseEnergy();
+        double g;
+        if (fault.stuck()) {
+            g = stuck_value;
+        } else {
+            int level_eff = level;
+            if (fault.kind == FaultKind::Drift)
+                level_eff = std::clamp(level + fault.drift, 0, top);
+            g = gMid_ + (2.0 * level_eff / top - 1.0) * gHalfSwing_;
+            if (p_.variationSigma > 0.0)
+                g *= noise.programFactor(rng);
+            if (fault.kind == FaultKind::Decay)
+                g = gMid_ + (g - gMid_) * fault.decay;
+            g = std::clamp(g, g_lo, g_hi);
+        }
+        cellAt(row, phys_col) = g;
+        return;
+    }
+
+    // Closed loop: program -> sense -> trim. The controller corrects the
+    // aim point by the sensed error, so systematic offsets (pinning
+    // drift) cancel; per-pulse write noise shrinks as 1/pulse (trim
+    // pulses displace the wall less). Retry pulses give a softly pinned
+    // wall a depin chance; hard stuck cells and opens never converge.
+    const WriteVerifyConfig &wv = config.writeVerify;
+    const double tolerance = wv.toleranceLevels * step;
+    double aim = g_target;
+    double landed = stuck_value;
+    bool freed = !fault.stuck();
+    bool ok = false;
+
+    for (int pulse = 1; pulse <= wv.maxPulses; ++pulse) {
+        ++report.pulses;
+        report.programEnergy += programPulseEnergy();
+        if (!freed && pulse > 1 && !fault.hard &&
+            rng.bernoulli(wv.depinProbability))
+            freed = true;
+        if (!freed) {
+            landed = stuck_value;
+        } else {
+            const double factor =
+                1.0 + (noise.programFactor(rng) - 1.0) / pulse;
+            landed = aim * factor;
+            if (fault.kind == FaultKind::Drift)
+                landed += fault.drift * step;
+            landed = std::clamp(landed, g_lo, g_hi);
+        }
+        if (std::abs(landed - g_target) <= tolerance) {
+            ok = true;
+            break;
+        }
+        aim = std::clamp(aim + (g_target - landed), g_lo, g_hi);
+    }
+    if (!ok)
+        ++report.failedCells;
+
+    // Retention decay acts after programming; verification cannot see it.
+    if (fault.kind == FaultKind::Decay)
+        landed = gMid_ + (landed - gMid_) * fault.decay;
+    cellAt(row, phys_col) = landed;
+}
+
+ProgramReport
+CrossbarArray::program(const std::vector<float> &weights,
+                       const ProgrammingConfig &config)
 {
     NEBULA_ASSERT(weights.size() ==
                       static_cast<size_t>(p_.rows) * p_.cols,
                   "weight matrix size mismatch: got ", weights.size(),
                   " want ", p_.rows * p_.cols);
 
-    VariabilityModel variation(p_.variationSigma, p_.variationSeed);
+    ProgramReport report;
+    planRepair(config, report);
+
+    const GaussianVariabilityModel noise(p_.variationSigma);
+    Rng rng(p_.variationSeed);
     const int top = p_.levels - 1;
+    const int ref = physicalDataCols();
 
     for (int i = 0; i < p_.rows; ++i) {
         for (int j = 0; j < p_.cols; ++j) {
-            double w = std::clamp<double>(
+            const double w = std::clamp<double>(
                 weights[static_cast<size_t>(i) * p_.cols + j], -1.0, 1.0);
             // Quantize to the discrete DW pinning states.
             const int level =
                 static_cast<int>(std::lround((w + 1.0) / 2.0 * top));
-            const double wq = 2.0 * level / top - 1.0;
-            double g = gMid_ + wq * gHalfSwing_;
-            if (p_.variationSigma > 0.0)
-                g *= variation.sampleFactor();
-            g = std::clamp(g, 0.25 * cell_.conductanceAp(),
-                           2.0 * cell_.conductanceP());
-            conductance_[static_cast<size_t>(i) * (p_.cols + 1) + j] = g;
+            programCell(i, remap_[static_cast<size_t>(j)], level, config,
+                        noise, rng, report);
         }
         // Reference column stays at G_mid (possibly with variation too).
         double gref = gMid_;
         if (p_.variationSigma > 0.0)
-            gref *= variation.sampleFactor();
-        conductance_[static_cast<size_t>(i) * (p_.cols + 1) + p_.cols] = gref;
+            gref *= noise.programFactor(rng);
+        if (!faults_.empty() && faults_.rowOpen(i))
+            gref = 0.0;
+        cellAt(i, ref) = gref;
     }
+    return report;
+}
+
+void
+CrossbarArray::programWeights(const std::vector<float> &weights)
+{
+    program(weights, ProgrammingConfig{});
+}
+
+int
+CrossbarArray::physicalColumn(int col) const
+{
+    NEBULA_ASSERT(col >= 0 && col < p_.cols, "column out of range");
+    return remap_[static_cast<size_t>(col)];
+}
+
+int
+CrossbarArray::sparesUsed() const
+{
+    int used = 0;
+    for (int p : remap_)
+        used += p >= p_.cols;
+    return used;
 }
 
 double
@@ -57,7 +284,9 @@ CrossbarArray::conductanceAt(int row, int col) const
 {
     NEBULA_ASSERT(row >= 0 && row < p_.rows && col >= 0 && col <= p_.cols,
                   "conductanceAt out of range");
-    return conductance_[static_cast<size_t>(row) * (p_.cols + 1) + col];
+    const int phys = col == p_.cols ? physicalDataCols()
+                                    : remap_[static_cast<size_t>(col)];
+    return cellAt(row, phys);
 }
 
 double
@@ -88,6 +317,7 @@ CrossbarArray::evaluateIdeal(const std::vector<double> &inputs,
     CrossbarEval eval;
     eval.currents.assign(p_.cols, 0.0);
 
+    const int ref = physicalDataCols();
     double ref_current = 0.0;
     double power = 0.0;
     for (int i = 0; i < p_.rows; ++i) {
@@ -95,18 +325,26 @@ CrossbarArray::evaluateIdeal(const std::vector<double> &inputs,
         if (v == 0.0)
             continue;
         const double *row =
-            &conductance_[static_cast<size_t>(i) * (p_.cols + 1)];
+            &conductance_[static_cast<size_t>(i) * physicalStride()];
         double row_g = 0.0;
         for (int j = 0; j < p_.cols; ++j) {
-            eval.currents[j] += v * row[j];
-            row_g += row[j];
+            const double g = row[remap_[static_cast<size_t>(j)]];
+            eval.currents[static_cast<size_t>(j)] += v * g;
+            row_g += g;
         }
-        ref_current += v * row[p_.cols];
-        row_g += row[p_.cols];
+        ref_current += v * row[ref];
+        row_g += row[ref];
         power += v * v * row_g;
     }
     for (auto &current : eval.currents)
         current -= ref_current;
+    if (!faults_.empty()) {
+        // An open source-line disconnects the neuron input entirely: it
+        // integrates nothing, rather than the bare reference current.
+        for (int j = 0; j < p_.cols; ++j)
+            if (faults_.colOpen(remap_[static_cast<size_t>(j)]))
+                eval.currents[static_cast<size_t>(j)] = 0.0;
+    }
     eval.energy = power * duration;
     return eval;
 }
@@ -120,7 +358,7 @@ CrossbarArray::evaluateParasitic(const std::vector<double> &inputs,
                   "input vector size mismatch");
 
     const int rows = p_.rows;
-    const int cols = p_.cols + 1; // includes the reference column
+    const int cols = physicalStride(); // data + spares + reference
     const double gw = 1.0 / p_.wireResistance;
 
     // Node voltages: vr (bit-line side) and vc (source-line side).
@@ -194,9 +432,16 @@ CrossbarArray::evaluateParasitic(const std::vector<double> &inputs,
     CrossbarEval eval;
     eval.currents.assign(p_.cols, 0.0);
     // Column output current = bottom node voltage / wire segment to gnd.
-    const double ref = vc[idx(rows - 1, p_.cols)] * gw;
-    for (int j = 0; j < p_.cols; ++j)
-        eval.currents[j] = vc[idx(rows - 1, j)] * gw - ref;
+    const double ref = vc[idx(rows - 1, physicalDataCols())] * gw;
+    for (int j = 0; j < p_.cols; ++j) {
+        const int p = remap_[static_cast<size_t>(j)];
+        if (!faults_.empty() && faults_.colOpen(p)) {
+            eval.currents[static_cast<size_t>(j)] = 0.0;
+            continue;
+        }
+        eval.currents[static_cast<size_t>(j)] =
+            vc[idx(rows - 1, p)] * gw - ref;
+    }
 
     // Power delivered by the row drivers.
     double power = 0.0;

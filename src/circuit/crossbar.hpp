@@ -20,6 +20,14 @@
  *  - parasitic: wire resistance along rows/columns is included via a
  *    full nodal Gauss-Seidel solve (slow, for validation and the supply
  *    voltage ablation) or a fast per-cell attenuation approximation.
+ *
+ * Reliability: the array can carry an explicit FaultMap (stuck cells,
+ * pinning drift, retention decay, line opens) injected before
+ * programming, and the program() entry point supports the mitigation
+ * flow of src/reliability -- closed-loop write-verify and spare-column
+ * repair over CrossbarParams::spareCols physical spares. Logical
+ * columns are indirected through a remap table so a repaired column
+ * reads its spare transparently.
  */
 
 #ifndef NEBULA_CIRCUIT_CROSSBAR_HPP
@@ -29,7 +37,8 @@
 
 #include "device/dw_params.hpp"
 #include "device/mtj.hpp"
-#include "device/variability.hpp"
+#include "reliability/fault_model.hpp"
+#include "reliability/mitigation.hpp"
 
 namespace nebula {
 
@@ -38,6 +47,9 @@ struct CrossbarParams
 {
     int rows = 128;
     int cols = 128;
+
+    /** Physical spare columns available for repair (0 = none). */
+    int spareCols = 0;
 
     /** Read supply voltage on the bit-lines (V). SNN 0.25, ANN 0.75. */
     double readVoltage = 0.25;
@@ -73,11 +85,31 @@ class CrossbarArray
     explicit CrossbarArray(const CrossbarParams &params);
 
     /**
-     * Program signed normalized weights.
+     * Overlay device faults before programming. The map must cover the
+     * physical data columns: rows x (cols + spareCols).
+     */
+    void injectFaults(FaultMap faults);
+
+    /** The injected fault map (empty if none). */
+    const FaultMap &faults() const { return faults_; }
+
+    /**
+     * Program signed normalized weights with the selected mitigations:
+     * optional spare-column repair (columns whose uncorrectable defect
+     * count exceeds the threshold are remapped onto the healthiest
+     * spares before programming) and optional closed-loop write-verify
+     * (program -> sense -> trim per cell within a pulse budget).
      *
      * @param weights Row-major rows x cols matrix, entries in [-1, 1];
-     *                values are quantized to the cell's discrete levels
-     *                and perturbed by device variation if configured.
+     *                values are quantized to the cell's discrete levels.
+     * @return pulse / energy / failure / repair accounting.
+     */
+    ProgramReport program(const std::vector<float> &weights,
+                          const ProgrammingConfig &config);
+
+    /**
+     * Legacy single-pulse programming path (no mitigation): quantize,
+     * apply device variation if configured, write each cell once.
      */
     void programWeights(const std::vector<float> &weights);
 
@@ -106,7 +138,10 @@ class CrossbarArray
      */
     double currentScale() const;
 
-    /** Conductance actually programmed at (row, col). */
+    /**
+     * Conductance of logical column @p col at @p row (repair remap
+     * applied); col == cols() addresses the shared reference column.
+     */
     double conductanceAt(int row, int col) const;
 
     /** Normalized signed weight recovered from the programmed cell. */
@@ -115,14 +150,43 @@ class CrossbarArray
     /** Worst-case (all cells on, all inputs max) column current (A). */
     double maxColumnCurrent() const;
 
+    /** Physical column serving logical column @p col. */
+    int physicalColumn(int col) const;
+
+    /** Columns currently remapped onto spares. */
+    int sparesUsed() const;
+
     int rows() const { return p_.rows; }
     int cols() const { return p_.cols; }
     const CrossbarParams &params() const { return p_; }
 
   private:
+    /** Physical data columns (logical + spares). */
+    int physicalDataCols() const { return p_.cols + p_.spareCols; }
+
+    /** Physical columns per row in conductance_ (data + reference). */
+    int physicalStride() const { return physicalDataCols() + 1; }
+
+    double &cellAt(int row, int phys_col);
+    double cellAt(int row, int phys_col) const;
+
+    /** Decide the spare remap from the fault map (worst columns first). */
+    void planRepair(const ProgrammingConfig &config, ProgramReport &report);
+
+    /** Program one data cell; appends pulse/failure accounting. */
+    void programCell(int row, int phys_col, int level,
+                     const ProgrammingConfig &config,
+                     const GaussianVariabilityModel &noise, Rng &rng,
+                     ProgramReport &report);
+
+    const CellFault &faultAt(int row, int phys_col) const;
+    bool openAt(int row, int phys_col) const;
+
     CrossbarParams p_;
     MtjStack cell_;
-    std::vector<double> conductance_; //!< rows x cols, row-major
+    std::vector<double> conductance_; //!< rows x physicalStride, row-major
+    FaultMap faults_;                 //!< empty when fault-free
+    std::vector<int> remap_;          //!< logical col -> physical col
     double gMid_;
     double gHalfSwing_;
 };

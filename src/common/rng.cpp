@@ -29,9 +29,17 @@ rotl(uint64_t x, int k)
 
 Rng::Rng(uint64_t seed)
 {
+    reseed(seed);
+}
+
+void
+Rng::reseed(uint64_t seed)
+{
     uint64_t sm = seed;
     for (auto &s : state_)
         s = splitmix64(sm);
+    hasSpare_ = false;
+    spare_ = 0.0;
 }
 
 uint64_t

@@ -26,6 +26,13 @@ class Rng
     /** Construct from a 64-bit seed (SplitMix64 expansion of the seed). */
     explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
 
+    /**
+     * Reset to the stream of a freshly constructed Rng(seed). Also drops
+     * any cached Gaussian spare so the reseeded stream is independent of
+     * draws made before the reseed.
+     */
+    void reseed(uint64_t seed);
+
     /** Next raw 64-bit value. */
     uint64_t next();
 

@@ -1,25 +1,16 @@
 #include "device/variability.hpp"
 
-#include <algorithm>
-
-#include "common/logging.hpp"
-
 namespace nebula {
 
 VariabilityModel::VariabilityModel(double sigma, uint64_t seed)
-    : sigma_(sigma), rng_(seed)
+    : model_(sigma), rng_(seed)
 {
-    NEBULA_ASSERT(sigma >= 0.0, "variability sigma must be non-negative");
 }
 
 double
 VariabilityModel::sampleFactor()
 {
-    // Truncate at 4 sigma and keep factors positive; a conductance
-    // cannot go negative no matter how bad the device is.
-    double f = rng_.gaussian(1.0, sigma_);
-    f = std::clamp(f, 1.0 - 4.0 * sigma_, 1.0 + 4.0 * sigma_);
-    return std::max(f, 0.01);
+    return model_.programFactor(rng_);
 }
 
 void

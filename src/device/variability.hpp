@@ -2,6 +2,11 @@
  * @file
  * Device-variability model for Monte-Carlo robustness studies
  * (paper Sec. IV-D: 10% weight variation costs <1% accuracy).
+ *
+ * This is now a thin stateful wrapper over the reliability subsystem's
+ * GaussianVariabilityModel (the Gaussian special case of the FaultModel
+ * hierarchy), kept so existing call sites keep their seed-owning API.
+ * New code should use GaussianVariabilityModel with an explicit Rng.
  */
 
 #ifndef NEBULA_DEVICE_VARIABILITY_HPP
@@ -10,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "reliability/fault_model.hpp"
 
 namespace nebula {
 
@@ -29,10 +35,10 @@ class VariabilityModel
     /** Perturb a weight vector in place. */
     void perturb(std::vector<float> &weights);
 
-    double sigma() const { return sigma_; }
+    double sigma() const { return model_.sigma(); }
 
   private:
-    double sigma_;
+    GaussianVariabilityModel model_;
     Rng rng_;
 };
 

@@ -1,0 +1,371 @@
+#include "reliability/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "runtime/engine.hpp"
+#include "snn/snn_sim.hpp"
+
+namespace nebula {
+
+MitigationSpec
+MitigationSpec::none()
+{
+    return MitigationSpec{};
+}
+
+MitigationSpec
+MitigationSpec::writeVerifyOnly()
+{
+    MitigationSpec spec;
+    spec.name = "write_verify";
+    spec.writeVerify.enabled = true;
+    return spec;
+}
+
+MitigationSpec
+MitigationSpec::full(int spares)
+{
+    MitigationSpec spec;
+    spec.name = "wv+repair";
+    spec.spareCols = spares;
+    spec.writeVerify.enabled = true;
+    spec.repair.enabled = true;
+    return spec;
+}
+
+FaultModelFactory
+stuckAtFactory(double high_fraction, double hard_fraction)
+{
+    return [high_fraction, hard_fraction](double rate) {
+        return std::make_shared<const StuckAtFaultModel>(rate, high_fraction,
+                                                         hard_fraction);
+    };
+}
+
+double
+CampaignResult::meanAccuracy(const std::string &mode,
+                             const std::string &mitigation,
+                             double rate) const
+{
+    double sum = 0.0;
+    int count = 0;
+    for (const CampaignRow &row : rows) {
+        if (row.mode == mode && row.mitigation == mitigation &&
+            std::abs(row.rate - rate) < 1e-12) {
+            sum += row.accuracy;
+            ++count;
+        }
+    }
+    return count ? sum / count : -1.0;
+}
+
+std::string
+CampaignResult::csv() const
+{
+    std::string out =
+        "backend,mode,mitigation,rate,seed,images,correct,accuracy,"
+        "pulses_per_cell,failed_cells,repaired_columns,"
+        "irreparable_columns,program_energy_j\n";
+    char line[320];
+    for (const CampaignRow &row : rows) {
+        std::snprintf(
+            line, sizeof line,
+            "%s,%s,%s,%.6f,%llu,%d,%d,%.6f,%.3f,%lld,%lld,%lld,%.6e\n",
+            row.backend.c_str(), row.mode.c_str(), row.mitigation.c_str(),
+            row.rate, static_cast<unsigned long long>(row.seed), row.images,
+            row.correct, row.accuracy, row.report.pulsesPerCell(),
+            row.report.failedCells, row.report.repairedColumns,
+            row.report.irreparableColumns, row.report.programEnergy);
+        out += line;
+    }
+    return out;
+}
+
+void
+CampaignResult::writeCsv(const std::string &path) const
+{
+    std::ofstream file(path, std::ios::trunc);
+    NEBULA_ASSERT(file.good(), "cannot write campaign CSV to ", path);
+    file << csv();
+}
+
+void
+CampaignResult::addStats(StatGroup &stats) const
+{
+    for (const CampaignRow &row : rows)
+        row.report.addTo(stats);
+}
+
+namespace {
+
+/**
+ * Run one trial's accuracy measurement through the inference engine.
+ * @param timesteps 0 for ANN requests, the evidence window otherwise.
+ */
+int
+countCorrect(const ReplicaFactory &factory, const Dataset &test,
+             const CampaignConfig &config, int timesteps, int images)
+{
+    EngineConfig ec;
+    ec.numWorkers = config.numWorkers;
+    ec.defaultTimesteps = std::max(timesteps, 1);
+    ec.seedSalt = config.seedSalt;
+    InferenceEngine engine(ec, factory);
+
+    std::vector<Tensor> batch;
+    batch.reserve(static_cast<size_t>(images));
+    for (int i = 0; i < images; ++i)
+        batch.push_back(test.image(i));
+    auto futures = engine.submitBatch(batch);
+
+    int correct = 0;
+    for (int i = 0; i < images; ++i)
+        correct += futures[static_cast<size_t>(i)].get().predictedClass ==
+                   test.label(i);
+    engine.shutdown();
+    return correct;
+}
+
+/**
+ * Wrap a replica factory so the first replica's programming report is
+ * captured for the campaign row (replicas are programmed identically,
+ * so one report describes them all).
+ */
+ReplicaFactory
+captureReport(ReplicaFactory base, std::shared_ptr<ProgramReport> report)
+{
+    return [base = std::move(base),
+            report = std::move(report)](int worker_id) {
+        auto replica = base(worker_id);
+        if (worker_id <= 0 && replica->programReport())
+            *report = *replica->programReport();
+        return replica;
+    };
+}
+
+/** Functional replica: the perturbed network evaluated as-is. */
+class FunctionalAnnReplica : public ChipReplica
+{
+  public:
+    explicit FunctionalAnnReplica(const Network &prototype)
+        : net_(prototype.clone())
+    {
+    }
+
+    InferenceResult
+    run(const InferenceRequest &request) override
+    {
+        std::vector<int> batched;
+        batched.push_back(1);
+        for (int d = 0; d < request.image.rank(); ++d)
+            batched.push_back(request.image.dim(d));
+        InferenceResult result;
+        result.logits = net_.forward(request.image.reshaped(batched), false);
+        result.predictedClass = result.logits.argmaxRow(0);
+        return result;
+    }
+
+    const char *
+    mode() const override
+    {
+        return "ann";
+    }
+
+  private:
+    Network net_;
+};
+
+} // namespace
+
+CampaignResult
+runChipCampaign(const Network &quantized, const QuantizationResult &quant,
+                const SpikingModel *snn, const Dataset &test,
+                const CampaignConfig &config)
+{
+    NEBULA_ASSERT(config.images > 0, "campaign needs images");
+    NEBULA_ASSERT(!config.rates.empty() && !config.seeds.empty() &&
+                      !config.mitigations.empty(),
+                  "empty campaign sweep");
+    const FaultModelFactory factory =
+        config.modelFactory ? config.modelFactory : stuckAtFactory();
+    const int images = std::min(config.images, test.size());
+
+    CampaignResult result;
+    for (const MitigationSpec &mit : config.mitigations) {
+        for (double rate : config.rates) {
+            for (uint64_t seed : config.seeds) {
+                ReliabilityConfig rel;
+                rel.faults = factory(rate);
+                rel.faultSeed = seed;
+                rel.spareCols = mit.spareCols;
+                rel.writeVerify = mit.writeVerify;
+                rel.repair = mit.repair;
+
+                CampaignRow row;
+                row.backend = "chip";
+                row.mitigation = mit.name;
+                row.rate = rate;
+                row.seed = seed;
+                row.images = images;
+
+                if (config.runAnn) {
+                    auto report = std::make_shared<ProgramReport>();
+                    const int correct = countCorrect(
+                        captureReport(
+                            makeAnnReplicaFactory(quantized, quant,
+                                                  config.chip,
+                                                  config.variationSigma,
+                                                  config.chipSeed, rel),
+                            report),
+                        test, config, 0, images);
+                    row.mode = "ann";
+                    row.correct = correct;
+                    row.accuracy = static_cast<double>(correct) / images;
+                    row.report = *report;
+                    result.rows.push_back(row);
+                }
+                if (config.runSnn && snn) {
+                    auto report = std::make_shared<ProgramReport>();
+                    const int correct = countCorrect(
+                        captureReport(
+                            makeSnnReplicaFactory(*snn, config.chip,
+                                                  config.variationSigma,
+                                                  config.chipSeed, rel),
+                            report),
+                        test, config, config.timesteps, images);
+                    row.mode = "snn";
+                    row.correct = correct;
+                    row.accuracy = static_cast<double>(correct) / images;
+                    row.report = *report;
+                    result.rows.push_back(row);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+CampaignResult
+runFunctionalCampaign(const Network &quantized, const Tensor &calibration,
+                      const Dataset &test, const CampaignConfig &config)
+{
+    NEBULA_ASSERT(config.images > 0, "campaign needs images");
+    for (const MitigationSpec &mit : config.mitigations)
+        NEBULA_ASSERT(!mit.writeVerify.enabled && !mit.repair.enabled &&
+                          mit.spareCols == 0,
+                      "functional backend models no mitigation (got ",
+                      mit.name, ")");
+    const FaultModelFactory factory =
+        config.modelFactory ? config.modelFactory : stuckAtFactory();
+    const int images = std::min(config.images, test.size());
+
+    CampaignResult result;
+    for (const MitigationSpec &mit : config.mitigations) {
+        for (double rate : config.rates) {
+            for (uint64_t seed : config.seeds) {
+                Network noisy = quantized.clone();
+                const auto model = factory(rate);
+                applyFaultsToWeights(noisy, *model, seed);
+
+                CampaignRow row;
+                row.backend = "functional";
+                row.mitigation = mit.name;
+                row.rate = rate;
+                row.seed = seed;
+                row.images = images;
+
+                if (config.runAnn) {
+                    auto proto =
+                        std::make_shared<const Network>(noisy.clone());
+                    const int correct = countCorrect(
+                        [proto](int) -> std::unique_ptr<ChipReplica> {
+                            return std::make_unique<FunctionalAnnReplica>(
+                                *proto);
+                        },
+                        test, config, 0, images);
+                    row.mode = "ann";
+                    row.correct = correct;
+                    row.accuracy = static_cast<double>(correct) / images;
+                    result.rows.push_back(row);
+                }
+                if (config.runSnn) {
+                    // The spiking path re-converts the perturbed network
+                    // and runs the plain simulator (it owns the encoder
+                    // seed stream, so this leg is sequential).
+                    SpikingModel snn = convertToSnn(noisy, calibration);
+                    SnnSimulator sim(snn, 1.0, seed ^ 0x5eedull);
+                    const double acc = sim.evaluateAccuracy(
+                        test, images, config.timesteps);
+                    row.mode = "snn";
+                    row.correct =
+                        static_cast<int>(std::lround(acc * images));
+                    row.accuracy = acc;
+                    result.rows.push_back(row);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+void
+applyFaultsToWeights(Network &net, const FaultModel &model, uint64_t seed,
+                     int levels)
+{
+    NEBULA_ASSERT(levels >= 2, "need at least 2 levels");
+    int xbar = 0;
+    for (int i = 0; i < net.numLayers(); ++i) {
+        Layer &layer = net.layer(i);
+        if (!layer.isWeightLayer())
+            continue;
+        Tensor &w = *layer.parameters()[0];
+        const int rf = layer.receptiveField();
+        const int kernels = layer.numKernels();
+        NEBULA_ASSERT(w.size() ==
+                          static_cast<long long>(rf) * kernels,
+                      "unexpected weight layout in ", layer.name());
+        const float wmax = std::max(w.maxAbs(), 1e-6f);
+        const float step = 2.0f * wmax / (levels - 1);
+
+        FaultMap map(rf, kernels);
+        model.sampleInto(map,
+                         deriveFaultSeed(seed, static_cast<uint64_t>(xbar)));
+        Rng rng(deriveFaultSeed(seed ^ 0xfa57ull,
+                                static_cast<uint64_t>(xbar)));
+
+        for (int k = 0; k < kernels; ++k) {
+            for (int r = 0; r < rf; ++r) {
+                float &value = w[static_cast<long long>(k) * rf + r];
+                const CellFault &fault = map.cell(r, k);
+                switch (fault.kind) {
+                case FaultKind::StuckHigh:
+                    value = wmax;
+                    break;
+                case FaultKind::StuckLow:
+                    value = -wmax;
+                    break;
+                case FaultKind::Drift:
+                    value = std::clamp(value + fault.drift * step, -wmax,
+                                       wmax);
+                    break;
+                case FaultKind::Decay:
+                    value *= fault.decay;
+                    break;
+                case FaultKind::None:
+                    break;
+                }
+                if (map.rowOpen(r) || map.colOpen(k))
+                    value = 0.0f;
+                value = static_cast<float>(value * model.programFactor(rng));
+            }
+        }
+        ++xbar;
+    }
+}
+
+} // namespace nebula

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Fault-injection campaign runner: sweeps fault rates x fault seeds x
+ * mitigation configurations over a quantized ANN and its converted SNN
+ * and reports accuracy-degradation curves.
+ *
+ * Two backends share the CampaignConfig/CampaignResult types:
+ *
+ *  - Chip backend (runChipCampaign): every trial programs NebulaChip
+ *    replicas under a ReliabilityConfig (per-crossbar FaultMap sampled
+ *    from the trial seed, write-verify / spare-column repair as the
+ *    mitigation spec dictates) and measures accuracy through the
+ *    concurrent InferenceEngine -- trials parallelize across worker
+ *    replicas while staying bit-deterministic, because fault maps
+ *    depend only on (seed, crossbar index) and every request carries a
+ *    derived encoder seed.
+ *
+ *  - Functional backend (runFunctionalCampaign): the fault model is
+ *    applied directly to the network's weight tensors (a functional
+ *    view of the crossbar cells) and accuracy is measured with the
+ *    plain simulators. No mitigation is modeled -- this is the fast
+ *    path for large scaled models (the Sec. IV-D variability study)
+ *    where the full circuit path would dominate runtime.
+ *
+ * Results are deterministic given the config: rerunning a campaign
+ * yields a byte-identical CSV.
+ */
+
+#ifndef NEBULA_RELIABILITY_CAMPAIGN_HPP
+#define NEBULA_RELIABILITY_CAMPAIGN_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "nn/datasets.hpp"
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+#include "reliability/mitigation.hpp"
+#include "snn/convert.hpp"
+
+namespace nebula {
+
+/** One mitigation configuration swept by a campaign. */
+struct MitigationSpec
+{
+    std::string name = "none";
+    int spareCols = 0;
+    WriteVerifyConfig writeVerify;
+    RepairConfig repair;
+
+    /** Open-loop programming, no spares. */
+    static MitigationSpec none();
+
+    /** Closed-loop write-verify only. */
+    static MitigationSpec writeVerifyOnly();
+
+    /** Write-verify plus spare-column repair with @p spares per array. */
+    static MitigationSpec full(int spares);
+};
+
+/**
+ * Builds the fault model for one sweep value. The default factory maps
+ * a per-cell stuck-at rate (with the default soft/hard split); the
+ * Sec. IV-D bench swaps in a Gaussian-variability factory instead.
+ */
+using FaultModelFactory =
+    std::function<std::shared_ptr<const FaultModel>(double rate)>;
+
+/** Campaign sweep definition. */
+struct CampaignConfig
+{
+    /** Sweep values (per-cell fault rate, or sigma for the bench). */
+    std::vector<double> rates{0.0, 0.01, 0.02, 0.05};
+
+    /** Fault-map seeds; each is one independent trial per rate. */
+    std::vector<uint64_t> seeds{1};
+
+    /** Mitigation configurations to compare. */
+    std::vector<MitigationSpec> mitigations{MitigationSpec::none()};
+
+    /** Sweep-value -> fault model (null: default stuck-at factory). */
+    FaultModelFactory modelFactory;
+
+    /** Test images per trial. */
+    int images = 60;
+
+    /** SNN evidence window per image. */
+    int timesteps = 40;
+
+    bool runAnn = true;
+    bool runSnn = true;
+
+    /** Engine worker threads per trial (0 = inline). */
+    int numWorkers = 2;
+
+    /** Chip programming seed (shared by all replicas of a trial). */
+    uint64_t chipSeed = 5;
+
+    /** Request-seed salt (fixed so every trial encodes identically). */
+    uint64_t seedSalt = 4242;
+
+    /** Device programming variation sigma on the chip backend. */
+    double variationSigma = 0.0;
+
+    /** Chip architecture for the chip backend. */
+    NebulaConfig chip;
+};
+
+/** One (backend, mode, mitigation, rate, seed) measurement. */
+struct CampaignRow
+{
+    std::string backend;    //!< "chip" or "functional"
+    std::string mode;       //!< "ann" or "snn"
+    std::string mitigation; //!< MitigationSpec::name
+    double rate = 0.0;
+    uint64_t seed = 0;
+    int images = 0;
+    int correct = 0;
+    double accuracy = 0.0;
+
+    /** Programming accounting (chip backend; zeros on functional). */
+    ProgramReport report;
+};
+
+/** All rows of one campaign, plus CSV serialization. */
+struct CampaignResult
+{
+    std::vector<CampaignRow> rows;
+
+    /**
+     * Mean accuracy over seeds for one (mode, mitigation, rate) cell;
+     * -1 if no row matches.
+     */
+    double meanAccuracy(const std::string &mode,
+                        const std::string &mitigation, double rate) const;
+
+    /** Deterministic CSV (header + one line per row). */
+    std::string csv() const;
+
+    /** Write csv() to @p path (overwrites). */
+    void writeCsv(const std::string &path) const;
+
+    /** Record per-row programming totals into a StatGroup. */
+    void addStats(StatGroup &stats) const;
+};
+
+/** The default sweep factory: stuck-at cells at the given rate. */
+FaultModelFactory stuckAtFactory(double high_fraction = 0.5,
+                                 double hard_fraction = 0.25);
+
+/**
+ * Chip-backend campaign over a quantized ANN (and, when @p snn is
+ * non-null and config.runSnn, its converted SNN). Accuracy is measured
+ * on the first config.images samples of @p test through NebulaChip
+ * replicas programmed under each (mitigation, rate, seed) scenario.
+ */
+CampaignResult runChipCampaign(const Network &quantized,
+                               const QuantizationResult &quant,
+                               const SpikingModel *snn, const Dataset &test,
+                               const CampaignConfig &config);
+
+/**
+ * Functional-backend campaign: faults are applied straight to weight
+ * tensors of clones of @p quantized (see applyFaultsToWeights); the SNN
+ * leg converts each perturbed clone with @p calibration. Mitigations
+ * are not modeled -- every MitigationSpec must be plain "none".
+ */
+CampaignResult runFunctionalCampaign(const Network &quantized,
+                                     const Tensor &calibration,
+                                     const Dataset &test,
+                                     const CampaignConfig &config);
+
+/**
+ * Apply a fault model directly to a network's weight tensors, mirroring
+ * the crossbar cell layout (row = position within a kernel's receptive
+ * field, column = kernel): stuck cells pin to +-|w|max, pinning drift
+ * shifts by discrete level steps, decay scales toward zero, line opens
+ * zero the affected weights, and the model's programFactor multiplies
+ * every weight (the Gaussian-variability path). Weight layers reuse the
+ * chip's per-crossbar seed derivation, so layer k sees the same fault
+ * stream regardless of the other layers.
+ */
+void applyFaultsToWeights(Network &net, const FaultModel &model,
+                          uint64_t seed, int levels = 16);
+
+} // namespace nebula
+
+#endif // NEBULA_RELIABILITY_CAMPAIGN_HPP

@@ -1,0 +1,381 @@
+#include "reliability/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace nebula {
+
+FaultMap::FaultMap(int rows, int cols) : rows_(rows), cols_(cols)
+{
+    NEBULA_ASSERT(rows > 0 && cols > 0, "bad fault-map geometry");
+    cells_.assign(static_cast<size_t>(rows) * cols, CellFault{});
+    rowOpen_.assign(static_cast<size_t>(rows), 0);
+    colOpen_.assign(static_cast<size_t>(cols), 0);
+}
+
+const CellFault &
+FaultMap::cell(int row, int col) const
+{
+    NEBULA_ASSERT(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+                  "fault-map cell out of range");
+    return cells_[static_cast<size_t>(row) * cols_ + col];
+}
+
+CellFault &
+FaultMap::cell(int row, int col)
+{
+    NEBULA_ASSERT(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+                  "fault-map cell out of range");
+    return cells_[static_cast<size_t>(row) * cols_ + col];
+}
+
+void
+FaultMap::setRowOpen(int row)
+{
+    NEBULA_ASSERT(row >= 0 && row < rows_, "row out of range");
+    rowOpen_[static_cast<size_t>(row)] = 1;
+}
+
+void
+FaultMap::setColOpen(int col)
+{
+    NEBULA_ASSERT(col >= 0 && col < cols_, "col out of range");
+    colOpen_[static_cast<size_t>(col)] = 1;
+}
+
+bool
+FaultMap::rowOpen(int row) const
+{
+    NEBULA_ASSERT(row >= 0 && row < rows_, "row out of range");
+    return rowOpen_[static_cast<size_t>(row)] != 0;
+}
+
+bool
+FaultMap::colOpen(int col) const
+{
+    NEBULA_ASSERT(col >= 0 && col < cols_, "col out of range");
+    return colOpen_[static_cast<size_t>(col)] != 0;
+}
+
+int
+FaultMap::cellFaultCount() const
+{
+    int count = 0;
+    for (const auto &f : cells_)
+        count += f.faulty();
+    return count;
+}
+
+int
+FaultMap::columnFaultCount(int col) const
+{
+    if (colOpen(col))
+        return rows_;
+    int count = 0;
+    for (int i = 0; i < rows_; ++i)
+        count += cell(i, col).faulty() || rowOpen(i);
+    return count;
+}
+
+int
+FaultMap::columnDefectCount(int col, bool write_verify) const
+{
+    if (colOpen(col))
+        return rows_;
+    int count = 0;
+    for (int i = 0; i < rows_; ++i) {
+        if (rowOpen(i)) {
+            ++count;
+            continue;
+        }
+        const CellFault &f = cell(i, col);
+        if (f.stuck() && (f.hard || !write_verify))
+            ++count;
+        else if (f.kind == FaultKind::Drift && !write_verify)
+            ++count;
+    }
+    return count;
+}
+
+uint64_t
+deriveFaultSeed(uint64_t seed, uint64_t index)
+{
+    uint64_t z = seed + (index + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+void
+FaultModel::sampleInto(FaultMap &, uint64_t) const
+{
+}
+
+double
+FaultModel::programFactor(Rng &) const
+{
+    return 1.0;
+}
+
+Rng
+FaultModel::cellStream(uint64_t seed, uint64_t salt, int row, int col)
+{
+    // Counter-based: the stream depends only on (seed, salt, row, col),
+    // never on how many cells were visited before, so maps are
+    // order-independent and nested across fault rates.
+    const uint64_t cell_id =
+        (static_cast<uint64_t>(static_cast<uint32_t>(row + 1)) << 32) |
+        static_cast<uint32_t>(col + 1);
+    return Rng(deriveFaultSeed(seed ^ (salt * 0xd1b54a32d192ed03ull),
+                               cell_id));
+}
+
+StuckAtFaultModel::StuckAtFaultModel(double rate, double high_fraction,
+                                     double hard_fraction)
+    : rate_(rate), highFraction_(high_fraction), hardFraction_(hard_fraction)
+{
+    NEBULA_ASSERT(rate >= 0.0 && rate <= 1.0, "stuck rate out of [0,1]");
+}
+
+void
+StuckAtFaultModel::sampleInto(FaultMap &map, uint64_t seed) const
+{
+    if (rate_ <= 0.0)
+        return;
+    for (int i = 0; i < map.rows(); ++i) {
+        for (int j = 0; j < map.cols(); ++j) {
+            Rng rng = cellStream(seed, 1, i, j);
+            // First draw decides "faulty at this rate": the same cell
+            // compares the same uniform against every rate, so fault
+            // sets are nested as the rate grows.
+            if (rng.uniform() >= rate_)
+                continue;
+            CellFault &f = map.cell(i, j);
+            f.kind = rng.uniform() < highFraction_ ? FaultKind::StuckHigh
+                                                   : FaultKind::StuckLow;
+            f.hard = rng.uniform() < hardFraction_;
+        }
+    }
+}
+
+std::unique_ptr<FaultModel>
+StuckAtFaultModel::clone() const
+{
+    return std::make_unique<StuckAtFaultModel>(*this);
+}
+
+std::string
+StuckAtFaultModel::describe() const
+{
+    std::ostringstream os;
+    os << "stuck-at " << 100.0 * rate_ << "%";
+    return os.str();
+}
+
+PinningDriftFaultModel::PinningDriftFaultModel(double rate, int max_drift)
+    : rate_(rate), maxDrift_(max_drift)
+{
+    NEBULA_ASSERT(rate >= 0.0 && rate <= 1.0, "drift rate out of [0,1]");
+    NEBULA_ASSERT(max_drift >= 1, "max_drift must be >= 1");
+}
+
+void
+PinningDriftFaultModel::sampleInto(FaultMap &map, uint64_t seed) const
+{
+    if (rate_ <= 0.0)
+        return;
+    for (int i = 0; i < map.rows(); ++i) {
+        for (int j = 0; j < map.cols(); ++j) {
+            Rng rng = cellStream(seed, 2, i, j);
+            if (rng.uniform() >= rate_)
+                continue;
+            CellFault &f = map.cell(i, j);
+            if (f.faulty())
+                continue; // stuck dominates drift on a shared cell
+            const int magnitude = rng.uniformInt(1, maxDrift_);
+            f.kind = FaultKind::Drift;
+            f.drift = static_cast<int8_t>(rng.bernoulli(0.5) ? magnitude
+                                                             : -magnitude);
+        }
+    }
+}
+
+std::unique_ptr<FaultModel>
+PinningDriftFaultModel::clone() const
+{
+    return std::make_unique<PinningDriftFaultModel>(*this);
+}
+
+std::string
+PinningDriftFaultModel::describe() const
+{
+    std::ostringstream os;
+    os << "pinning-drift " << 100.0 * rate_ << "% (+-" << maxDrift_ << ")";
+    return os.str();
+}
+
+RetentionDecayFaultModel::RetentionDecayFaultModel(double elapsed,
+                                                   double tau, double sigma)
+    : elapsed_(elapsed), tau_(tau), sigma_(sigma)
+{
+    NEBULA_ASSERT(elapsed >= 0.0 && tau > 0.0, "bad retention parameters");
+}
+
+void
+RetentionDecayFaultModel::sampleInto(FaultMap &map, uint64_t seed) const
+{
+    if (elapsed_ <= 0.0)
+        return;
+    for (int i = 0; i < map.rows(); ++i) {
+        for (int j = 0; j < map.cols(); ++j) {
+            Rng rng = cellStream(seed, 3, i, j);
+            const double tau_cell = tau_ * std::exp(rng.gaussian() * sigma_);
+            const double remaining = std::exp(-elapsed_ / tau_cell);
+            // Only record cells whose lost swing is visible at 16-level
+            // resolution; the rest are indistinguishable from ideal.
+            if (remaining > 1.0 - 1.0 / 32.0)
+                continue;
+            CellFault &f = map.cell(i, j);
+            if (f.faulty())
+                continue;
+            f.kind = FaultKind::Decay;
+            f.decay = static_cast<float>(remaining);
+        }
+    }
+}
+
+std::unique_ptr<FaultModel>
+RetentionDecayFaultModel::clone() const
+{
+    return std::make_unique<RetentionDecayFaultModel>(*this);
+}
+
+std::string
+RetentionDecayFaultModel::describe() const
+{
+    std::ostringstream os;
+    os << "retention t=" << elapsed_ << "s tau=" << tau_ << "s";
+    return os.str();
+}
+
+LineOpenFaultModel::LineOpenFaultModel(double row_rate, double col_rate)
+    : rowRate_(row_rate), colRate_(col_rate)
+{
+    NEBULA_ASSERT(row_rate >= 0.0 && row_rate <= 1.0 && col_rate >= 0.0 &&
+                      col_rate <= 1.0,
+                  "open rates out of [0,1]");
+}
+
+void
+LineOpenFaultModel::sampleInto(FaultMap &map, uint64_t seed) const
+{
+    for (int i = 0; i < map.rows(); ++i) {
+        Rng rng = cellStream(seed, 4, i, -1);
+        if (rng.uniform() < rowRate_)
+            map.setRowOpen(i);
+    }
+    for (int j = 0; j < map.cols(); ++j) {
+        Rng rng = cellStream(seed, 5, -1, j);
+        if (rng.uniform() < colRate_)
+            map.setColOpen(j);
+    }
+}
+
+std::unique_ptr<FaultModel>
+LineOpenFaultModel::clone() const
+{
+    return std::make_unique<LineOpenFaultModel>(*this);
+}
+
+std::string
+LineOpenFaultModel::describe() const
+{
+    std::ostringstream os;
+    os << "line-open rows " << 100.0 * rowRate_ << "% cols "
+       << 100.0 * colRate_ << "%";
+    return os.str();
+}
+
+GaussianVariabilityModel::GaussianVariabilityModel(double sigma)
+    : sigma_(sigma)
+{
+    NEBULA_ASSERT(sigma >= 0.0, "variability sigma must be non-negative");
+}
+
+double
+GaussianVariabilityModel::programFactor(Rng &rng) const
+{
+    if (sigma_ <= 0.0)
+        return 1.0;
+    // Truncate at 4 sigma and keep factors positive; a conductance
+    // cannot go negative no matter how bad the device is.
+    double f = rng.gaussian(1.0, sigma_);
+    f = std::clamp(f, 1.0 - 4.0 * sigma_, 1.0 + 4.0 * sigma_);
+    return std::max(f, 0.01);
+}
+
+std::unique_ptr<FaultModel>
+GaussianVariabilityModel::clone() const
+{
+    return std::make_unique<GaussianVariabilityModel>(*this);
+}
+
+std::string
+GaussianVariabilityModel::describe() const
+{
+    std::ostringstream os;
+    os << "gaussian sigma=" << sigma_;
+    return os.str();
+}
+
+CompositeFaultModel::CompositeFaultModel(const CompositeFaultModel &other)
+{
+    for (const auto &m : other.models_)
+        models_.push_back(m->clone());
+}
+
+void
+CompositeFaultModel::add(std::unique_ptr<FaultModel> model)
+{
+    NEBULA_ASSERT(model, "null fault model");
+    models_.push_back(std::move(model));
+}
+
+void
+CompositeFaultModel::sampleInto(FaultMap &map, uint64_t seed) const
+{
+    for (const auto &m : models_)
+        m->sampleInto(map, seed);
+}
+
+double
+CompositeFaultModel::programFactor(Rng &rng) const
+{
+    double f = 1.0;
+    for (const auto &m : models_)
+        f *= m->programFactor(rng);
+    return f;
+}
+
+std::unique_ptr<FaultModel>
+CompositeFaultModel::clone() const
+{
+    return std::make_unique<CompositeFaultModel>(*this);
+}
+
+std::string
+CompositeFaultModel::describe() const
+{
+    std::string out = "composite[";
+    for (size_t i = 0; i < models_.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += models_[i]->describe();
+    }
+    return out + "]";
+}
+
+} // namespace nebula

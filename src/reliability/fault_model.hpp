@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Device-fault taxonomy for DW-MTJ crossbar arrays.
+ *
+ * The paper's robustness story is a single Monte-Carlo study (Sec. IV-D:
+ * Gaussian conductance variation). Real domain-wall arrays fail in richer
+ * ways, and the reliability literature around DW-MTJ neurons treats those
+ * failure modes as the central obstacle to spintronic inference:
+ *
+ *  - stuck-at cells: the wall is pinned at a track end, so the cell reads
+ *    G_min (fully AP) or G_max (fully P) regardless of programming. Soft
+ *    stuck walls sit in a shallow pinning site and can be freed by pulse
+ *    escalation during write-verify; hard ones (physical defects) cannot.
+ *  - pinning-state drift: notch geometry variation biases the wall a few
+ *    discrete levels away from the addressed state on every open-loop
+ *    write. Correctable in closed loop.
+ *  - retention decay: thermal activation relaxes the wall toward the
+ *    demagnetized track middle over time; conductances decay toward
+ *    G_mid with a per-cell time constant.
+ *  - line opens: a broken bit-line or source-line disconnects a whole
+ *    row / column (cells read zero conductance, the column sources no
+ *    current). Only spare-column repair helps.
+ *
+ * A FaultModel samples these into an explicit per-crossbar FaultMap.
+ * Sampling is counter-based: every cell derives its own stream from
+ * (seed, row, col), so maps are reproducible independent of evaluation
+ * order and *nested* across fault rates -- the faults present at rate r1
+ * are a subset of those at r2 > r1 for the same seed, which makes
+ * accuracy-vs-rate sweeps monotone in damage rather than resampled.
+ */
+
+#ifndef NEBULA_RELIABILITY_FAULT_MODEL_HPP
+#define NEBULA_RELIABILITY_FAULT_MODEL_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace nebula {
+
+/** What is wrong with one cell. */
+enum class FaultKind : uint8_t
+{
+    None = 0,
+    StuckLow,  //!< reads G_min (fully anti-parallel) regardless of writes
+    StuckHigh, //!< reads G_max (fully parallel) regardless of writes
+    Drift,     //!< open-loop writes land a few levels off target
+    Decay,     //!< conductance relaxed toward G_mid since programming
+};
+
+/** Per-cell fault record. */
+struct CellFault
+{
+    FaultKind kind = FaultKind::None;
+    int8_t drift = 0;    //!< signed level offset (Drift)
+    float decay = 1.0f;  //!< remaining swing fraction in [0, 1] (Decay)
+    bool hard = false;   //!< stuck wall that pulse escalation cannot free
+
+    bool faulty() const { return kind != FaultKind::None; }
+    bool stuck() const
+    {
+        return kind == FaultKind::StuckLow || kind == FaultKind::StuckHigh;
+    }
+};
+
+/**
+ * Explicit fault state of one physical crossbar array: a cell-fault
+ * matrix plus open-row/open-column flags. Geometry covers every
+ * *physical* data column (spares included); the shared reference column
+ * is modelled fault-free (it is replicated on real arrays).
+ */
+class FaultMap
+{
+  public:
+    FaultMap() = default;
+    FaultMap(int rows, int cols);
+
+    bool empty() const { return rows_ == 0; }
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    const CellFault &cell(int row, int col) const;
+    CellFault &cell(int row, int col);
+
+    void setRowOpen(int row);
+    void setColOpen(int col);
+    bool rowOpen(int row) const;
+    bool colOpen(int col) const;
+
+    /** Cells carrying any fault (opens not included). */
+    int cellFaultCount() const;
+
+    /** Faulty cells in one column (an open column counts every row). */
+    int columnFaultCount(int col) const;
+
+    /**
+     * Defects in one column that programming cannot correct: hard stuck
+     * cells, open rows/columns and -- when closed-loop write-verify is
+     * unavailable -- soft stuck and drift cells too. This is the score
+     * spare-column repair ranks columns by.
+     */
+    int columnDefectCount(int col, bool write_verify) const;
+
+  private:
+    int rows_ = 0, cols_ = 0;
+    std::vector<CellFault> cells_;
+    std::vector<uint8_t> rowOpen_, colOpen_;
+};
+
+/**
+ * Base of the fault-model hierarchy. A model contributes two things:
+ * discrete faults sampled into a FaultMap (sampleInto) and a
+ * multiplicative programming-noise factor applied per write pulse
+ * (programFactor). Most models implement only one of the two; the
+ * Gaussian variability model of the paper's Sec. IV-D study is the
+ * programFactor-only special case.
+ */
+class FaultModel
+{
+  public:
+    virtual ~FaultModel() = default;
+
+    /**
+     * Overlay this model's faults onto @p map. Deterministic in
+     * (@p seed, geometry); implementations must derive per-cell streams
+     * with cellStream() so maps nest across rates (see file comment).
+     */
+    virtual void sampleInto(FaultMap &map, uint64_t seed) const;
+
+    /**
+     * Multiplicative conductance factor for one program pulse
+     * (1.0 = ideal write). Draws from @p rng.
+     */
+    virtual double programFactor(Rng &rng) const;
+
+    virtual std::unique_ptr<FaultModel> clone() const = 0;
+
+    /** Short human-readable summary ("stuck-at 1.0%"). */
+    virtual std::string describe() const = 0;
+
+  protected:
+    /** Decorrelated per-cell stream for counter-based sampling.
+     *  @p salt separates fault classes; row == -1 addresses whole-column
+     *  draws and col == -1 whole-row draws. */
+    static Rng cellStream(uint64_t seed, uint64_t salt, int row, int col);
+};
+
+/** Stuck-at-G_min / stuck-at-G_max cells. */
+class StuckAtFaultModel : public FaultModel
+{
+  public:
+    /**
+     * @param rate          Per-cell stuck probability.
+     * @param high_fraction Fraction stuck at G_max (rest at G_min).
+     * @param hard_fraction Fraction whose wall cannot be freed by
+     *                      write-verify pulse escalation.
+     */
+    explicit StuckAtFaultModel(double rate, double high_fraction = 0.5,
+                               double hard_fraction = 0.25);
+
+    void sampleInto(FaultMap &map, uint64_t seed) const override;
+    std::unique_ptr<FaultModel> clone() const override;
+    std::string describe() const override;
+
+    double rate() const { return rate_; }
+
+  private:
+    double rate_, highFraction_, hardFraction_;
+};
+
+/** Discrete pinning-state drift: open-loop writes land +-k levels off. */
+class PinningDriftFaultModel : public FaultModel
+{
+  public:
+    /** @param max_drift Largest |level offset| a drifting cell shows. */
+    explicit PinningDriftFaultModel(double rate, int max_drift = 2);
+
+    void sampleInto(FaultMap &map, uint64_t seed) const override;
+    std::unique_ptr<FaultModel> clone() const override;
+    std::string describe() const override;
+
+  private:
+    double rate_;
+    int maxDrift_;
+};
+
+/**
+ * Time-dependent retention decay: every cell's conductance relaxes
+ * toward G_mid as exp(-t / tau_cell), tau_cell log-normally spread
+ * around a nominal retention constant. Cells whose remaining swing
+ * drops below ~1 level step are recorded as Decay faults.
+ */
+class RetentionDecayFaultModel : public FaultModel
+{
+  public:
+    /**
+     * @param elapsed  Time since programming (s).
+     * @param tau      Nominal retention time constant (s).
+     * @param sigma    Log-domain spread of the per-cell constant.
+     */
+    RetentionDecayFaultModel(double elapsed, double tau,
+                             double sigma = 0.5);
+
+    void sampleInto(FaultMap &map, uint64_t seed) const override;
+    std::unique_ptr<FaultModel> clone() const override;
+    std::string describe() const override;
+
+  private:
+    double elapsed_, tau_, sigma_;
+};
+
+/** Whole row / column opens (broken bit- or source-line). */
+class LineOpenFaultModel : public FaultModel
+{
+  public:
+    LineOpenFaultModel(double row_rate, double col_rate);
+
+    void sampleInto(FaultMap &map, uint64_t seed) const override;
+    std::unique_ptr<FaultModel> clone() const override;
+    std::string describe() const override;
+
+  private:
+    double rowRate_, colRate_;
+};
+
+/**
+ * The paper's Sec. IV-D Gaussian device variability as a FaultModel:
+ * no discrete faults, just a truncated N(1, sigma) multiplicative
+ * factor per write. VariabilityModel is a thin wrapper over this class
+ * so the crossbar and the fault campaigns share one injection path.
+ */
+class GaussianVariabilityModel : public FaultModel
+{
+  public:
+    explicit GaussianVariabilityModel(double sigma);
+
+    double programFactor(Rng &rng) const override;
+    std::unique_ptr<FaultModel> clone() const override;
+    std::string describe() const override;
+
+    double sigma() const { return sigma_; }
+
+  private:
+    double sigma_;
+};
+
+/** Composition: overlays every member's faults, multiplies factors. */
+class CompositeFaultModel : public FaultModel
+{
+  public:
+    CompositeFaultModel() = default;
+    CompositeFaultModel(const CompositeFaultModel &other);
+
+    void add(std::unique_ptr<FaultModel> model);
+
+    void sampleInto(FaultMap &map, uint64_t seed) const override;
+    double programFactor(Rng &rng) const override;
+    std::unique_ptr<FaultModel> clone() const override;
+    std::string describe() const override;
+
+  private:
+    std::vector<std::unique_ptr<FaultModel>> models_;
+};
+
+/** SplitMix64-style seed derivation shared by fault sampling sites. */
+uint64_t deriveFaultSeed(uint64_t seed, uint64_t index);
+
+} // namespace nebula
+
+#endif // NEBULA_RELIABILITY_FAULT_MODEL_HPP

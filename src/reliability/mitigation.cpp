@@ -1,0 +1,29 @@
+#include "reliability/mitigation.hpp"
+
+#include "common/stats.hpp"
+
+namespace nebula {
+
+void
+ProgramReport::merge(const ProgramReport &other)
+{
+    cells += other.cells;
+    pulses += other.pulses;
+    failedCells += other.failedCells;
+    repairedColumns += other.repairedColumns;
+    irreparableColumns += other.irreparableColumns;
+    programEnergy += other.programEnergy;
+}
+
+void
+ProgramReport::addTo(StatGroup &stats) const
+{
+    stats.scalar("reliability.cells_programmed").add(cells);
+    stats.scalar("reliability.program_pulses").add(pulses);
+    stats.scalar("reliability.failed_cells").add(failedCells);
+    stats.scalar("reliability.repaired_columns").add(repairedColumns);
+    stats.scalar("reliability.irreparable_columns").add(irreparableColumns);
+    stats.scalar("reliability.program_energy_j").add(programEnergy);
+}
+
+} // namespace nebula

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Mitigation knobs and bookkeeping for programming faulty crossbars:
+ * closed-loop write-verify, spare-column repair, and the report both
+ * produce. CrossbarArray::program consumes these; NebulaChip carries a
+ * ReliabilityConfig so whole networks can be programmed under a fault
+ * model with mitigations on or off.
+ */
+
+#ifndef NEBULA_RELIABILITY_MITIGATION_HPP
+#define NEBULA_RELIABILITY_MITIGATION_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "reliability/fault_model.hpp"
+
+namespace nebula {
+
+class StatGroup;
+
+/**
+ * Closed-loop write-verify programming: program -> sense -> trim until
+ * the cell reads within tolerance or the pulse budget is spent. The
+ * first pulse is a coarse write; trim pulse k moves the wall with
+ * 1/k-scaled residual noise (shorter pulses displace the wall less, so
+ * control gets finer as the loop iterates). Retry pulses also give a
+ * softly pinned stuck wall a chance to depin (thermally assisted
+ * escape); hard stuck cells and opens never converge and are reported.
+ */
+struct WriteVerifyConfig
+{
+    bool enabled = false;
+
+    /** Accept band around the target, in units of one level step. */
+    double toleranceLevels = 0.5;
+
+    /** Pulse budget per cell (first coarse pulse included). */
+    int maxPulses = 16;
+
+    /** Chance per retry pulse that a soft stuck wall depins. */
+    double depinProbability = 0.35;
+};
+
+/**
+ * Spare-column repair: logical columns whose uncorrectable-defect count
+ * exceeds the threshold are remapped onto the healthiest available
+ * physical spare column (CrossbarParams::spareCols of them per array).
+ * A spare is only taken when it is strictly healthier than the victim.
+ */
+struct RepairConfig
+{
+    bool enabled = false;
+
+    /** Repair a column when its defect count exceeds this. */
+    int faultThreshold = 0;
+};
+
+/** Mitigation selection for one programming pass. */
+struct ProgrammingConfig
+{
+    WriteVerifyConfig writeVerify;
+    RepairConfig repair;
+};
+
+/** What one programming pass did (accumulates across crossbars). */
+struct ProgramReport
+{
+    long long cells = 0;         //!< data cells programmed
+    long long pulses = 0;        //!< program pulses issued
+    long long failedCells = 0;   //!< out of tolerance after the budget
+    long long repairedColumns = 0;
+    long long irreparableColumns = 0; //!< over threshold, no better spare
+    double programEnergy = 0.0;  //!< J spent on program pulses
+
+    /** Mean pulses per programmed cell. */
+    double pulsesPerCell() const
+    {
+        return cells ? static_cast<double>(pulses) / cells : 0.0;
+    }
+
+    /** Accumulate another crossbar's report. */
+    void merge(const ProgramReport &other);
+
+    /** Record the totals as "reliability.*" scalars. */
+    void addTo(StatGroup &stats) const;
+};
+
+/**
+ * Chip-level reliability scenario: which faults afflict the arrays and
+ * which mitigations the programming flow uses. Attached to a NebulaChip
+ * before programAnn/programSnn; every crossbar then samples its own
+ * FaultMap from faultSeed (decorrelated per array, identical across
+ * identically-programmed replicas).
+ */
+struct ReliabilityConfig
+{
+    /** Device-fault model (null: fault-free arrays). */
+    std::shared_ptr<const FaultModel> faults;
+
+    /** Root seed for the per-crossbar fault maps. */
+    uint64_t faultSeed = 909;
+
+    /** Physical spare columns per crossbar array. */
+    int spareCols = 0;
+
+    WriteVerifyConfig writeVerify;
+    RepairConfig repair;
+
+    bool active() const
+    {
+        return faults != nullptr || writeVerify.enabled || repair.enabled ||
+               spareCols > 0;
+    }
+};
+
+} // namespace nebula
+
+#endif // NEBULA_RELIABILITY_MITIGATION_HPP

@@ -9,10 +9,12 @@ namespace nebula {
 AnnChipReplica::AnnChipReplica(const Network &prototype,
                                const QuantizationResult &quant,
                                const NebulaConfig &config,
-                               double variation_sigma, uint64_t chip_seed)
+                               double variation_sigma, uint64_t chip_seed,
+                               const ReliabilityConfig &reliability)
     : net_(prototype.clone()), quant_(quant),
       chip_(config, variation_sigma, chip_seed)
 {
+    chip_.setReliability(reliability);
     chip_.programAnn(net_, quant_);
 }
 
@@ -27,9 +29,11 @@ AnnChipReplica::run(const InferenceRequest &request)
 
 SnnChipReplica::SnnChipReplica(const SpikingModel &prototype,
                                const NebulaConfig &config,
-                               double variation_sigma, uint64_t chip_seed)
+                               double variation_sigma, uint64_t chip_seed,
+                               const ReliabilityConfig &reliability)
     : model_(prototype.clone()), chip_(config, variation_sigma, chip_seed)
 {
+    chip_.setReliability(reliability);
     chip_.programSnn(model_);
 }
 
@@ -73,26 +77,28 @@ ReplicaFactory
 makeAnnReplicaFactory(const Network &prototype,
                       const QuantizationResult &quant,
                       const NebulaConfig &config, double variation_sigma,
-                      uint64_t chip_seed)
+                      uint64_t chip_seed, const ReliabilityConfig &reliability)
 {
     auto proto = std::make_shared<const Network>(prototype.clone());
-    return [proto, quant, config, variation_sigma,
-            chip_seed](int) -> std::unique_ptr<ChipReplica> {
+    return [proto, quant, config, variation_sigma, chip_seed,
+            reliability](int) -> std::unique_ptr<ChipReplica> {
         return std::make_unique<AnnChipReplica>(*proto, quant, config,
-                                                variation_sigma, chip_seed);
+                                                variation_sigma, chip_seed,
+                                                reliability);
     };
 }
 
 ReplicaFactory
 makeSnnReplicaFactory(const SpikingModel &prototype,
                       const NebulaConfig &config, double variation_sigma,
-                      uint64_t chip_seed)
+                      uint64_t chip_seed, const ReliabilityConfig &reliability)
 {
     auto proto = std::make_shared<const SpikingModel>(prototype.clone());
-    return [proto, config, variation_sigma,
-            chip_seed](int) -> std::unique_ptr<ChipReplica> {
+    return [proto, config, variation_sigma, chip_seed,
+            reliability](int) -> std::unique_ptr<ChipReplica> {
         return std::make_unique<SnnChipReplica>(*proto, config,
-                                                variation_sigma, chip_seed);
+                                                variation_sigma, chip_seed,
+                                                reliability);
     };
 }
 

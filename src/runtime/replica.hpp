@@ -36,6 +36,14 @@ class ChipReplica
     /** Chip counters accumulated so far (null: replica has no chip). */
     virtual const ChipStats *chipStats() const { return nullptr; }
 
+    /**
+     * Programming accounting of the replica's chip (pulses, failed
+     * cells, repaired columns); null when the replica has no chip.
+     * Replicas are programmed identically, so any one replica's report
+     * describes the programming flow of all of them.
+     */
+    virtual const ProgramReport *programReport() const { return nullptr; }
+
     /** Reset the replica's chip counters. */
     virtual void clearStats() {}
 
@@ -58,10 +66,15 @@ class AnnChipReplica : public ChipReplica
   public:
     AnnChipReplica(const Network &prototype, const QuantizationResult &quant,
                    const NebulaConfig &config, double variation_sigma,
-                   uint64_t chip_seed);
+                   uint64_t chip_seed,
+                   const ReliabilityConfig &reliability = {});
 
     InferenceResult run(const InferenceRequest &request) override;
     const ChipStats *chipStats() const override { return &chip_.stats(); }
+    const ProgramReport *programReport() const override
+    {
+        return &chip_.programReport();
+    }
     void clearStats() override { chip_.clearStats(); }
     const char *mode() const override { return "ann"; }
 
@@ -76,10 +89,15 @@ class SnnChipReplica : public ChipReplica
 {
   public:
     SnnChipReplica(const SpikingModel &prototype, const NebulaConfig &config,
-                   double variation_sigma, uint64_t chip_seed);
+                   double variation_sigma, uint64_t chip_seed,
+                   const ReliabilityConfig &reliability = {});
 
     InferenceResult run(const InferenceRequest &request) override;
     const ChipStats *chipStats() const override { return &chip_.stats(); }
+    const ProgramReport *programReport() const override
+    {
+        return &chip_.programReport();
+    }
     void clearStats() override { chip_.clearStats(); }
     const char *mode() const override { return "snn"; }
 
@@ -114,13 +132,15 @@ ReplicaFactory makeAnnReplicaFactory(const Network &prototype,
                                      const QuantizationResult &quant,
                                      const NebulaConfig &config = {},
                                      double variation_sigma = 0.0,
-                                     uint64_t chip_seed = 5);
+                                     uint64_t chip_seed = 5,
+                                     const ReliabilityConfig &reliability = {});
 
 /** Factory producing identically-programmed SNN replicas. */
 ReplicaFactory makeSnnReplicaFactory(const SpikingModel &prototype,
                                      const NebulaConfig &config = {},
                                      double variation_sigma = 0.0,
-                                     uint64_t chip_seed = 5);
+                                     uint64_t chip_seed = 5,
+                                     const ReliabilityConfig &reliability = {});
 
 /**
  * Factory producing hybrid replicas: each worker converts its own clone

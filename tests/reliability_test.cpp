@@ -1,0 +1,583 @@
+/**
+ * @file
+ * Tests for the reliability subsystem: fault-map sampling (determinism,
+ * rate nesting), the crossbar mitigation flow (write-verify convergence,
+ * spare-column repair), the legacy VariabilityModel wrapper, chip-level
+ * plumbing and the campaign runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/chip.hpp"
+#include "circuit/crossbar.hpp"
+#include "device/variability.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/datasets.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/quantize.hpp"
+#include "reliability/campaign.hpp"
+#include "reliability/fault_model.hpp"
+#include "reliability/mitigation.hpp"
+
+namespace nebula {
+namespace {
+
+bool
+sameFault(const CellFault &a, const CellFault &b)
+{
+    return a.kind == b.kind && a.drift == b.drift && a.hard == b.hard &&
+           a.decay == b.decay;
+}
+
+bool
+sameMap(const FaultMap &a, const FaultMap &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        return false;
+    for (int r = 0; r < a.rows(); ++r)
+        if (a.rowOpen(r) != b.rowOpen(r))
+            return false;
+    for (int c = 0; c < a.cols(); ++c)
+        if (a.colOpen(c) != b.colOpen(c))
+            return false;
+    for (int r = 0; r < a.rows(); ++r)
+        for (int c = 0; c < a.cols(); ++c)
+            if (!sameFault(a.cell(r, c), b.cell(r, c)))
+                return false;
+    return true;
+}
+
+TEST(FaultModel, SamplingIsDeterministic)
+{
+    const StuckAtFaultModel model(0.05);
+    FaultMap a(32, 24), b(32, 24);
+    model.sampleInto(a, 123);
+    model.sampleInto(b, 123);
+    EXPECT_GT(a.cellFaultCount(), 0);
+    EXPECT_TRUE(sameMap(a, b));
+
+    FaultMap c(32, 24);
+    model.sampleInto(c, 124);
+    EXPECT_FALSE(sameMap(a, c));
+}
+
+TEST(FaultModel, CloneSamplesIdentically)
+{
+    const StuckAtFaultModel model(0.03, 0.7, 0.4);
+    const auto copy = model.clone();
+    FaultMap a(16, 16), b(16, 16);
+    model.sampleInto(a, 9);
+    copy->sampleInto(b, 9);
+    EXPECT_TRUE(sameMap(a, b));
+}
+
+TEST(FaultModel, MapsNestAcrossRates)
+{
+    // Counter-based sampling: the faults at a low rate must be a subset
+    // of the faults at a higher rate (same seed), with identical
+    // polarity/hardness, so damage is monotone along a rate sweep.
+    const uint64_t seed = 77;
+    const StuckAtFaultModel low(0.02), high(0.08);
+    FaultMap a(48, 40), b(48, 40);
+    low.sampleInto(a, seed);
+    high.sampleInto(b, seed);
+
+    ASSERT_GT(a.cellFaultCount(), 0);
+    EXPECT_GT(b.cellFaultCount(), a.cellFaultCount());
+    for (int r = 0; r < a.rows(); ++r)
+        for (int c = 0; c < a.cols(); ++c)
+            if (a.cell(r, c).faulty()) {
+                EXPECT_TRUE(sameFault(a.cell(r, c), b.cell(r, c)));
+            }
+}
+
+TEST(FaultModel, SamplingIsOrderIndependentOfGeometry)
+{
+    // A cell's fault depends only on (seed, row, col): a larger map
+    // agrees with a smaller one on the shared prefix.
+    const StuckAtFaultModel model(0.1);
+    FaultMap small(8, 8), large(16, 12);
+    model.sampleInto(small, 5);
+    model.sampleInto(large, 5);
+    for (int r = 0; r < 8; ++r)
+        for (int c = 0; c < 8; ++c)
+            EXPECT_TRUE(sameFault(small.cell(r, c), large.cell(r, c)));
+}
+
+TEST(FaultModel, CompositeOverlaysMembers)
+{
+    CompositeFaultModel composite;
+    composite.add(std::make_unique<StuckAtFaultModel>(0.05));
+    composite.add(std::make_unique<LineOpenFaultModel>(0.0, 0.2));
+    FaultMap map(32, 32);
+    composite.sampleInto(map, 3);
+
+    int stuck = 0, open_cols = 0;
+    for (int r = 0; r < map.rows(); ++r)
+        for (int c = 0; c < map.cols(); ++c)
+            stuck += map.cell(r, c).stuck();
+    for (int c = 0; c < map.cols(); ++c)
+        open_cols += map.colOpen(c);
+    EXPECT_GT(stuck, 0);
+    EXPECT_GT(open_cols, 0);
+}
+
+TEST(FaultModel, DeriveFaultSeedDecorrelates)
+{
+    EXPECT_NE(deriveFaultSeed(1, 0), deriveFaultSeed(1, 1));
+    EXPECT_NE(deriveFaultSeed(1, 0), deriveFaultSeed(2, 0));
+    EXPECT_EQ(deriveFaultSeed(9, 4), deriveFaultSeed(9, 4));
+}
+
+TEST(FaultMap, ColumnDefectCountFollowsMitigation)
+{
+    FaultMap map(8, 4);
+    map.cell(0, 0).kind = FaultKind::StuckLow; // soft
+    map.cell(1, 0).kind = FaultKind::StuckHigh;
+    map.cell(1, 0).hard = true;
+    map.cell(2, 0).kind = FaultKind::Drift;
+    map.cell(2, 0).drift = 2;
+    map.cell(3, 0).kind = FaultKind::Decay;
+    map.cell(3, 0).decay = 0.5f;
+
+    // Open-loop: soft stuck + drift are uncorrectable too (decay is a
+    // post-programming effect either way and never counts).
+    EXPECT_EQ(map.columnDefectCount(0, /*write_verify=*/false), 3);
+    // Closed loop can fix soft stuck and drift; only the hard cell stays.
+    EXPECT_EQ(map.columnDefectCount(0, /*write_verify=*/true), 1);
+
+    map.setColOpen(1);
+    EXPECT_EQ(map.columnDefectCount(1, true), map.rows());
+    EXPECT_EQ(map.columnFaultCount(1), map.rows());
+    EXPECT_EQ(map.cellFaultCount(), 4); // opens not included
+}
+
+/** Small crossbar with a hand-built fault map programmed open loop. */
+CrossbarArray
+faultyCrossbar(int rows, int cols, const FaultMap &map,
+               const std::vector<float> &weights, int spares = 0,
+               const ProgrammingConfig &config = {})
+{
+    CrossbarParams p;
+    p.rows = rows;
+    p.cols = cols;
+    p.spareCols = spares;
+    CrossbarArray xbar(p);
+    xbar.injectFaults(map);
+    xbar.program(weights, config);
+    return xbar;
+}
+
+TEST(CrossbarFaults, StuckCellsIgnoreProgramming)
+{
+    FaultMap map(4, 3);
+    map.cell(0, 0).kind = FaultKind::StuckHigh;
+    map.cell(1, 1).kind = FaultKind::StuckLow;
+    const std::vector<float> w(4 * 3, 0.2f);
+    CrossbarArray xbar = faultyCrossbar(4, 3, map, w);
+
+    EXPECT_NEAR(xbar.weightAt(0, 0), 1.0, 1e-12);  // pinned at G_max
+    EXPECT_NEAR(xbar.weightAt(1, 1), -1.0, 1e-12); // pinned at G_min
+    // A healthy neighbour still lands on the quantized target.
+    const int top = xbar.params().levels - 1;
+    const int level =
+        static_cast<int>(std::lround((0.2 + 1.0) / 2.0 * top));
+    EXPECT_NEAR(xbar.weightAt(2, 2), 2.0 * level / top - 1.0, 1e-12);
+}
+
+TEST(CrossbarFaults, DriftShiftsDiscreteLevels)
+{
+    FaultMap map(2, 2);
+    map.cell(0, 0).kind = FaultKind::Drift;
+    map.cell(0, 0).drift = 2;
+    const std::vector<float> w(2 * 2, 0.0f);
+    CrossbarArray xbar = faultyCrossbar(2, 2, map, w);
+
+    const int top = xbar.params().levels - 1;
+    const int level = static_cast<int>(std::lround(0.5 * top));
+    EXPECT_NEAR(xbar.weightAt(0, 0), 2.0 * (level + 2) / top - 1.0, 1e-12);
+    EXPECT_NEAR(xbar.weightAt(1, 1), 2.0 * level / top - 1.0, 1e-12);
+}
+
+TEST(CrossbarFaults, DecayRelaxesTowardMidpoint)
+{
+    FaultMap map(2, 2);
+    map.cell(0, 0).kind = FaultKind::Decay;
+    map.cell(0, 0).decay = 0.5f;
+    const std::vector<float> w(2 * 2, 1.0f);
+    CrossbarArray xbar = faultyCrossbar(2, 2, map, w);
+
+    EXPECT_NEAR(xbar.weightAt(0, 0), 0.5, 1e-9);
+    EXPECT_NEAR(xbar.weightAt(1, 1), 1.0, 1e-12);
+}
+
+TEST(CrossbarFaults, OpenColumnSourcesNoCurrent)
+{
+    FaultMap map(4, 3);
+    map.setColOpen(1);
+    const std::vector<float> w(4 * 3, 0.8f);
+    CrossbarArray xbar = faultyCrossbar(4, 3, map, w);
+
+    const auto eval = xbar.evaluateIdeal({1.0, 1.0, 1.0, 1.0}, 110e-9);
+    EXPECT_GT(eval.currents[0], 0.0);
+    EXPECT_EQ(eval.currents[1], 0.0);
+    EXPECT_GT(eval.currents[2], 0.0);
+}
+
+TEST(CrossbarFaults, OpenRowContributesNothing)
+{
+    FaultMap map(4, 3);
+    map.setRowOpen(0);
+    const std::vector<float> w(4 * 3, 0.8f);
+    CrossbarArray xbar = faultyCrossbar(4, 3, map, w);
+
+    // Drive only the broken row: every column current must be zero.
+    const auto eval = xbar.evaluateIdeal({1.0, 0.0, 0.0, 0.0}, 110e-9);
+    for (double i : eval.currents)
+        EXPECT_DOUBLE_EQ(i, 0.0);
+}
+
+TEST(WriteVerify, ConvergesWithinPulseBudget)
+{
+    CrossbarParams p;
+    p.rows = 16;
+    p.cols = 12;
+    p.variationSigma = 0.08; // programming noise the loop must trim out
+    CrossbarArray xbar(p);
+
+    std::vector<float> w(static_cast<size_t>(p.rows) * p.cols);
+    Rng rng(3);
+    for (auto &v : w)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    ProgrammingConfig config;
+    config.writeVerify.enabled = true;
+    const ProgramReport report = xbar.program(w, config);
+
+    EXPECT_EQ(report.cells, static_cast<long long>(w.size()));
+    EXPECT_EQ(report.failedCells, 0);
+    EXPECT_GE(report.pulsesPerCell(), 1.0);
+    EXPECT_LE(report.pulsesPerCell(),
+              static_cast<double>(config.writeVerify.maxPulses));
+    EXPECT_GT(report.programEnergy, 0.0);
+
+    // Every cell reads within the accept band of its quantized target.
+    const int top = p.levels - 1;
+    const double tol = config.writeVerify.toleranceLevels * 2.0 / top;
+    for (int r = 0; r < p.rows; ++r) {
+        for (int c = 0; c < p.cols; ++c) {
+            const int level = static_cast<int>(std::lround(
+                (std::clamp<double>(w[r * p.cols + c], -1, 1) + 1) / 2 *
+                top));
+            EXPECT_NEAR(xbar.weightAt(r, c), 2.0 * level / top - 1.0,
+                        tol + 1e-9);
+        }
+    }
+}
+
+TEST(WriteVerify, OpenLoopNeedsOnePulsePerCell)
+{
+    CrossbarParams p;
+    p.rows = 8;
+    p.cols = 8;
+    CrossbarArray xbar(p);
+    const ProgramReport report =
+        xbar.program(std::vector<float>(64, 0.5f), ProgrammingConfig{});
+    EXPECT_EQ(report.cells, 64);
+    EXPECT_EQ(report.pulses, 64);
+    EXPECT_EQ(report.failedCells, 0);
+}
+
+TEST(WriteVerify, HardStuckCellsFailSoftOnesDepin)
+{
+    FaultMap map(6, 6);
+    map.cell(0, 0).kind = FaultKind::StuckHigh;
+    map.cell(0, 0).hard = true;
+    map.cell(3, 3).kind = FaultKind::StuckLow; // soft
+
+    CrossbarParams p;
+    p.rows = 6;
+    p.cols = 6;
+    CrossbarArray xbar(p);
+    xbar.injectFaults(map);
+
+    ProgrammingConfig config;
+    config.writeVerify.enabled = true;
+    config.writeVerify.depinProbability = 1.0; // soft walls free on retry 1
+    const ProgramReport report =
+        xbar.program(std::vector<float>(36, -0.44f), config);
+
+    EXPECT_EQ(report.failedCells, 1); // only the hard cell
+    EXPECT_NEAR(xbar.weightAt(0, 0), 1.0, 1e-12);
+    const int top = p.levels - 1;
+    const int level =
+        static_cast<int>(std::lround((-0.44 + 1.0) / 2.0 * top));
+    const double tol = config.writeVerify.toleranceLevels * 2.0 / top;
+    EXPECT_NEAR(xbar.weightAt(3, 3), 2.0 * level / top - 1.0, tol + 1e-9);
+    // The hard cell burned its whole pulse budget.
+    EXPECT_GE(report.pulses,
+              35 + static_cast<long long>(config.writeVerify.maxPulses));
+}
+
+TEST(SpareRepair, RepairedArrayMatchesFaultFreeBitExactly)
+{
+    const int rows = 8, cols = 4, spares = 2;
+    std::vector<float> w(static_cast<size_t>(rows) * cols);
+    Rng rng(11);
+    for (auto &v : w)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    CrossbarParams clean_p;
+    clean_p.rows = rows;
+    clean_p.cols = cols;
+    CrossbarArray clean(clean_p);
+    clean.program(w, ProgrammingConfig{});
+
+    // Faults confined to two logical columns; the spares are healthy.
+    FaultMap map(rows, cols + spares);
+    map.cell(2, 1).kind = FaultKind::StuckHigh;
+    map.cell(2, 1).hard = true;
+    map.setColOpen(3);
+
+    ProgrammingConfig config;
+    config.repair.enabled = true;
+    CrossbarArray repaired =
+        faultyCrossbar(rows, cols, map, w, spares, config);
+
+    const ProgramReport report = repaired.program(w, config);
+    EXPECT_EQ(report.repairedColumns, 2);
+    EXPECT_EQ(report.irreparableColumns, 0);
+    EXPECT_EQ(repaired.sparesUsed(), 2);
+    EXPECT_GE(repaired.physicalColumn(1), cols);
+    EXPECT_GE(repaired.physicalColumn(3), cols);
+    EXPECT_EQ(repaired.physicalColumn(0), 0);
+
+    std::vector<double> inputs(rows);
+    for (int r = 0; r < rows; ++r)
+        inputs[r] = (r % 3) / 2.0;
+    const auto a = clean.evaluateIdeal(inputs, 110e-9);
+    const auto b = repaired.evaluateIdeal(inputs, 110e-9);
+    ASSERT_EQ(a.currents.size(), b.currents.size());
+    for (size_t j = 0; j < a.currents.size(); ++j)
+        EXPECT_DOUBLE_EQ(a.currents[j], b.currents[j]);
+}
+
+TEST(SpareRepair, WorstColumnsWinScarceSpares)
+{
+    const int rows = 8, cols = 4;
+    FaultMap map(rows, cols + 1); // one spare only
+    map.setColOpen(0);            // 8 defects
+    map.cell(1, 2).kind = FaultKind::StuckLow;
+    map.cell(1, 2).hard = true; // 1 defect
+
+    ProgrammingConfig config;
+    config.repair.enabled = true;
+    CrossbarArray xbar = faultyCrossbar(
+        rows, cols, map, std::vector<float>(rows * cols, 0.3f), 1, config);
+
+    const ProgramReport report = xbar.program(
+        std::vector<float>(static_cast<size_t>(rows) * cols, 0.3f), config);
+    EXPECT_EQ(report.repairedColumns, 1);
+    EXPECT_EQ(report.irreparableColumns, 1);
+    EXPECT_GE(xbar.physicalColumn(0), cols); // the open column won
+    EXPECT_EQ(xbar.physicalColumn(2), 2);
+}
+
+TEST(SpareRepair, DisabledLeavesIdentityMapping)
+{
+    FaultMap map(4, 6);
+    map.setColOpen(0);
+    CrossbarArray xbar = faultyCrossbar(
+        4, 4, map, std::vector<float>(16, 0.1f), 2, ProgrammingConfig{});
+    for (int j = 0; j < 4; ++j)
+        EXPECT_EQ(xbar.physicalColumn(j), j);
+    EXPECT_EQ(xbar.sparesUsed(), 0);
+}
+
+TEST(Variability, WrapperMatchesGaussianFaultModel)
+{
+    VariabilityModel legacy(0.1, 42);
+    const GaussianVariabilityModel model(0.1);
+    Rng rng(42);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_DOUBLE_EQ(legacy.sampleFactor(), model.programFactor(rng));
+}
+
+TEST(Variability, ZeroSigmaIsIdentity)
+{
+    VariabilityModel legacy(0.0, 1);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(legacy.sampleFactor(), 1.0);
+    const GaussianVariabilityModel model(0.0);
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(model.programFactor(rng), 1.0);
+}
+
+/** Tiny quantized CNN shared by the chip / campaign tests. */
+struct QuantizedFixture
+{
+    SyntheticDigits train{120, 8, 1};
+    SyntheticDigits test{40, 8, 2};
+    Network net{"rel-cnn"};
+    QuantizationResult quant;
+
+    QuantizedFixture()
+    {
+        Rng rng(7);
+        net.add<Conv2d>(1, 4, 3, 1, 1)->initKaiming(rng);
+        net.add<Relu>();
+        net.add<AvgPool2d>(2);
+        net.add<Flatten>();
+        net.add<Linear>(4 * 4 * 4, 10)->initKaiming(rng);
+        quant = quantizeNetwork(net, train.firstImages(16));
+    }
+};
+
+TEST(ChipReliability, ProgramReportAndDeterminism)
+{
+    QuantizedFixture fix;
+
+    ReliabilityConfig rel;
+    rel.faults = std::make_shared<const StuckAtFaultModel>(0.02);
+    rel.faultSeed = 31;
+    rel.spareCols = 2;
+    rel.writeVerify.enabled = true;
+    rel.repair.enabled = true;
+
+    NebulaChip a, b;
+    a.setReliability(rel);
+    b.setReliability(rel);
+    a.programAnn(fix.net, fix.quant);
+    b.programAnn(fix.net, fix.quant);
+
+    EXPECT_GT(a.programReport().cells, 0);
+    EXPECT_GT(a.programReport().pulses, a.programReport().cells);
+    EXPECT_GT(a.programReport().programEnergy, 0.0);
+
+    // Identical scenario -> identical chips, bit for bit.
+    const Tensor image = fix.test.image(0);
+    const Tensor la = a.runAnn(image), lb = b.runAnn(image);
+    ASSERT_EQ(la.size(), lb.size());
+    for (long long i = 0; i < la.size(); ++i)
+        EXPECT_EQ(la[i], lb[i]);
+
+    // Reprogramming resamples the same maps (stable report).
+    const ProgramReport first = a.programReport();
+    a.programAnn(fix.net, fix.quant);
+    EXPECT_EQ(a.programReport().pulses, first.pulses);
+    EXPECT_EQ(a.programReport().failedCells, first.failedCells);
+    EXPECT_EQ(a.programReport().repairedColumns, first.repairedColumns);
+}
+
+TEST(ChipReliability, InactiveConfigKeepsLegacyPath)
+{
+    QuantizedFixture fix;
+    NebulaChip plain, configured;
+    configured.setReliability(ReliabilityConfig{}); // inactive
+    plain.programAnn(fix.net, fix.quant);
+    configured.programAnn(fix.net, fix.quant);
+
+    const Tensor image = fix.test.image(1);
+    const Tensor la = plain.runAnn(image), lb = configured.runAnn(image);
+    for (long long i = 0; i < la.size(); ++i)
+        EXPECT_EQ(la[i], lb[i]);
+    // Both took the single-pulse open-loop path.
+    EXPECT_EQ(plain.programReport().pulses, plain.programReport().cells);
+    EXPECT_EQ(plain.programReport().pulses,
+              configured.programReport().pulses);
+}
+
+TEST(Campaign, ChipSmokeIsDeterministic)
+{
+    QuantizedFixture fix;
+
+    CampaignConfig config;
+    config.rates = {0.0, 0.05};
+    config.seeds = {21};
+    config.mitigations = {MitigationSpec::none(),
+                          MitigationSpec::full(2)};
+    config.images = 8;
+    config.runSnn = false;
+    config.numWorkers = 2;
+
+    const CampaignResult first =
+        runChipCampaign(fix.net, fix.quant, nullptr, fix.test, config);
+    ASSERT_EQ(first.rows.size(), 4u); // 2 mitigations x 2 rates x 1 seed
+    for (const CampaignRow &row : first.rows) {
+        EXPECT_EQ(row.backend, "chip");
+        EXPECT_EQ(row.mode, "ann");
+        EXPECT_EQ(row.images, 8);
+        EXPECT_GE(row.accuracy, 0.0);
+        EXPECT_LE(row.accuracy, 1.0);
+        EXPECT_GT(row.report.cells, 0); // report captured from replicas
+    }
+
+    const CampaignResult second =
+        runChipCampaign(fix.net, fix.quant, nullptr, fix.test, config);
+    EXPECT_EQ(first.csv(), second.csv());
+
+    // Fault-free rows agree across mitigation configs.
+    EXPECT_DOUBLE_EQ(first.meanAccuracy("ann", "none", 0.0),
+                     first.meanAccuracy("ann", "wv+repair", 0.0));
+}
+
+TEST(Campaign, CsvHasHeaderAndAllRows)
+{
+    CampaignResult result;
+    CampaignRow row;
+    row.backend = "chip";
+    row.mode = "ann";
+    row.mitigation = "none";
+    row.rate = 0.01;
+    row.seed = 3;
+    row.images = 10;
+    row.correct = 7;
+    row.accuracy = 0.7;
+    result.rows.push_back(row);
+
+    const std::string csv = result.csv();
+    EXPECT_NE(csv.find("backend,mode,mitigation,rate,seed"),
+              std::string::npos);
+    EXPECT_NE(csv.find("chip,ann,none,0.010000,3,10,7,0.700000"),
+              std::string::npos);
+    EXPECT_DOUBLE_EQ(result.meanAccuracy("ann", "none", 0.01), 0.7);
+    EXPECT_DOUBLE_EQ(result.meanAccuracy("snn", "none", 0.01), -1.0);
+}
+
+TEST(Campaign, ApplyFaultsToWeightsMirrorsCrossbarLayout)
+{
+    QuantizedFixture fix;
+
+    Network a = fix.net.clone();
+    Network b = fix.net.clone();
+    const StuckAtFaultModel model(0.1, 1.0, 1.0); // all stuck high
+    applyFaultsToWeights(a, model, 5);
+    applyFaultsToWeights(b, model, 5);
+
+    int changed = 0;
+    bool all_at_wmax = true;
+    for (int i = 0; i < a.numLayers(); ++i) {
+        if (!a.layer(i).isWeightLayer())
+            continue;
+        const Tensor &wa = *a.layer(i).parameters()[0];
+        const Tensor &wb = *b.layer(i).parameters()[0];
+        const Tensor &orig = *fix.net.layer(i).parameters()[0];
+        const float wmax = orig.maxAbs();
+        for (long long j = 0; j < wa.size(); ++j) {
+            EXPECT_EQ(wa[j], wb[j]); // deterministic
+            if (wa[j] != orig[j]) {
+                ++changed;
+                all_at_wmax &= std::abs(wa[j] - wmax) < 1e-6f;
+            }
+        }
+    }
+    EXPECT_GT(changed, 0);
+    EXPECT_TRUE(all_at_wmax); // stuck-high pins at +|w|max
+}
+
+} // namespace
+} // namespace nebula
