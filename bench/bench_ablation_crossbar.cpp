@@ -23,6 +23,8 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 
+#include "bench_common.hpp"
+
 namespace nebula {
 namespace {
 
@@ -169,5 +171,6 @@ main(int argc, char **argv)
     nebula::report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    nebula::bench::writeBenchSummary(argv[0]);
     return 0;
 }

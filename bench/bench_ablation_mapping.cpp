@@ -105,5 +105,6 @@ main(int argc, char **argv)
     nebula::report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    nebula::bench::writeBenchSummary(argv[0]);
     return 0;
 }

@@ -17,12 +17,14 @@
 
 #include <cstdio>
 #include <functional>
+#include <iostream>
 #include <memory>
 #include <string>
 
 #include "arch/energy_model.hpp"
 #include "arch/mapping.hpp"
 #include "common/logging.hpp"
+#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "nn/datasets.hpp"
 #include "nn/models.hpp"
@@ -32,6 +34,46 @@
 
 namespace nebula {
 namespace bench {
+
+/**
+ * Scalar results this benchmark binary wants persisted alongside its
+ * printed tables. record() during the study, writeBenchSummary() at the
+ * end of main.
+ */
+inline StatGroup &
+benchStats()
+{
+    static StatGroup stats("bench");
+    return stats;
+}
+
+/** Record one named scalar result (repeat calls accumulate samples). */
+inline void
+record(const std::string &name, double value)
+{
+    benchStats().scalar(name).sample(value);
+}
+
+/**
+ * Write the recorded results as BENCH_<basename(argv0)>.json in the
+ * working directory. Always records a "completed" scalar first, so
+ * every benchmark emits at least one metric even if its study recorded
+ * nothing explicitly.
+ */
+inline void
+writeBenchSummary(const char *argv0)
+{
+    std::string base = argv0 ? argv0 : "bench";
+    const size_t slash = base.find_last_of('/');
+    if (slash != std::string::npos)
+        base = base.substr(slash + 1);
+    record("completed", 1.0);
+    const std::string path = "BENCH_" + base + ".json";
+    if (benchStats().writeJson(path))
+        std::cout << "\nwrote " << path << "\n";
+    else
+        NEBULA_WARN("could not write ", path);
+}
 
 /** Cache directory for trained scaled models. */
 inline std::string

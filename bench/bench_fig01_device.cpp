@@ -18,6 +18,8 @@
 #include "device/mtj.hpp"
 #include "device/synapse_device.hpp"
 
+#include "bench_common.hpp"
+
 namespace nebula {
 namespace {
 
@@ -114,5 +116,6 @@ main(int argc, char **argv)
     nebula::printDeviceCharacteristics();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    nebula::bench::writeBenchSummary(argv[0]);
     return 0;
 }

@@ -92,5 +92,6 @@ main(int argc, char **argv)
                  "(4 bits), visible degradation below ~8 levels.\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    nebula::bench::writeBenchSummary(argv[0]);
     return 0;
 }

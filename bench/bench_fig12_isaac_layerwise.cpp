@@ -74,5 +74,6 @@ main(int argc, char **argv)
     nebula::reportModel("mobilenet", "MobileNet-v1");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    nebula::bench::writeBenchSummary(argv[0]);
     return 0;
 }

@@ -46,6 +46,9 @@ reportModel(const char *id, const char *label)
             .add(formatRatio(ratio));
     }
     table.print(std::cout);
+    bench::record(std::string(id) + ".mean_peak_ratio",
+                  sum_ratio / mapping.layers.size());
+    bench::record(std::string(id) + ".max_peak_ratio", max_ratio);
     std::cout << label << ": mean peak-power ratio "
               << formatRatio(sum_ratio / mapping.layers.size())
               << ", max " << formatRatio(max_ratio)
@@ -82,5 +85,6 @@ main(int argc, char **argv)
     nebula::reportModel("alexnet", "AlexNet");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    nebula::bench::writeBenchSummary(argv[0]);
     return 0;
 }

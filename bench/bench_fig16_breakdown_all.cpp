@@ -103,5 +103,6 @@ main(int argc, char **argv)
     nebula::report(nebula::Mode::ANN);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    nebula::bench::writeBenchSummary(argv[0]);
     return 0;
 }

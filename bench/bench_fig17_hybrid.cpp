@@ -120,5 +120,6 @@ main(int argc, char **argv)
                          {"Hyb-3", 3, 40}});
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    nebula::bench::writeBenchSummary(argv[0]);
     return 0;
 }

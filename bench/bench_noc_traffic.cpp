@@ -51,6 +51,12 @@ report()
                 mapping, placement, noc, mode,
                 mode == Mode::ANN ? ann_act : snn_act,
                 mode == Mode::SNN ? 10 : 1);
+            const std::string key = std::string(name) + "." +
+                                    (mode == Mode::ANN ? "ann" : "snn");
+            bench::record(key + ".flits",
+                          static_cast<double>(stats.flits));
+            bench::record(key + ".energy_nj", toNj(stats.energy));
+            bench::record(key + ".avg_latency_cyc", stats.avgLatency);
             table.row()
                 .add(name)
                 .add(mode == Mode::ANN ? "ANN" : "SNN x10 steps")
@@ -97,5 +103,6 @@ main(int argc, char **argv)
     nebula::report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    nebula::bench::writeBenchSummary(argv[0]);
     return 0;
 }

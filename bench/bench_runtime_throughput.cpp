@@ -25,6 +25,8 @@
 #include "runtime/engine.hpp"
 #include "runtime/replica.hpp"
 
+#include "bench_common.hpp"
+
 namespace nebula {
 namespace {
 
@@ -103,6 +105,9 @@ printThroughputStudy()
         const double rate = measureThroughput(workers, 2, &latency_ms);
         if (workers == 1)
             base = rate;
+        bench::record("images_per_sec.w" + std::to_string(workers), rate);
+        bench::record("mean_latency_ms.w" + std::to_string(workers),
+                      latency_ms);
         table.row()
             .add(static_cast<long long>(workers))
             .add(rate, 1)
@@ -157,5 +162,6 @@ main(int argc, char **argv)
     nebula::printThroughputStudy();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    nebula::bench::writeBenchSummary(argv[0]);
     return 0;
 }

@@ -108,5 +108,6 @@ main(int argc, char **argv)
                 {{1, 48}, {1, 42}, {2, 36}, {3, 30}, {3, 24}}, 25);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    nebula::bench::writeBenchSummary(argv[0]);
     return 0;
 }

@@ -13,6 +13,8 @@
 #include "circuit/component_db.hpp"
 #include "common/table.hpp"
 
+#include "bench_common.hpp"
+
 namespace nebula {
 namespace {
 
@@ -65,5 +67,6 @@ main(int argc, char **argv)
     nebula::report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    nebula::bench::writeBenchSummary(argv[0]);
     return 0;
 }

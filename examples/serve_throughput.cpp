@@ -12,10 +12,20 @@
  *     chip counters.
  *
  * Build & run:  ./examples-bin/serve_throughput
+ *
+ * Tracing:      ./examples-bin/serve_throughput --trace out.json
+ * records every request's latency breakdown, the chip-level layer
+ * evaluations and the NoC transfers nested inside them as Chrome
+ * trace-event JSON -- open out.json in ui.perfetto.dev. Use
+ * --sample N to keep every Nth request's spans (bounds trace size).
+ * NEBULA_TRACE=out.json works for any binary, without flags.
  */
 
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -24,6 +34,7 @@
 #include "nn/models.hpp"
 #include "nn/quantize.hpp"
 #include "nn/trainer.hpp"
+#include "obs/trace.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/replica.hpp"
 #include "snn/convert.hpp"
@@ -77,8 +88,26 @@ serve(InferenceEngine &engine, const Dataset &test)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path;
+    obs::TraceConfig trace_cfg;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--sample") == 0 && i + 1 < argc) {
+            trace_cfg.sampleEvery = std::max(1ll, std::atoll(argv[++i]));
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--trace out.json] [--sample N]\n";
+            return 2;
+        }
+    }
+    if (!trace_path.empty()) {
+        obs::setThreadName("main");
+        obs::TraceSession::start(trace_cfg);
+    }
+
     std::cout << "== NEBULA serving quickstart ==\n\n";
 
     // 1. Train + quantize. ------------------------------------------------
@@ -144,5 +173,23 @@ main()
                  "seed, so re-serving the same\nbatch -- with any worker "
                  "count, including the inline numWorkers=0 mode -- "
                  "reproduces\nbit-identical logits.\n";
+
+    // 5. Trace output. ----------------------------------------------------
+    if (!trace_path.empty()) {
+        auto session = obs::TraceSession::stop();
+        if (session) {
+            if (!session->writeJson(trace_path)) {
+                std::cerr << "failed to write trace to " << trace_path
+                          << "\n";
+                return 1;
+            }
+            std::cout << "\nwrote " << session->eventCount()
+                      << " trace events (" << session->droppedEvents()
+                      << " dropped) across " << session->tracks().size()
+                      << " thread tracks to " << trace_path
+                      << "\nopen it in ui.perfetto.dev or "
+                         "chrome://tracing\n";
+        }
+    }
     return 0;
 }

@@ -3,14 +3,53 @@
 #include <algorithm>
 #include <cmath>
 
+#include "arch/pipeline.hpp"
 #include "circuit/driver.hpp"
 #include "common/logging.hpp"
 #include "nn/activations.hpp"
 #include "nn/conv.hpp"
 #include "nn/linear.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "snn/encoder.hpp"
 
 namespace nebula {
+
+namespace {
+
+/**
+ * Publish the static shape of a freshly programmed network into the
+ * global metrics registry: fabric occupancy gauges plus per-layer
+ * utilization and pipeline depth. Program time only -- never on the
+ * inference path.
+ */
+void
+publishMappingMetrics(const char *mode, const NebulaConfig &config,
+                      const NetworkMapping &mapping)
+{
+    auto &registry = obs::MetricsRegistry::global();
+    registry.gauge("chip.layers").set(
+        static_cast<double>(mapping.layers.size()));
+    registry.gauge("chip.cores").set(
+        static_cast<double>(mapping.totalCores()));
+    registry.gauge("chip.crossbars").set(
+        static_cast<double>(mapping.totalAcs()));
+
+    PipelineModel pipeline(config);
+    for (const LayerMapping &layer : mapping.layers) {
+        const obs::Labels labels = {
+            {"layer", std::to_string(layer.layerIndex)}};
+        registry.gauge("chip.layer.utilization", labels)
+            .set(layer.utilization);
+        registry.gauge("chip.layer.pipeline_stages", labels)
+            .set(static_cast<double>(pipeline.stagesFor(layer)));
+    }
+    NEBULA_DEBUG("chip", mode, " programmed: ", mapping.layers.size(),
+                 " weight layers on ", mapping.totalCores(), " cores / ",
+                 mapping.totalAcs(), " crossbars");
+}
+
+} // namespace
 
 void
 ChipStats::merge(const ChipStats &other)
@@ -174,12 +213,17 @@ NebulaChip::programAnn(Network &net, const QuantizationResult &quant)
         }
         layers_.push_back(std::move(mapped));
     }
+    publishMappingMetrics("ann", config_, mapping_);
 }
 
 Tensor
 NebulaChip::evaluateLayer(MappedLayer &layer, const Tensor &input,
                           bool binary)
 {
+    obs::TraceSpan span("chip", "layer.eval", config_.traceChip);
+    span.arg("layer", static_cast<double>(layer.map.layerIndex));
+    const long long evals_before = stats_.crossbarEvals;
+
     const Layer &src = *layer.source;
     const DacDriver dac(config_.precisionBits, 0.75);
     const float in_ceiling = binary ? 1.0f : layer.inputCeiling;
@@ -329,6 +373,8 @@ NebulaChip::evaluateLayer(MappedLayer &layer, const Tensor &input,
     } else {
         NEBULA_PANIC("unsupported weight layer on chip: ", src.name());
     }
+    span.arg("crossbar_evals",
+             static_cast<double>(stats_.crossbarEvals - evals_before));
     return output;
 }
 
@@ -344,6 +390,9 @@ NebulaChip::runAnn(const Tensor &image)
         batched.push_back(image.dim(d));
     Tensor x = image.reshaped(batched);
 
+    const long long evals_before = stats_.crossbarEvals;
+    const long long adc_before = stats_.adcConversions;
+
     size_t next_mapped = 0;
     for (int i = 0; i < net.numLayers(); ++i) {
         Layer &layer = net.layer(i);
@@ -355,8 +404,13 @@ NebulaChip::runAnn(const Tensor &image)
             if (!mapped.hasActivation) {
                 // Output layer: partial sums digitized by the ADC.
                 stats_.adcConversions += x.size();
+                obs::recordInstant("chip", "adc.convert",
+                                   config_.traceChip);
             }
             // Inter-layer traffic: 4-bit activations to the next core.
+            obs::TraceSpan noc_span("noc", "transfer", config_.traceChip);
+            noc_span.arg("bits", static_cast<double>(
+                                     x.size() * config_.precisionBits));
             stats_.nocPackets++;
             stats_.nocEnergy += noc_.transferEnergy(
                 {0, 0}, {1, 0}, x.size() * config_.precisionBits);
@@ -367,6 +421,11 @@ NebulaChip::runAnn(const Tensor &image)
             x = layer.forward(x, false);
         }
     }
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("chip.crossbar_evals")
+        .inc(static_cast<double>(stats_.crossbarEvals - evals_before));
+    registry.counter("chip.adc_conversions")
+        .inc(static_cast<double>(stats_.adcConversions - adc_before));
     return x;
 }
 
@@ -391,6 +450,7 @@ NebulaChip::programSnn(SpikingModel &model)
         mapped.inputCeiling = 1.0f; // binary spike inputs
         layers_.push_back(std::move(mapped));
     }
+    publishMappingMetrics("snn", config_, mapping_);
 }
 
 SnnRunResult
@@ -418,9 +478,17 @@ NebulaChip::runSnn(const Tensor &image, int timesteps,
     SnnRunResult result;
     result.timesteps = timesteps;
     long long input_spikes = 0;
+    const long long evals_before = stats_.crossbarEvals;
 
     for (int t = 0; t < timesteps; ++t) {
-        Tensor spikes = encoder.encode(image);
+        obs::TraceSpan step_span("chip", "timestep", config_.traceChip);
+        step_span.arg("t", static_cast<double>(t));
+
+        Tensor spikes;
+        {
+            obs::TraceSpan encode_span("snn", "encode", config_.traceChip);
+            spikes = encoder.encode(image);
+        }
         input_spikes += static_cast<long long>(spikes.sum());
         Tensor x = spikes.reshaped(batched);
 
@@ -431,6 +499,9 @@ NebulaChip::runSnn(const Tensor &image, int timesteps,
                 NEBULA_ASSERT(next_mapped < layers_.size(),
                               "unmapped weight layer");
                 x = evaluateLayer(layers_[next_mapped++], x, true);
+                obs::TraceSpan noc_span("noc", "transfer",
+                                        config_.traceChip);
+                noc_span.arg("bits", static_cast<double>(x.size()));
                 stats_.nocPackets++;
                 stats_.nocEnergy +=
                     noc_.transferEnergy({0, 0}, {1, 0}, x.size());
@@ -438,6 +509,7 @@ NebulaChip::runSnn(const Tensor &image, int timesteps,
                 x = layer.forward(x, false);
             }
         }
+        obs::TraceSpan acc_span("snn", "accumulate", config_.traceChip);
         if (t == 0)
             result.logits = x;
         else
@@ -456,6 +528,11 @@ NebulaChip::runSnn(const Tensor &image, int timesteps,
                                     (neurons * timesteps));
     }
     stats_.spikes += result.totalSpikes;
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("chip.crossbar_evals")
+        .inc(static_cast<double>(stats_.crossbarEvals - evals_before));
+    registry.counter("chip.spikes")
+        .inc(static_cast<double>(result.totalSpikes));
     return result;
 }
 

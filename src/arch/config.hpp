@@ -70,6 +70,13 @@ struct NebulaConfig
     /** Leakage per active SNN core (W); SNN cores are smaller. */
     double snnCoreLeakage = 0.8e-3;
 
+    /**
+     * Emit chip-level trace spans (layer evaluations, SNN timesteps,
+     * ADC/NoC events) when a TraceSession is active. Off-path cost when
+     * no session is active is one relaxed atomic load per span site.
+     */
+    bool traceChip = true;
+
     /** Atomic crossbars per neural core. */
     int acsPerCore() const { return acsPerTile * tilesPerSupertile; }
 

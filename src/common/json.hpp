@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal JSON serialization helpers shared by the stats / metrics /
+ * trace writers. Emission only -- the repo never parses JSON, it hands
+ * machine-readable summaries (BENCH_*.json, metric snapshots, Chrome
+ * trace files) to external tooling.
+ */
+
+#ifndef NEBULA_COMMON_JSON_HPP
+#define NEBULA_COMMON_JSON_HPP
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace nebula {
+namespace json {
+
+/** Append @p s to @p out with JSON string escaping (no quotes added). */
+inline void
+appendEscaped(std::string &out, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+/** "s" with escaping. */
+inline std::string
+quoted(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    appendEscaped(out, s);
+    out += '"';
+    return out;
+}
+
+/**
+ * Render a double as a valid JSON number. Non-finite values (min/max of
+ * an empty stat, a division by zero in a bench) have no JSON spelling
+ * and degrade to 0.
+ */
+inline std::string
+number(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace json
+} // namespace nebula
+
+#endif // NEBULA_COMMON_JSON_HPP

@@ -1,12 +1,107 @@
 #include "common/logging.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
+#include <set>
 
 namespace nebula {
 
 namespace {
+
 bool g_quiet = false;
+
+// Debug-component state. The hot path (a disabled NEBULA_DEBUG) is one
+// relaxed atomic load; the component set itself is mutex-guarded and
+// only consulted once some component is enabled. Function-local static
+// so it is safe from other translation units' static initializers
+// (the NEBULA_TRACE auto-start runs before main).
+struct DebugState
+{
+    std::atomic<bool> any{false};
+    std::mutex mutex;
+    std::set<std::string> components;
+    bool all = false;
+    std::once_flag envOnce;
+};
+
+DebugState &
+debugState()
+{
+    static DebugState state;
+    return state;
+}
+
+/** Parse "chip,noc" / "all" into the component set (caller holds lock). */
+void
+parseComponentsLocked(DebugState &state, const std::string &components)
+{
+    state.components.clear();
+    state.all = false;
+    std::string token;
+    auto flush = [&] {
+        if (token.empty())
+            return;
+        if (token == "all" || token == "*" || token == "1")
+            state.all = true;
+        else
+            state.components.insert(token);
+        token.clear();
+    };
+    for (char c : components) {
+        if (c == ',' || c == ' ')
+            flush();
+        else
+            token += c;
+    }
+    flush();
+    state.any.store(state.all || !state.components.empty(),
+                    std::memory_order_release);
+}
+
+/** One-time pickup of the NEBULA_DEBUG environment variable. */
+void
+initDebugFromEnv()
+{
+    DebugState &state = debugState();
+    std::call_once(state.envOnce, [&] {
+        const char *env = std::getenv("NEBULA_DEBUG");
+        if (env && *env) {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            parseComponentsLocked(state, env);
+        }
+    });
+}
+
+/**
+ * The single sink every non-terminating level routes through, so
+ * setLogQuiet covers debug/inform/warn uniformly.
+ */
+void
+sink(LogLevel level, const char *component, const std::string &msg)
+{
+    if (g_quiet)
+        return;
+    // One pre-formatted insertion per line so concurrent threads (e.g.
+    // engine workers) never interleave mid-line.
+    std::string line;
+    switch (level) {
+      case LogLevel::Debug:
+        line = std::string("debug: [") + (component ? component : "?") +
+               "] " + msg + "\n";
+        break;
+      case LogLevel::Inform:
+        line = "info: " + msg + "\n";
+        break;
+      case LogLevel::Warn:
+        line = "warn: " + msg + "\n";
+        break;
+    }
+    std::cerr << line << std::flush;
+}
+
 } // namespace
 
 bool
@@ -19,6 +114,39 @@ void
 setLogQuiet(bool quiet)
 {
     g_quiet = quiet;
+}
+
+void
+setDebugComponents(const std::string &components)
+{
+    // Consume the env var first so an explicit call always wins over it.
+    initDebugFromEnv();
+    DebugState &state = debugState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    parseComponentsLocked(state, components);
+}
+
+bool
+debugEnabled(const char *component)
+{
+    DebugState &state = debugState();
+    initDebugFromEnv();
+    if (!state.any.load(std::memory_order_acquire))
+        return false;
+    std::lock_guard<std::mutex> lock(state.mutex);
+    return state.all ||
+           state.components.count(component ? component : "") > 0;
+}
+
+std::vector<std::string>
+debugComponents()
+{
+    initDebugFromEnv();
+    DebugState &state = debugState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (state.all)
+        return {"*"};
+    return {state.components.begin(), state.components.end()};
 }
 
 namespace detail {
@@ -42,15 +170,19 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (!g_quiet)
-        std::cerr << "warn: " << msg << std::endl;
+    sink(LogLevel::Warn, nullptr, msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!g_quiet)
-        std::cerr << "info: " << msg << std::endl;
+    sink(LogLevel::Inform, nullptr, msg);
+}
+
+void
+debugImpl(const char *component, const std::string &msg)
+{
+    sink(LogLevel::Debug, component, msg);
 }
 
 } // namespace detail

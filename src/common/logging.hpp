@@ -9,9 +9,17 @@
  *               problem (bad configuration, impossible parameters).
  *               Prints the message and calls std::exit(1).
  *
- * Non-terminating status messages:
- *  - warn()   : something may be modelled imprecisely.
- *  - inform() : normal operating status the user may want to see.
+ * Non-terminating status messages route through one leveled sink (so
+ * setLogQuiet() covers every level uniformly):
+ *  - warn()         : something may be modelled imprecisely.
+ *  - inform()       : normal operating status the user may want to see.
+ *  - NEBULA_DEBUG() : per-component developer tracing in the gem5
+ *                     DPRINTF idiom. Off by default; enabled per
+ *                     component with setDebugComponents("chip,noc") or
+ *                     the NEBULA_DEBUG environment variable ("all"
+ *                     enables every component). Disabled components
+ *                     cost one atomic load and never evaluate the
+ *                     message arguments.
  */
 
 #ifndef NEBULA_COMMON_LOGGING_HPP
@@ -19,8 +27,12 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace nebula {
+
+/** Severity of a non-terminating log message. */
+enum class LogLevel { Debug = 0, Inform = 1, Warn = 2 };
 
 namespace detail {
 
@@ -36,6 +48,9 @@ void warnImpl(const std::string &msg);
 /** Print an informational message to stderr. */
 void informImpl(const std::string &msg);
 
+/** Print a per-component debug message to stderr. */
+void debugImpl(const char *component, const std::string &msg);
+
 /** Concatenate a parameter pack into one string via ostringstream. */
 template <typename... Args>
 std::string
@@ -48,11 +63,28 @@ concat(Args &&...args)
 
 } // namespace detail
 
-/** True once quietMode() has been called; suppresses warn/inform output. */
+/** True once setLogQuiet(true) was called; suppresses every log level. */
 bool logQuiet();
 
-/** Suppress (or re-enable) warn()/inform() output, e.g. inside tests. */
+/**
+ * Suppress (or re-enable) warn()/inform()/NEBULA_DEBUG() output, e.g.
+ * inside tests. All non-terminating levels share one sink, so quiet
+ * mode covers them uniformly.
+ */
 void setLogQuiet(bool quiet);
+
+/**
+ * Enable NEBULA_DEBUG output for a comma-separated component list,
+ * e.g. "chip,noc" ("all" or "1" enables everything, "" disables).
+ * Overrides whatever the NEBULA_DEBUG environment variable selected.
+ */
+void setDebugComponents(const std::string &components);
+
+/** True when NEBULA_DEBUG(component, ...) would print. */
+bool debugEnabled(const char *component);
+
+/** The currently enabled debug components, sorted ("*" for all). */
+std::vector<std::string> debugComponents();
 
 } // namespace nebula
 
@@ -69,6 +101,18 @@ void setLogQuiet(bool quiet);
 
 #define NEBULA_INFORM(...)                                                    \
     ::nebula::detail::informImpl(::nebula::detail::concat(__VA_ARGS__))
+
+/**
+ * Per-component leveled debug output (gem5 DPRINTF style). The message
+ * arguments are evaluated only when the component is enabled.
+ */
+#define NEBULA_DEBUG(component, ...)                                          \
+    do {                                                                      \
+        if (::nebula::debugEnabled(component)) {                              \
+            ::nebula::detail::debugImpl(                                      \
+                component, ::nebula::detail::concat(__VA_ARGS__));            \
+        }                                                                     \
+    } while (0)
 
 /** panic() unless the given condition holds. */
 #define NEBULA_ASSERT(cond, ...)                                              \

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <string>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace nebula {
 
 namespace {
 // Directions: 0 = +x (east), 1 = -x (west), 2 = +y (north), 3 = -y (south).
 constexpr int kDirections = 4;
+constexpr char kDirectionNames[kDirections] = {'e', 'w', 'n', 's'};
 } // namespace
 
 MeshNoc::MeshNoc(const NocConfig &config) : config_(config), stats_("noc")
@@ -58,6 +62,13 @@ MeshNoc::drain()
     std::vector<PacketTrace> traces;
     traces.reserve(pending_.size());
 
+    obs::TraceSpan span("noc", "drain");
+    span.arg("packets", static_cast<double>(pending_.size()));
+
+    // Flits per directed link this drain; flushed into named scalars
+    // afterwards so the hot loop touches no string keys.
+    std::map<int, long long> link_flits;
+
     for (const Packet &packet : pending_) {
         const int flits = std::max(
             1, (packet.sizeBits + config_.flitBits - 1) / config_.flitBits);
@@ -82,6 +93,7 @@ MeshNoc::drain()
                 std::max(cycle, linkFree_[static_cast<size_t>(link)]);
             // The link is busy while all flits serialize through it.
             linkFree_[static_cast<size_t>(link)] = start + flits;
+            link_flits[link] += flits;
             cycle = start + flits + config_.hopLatency;
             ++hops;
             x = nx;
@@ -101,6 +113,22 @@ MeshNoc::drain()
         stats_.scalar("noc.latency").sample(static_cast<double>(trace.latency));
         stats_.scalar("noc.hops").sample(hops);
         stats_.scalar("noc.flits").add(flits);
+        stats_.histogram("noc.latency.hist", 0.0, 256.0, 64)
+            .sample(static_cast<double>(trace.latency));
+    }
+
+    // Per-link flit counters for the links this drain actually used:
+    // noc.link.<x>_<y>.<direction>.flits (direction e/w/n/s).
+    for (const auto &[link, flits] : link_flits) {
+        const int node = link / kDirections;
+        const int direction = link % kDirections;
+        const int x = node % config_.width;
+        const int y = node / config_.width;
+        stats_
+            .scalar("noc.link." + std::to_string(x) + "_" +
+                    std::to_string(y) + "." +
+                    kDirectionNames[direction] + ".flits")
+            .add(static_cast<double>(flits));
     }
     pending_.clear();
     return traces;

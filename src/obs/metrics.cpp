@@ -1,0 +1,226 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/json.hpp"
+
+namespace nebula {
+namespace obs {
+
+std::string
+labeledName(const std::string &name, const Labels &labels)
+{
+    if (labels.empty())
+        return name;
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    std::string out = name + "{";
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        if (i)
+            out += ",";
+        out += sorted[i].first + "=\"" + sorted[i].second + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+void
+Counter::inc(double n)
+{
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + n,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, const Labels &labels)
+{
+    const std::string key = labeledName(name, labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(key);
+    if (it == counters_.end())
+        it = counters_.emplace(key, std::make_unique<Counter>()).first;
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const Labels &labels)
+{
+    const std::string key = labeledName(name, labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(key);
+    if (it == gauges_.end())
+        it = gauges_.emplace(key, std::make_unique<Gauge>()).first;
+    return *it->second;
+}
+
+void
+MetricsRegistry::observe(const std::string &name, double value, double lo,
+                         double hi, int buckets, const Labels &labels)
+{
+    const std::string key = labeledName(name, labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(key);
+    if (it == histograms_.end())
+        it = histograms_.emplace(key, Histogram(lo, hi, buckets)).first;
+    it->second.sample(value);
+}
+
+double
+MetricsRegistry::counterValue(const std::string &name,
+                              const Labels &labels) const
+{
+    const std::string key = labeledName(name, labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(key);
+    return it != counters_.end() ? it->second->value() : 0.0;
+}
+
+double
+MetricsRegistry::gaugeValue(const std::string &name,
+                            const Labels &labels) const
+{
+    const std::string key = labeledName(name, labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(key);
+    return it != gauges_.end() ? it->second->value() : 0.0;
+}
+
+std::vector<std::string>
+MetricsRegistry::counterNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const auto &kv : counters_)
+        names.push_back(kv.first);
+    return names;
+}
+
+std::vector<std::string>
+MetricsRegistry::gaugeNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(gauges_.size());
+    for (const auto &kv : gauges_)
+        names.push_back(kv.first);
+    return names;
+}
+
+std::vector<std::string>
+MetricsRegistry::histogramNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(histograms_.size());
+    for (const auto &kv : histograms_)
+        names.push_back(kv.first);
+    return names;
+}
+
+StatGroup
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    StatGroup group(name_);
+    for (const auto &kv : counters_)
+        group.scalar(kv.first).add(kv.second->value());
+    for (const auto &kv : gauges_)
+        group.scalar(kv.first).add(kv.second->value());
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        group
+            .histogram(kv.first, h.lo(), h.hi(),
+                       static_cast<int>(h.bins().size()))
+            .merge(h);
+    }
+    return group;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{\n  \"registry\": " + json::quoted(name_) + ",\n";
+
+    auto section = [&out](const char *title, const auto &map, auto value) {
+        out += std::string("  \"") + title + "\": {";
+        bool first = true;
+        for (const auto &kv : map) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += "    " + json::quoted(kv.first) + ": " +
+                   json::number(value(kv.second));
+        }
+        out += first ? "},\n" : "\n  },\n";
+    };
+    section("counters", counters_,
+            [](const std::unique_ptr<Counter> &c) { return c->value(); });
+    section("gauges", gauges_,
+            [](const std::unique_ptr<Gauge> &g) { return g->value(); });
+
+    out += "  \"histograms\": {";
+    bool first = true;
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    " + json::quoted(kv.first) + ": {\"count\": " +
+               std::to_string(h.count()) +
+               ", \"mean\": " + json::number(h.mean()) +
+               ", \"min\": " + json::number(h.min()) +
+               ", \"max\": " + json::number(h.max()) +
+               ", \"p50\": " + json::number(h.p50()) +
+               ", \"p95\": " + json::number(h.p95()) +
+               ", \"p99\": " + json::number(h.p99()) + "}";
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
+MetricsRegistry::toCsv() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "kind,name,value,count,mean,min,max,p50,p95,p99\n";
+    auto num = [](double v) { return json::number(v); };
+    for (const auto &kv : counters_)
+        out += "counter," + kv.first + "," + num(kv.second->value()) +
+               ",,,,,,,\n";
+    for (const auto &kv : gauges_)
+        out += "gauge," + kv.first + "," + num(kv.second->value()) +
+               ",,,,,,,\n";
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        out += "histogram," + kv.first + ",," + std::to_string(h.count()) +
+               "," + num(h.mean()) + "," + num(h.min()) + "," +
+               num(h.max()) + "," + num(h.p50()) + "," + num(h.p95()) +
+               "," + num(h.p99()) + "\n";
+    }
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &kv : counters_)
+        kv.second->reset();
+    for (auto &kv : gauges_)
+        kv.second->reset();
+    for (auto &kv : histograms_)
+        kv.second.reset();
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry("global");
+    return registry;
+}
+
+} // namespace obs
+} // namespace nebula

@@ -1,0 +1,398 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/json.hpp"
+#include "common/logging.hpp"
+
+namespace nebula {
+namespace obs {
+
+namespace {
+
+// The active session. Readers (every instrumentation point) do one
+// relaxed load; writers (start/stop) swap under g_controlMutex.
+std::atomic<TraceSession *> g_current{nullptr};
+std::mutex g_controlMutex;
+std::unique_ptr<TraceSession> g_owned;
+
+// Monotone session generation; spans pair Begin/End against it so a
+// span outliving its session (or spanning a stop/start) never emits a
+// dangling End into a different session.
+std::atomic<uint64_t> g_generation{0};
+
+// Per-thread state. The slot caches this thread's buffer for the
+// current session generation; suppressDepth > 0 while inside a
+// sampled-out root span (children skip recording entirely).
+struct ThreadSlot
+{
+    uint64_t generation = 0;
+    void *buffer = nullptr;
+};
+thread_local ThreadSlot t_slot;
+thread_local int t_suppressDepth = 0;
+thread_local std::string t_threadName;
+
+// NEBULA_TRACE auto-start bookkeeping.
+std::string g_envPath;
+std::once_flag g_envOnce;
+
+void
+flushEnvTrace()
+{
+    auto session = TraceSession::stop();
+    if (!session || g_envPath.empty())
+        return;
+    if (session->writeJson(g_envPath))
+        NEBULA_INFORM("NEBULA_TRACE: wrote ", session->eventCount(),
+                      " events to ", g_envPath);
+    else
+        NEBULA_WARN("NEBULA_TRACE: failed to write ", g_envPath);
+}
+
+/** Static initializer: honor NEBULA_TRACE in any binary that links obs. */
+struct EnvAutoStart
+{
+    EnvAutoStart() { TraceSession::startFromEnv(); }
+} g_envAutoStart;
+
+} // namespace
+
+TraceSession::TraceSession(TraceConfig config)
+    : config_(config),
+      generation_(g_generation.fetch_add(1, std::memory_order_relaxed) + 1),
+      t0_(std::chrono::steady_clock::now())
+{
+    if (config_.sampleEvery == 0)
+        config_.sampleEvery = 1;
+}
+
+TraceSession *
+TraceSession::current()
+{
+    return g_current.load(std::memory_order_relaxed);
+}
+
+TraceSession &
+TraceSession::start(TraceConfig config)
+{
+    std::lock_guard<std::mutex> lock(g_controlMutex);
+    g_current.store(nullptr, std::memory_order_release);
+    g_owned = std::make_unique<TraceSession>(config);
+    g_current.store(g_owned.get(), std::memory_order_release);
+    NEBULA_DEBUG("obs", "trace session started (sampleEvery=",
+                 config.sampleEvery, ")");
+    return *g_owned;
+}
+
+std::unique_ptr<TraceSession>
+TraceSession::stop()
+{
+    std::lock_guard<std::mutex> lock(g_controlMutex);
+    g_current.store(nullptr, std::memory_order_release);
+    return std::move(g_owned);
+}
+
+bool
+TraceSession::startFromEnv()
+{
+    bool started = false;
+    std::call_once(g_envOnce, [&] {
+        const char *path = std::getenv("NEBULA_TRACE");
+        if (!path || !*path)
+            return;
+        TraceConfig config;
+        if (const char *sample = std::getenv("NEBULA_TRACE_SAMPLE"))
+            config.sampleEvery =
+                std::max<long long>(1, std::atoll(sample));
+        g_envPath = path;
+        start(config);
+        std::atexit(flushEnvTrace);
+        started = true;
+    });
+    return started;
+}
+
+TraceSession::ThreadBuffer &
+TraceSession::threadBuffer()
+{
+    if (t_slot.generation == generation_)
+        return *static_cast<ThreadBuffer *>(t_slot.buffer);
+
+    std::lock_guard<std::mutex> lock(buffersMutex_);
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = static_cast<int>(buffers_.size()) + 1;
+    buffer->name = !t_threadName.empty()
+                       ? t_threadName
+                       : "thread" + std::to_string(buffer->tid);
+    ThreadBuffer *raw = buffer.get();
+    buffers_.push_back(std::move(buffer));
+    t_slot.generation = generation_;
+    t_slot.buffer = raw;
+    return *raw;
+}
+
+bool
+TraceSession::append(TraceEvent &&event)
+{
+    ThreadBuffer &buffer = threadBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    // Begin events respect the cap; their Ends are always admitted (the
+    // caller only emits an End for an admitted Begin), so the buffer
+    // overshoots by at most the open-span depth and pairs stay balanced.
+    if (event.phase != TraceEvent::Phase::End &&
+        buffer.events.size() >= config_.maxEventsPerThread) {
+        ++buffer.dropped;
+        return false;
+    }
+    event.tsUs = std::chrono::duration<double, std::micro>(
+                     std::chrono::steady_clock::now() - t0_)
+                     .count();
+    buffer.events.push_back(std::move(event));
+    return true;
+}
+
+bool
+TraceSession::beginSpan(const char *category, const char *name)
+{
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::Begin;
+    event.category = category;
+    event.name = name;
+    return append(std::move(event));
+}
+
+void
+TraceSession::endSpan(
+    const char *category, const char *name,
+    const std::vector<std::pair<const char *, double>> &args)
+{
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::End;
+    event.category = category;
+    event.name = name;
+    event.args = args;
+    append(std::move(event));
+}
+
+void
+TraceSession::instant(const char *category, const char *name)
+{
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::Instant;
+    event.category = category;
+    event.name = name;
+    append(std::move(event));
+}
+
+void
+TraceSession::counter(const char *name, double value)
+{
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::Counter;
+    event.category = "counter";
+    event.name = name;
+    event.value = value;
+    append(std::move(event));
+}
+
+void
+TraceSession::nameThread(const std::string &name)
+{
+    ThreadBuffer &buffer = threadBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.name = name;
+}
+
+bool
+TraceSession::rootSampleHit()
+{
+    ThreadBuffer &buffer = threadBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    return (buffer.rootCount++ % config_.sampleEvery) == 0;
+}
+
+std::vector<TraceSession::ThreadTrack>
+TraceSession::tracks() const
+{
+    std::vector<ThreadTrack> out;
+    std::lock_guard<std::mutex> lock(buffersMutex_);
+    out.reserve(buffers_.size());
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buf_lock(buffer->mutex);
+        ThreadTrack track;
+        track.tid = buffer->tid;
+        track.name = buffer->name;
+        track.events = buffer->events;
+        track.dropped = buffer->dropped;
+        out.push_back(std::move(track));
+    }
+    return out;
+}
+
+uint64_t
+TraceSession::eventCount() const
+{
+    uint64_t total = 0;
+    std::lock_guard<std::mutex> lock(buffersMutex_);
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buf_lock(buffer->mutex);
+        total += buffer->events.size();
+    }
+    return total;
+}
+
+uint64_t
+TraceSession::droppedEvents() const
+{
+    uint64_t total = 0;
+    std::lock_guard<std::mutex> lock(buffersMutex_);
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buf_lock(buffer->mutex);
+        total += buffer->dropped;
+    }
+    return total;
+}
+
+void
+TraceSession::writeJson(std::ostream &os) const
+{
+    const auto tracks_copy = tracks();
+
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        os << "\n";
+        first = false;
+    };
+
+    char ts[40];
+    for (const auto &track : tracks_copy) {
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << track.tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":"
+           << json::quoted(track.name) << "}}";
+    }
+    for (const auto &track : tracks_copy) {
+        for (const TraceEvent &event : track.events) {
+            sep();
+            std::snprintf(ts, sizeof(ts), "%.3f", event.tsUs);
+            os << "{\"ph\":\"" << static_cast<char>(event.phase)
+               << "\",\"pid\":1,\"tid\":" << track.tid << ",\"ts\":" << ts;
+            if (event.phase == TraceEvent::Phase::Counter) {
+                os << ",\"name\":" << json::quoted(event.name)
+                   << ",\"args\":{\"value\":" << json::number(event.value)
+                   << "}}";
+                continue;
+            }
+            os << ",\"cat\":" << json::quoted(event.category)
+               << ",\"name\":" << json::quoted(event.name);
+            if (event.phase == TraceEvent::Phase::Instant)
+                os << ",\"s\":\"t\"";
+            if (!event.args.empty()) {
+                os << ",\"args\":{";
+                for (size_t i = 0; i < event.args.size(); ++i) {
+                    if (i)
+                        os << ",";
+                    os << json::quoted(event.args[i].first) << ":"
+                       << json::number(event.args[i].second);
+                }
+                os << "}";
+            }
+            os << "}";
+        }
+    }
+    os << "\n]}\n";
+}
+
+bool
+TraceSession::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeJson(out);
+    return static_cast<bool>(out);
+}
+
+TraceSpan::TraceSpan(const char *category, const char *name, bool enabled,
+                     bool sampled_root)
+    : category_(category), name_(name)
+{
+    if (!enabled)
+        return;
+    TraceSession *session = TraceSession::current();
+    if (!session)
+        return;
+    if (t_suppressDepth > 0) {
+        // Nested inside a sampled-out root: keep the whole subtree out.
+        if (sampled_root) {
+            suppressing_ = true;
+            ++t_suppressDepth;
+        }
+        return;
+    }
+    if (sampled_root && !session->rootSampleHit()) {
+        suppressing_ = true;
+        ++t_suppressDepth;
+        return;
+    }
+    if (!session->beginSpan(category_, name_))
+        return; // buffer full: drop the whole span
+    session_ = session;
+    generation_ = session->generation();
+    recorded_ = true;
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (suppressing_)
+        --t_suppressDepth;
+    if (!recorded_)
+        return;
+    TraceSession *session = TraceSession::current();
+    if (session != session_ || !session ||
+        session->generation() != generation_)
+        return; // session stopped mid-span: End dropped with it
+    session->endSpan(category_, name_, args_);
+}
+
+void
+TraceSpan::arg(const char *key, double value)
+{
+    if (recorded_)
+        args_.emplace_back(key, value);
+}
+
+void
+recordInstant(const char *category, const char *name, bool enabled)
+{
+    if (!enabled || t_suppressDepth > 0)
+        return;
+    if (TraceSession *session = TraceSession::current())
+        session->instant(category, name);
+}
+
+void
+recordCounter(const char *name, double value, bool enabled)
+{
+    if (!enabled || t_suppressDepth > 0)
+        return;
+    if (TraceSession *session = TraceSession::current())
+        session->counter(name, value);
+}
+
+void
+setThreadName(const std::string &name)
+{
+    t_threadName = name;
+    if (TraceSession *session = TraceSession::current())
+        session->nameThread(name);
+}
+
+} // namespace obs
+} // namespace nebula

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Chip-to-serving tracing: a lock-minimal TraceSession that records
+ * RAII TraceSpan duration events, instant events and counter tracks
+ * into per-thread buffers and serializes them as Chrome/Perfetto
+ * trace-event JSON (openable in ui.perfetto.dev or chrome://tracing).
+ *
+ * Design constraints, in order:
+ *  - Cheap when disabled: every record call first does one relaxed
+ *    atomic load of the global session pointer; with no session active
+ *    that load is the entire cost, and no message arguments are built.
+ *  - Lock-minimal when enabled: each thread appends to its own buffer
+ *    under a private, never-contended mutex (it is only ever taken by
+ *    another thread during end-of-session serialization), so tracing a
+ *    multi-worker engine adds no cross-thread serialization.
+ *  - Bounded: TraceConfig::sampleEvery records every Nth root span
+ *    (with everything nested inside an unsampled root suppressed, so
+ *    begin/end pairing survives sampling), and maxEventsPerThread caps
+ *    each buffer -- a full buffer drops whole spans, never only one
+ *    side of a pair.
+ *
+ * One global session is active at a time (TraceSession::start /
+ * TraceSession::stop, or the NEBULA_TRACE=path environment variable,
+ * which auto-starts a session at load and writes the file at exit).
+ * Stop the session only after instrumented threads have quiesced
+ * (engine shutdown/waitIdle); spans still open when the session stops
+ * drop their end events.
+ */
+
+#ifndef NEBULA_OBS_TRACE_HPP
+#define NEBULA_OBS_TRACE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nebula {
+namespace obs {
+
+/** One Chrome trace-event record. */
+struct TraceEvent
+{
+    enum class Phase : char {
+        Begin = 'B',   //!< duration-span begin
+        End = 'E',     //!< duration-span end
+        Instant = 'i', //!< point event
+        Counter = 'C', //!< counter-track sample
+    };
+
+    Phase phase = Phase::Instant;
+    const char *category = ""; //!< static-storage subsystem tag
+    const char *name = "";     //!< static-storage event name
+    double tsUs = 0.0;         //!< microseconds since session start
+    double value = 0.0;        //!< counter value (Counter only)
+    /** Numeric args attached to the event (keys are static strings). */
+    std::vector<std::pair<const char *, double>> args;
+};
+
+/** Session knobs. */
+struct TraceConfig
+{
+    /** Record every Nth sampled-root span per thread (1 = all). */
+    uint64_t sampleEvery = 1;
+
+    /** Per-thread event cap; overflow drops whole spans (counted). */
+    size_t maxEventsPerThread = 1u << 20;
+};
+
+/**
+ * An in-memory trace being recorded. Use the static start()/stop()
+ * pair (or NEBULA_TRACE) for the global session the instrumentation
+ * writes to; the object returned by stop() serializes or introspects
+ * the recording.
+ */
+class TraceSession
+{
+  public:
+    explicit TraceSession(TraceConfig config = {});
+    ~TraceSession() = default;
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    // -- Global session control ------------------------------------------
+
+    /** The active session, or null (one relaxed atomic load). */
+    static TraceSession *current();
+
+    /** True when a session is active. */
+    static bool enabled() { return current() != nullptr; }
+
+    /** Install a fresh global session (discards any active one). */
+    static TraceSession &start(TraceConfig config = {});
+
+    /**
+     * Deactivate and return the global session for serialization;
+     * null if none was active. Call only after instrumented threads
+     * have quiesced.
+     */
+    static std::unique_ptr<TraceSession> stop();
+
+    /**
+     * Start a session from NEBULA_TRACE=path (sampling via
+     * NEBULA_TRACE_SAMPLE=N) and register an exit handler that writes
+     * the file. Idempotent; returns true if a session was started.
+     */
+    static bool startFromEnv();
+
+    // -- Recording (used by TraceSpan and the helpers below) -------------
+
+    /** Append a Begin event; false if it was dropped (buffer full). */
+    bool beginSpan(const char *category, const char *name);
+
+    /** Append the matching End event (call only if beginSpan was true). */
+    void endSpan(const char *category, const char *name,
+                 const std::vector<std::pair<const char *, double>> &args);
+
+    /** Append an instant event. */
+    void instant(const char *category, const char *name);
+
+    /** Append a counter-track sample. */
+    void counter(const char *name, double value);
+
+    /** Name the calling thread's track in the trace. */
+    void nameThread(const std::string &name);
+
+    /** Root-span sampling decision for the calling thread. */
+    bool rootSampleHit();
+
+    // -- Introspection / output ------------------------------------------
+
+    /** One registered thread's recording, in append order. */
+    struct ThreadTrack
+    {
+        int tid = 0;
+        std::string name;
+        std::vector<TraceEvent> events;
+        uint64_t dropped = 0; //!< events lost to the per-thread cap
+    };
+
+    /** Copy of every thread's buffer (tid order). */
+    std::vector<ThreadTrack> tracks() const;
+
+    /** Total recorded events across threads. */
+    uint64_t eventCount() const;
+
+    /** Total events dropped by the per-thread cap. */
+    uint64_t droppedEvents() const;
+
+    /** Serialize as Chrome trace-event JSON. */
+    void writeJson(std::ostream &os) const;
+
+    /** Write JSON to @p path; false on I/O error. */
+    bool writeJson(const std::string &path) const;
+
+    const TraceConfig &config() const { return config_; }
+
+    /** Monotone id distinguishing sessions (ABA-safe span pairing). */
+    uint64_t generation() const { return generation_; }
+
+  private:
+    struct ThreadBuffer
+    {
+        std::mutex mutex;
+        int tid = 0;
+        std::string name;
+        std::vector<TraceEvent> events;
+        uint64_t rootCount = 0; //!< sampled-root spans seen
+        uint64_t dropped = 0;
+    };
+
+    /** The calling thread's buffer (registered on first use). */
+    ThreadBuffer &threadBuffer();
+
+    /** Append one event (buffer mutex held inside). */
+    bool append(TraceEvent &&event);
+
+    TraceConfig config_;
+    uint64_t generation_;
+    std::chrono::steady_clock::time_point t0_;
+    mutable std::mutex buffersMutex_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/**
+ * RAII duration span. Records a Begin event at construction and the
+ * matching End (with any attached args) at destruction. No-ops when no
+ * session is active, when @p enabled is false (the per-subsystem config
+ * toggles), when the surrounding root span was sampled out, or when the
+ * thread's buffer is full -- in every case Begin/End stay paired.
+ *
+ * @p sampled_root marks the span as a sampling root (one serving
+ * request, one campaign trial): TraceConfig::sampleEvery applies to it,
+ * and skipping it suppresses everything nested inside on this thread.
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(const char *category, const char *name, bool enabled = true,
+              bool sampled_root = false);
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /** Attach a numeric arg, emitted on the End event (static key). */
+    void arg(const char *key, double value);
+
+    /** True if this span is actually recording. */
+    bool active() const { return recorded_; }
+
+  private:
+    TraceSession *session_ = nullptr;
+    uint64_t generation_ = 0;
+    const char *category_ = "";
+    const char *name_ = "";
+    bool recorded_ = false;
+    bool suppressing_ = false;
+    std::vector<std::pair<const char *, double>> args_;
+};
+
+/** Instant event on the active session (no-op when disabled). */
+void recordInstant(const char *category, const char *name,
+                   bool enabled = true);
+
+/** Counter-track sample on the active session (no-op when disabled). */
+void recordCounter(const char *name, double value, bool enabled = true);
+
+/**
+ * Name the calling thread's trace track. Takes effect immediately on
+ * the active session and is remembered thread-locally so later-started
+ * sessions pick it up too.
+ */
+void setThreadName(const std::string &name);
+
+} // namespace obs
+} // namespace nebula
+
+#endif // NEBULA_OBS_TRACE_HPP

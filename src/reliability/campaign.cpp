@@ -7,6 +7,7 @@
 
 #include "common/logging.hpp"
 #include "common/stats.hpp"
+#include "obs/trace.hpp"
 #include "runtime/engine.hpp"
 #include "snn/snn_sim.hpp"
 
@@ -196,9 +197,16 @@ runChipCampaign(const Network &quantized, const QuantizationResult &quant,
     const int images = std::min(config.images, test.size());
 
     CampaignResult result;
+    obs::TraceSpan campaign_span("reliability", "campaign.chip");
     for (const MitigationSpec &mit : config.mitigations) {
+        NEBULA_DEBUG("reliability", "chip campaign: mitigation ", mit.name);
         for (double rate : config.rates) {
             for (uint64_t seed : config.seeds) {
+                obs::TraceSpan trial_span("reliability", "trial",
+                                          /*enabled=*/true,
+                                          /*sampled_root=*/true);
+                trial_span.arg("rate", rate);
+                trial_span.arg("seed", static_cast<double>(seed));
                 ReliabilityConfig rel;
                 rel.faults = factory(rate);
                 rel.faultSeed = seed;
@@ -265,9 +273,17 @@ runFunctionalCampaign(const Network &quantized, const Tensor &calibration,
     const int images = std::min(config.images, test.size());
 
     CampaignResult result;
+    obs::TraceSpan campaign_span("reliability", "campaign.functional");
     for (const MitigationSpec &mit : config.mitigations) {
+        NEBULA_DEBUG("reliability", "functional campaign: mitigation ",
+                     mit.name);
         for (double rate : config.rates) {
             for (uint64_t seed : config.seeds) {
+                obs::TraceSpan trial_span("reliability", "trial",
+                                          /*enabled=*/true,
+                                          /*sampled_root=*/true);
+                trial_span.arg("rate", rate);
+                trial_span.arg("seed", static_cast<double>(seed));
                 Network noisy = quantized.clone();
                 const auto model = factory(rate);
                 applyFaultsToWeights(noisy, *model, seed);

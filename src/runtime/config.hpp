@@ -35,6 +35,13 @@ struct EngineConfig
      * of worker assignment and completion order.
      */
     uint64_t seedSalt = 0x9e3779b97f4a7c15ull;
+
+    /**
+     * Emit per-request trace spans (queue-depth counters, latency
+     * histograms) when a TraceSession is active. Off-path cost when no
+     * session is active is one relaxed atomic load per request.
+     */
+    bool traceRequests = true;
 };
 
 } // namespace nebula

@@ -5,8 +5,18 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace nebula {
+
+namespace {
+
+// Same shape as the worker-side histograms so merges stay bin-exact.
+constexpr double kLatencyLoMs = 0.0;
+constexpr double kLatencyHiMs = 250.0;
+constexpr int kLatencyBuckets = 500;
+
+} // namespace
 
 InferenceEngine::InferenceEngine(EngineConfig config,
                                  const ReplicaFactory &factory)
@@ -18,6 +28,7 @@ InferenceEngine::InferenceEngine(EngineConfig config,
     if (config_.numWorkers == 0) {
         inlineReplica_ = factory(0);
         NEBULA_ASSERT(inlineReplica_, "factory returned null replica");
+        NEBULA_DEBUG("runtime", "engine up in inline mode");
         return;
     }
     workers_.reserve(static_cast<size_t>(config_.numWorkers));
@@ -25,10 +36,13 @@ InferenceEngine::InferenceEngine(EngineConfig config,
         auto replica = factory(i);
         NEBULA_ASSERT(replica, "factory returned null replica");
         workers_.push_back(std::make_unique<Worker>(
-            i, std::move(replica), &queue_, [this] { noteCompleted(); }));
+            i, std::move(replica), &queue_, [this] { noteCompleted(); },
+            config_.traceRequests));
     }
     for (auto &worker : workers_)
         worker->start();
+    NEBULA_DEBUG("runtime", "engine up with ", config_.numWorkers,
+                 " workers, queue capacity ", config_.queueCapacity);
 }
 
 InferenceEngine::~InferenceEngine()
@@ -79,6 +93,8 @@ InferenceEngine::submit(InferenceRequest request)
         idleCv_.notify_all();
         throw std::runtime_error("InferenceEngine is shut down");
     }
+    obs::recordCounter("queue.depth", static_cast<double>(queue_.size()),
+                       config_.traceRequests);
     return future;
 }
 
@@ -135,6 +151,9 @@ InferenceEngine::runInline(InferenceRequest request)
     std::promise<InferenceResult> promise;
     std::future<InferenceResult> future = promise.get_future();
     const auto start = std::chrono::steady_clock::now();
+    obs::TraceSpan span("runtime", "request", config_.traceRequests,
+                        /*sampled_root=*/true);
+    span.arg("id", static_cast<double>(request.id));
     try {
         InferenceResult result = inlineReplica_->run(request);
         const auto end = std::chrono::steady_clock::now();
@@ -142,17 +161,32 @@ InferenceEngine::runInline(InferenceRequest request)
         result.workerId = -1;
         result.serviceSeconds =
             std::chrono::duration<double>(end - start).count();
+        span.arg("service_ms", 1e3 * result.serviceSeconds);
         inlineStats_.scalar("requests").inc();
         inlineStats_.scalar("latency_ms").sample(1e3 *
                                                  result.serviceSeconds);
         inlineStats_.scalar("service_ms").sample(1e3 *
                                                  result.serviceSeconds);
         inlineStats_.scalar("wait_ms").sample(0.0);
+        inlineStats_
+            .histogram("latency_ms.hist", kLatencyLoMs, kLatencyHiMs,
+                       kLatencyBuckets)
+            .sample(1e3 * result.serviceSeconds);
+        inlineStats_
+            .histogram("service_ms.hist", kLatencyLoMs, kLatencyHiMs,
+                       kLatencyBuckets)
+            .sample(1e3 * result.serviceSeconds);
+        inlineStats_
+            .histogram("wait_ms.hist", kLatencyLoMs, kLatencyHiMs,
+                       kLatencyBuckets)
+            .sample(0.0);
         inlineStats_.scalar("spikes").add(
             static_cast<double>(result.spikes));
         promise.set_value(std::move(result));
     } catch (...) {
         inlineStats_.scalar("failures").inc();
+        obs::recordInstant("runtime", "request.failed",
+                           config_.traceRequests);
         promise.set_exception(std::current_exception());
     }
     noteCompleted();
@@ -184,6 +218,9 @@ InferenceEngine::shutdown()
     accepting_.store(false);
     if (joined_)
         return;
+    NEBULA_DEBUG("runtime", "engine shutdown: waiting for ",
+                 submitted_.load() - completed_.load(),
+                 " in-flight requests");
     waitIdle();
     queue_.close();
     joinWorkers();

@@ -4,6 +4,9 @@
 #include <exception>
 #include <utility>
 
+#include "common/logging.hpp"
+#include "obs/trace.hpp"
+
 namespace nebula {
 
 namespace {
@@ -15,13 +18,19 @@ secondsSince(std::chrono::steady_clock::time_point start,
     return std::chrono::duration<double>(end - start).count();
 }
 
+// Latency histogram shape shared by all workers so the engine-level
+// merge is bin-exact: 0..250 ms in 500 half-ms buckets.
+constexpr double kLatencyLoMs = 0.0;
+constexpr double kLatencyHiMs = 250.0;
+constexpr int kLatencyBuckets = 500;
+
 } // namespace
 
 Worker::Worker(int id, std::unique_ptr<ChipReplica> replica,
                BoundedQueue<QueueItem> *queue,
-               std::function<void()> on_complete)
+               std::function<void()> on_complete, bool trace_requests)
     : id_(id), replica_(std::move(replica)), queue_(queue),
-      onComplete_(std::move(on_complete)),
+      onComplete_(std::move(on_complete)), traceRequests_(trace_requests),
       stats_("worker" + std::to_string(id))
 {
 }
@@ -42,9 +51,23 @@ Worker::join()
 void
 Worker::loop()
 {
+    obs::setThreadName("worker" + std::to_string(id_));
+    NEBULA_DEBUG("runtime", "worker", id_, " started");
     while (auto item = queue_->pop()) {
         const auto start = std::chrono::steady_clock::now();
         const double wait = secondsSince(item->enqueued, start);
+        // The request span is a sampling root: TraceConfig::sampleEvery
+        // applies to it and suppresses the chip/noc spans nested inside
+        // replica_->run() when this request is sampled out. Queue wait
+        // is attached as an arg (not a span) so per-thread timestamps
+        // stay monotonic.
+        obs::TraceSpan span("runtime", "request", traceRequests_,
+                            /*sampled_root=*/true);
+        span.arg("id", static_cast<double>(item->request.id));
+        span.arg("wait_ms", 1e3 * wait);
+        obs::recordCounter("queue.depth",
+                           static_cast<double>(queue_->size()),
+                           traceRequests_);
         try {
             InferenceResult result = replica_->run(item->request);
             const auto end = std::chrono::steady_clock::now();
@@ -52,22 +75,38 @@ Worker::loop()
             result.workerId = id_;
             result.queueSeconds = wait;
             result.serviceSeconds = secondsSince(start, end);
+            span.arg("service_ms", 1e3 * result.serviceSeconds);
 
             stats_.scalar("requests").inc();
             stats_.scalar("latency_ms").sample(
                 1e3 * (wait + result.serviceSeconds));
             stats_.scalar("service_ms").sample(1e3 * result.serviceSeconds);
             stats_.scalar("wait_ms").sample(1e3 * wait);
+            stats_
+                .histogram("latency_ms.hist", kLatencyLoMs, kLatencyHiMs,
+                           kLatencyBuckets)
+                .sample(1e3 * (wait + result.serviceSeconds));
+            stats_
+                .histogram("service_ms.hist", kLatencyLoMs, kLatencyHiMs,
+                           kLatencyBuckets)
+                .sample(1e3 * result.serviceSeconds);
+            stats_
+                .histogram("wait_ms.hist", kLatencyLoMs, kLatencyHiMs,
+                           kLatencyBuckets)
+                .sample(1e3 * wait);
             stats_.scalar("spikes").add(
                 static_cast<double>(result.spikes));
 
             item->promise.set_value(std::move(result));
         } catch (...) {
             stats_.scalar("failures").inc();
+            obs::recordInstant("runtime", "request.failed",
+                               traceRequests_);
             item->promise.set_exception(std::current_exception());
         }
         onComplete_();
     }
+    NEBULA_DEBUG("runtime", "worker", id_, " draining done, exiting");
 }
 
 } // namespace nebula

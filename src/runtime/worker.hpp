@@ -36,7 +36,7 @@ class Worker
      */
     Worker(int id, std::unique_ptr<ChipReplica> replica,
            BoundedQueue<QueueItem> *queue,
-           std::function<void()> on_complete);
+           std::function<void()> on_complete, bool trace_requests = true);
 
     Worker(const Worker &) = delete;
     Worker &operator=(const Worker &) = delete;
@@ -64,6 +64,7 @@ class Worker
     std::unique_ptr<ChipReplica> replica_;
     BoundedQueue<QueueItem> *queue_;
     std::function<void()> onComplete_;
+    bool traceRequests_;
     StatGroup stats_;
     std::thread thread_;
 };
