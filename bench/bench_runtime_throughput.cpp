@@ -7,13 +7,24 @@
  * tops out at the machine's core count: on an N-core host the curve
  * should be near-linear up to N workers and flat beyond.
  *
+ * Also measures the fast-evaluation speedup in both modes: the same
+ * workload served with NebulaConfig::fastEval on (cached crossbar
+ * views, sparse spike-driven SNN evaluation, batched ANN windows)
+ * versus off (the preserved pre-optimization scalar loops). The
+ * recorded `snn.speedup` / `ann.speedup` ratios are machine-relative,
+ * so CI can regress on them without depending on absolute host speed.
+ *
  * Also microbenchmarks the per-request engine overhead (inline mode vs
  * a direct chip call) so queue/promise costs stay visible.
+ *
+ * Set NEBULA_BENCH_TINY=1 to shrink every study to smoke-test size
+ * (small batches, short SNN windows) for CI.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -24,21 +35,31 @@
 #include "nn/quantize.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/replica.hpp"
+#include "snn/convert.hpp"
 
 #include "bench_common.hpp"
 
 namespace nebula {
 namespace {
 
+/** CI smoke-test mode: tiny shapes, same code paths. */
+bool
+tinyMode()
+{
+    const char *env = std::getenv("NEBULA_BENCH_TINY");
+    return env != nullptr && env[0] == '1';
+}
+
 /** Quantized MLP prototype + images, built once. */
 struct Workload
 {
     SyntheticDigits data{256, 16, /*seed=*/5};
     Network net;
+    Network floatNet; //!< pre-quantization clone (SNN conversion source)
     QuantizationResult quant;
     std::vector<Tensor> images;
 
-    Workload() : net(buildMlp3(16, 1, 10, /*seed=*/11))
+    Workload() : net(buildMlp3(16, 1, 10, /*seed=*/11)), floatNet(net.clone())
     {
         quant = quantizeNetwork(net, data.firstImages(64));
         for (int i = 0; i < data.size(); ++i)
@@ -100,9 +121,12 @@ printThroughputStudy()
                                                           "(ms)"});
 
     double base = 0.0;
-    for (int workers : {1, 2, 4, 8}) {
+    const std::vector<int> worker_counts =
+        tinyMode() ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+    const int batches = tinyMode() ? 1 : 2;
+    for (int workers : worker_counts) {
         double latency_ms = 0.0;
-        const double rate = measureThroughput(workers, 2, &latency_ms);
+        const double rate = measureThroughput(workers, batches, &latency_ms);
         if (workers == 1)
             base = rate;
         bench::record("images_per_sec.w" + std::to_string(workers), rate);
@@ -117,6 +141,98 @@ printThroughputStudy()
     table.print(std::cout);
     std::cout << "\nSpeedup saturates at the host core count (" << cores
               << "); >2x at 4 workers requires >= 4 cores.\n\n";
+}
+
+/**
+ * Serve @p images requests through a single-worker engine built from
+ * @p factory and return images/sec.
+ */
+double
+measureServingRate(const ReplicaFactory &factory, int images,
+                   int timesteps)
+{
+    Workload &w = workload();
+    EngineConfig cfg;
+    cfg.numWorkers = 1;
+    cfg.defaultTimesteps = std::max(timesteps, 1);
+    cfg.queueCapacity = static_cast<size_t>(2 * images + 4);
+    InferenceEngine engine(cfg, factory);
+
+    engine.submit(w.images[0]).get(); // warm-up
+
+    std::vector<Tensor> batch(w.images.begin(), w.images.begin() + images);
+    const auto start = std::chrono::steady_clock::now();
+    for (auto &future : engine.submitBatch(batch))
+        future.get();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    engine.shutdown();
+    return images / seconds;
+}
+
+/**
+ * Fast-path speedup study: the SNN and ANN workloads served with
+ * fastEval on vs off. The off runs ARE the pre-optimization baseline --
+ * NebulaConfig::fastEval == false selects the original scalar crossbar
+ * and chip loops byte-for-byte -- so the speedup column compares
+ * against pre-PR behaviour inside one binary.
+ */
+void
+printFastPathStudy()
+{
+    Workload &w = workload();
+    const bool tiny = tinyMode();
+    const int snn_images = tiny ? 12 : 64;
+    const int snn_timesteps = tiny ? 6 : 16;
+    const int ann_images = tiny ? 24 : 128;
+
+    Table table("Fast evaluation paths vs pre-optimization scalar "
+                "baseline (1 worker; SNN " +
+                    std::to_string(snn_images) + " images x T=" +
+                    std::to_string(snn_timesteps) + ", ANN " +
+                    std::to_string(ann_images) + " images)",
+                {"mode", "path", "images/sec", "speedup"});
+
+    double snn_rates[2] = {0.0, 0.0};
+    for (int fast = 0; fast < 2; ++fast) {
+        Network clone = w.floatNet.clone();
+        SpikingModel snn = convertToSnn(clone, w.data.firstImages(32));
+        NebulaConfig chip_cfg;
+        chip_cfg.fastEval = fast != 0;
+        snn_rates[fast] = measureServingRate(
+            makeSnnReplicaFactory(snn, chip_cfg), snn_images,
+            snn_timesteps);
+    }
+    const double snn_speedup = snn_rates[1] / snn_rates[0];
+    bench::record("snn.images_per_sec.scalar", snn_rates[0]);
+    bench::record("snn.images_per_sec.fast", snn_rates[1]);
+    bench::record("snn.speedup", snn_speedup);
+    table.row().add("snn").add("scalar").add(snn_rates[0], 1).add("1.00x");
+    table.row().add("snn").add("fast").add(snn_rates[1], 1).add(
+        formatRatio(snn_speedup));
+
+    double ann_rates[2] = {0.0, 0.0};
+    for (int fast = 0; fast < 2; ++fast) {
+        NebulaConfig chip_cfg;
+        chip_cfg.fastEval = fast != 0;
+        ann_rates[fast] = measureServingRate(
+            makeAnnReplicaFactory(w.net, w.quant, chip_cfg), ann_images,
+            0);
+    }
+    const double ann_speedup = ann_rates[1] / ann_rates[0];
+    bench::record("ann.images_per_sec.scalar", ann_rates[0]);
+    bench::record("ann.images_per_sec.fast", ann_rates[1]);
+    bench::record("ann.speedup", ann_speedup);
+    table.row().add("ann").add("scalar").add(ann_rates[0], 1).add("1.00x");
+    table.row().add("ann").add("fast").add(ann_rates[1], 1).add(
+        formatRatio(ann_speedup));
+
+    table.print(std::cout);
+    std::cout << "\nThe scalar rows run the preserved pre-optimization "
+                 "loops (fastEval=false); differential tests pin both "
+                 "paths to the same numbers.\n\n";
 }
 
 /** Per-request overhead: inline engine vs direct chip call. */
@@ -160,6 +276,7 @@ int
 main(int argc, char **argv)
 {
     nebula::printThroughputStudy();
+    nebula::printFastPathStudy();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     nebula::bench::writeBenchSummary(argv[0]);

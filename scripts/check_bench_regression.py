@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against a committed baseline.
+
+Only ratio metrics (names matching --metrics, default the ``*.speedup``
+scalars) are compared: they divide out absolute host speed, so a laptop,
+a CI runner and the machine that recorded the baseline all agree on them
+to within noise. A metric regresses when
+
+    current_mean < baseline_mean * (1 - tolerance)
+
+Improvements and new metrics never fail; a metric present in the
+baseline but missing from the current run always fails (the bench
+silently dropped a study).
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json \
+        [--tolerance 0.2] [--metrics REGEX]
+
+Exit status 0 when nothing regressed, 1 otherwise.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def scalar_means(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    return {name: stats["mean"] for name, stats in doc["scalars"].items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="BENCH json from this run")
+    parser.add_argument("baseline", help="committed baseline BENCH json")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional drop (default 0.2)")
+    parser.add_argument("--metrics", default=r"\.speedup$",
+                        help="regex selecting comparable metrics "
+                             "(default: the *.speedup ratios)")
+    args = parser.parse_args()
+
+    current = scalar_means(args.current)
+    baseline = scalar_means(args.baseline)
+    pattern = re.compile(args.metrics)
+
+    failures = []
+    compared = 0
+    for name, base in sorted(baseline.items()):
+        if not pattern.search(name):
+            continue
+        compared += 1
+        if name not in current:
+            failures.append(f"{name}: missing from current run "
+                            f"(baseline {base:.3f})")
+            continue
+        cur = current[name]
+        floor = base * (1.0 - args.tolerance)
+        verdict = "FAIL" if cur < floor else "ok"
+        print(f"{verdict:4} {name}: current {cur:.3f} vs baseline "
+              f"{base:.3f} (floor {floor:.3f})")
+        if cur < floor:
+            failures.append(f"{name}: {cur:.3f} < {floor:.3f} "
+                            f"(baseline {base:.3f} - {args.tolerance:.0%})")
+
+    if compared == 0:
+        print(f"error: no baseline metrics match /{args.metrics}/",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\n{len(failures)} metric(s) regressed more than "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {compared} compared metric(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

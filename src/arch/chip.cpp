@@ -6,6 +6,7 @@
 #include "arch/pipeline.hpp"
 #include "circuit/driver.hpp"
 #include "common/logging.hpp"
+#include "common/simd.hpp"
 #include "nn/activations.hpp"
 #include "nn/conv.hpp"
 #include "nn/linear.hpp"
@@ -47,6 +48,21 @@ publishMappingMetrics(const char *mode, const NebulaConfig &config,
     NEBULA_DEBUG("chip", mode, " programmed: ", mapping.layers.size(),
                  " weight layers on ", mapping.totalCores(), " cores / ",
                  mapping.totalAcs(), " crossbars");
+}
+
+/**
+ * Reconstruct real-unit pre-activations from one column group's
+ * normalized sums: out[j] = currents[j] / kappa * scale + bias[j].
+ * The division by kappa is kept a division (not a reciprocal multiply)
+ * so the result stays bit-identical to the generic walk's emit.
+ */
+NEBULA_TARGET_CLONES void
+emitAffine(float *out, const float *bias, const double *currents, int n,
+           double kappa, double scale)
+{
+    for (int j = 0; j < n; ++j)
+        out[j] =
+            static_cast<float>(currents[j] / kappa * scale + bias[j]);
 }
 
 } // namespace
@@ -107,6 +123,7 @@ NebulaChip::mapWeightLayer(const Layer &layer, int index,
     xp.variationSigma = variationSigma_;
     xp.variationSeed = seed_ + static_cast<uint64_t>(index) * 977;
     xp.spareCols = rel_.spareCols;
+    xp.fastEval = config_.fastEval;
 
     const int m = config_.atomicSize;
     const auto params = layer.constParameters();
@@ -170,6 +187,7 @@ NebulaChip::programAnn(Network &net, const QuantizationResult &quant)
     annNet_ = &net;
     snnModel_ = nullptr;
     layers_.clear();
+    fastPlan_ = SnnFastPlan();
     mapping_ = mapper_.map(net);
     clearStats();
     programReport_ = ProgramReport();
@@ -240,6 +258,40 @@ NebulaChip::evaluateLayer(MappedLayer &layer, const Tensor &input,
         return x;
     };
 
+    const bool fast = config_.fastEval;
+
+    // Fast path: a conv input element is gathered into up to k*k
+    // overlapping windows; run the clamp + DAC quantization once per
+    // element instead of once per gather. Same values, fewer ops.
+    std::vector<double> norm;
+    if (fast) {
+        norm.resize(static_cast<size_t>(input.size()));
+        for (long long i = 0; i < input.size(); ++i)
+            norm[static_cast<size_t>(i)] = normalize(input[i]);
+    }
+    auto normAt = [&](long long i) {
+        return fast ? norm[static_cast<size_t>(i)] : normalize(input[i]);
+    };
+
+    /**
+     * Collect the ascending active-row list of a spike window for the
+     * sparse driver path. Returns false (dense fallback) if any nonzero
+     * entry is not exactly 1.0 -- e.g. fractional values downstream of
+     * an averaging layer -- since evaluateSparse assumes unit drivers.
+     */
+    auto binaryActive = [](const std::vector<double> &window,
+                           SpikeVector &active) {
+        active.clear();
+        for (size_t r = 0; r < window.size(); ++r) {
+            if (window[r] == 0.0)
+                continue;
+            if (window[r] != 1.0)
+                return false;
+            active.push_back(static_cast<int>(r));
+        }
+        return true;
+    };
+
     /**
      * Evaluate one column group for one input window and emit
      * (kernel, value) pairs. With a following activation the column
@@ -248,9 +300,12 @@ NebulaChip::evaluateLayer(MappedLayer &layer, const Tensor &input,
      * sum is reconstructed in real units for the ADC/RU path.
      */
     auto evalGroup = [&](size_t g, int group_offset, bool use_nu,
-                         const std::vector<double> &window, auto &&emit) {
+                         const std::vector<double> &window,
+                         const SpikeVector *active, auto &&emit) {
         CrossbarArray &xbar = *layer.groups[g];
-        auto eval = xbar.evaluateIdeal(window, config_.cycleTime);
+        auto eval = active != nullptr
+                        ? xbar.evaluateSparse(*active, config_.cycleTime)
+                        : xbar.evaluateIdeal(window, config_.cycleTime);
         ++stats_.crossbarEvals;
         stats_.crossbarEnergy += eval.energy;
         const double kappa = xbar.currentScale();
@@ -277,6 +332,52 @@ NebulaChip::evaluateLayer(MappedLayer &layer, const Tensor &input,
         }
     };
 
+    /**
+     * Batched form of evalGroup: @p batch windows (row-major
+     * batch x rows) through one evaluateIdealBatch call, emitting
+     * (window, kernel, value). Per-window arithmetic is the same
+     * expression sequence as evalGroup, so results are bit-identical to
+     * @p batch separate calls -- only the matrix traffic is amortized.
+     */
+    auto evalGroupBatch = [&](size_t g, int group_offset, bool use_nu,
+                              const std::vector<double> &windows,
+                              int batch, auto &&emit) {
+        CrossbarArray &xbar = *layer.groups[g];
+        const CrossbarBatchEval eval =
+            xbar.evaluateIdealBatch(windows, batch, config_.cycleTime);
+        stats_.crossbarEvals += batch;
+        stats_.crossbarEnergy += eval.energy;
+        const double kappa = xbar.currentScale();
+        const int cols = xbar.cols();
+        std::vector<double> currents(static_cast<size_t>(cols));
+        for (int b = 0; b < batch; ++b) {
+            const double *cur =
+                eval.currents.data() + static_cast<size_t>(b) * cols;
+            if (use_nu) {
+                for (int j = 0; j < cols; ++j)
+                    currents[static_cast<size_t>(j)] =
+                        cur[j] +
+                        kappa *
+                            layer.bias[static_cast<size_t>(group_offset +
+                                                           j)] /
+                            (layer.weightScale * in_ceiling);
+                const auto codes = layer.nus[g]->evaluate(currents);
+                for (int j = 0; j < cols; ++j)
+                    emit(b, group_offset + j,
+                         codes[static_cast<size_t>(j)] * step);
+            } else {
+                for (int j = 0; j < cols; ++j) {
+                    const double sum_norm = cur[j] / kappa;
+                    emit(b, group_offset + j,
+                         static_cast<float>(
+                             sum_norm * layer.weightScale * in_ceiling +
+                             layer.bias[static_cast<size_t>(group_offset +
+                                                            j)]));
+                }
+            }
+        }
+    };
+
     const bool use_nu = layer.hasActivation && !binary;
     const int kernels = src.numKernels();
     Tensor output;
@@ -287,12 +388,16 @@ NebulaChip::evaluateLayer(MappedLayer &layer, const Tensor &input,
                       "linear input mismatch on chip");
         std::vector<double> window(static_cast<size_t>(fc.inFeatures()));
         for (long long i = 0; i < input.size(); ++i)
-            window[static_cast<size_t>(i)] = normalize(input[i]);
+            window[static_cast<size_t>(i)] = normAt(i);
 
+        SpikeVector active;
+        const SpikeVector *spikes =
+            fast && binary && binaryActive(window, active) ? &active
+                                                           : nullptr;
         output = Tensor({1, kernels});
         for (size_t g = 0; g < layer.groups.size(); ++g)
             evalGroup(g, static_cast<int>(g) * config_.atomicSize, use_nu,
-                      window, [&](int kernel, float value) {
+                      window, spikes, [&](int kernel, float value) {
                           output.at(0, kernel) = value;
                       });
     } else if (src.kind() == LayerKind::Conv) {
@@ -305,29 +410,63 @@ NebulaChip::evaluateLayer(MappedLayer &layer, const Tensor &input,
         const int out_w = (in_w + 2 * pad - k) / stride + 1;
 
         output = Tensor({1, kernels, out_h, out_w});
-        std::vector<double> window(
-            static_cast<size_t>(conv.receptiveField()));
+        const int rf_conv = conv.receptiveField();
 
-        for (int oh = 0; oh < out_h; ++oh) {
-            for (int ow = 0; ow < out_w; ++ow) {
-                size_t r = 0;
-                for (int c = 0; c < in_c; ++c)
-                    for (int kh = 0; kh < k; ++kh)
-                        for (int kw = 0; kw < k; ++kw, ++r) {
-                            const int ih = oh * stride - pad + kh;
-                            const int iw = ow * stride - pad + kw;
-                            window[r] = (ih < 0 || ih >= in_h || iw < 0 ||
-                                         iw >= in_w)
-                                            ? 0.0
-                                            : normalize(
-                                                  input.at(0, c, ih, iw));
-                        }
+        auto gatherWindow = [&](int oh, int ow, double *window) {
+            size_t r = 0;
+            for (int c = 0; c < in_c; ++c)
+                for (int kh = 0; kh < k; ++kh)
+                    for (int kw = 0; kw < k; ++kw, ++r) {
+                        const int ih = oh * stride - pad + kh;
+                        const int iw = ow * stride - pad + kw;
+                        window[r] =
+                            (ih < 0 || ih >= in_h || iw < 0 || iw >= in_w)
+                                ? 0.0
+                                : normAt((static_cast<long long>(c) *
+                                              in_h +
+                                          ih) *
+                                             in_w +
+                                         iw);
+                    }
+        };
+
+        if (fast && !binary) {
+            // ANN mode: batch one output row of windows per crossbar
+            // call so the cached conductance matrix streams once per
+            // out_w windows instead of once per window.
+            std::vector<double> windows(
+                static_cast<size_t>(out_w) * rf_conv);
+            for (int oh = 0; oh < out_h; ++oh) {
+                for (int ow = 0; ow < out_w; ++ow)
+                    gatherWindow(oh, ow,
+                                 windows.data() +
+                                     static_cast<size_t>(ow) * rf_conv);
                 for (size_t g = 0; g < layer.groups.size(); ++g)
-                    evalGroup(g, static_cast<int>(g) * config_.atomicSize,
-                              use_nu, window,
-                              [&](int kernel, float value) {
-                                  output.at(0, kernel, oh, ow) = value;
-                              });
+                    evalGroupBatch(
+                        g, static_cast<int>(g) * config_.atomicSize,
+                        use_nu, windows, out_w,
+                        [&](int ow, int kernel, float value) {
+                            output.at(0, kernel, oh, ow) = value;
+                        });
+            }
+        } else {
+            std::vector<double> window(static_cast<size_t>(rf_conv));
+            SpikeVector active;
+            for (int oh = 0; oh < out_h; ++oh) {
+                for (int ow = 0; ow < out_w; ++ow) {
+                    gatherWindow(oh, ow, window.data());
+                    const SpikeVector *spikes =
+                        fast && binary && binaryActive(window, active)
+                            ? &active
+                            : nullptr;
+                    for (size_t g = 0; g < layer.groups.size(); ++g)
+                        evalGroup(g,
+                                  static_cast<int>(g) * config_.atomicSize,
+                                  use_nu, window, spikes,
+                                  [&](int kernel, float value) {
+                                      output.at(0, kernel, oh, ow) = value;
+                                  });
+                }
             }
         }
     } else if (src.kind() == LayerKind::DwConv) {
@@ -342,6 +481,7 @@ NebulaChip::evaluateLayer(MappedLayer &layer, const Tensor &input,
         NEBULA_ASSERT(kpa > 0, "depthwise layer not diagonal-packed");
 
         output = Tensor({1, channels, out_h, out_w});
+        SpikeVector active;
         for (int oh = 0; oh < out_h; ++oh) {
             for (int ow = 0; ow < out_w; ++ow) {
                 for (size_t g = 0; g < layer.groups.size(); ++g) {
@@ -356,15 +496,24 @@ NebulaChip::evaluateLayer(MappedLayer &layer, const Tensor &input,
                             for (int kw = 0; kw < k; ++kw, ++r) {
                                 const int ih = oh * stride - pad + kh;
                                 const int iw = ow * stride - pad + kw;
-                                window[r] = (ih < 0 || ih >= in_h ||
-                                             iw < 0 || iw >= in_w)
-                                                ? 0.0
-                                                : normalize(input.at(
-                                                      0, c, ih, iw));
+                                window[r] =
+                                    (ih < 0 || ih >= in_h || iw < 0 ||
+                                     iw >= in_w)
+                                        ? 0.0
+                                        : normAt((static_cast<long long>(
+                                                      c) *
+                                                      in_h +
+                                                  ih) *
+                                                     in_w +
+                                                 iw);
                             }
                     }
+                    const SpikeVector *spikes =
+                        fast && binary && binaryActive(window, active)
+                            ? &active
+                            : nullptr;
                     evalGroup(g, static_cast<int>(g) * kpa, use_nu, window,
-                              [&](int kernel, float value) {
+                              spikes, [&](int kernel, float value) {
                                   output.at(0, kernel, oh, ow) = value;
                               });
                 }
@@ -450,7 +599,128 @@ NebulaChip::programSnn(SpikingModel &model)
         mapped.inputCeiling = 1.0f; // binary spike inputs
         layers_.push_back(std::move(mapped));
     }
+    buildSnnFastPlan();
     publishMappingMetrics("snn", config_, mapping_);
+}
+
+void
+NebulaChip::buildSnnFastPlan()
+{
+    fastPlan_ = SnnFastPlan();
+    if (!snnModel_)
+        return;
+    Network &net = snnModel_->net;
+
+    std::vector<SnnFastStage> stages;
+    size_t next_mapped = 0;
+    long long in_features = -1;
+    long long prev_features = -1;
+    for (int i = 0; i < net.numLayers(); ++i) {
+        Layer &layer = net.layer(i);
+        switch (layer.kind()) {
+        case LayerKind::Flatten:
+            // Shape-only; spike values pass through untouched.
+            break;
+        case LayerKind::Linear: {
+            const auto &fc = static_cast<const Linear &>(layer);
+            // Every stage but the last must feed an IF layer: only then
+            // is the next stage's input a binary spike map the sparse
+            // driver path may assume.
+            if (!stages.empty() && stages.back().ifAfter == nullptr)
+                return;
+            if (prev_features >= 0 && fc.inFeatures() != prev_features)
+                return;
+            if (in_features < 0)
+                in_features = fc.inFeatures();
+            SnnFastStage stage;
+            stage.layerIndex = next_mapped++;
+            stage.features = fc.numKernels();
+            stage.nocEnergy =
+                noc_.transferEnergy({0, 0}, {1, 0}, stage.features);
+            stage.preAct = Tensor({1, stage.features});
+            prev_features = stage.features;
+            stages.push_back(std::move(stage));
+            break;
+        }
+        case LayerKind::If: {
+            if (stages.empty() || stages.back().ifAfter != nullptr)
+                return;
+            auto &neuron = static_cast<IfLayer &>(layer);
+            stages.back().ifAfter = &neuron;
+            stages.back().plainIf = neuron.options().leak == 0.0f &&
+                                    neuron.options().refractory == 0;
+            stages.back().spikes = Tensor({1, stages.back().features});
+            break;
+        }
+        default:
+            return; // unsupported topology: keep the generic walk
+        }
+    }
+    if (stages.empty() || next_mapped != layers_.size())
+        return;
+
+    fastPlan_.inFeatures = in_features;
+    fastPlan_.stages = std::move(stages);
+    fastPlan_.usable = true;
+}
+
+long long
+NebulaChip::snnFastStep(PoissonEncoder &encoder, int t,
+                        SnnRunResult &result)
+{
+    SnnFastPlan &plan = fastPlan_;
+    encoder.encodeActive(plan.encPlan, plan.active);
+    const long long input_spikes =
+        static_cast<long long>(plan.active.size());
+
+    const Tensor *stage_out = nullptr;
+    for (SnnFastStage &stage : plan.stages) {
+        MappedLayer &layer = layers_[stage.layerIndex];
+        // Same expression sequence as evalGroup's non-NU emit with
+        // binary drivers: in_ceiling == 1 exactly, so folding it away
+        // leaves emitAffine() bit-identical to the generic walk.
+        // differential_test and the SNN golden vectors pin this.
+        float *out = stage.preAct.data();
+        for (size_t g = 0; g < layer.groups.size(); ++g) {
+            CrossbarArray &xbar = *layer.groups[g];
+            xbar.evaluateSparseInto(plan.active, config_.cycleTime,
+                                    plan.evalWs);
+            ++stats_.crossbarEvals;
+            stats_.crossbarEnergy += plan.evalWs.energy;
+            const int group_offset =
+                static_cast<int>(g) * config_.atomicSize;
+            emitAffine(out + group_offset, layer.bias.data() + group_offset,
+                       plan.evalWs.currents.data(), xbar.cols(),
+                       xbar.currentScale(),
+                       static_cast<double>(layer.weightScale));
+        }
+        stats_.nocPackets++;
+        stats_.nocEnergy += stage.nocEnergy;
+
+        if (stage.ifAfter) {
+            if (stage.plainIf)
+                stage.ifAfter->stepPlain(stage.preAct.data(),
+                                         stage.spikes.data(),
+                                         stage.features);
+            else
+                stage.ifAfter->step(stage.preAct.data(),
+                                    stage.spikes.data(), stage.features);
+            plan.active.clear();
+            const float *sp = stage.spikes.data();
+            for (int i = 0; i < stage.features; ++i)
+                if (sp[i] != 0.0f)
+                    plan.active.push_back(i);
+            stage_out = &stage.spikes;
+        } else {
+            stage_out = &stage.preAct;
+        }
+    }
+
+    if (t == 0)
+        result.logits = *stage_out;
+    else
+        result.logits.add(*stage_out);
+    return input_spikes;
 }
 
 SnnRunResult
@@ -480,7 +750,26 @@ NebulaChip::runSnn(const Tensor &image, int timesteps,
     long long input_spikes = 0;
     const long long evals_before = stats_.crossbarEvals;
 
+    // The preplanned pipeline runs the same arithmetic without the
+    // per-step tensor churn; an actively recording trace session keeps
+    // the instrumented walk so its spans stay complete.
+    const bool use_plan =
+        config_.fastEval && fastPlan_.usable &&
+        !(config_.traceChip && obs::TraceSession::enabled());
+    if (use_plan) {
+        NEBULA_ASSERT(image.size() == fastPlan_.inFeatures,
+                      "image size does not match the programmed SNN");
+        for (SnnFastStage &stage : fastPlan_.stages)
+            if (stage.ifAfter)
+                stage.ifAfter->ensureState({1, stage.features});
+        encoder.buildPlan(image, fastPlan_.encPlan);
+    }
+
     for (int t = 0; t < timesteps; ++t) {
+        if (use_plan) {
+            input_spikes += snnFastStep(encoder, t, result);
+            continue;
+        }
         obs::TraceSpan step_span("chip", "timestep", config_.traceChip);
         step_span.arg("t", static_cast<double>(t));
 

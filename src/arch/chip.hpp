@@ -152,6 +152,56 @@ class NebulaChip
     Tensor evaluateLayer(MappedLayer &layer, const Tensor &input,
                          bool binary);
 
+    /**
+     * One stage of the pre-resolved fast SNN pipeline: a mapped Linear
+     * layer plus the IF layer that consumes its pre-activations (null
+     * for the logits stage), with reusable output buffers and the
+     * per-step NoC transfer energy precomputed.
+     */
+    struct SnnFastStage
+    {
+        size_t layerIndex = 0;      //!< into layers_
+        IfLayer *ifAfter = nullptr; //!< IF consuming this stage's output
+        bool plainIf = false;       //!< ifAfter qualifies for stepPlain()
+        int features = 0;           //!< output kernels
+        double nocEnergy = 0.0;     //!< per-step inter-layer transfer (J)
+        Tensor preAct;              //!< (1, features) pre-activations
+        Tensor spikes;              //!< (1, features) IF spike map
+    };
+
+    /**
+     * Fast SNN execution plan, built at programSnn() time for pure
+     * Flatten/Linear/IF pipelines (the paper's MLP topologies). Runs
+     * the identical per-timestep arithmetic as the generic layer walk
+     * -- sparse spike-driven crossbar evaluation, the same affine
+     * reconstruction expression, the same IF update via IfLayer::step()
+     * -- but through preallocated buffers with no per-step tensor
+     * churn. differential_test and golden_test pin it to the generic
+     * path bit-for-bit; anything not matching the pattern keeps the
+     * generic walk (usable == false).
+     */
+    struct SnnFastPlan
+    {
+        bool usable = false;
+        long long inFeatures = 0;  //!< flattened input size expected
+        std::vector<SnnFastStage> stages;
+        Tensor spikeBuf;           //!< encoder output workspace
+        SpikeVector active;        //!< active-row workspace
+        CrossbarEval evalWs;       //!< crossbar result workspace
+        PoissonEncoder::EncodePlan encPlan; //!< per-run encode plan
+    };
+
+    /** Build fastPlan_ for the programmed SNN (or mark it unusable). */
+    void buildSnnFastPlan();
+
+    /**
+     * One fast-plan timestep: encode (from the plan built for this
+     * run's image), run every stage sparsely, fold the logits into
+     * @p result. Returns the input spike count.
+     */
+    long long snnFastStep(PoissonEncoder &encoder, int t,
+                          SnnRunResult &result);
+
     NebulaConfig config_;
     double variationSigma_;
     uint64_t seed_;
@@ -164,6 +214,7 @@ class NebulaChip
     Network *annNet_ = nullptr;
     SpikingModel *snnModel_ = nullptr;
     std::vector<MappedLayer> layers_; //!< one per weight layer, in order
+    SnnFastPlan fastPlan_;
     NetworkMapping mapping_;
     ChipStats stats_;
     Rng runSeeds_;

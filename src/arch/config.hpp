@@ -77,6 +77,17 @@ struct NebulaConfig
      */
     bool traceChip = true;
 
+    /**
+     * Use the fast evaluation paths: cached crossbar conductance views,
+     * sparse spike-driven evaluation in SNN mode, per-row window
+     * batching in ANN mode, input normalization precomputed per tensor
+     * element. False selects the original per-window scalar loops on
+     * uncached crossbars -- numerically identical (guarded by
+     * tests/differential_test.cpp), kept as the measurable
+     * pre-optimization baseline for the throughput benchmarks.
+     */
+    bool fastEval = true;
+
     /** Atomic crossbars per neural core. */
     int acsPerCore() const { return acsPerTile * tilesPerSupertile; }
 

@@ -5,11 +5,41 @@
 #include <numeric>
 
 #include "common/logging.hpp"
+#include "common/simd.hpp"
 #include "device/synapse_device.hpp"
 
 namespace nebula {
 
 namespace {
+
+/**
+ * Accumulate four crossbar rows into the per-column current totals.
+ * Each column's partial sum stays in a register across the four adds
+ * instead of round-tripping through memory once per row, and the adds
+ * still happen in ascending row order per column -- bit-identical to
+ * four passes of accumulateRow().
+ */
+NEBULA_TARGET_CLONES void
+accumulateRows4(double *out, int cols, double v, const double *r0,
+                const double *r1, const double *r2, const double *r3)
+{
+    for (int j = 0; j < cols; ++j) {
+        double s = out[j];
+        s += v * r0[j];
+        s += v * r1[j];
+        s += v * r2[j];
+        s += v * r3[j];
+        out[j] = s;
+    }
+}
+
+/** Accumulate one crossbar row into the per-column current totals. */
+NEBULA_TARGET_CLONES void
+accumulateRow(double *out, int cols, double v, const double *row)
+{
+    for (int j = 0; j < cols; ++j)
+        out[j] += v * row[j];
+}
 
 /** Energy of one full-drive program pulse (paper device parameters). */
 double
@@ -58,6 +88,8 @@ CrossbarArray::injectFaults(FaultMap faults)
                   "fault map geometry mismatch: got ", faults.rows(), "x",
                   faults.cols(), " want ", p_.rows, "x", physicalDataCols());
     faults_ = std::move(faults);
+    // Open lines change what evaluation reads even without reprogramming.
+    invalidateCache();
 }
 
 const CellFault &
@@ -229,6 +261,7 @@ CrossbarArray::program(const std::vector<float> &weights,
                   " want ", p_.rows * p_.cols);
 
     ProgramReport report;
+    invalidateCache();
     planRepair(config, report);
 
     const GaussianVariabilityModel noise(p_.variationSigma);
@@ -296,6 +329,15 @@ CrossbarArray::weightAt(int row, int col) const
 }
 
 double
+CrossbarArray::physicalConductanceAt(int row, int phys_col) const
+{
+    NEBULA_ASSERT(row >= 0 && row < p_.rows && phys_col >= 0 &&
+                      phys_col < physicalStride(),
+                  "physicalConductanceAt out of range");
+    return cellAt(row, phys_col);
+}
+
+double
 CrossbarArray::currentScale() const
 {
     return p_.readVoltage * gHalfSwing_;
@@ -307,13 +349,227 @@ CrossbarArray::maxColumnCurrent() const
     return p_.readVoltage * cell_.conductanceP() * p_.rows;
 }
 
+const CrossbarArray::EvalCache &
+CrossbarArray::evalCache() const
+{
+    EvalCache &c = cache_;
+    if (c.valid)
+        return c;
+
+    const int rows = p_.rows;
+    const int cols = p_.cols;
+    const int ref = physicalDataCols();
+    c.dense.resize(static_cast<size_t>(rows) * cols);
+    c.refCol.resize(static_cast<size_t>(rows));
+    c.rowGsum.resize(static_cast<size_t>(rows));
+    for (int i = 0; i < rows; ++i) {
+        const double *row =
+            &conductance_[static_cast<size_t>(i) * physicalStride()];
+        double *dense = &c.dense[static_cast<size_t>(i) * cols];
+        // Summation order (logical columns, then reference) matches the
+        // scalar loop so the cached energy term is bit-identical.
+        double row_g = 0.0;
+        for (int j = 0; j < cols; ++j) {
+            const double g = row[remap_[static_cast<size_t>(j)]];
+            dense[j] = g;
+            row_g += g;
+        }
+        c.refCol[static_cast<size_t>(i)] = row[ref];
+        c.rowGsum[static_cast<size_t>(i)] = row_g + row[ref];
+    }
+
+    c.colOpen.assign(static_cast<size_t>(cols), 0);
+    c.anyColOpen = false;
+    if (!faults_.empty()) {
+        for (int j = 0; j < cols; ++j) {
+            if (faults_.colOpen(remap_[static_cast<size_t>(j)])) {
+                c.colOpen[static_cast<size_t>(j)] = 1;
+                c.anyColOpen = true;
+            }
+        }
+    }
+    c.valid = true;
+    return c;
+}
+
 CrossbarEval
 CrossbarArray::evaluateIdeal(const std::vector<double> &inputs,
                              double duration) const
 {
     NEBULA_ASSERT(inputs.size() == static_cast<size_t>(p_.rows),
                   "input vector size mismatch");
+    if (!p_.fastEval)
+        return evaluateIdealScalar(inputs, duration);
 
+    const EvalCache &c = evalCache();
+    const int cols = p_.cols;
+    CrossbarEval eval;
+    eval.currents.assign(cols, 0.0);
+
+    double ref_current = 0.0;
+    double power = 0.0;
+    for (int i = 0; i < p_.rows; ++i) {
+        const double v = std::clamp(inputs[i], 0.0, 1.0) * p_.readVoltage;
+        if (v == 0.0)
+            continue;
+        const double *row = &c.dense[static_cast<size_t>(i) * cols];
+        double *out = eval.currents.data();
+        for (int j = 0; j < cols; ++j)
+            out[j] += v * row[j];
+        ref_current += v * c.refCol[static_cast<size_t>(i)];
+        power += v * v * c.rowGsum[static_cast<size_t>(i)];
+    }
+    for (auto &current : eval.currents)
+        current -= ref_current;
+    if (c.anyColOpen) {
+        for (int j = 0; j < cols; ++j)
+            if (c.colOpen[static_cast<size_t>(j)])
+                eval.currents[static_cast<size_t>(j)] = 0.0;
+    }
+    eval.energy = power * duration;
+    return eval;
+}
+
+CrossbarEval
+CrossbarArray::evaluateSparse(const SpikeVector &active,
+                              double duration) const
+{
+    if (!p_.fastEval) {
+        // Baseline fallback: densify and take the scalar loop.
+        std::vector<double> inputs(static_cast<size_t>(p_.rows), 0.0);
+        for (int i : active)
+            inputs[static_cast<size_t>(i)] = 1.0;
+        return evaluateIdealScalar(inputs, duration);
+    }
+
+    CrossbarEval eval;
+    evaluateSparseInto(active, duration, eval);
+    return eval;
+}
+
+void
+CrossbarArray::evaluateSparseInto(const SpikeVector &active,
+                                  double duration, CrossbarEval &eval) const
+{
+    NEBULA_ASSERT(p_.fastEval,
+                  "evaluateSparseInto requires the fast-eval cache");
+    const EvalCache &c = evalCache();
+    const int cols = p_.cols;
+    const double v = p_.readVoltage;
+    eval.currents.assign(cols, 0.0);
+
+    double ref_current = 0.0;
+    double power = 0.0;
+    double *out = eval.currents.data();
+    const size_t n_active = active.size();
+    size_t a = 0;
+    for (; a + 4 <= n_active; a += 4) {
+        const int i0 = active[a], i1 = active[a + 1];
+        const int i2 = active[a + 2], i3 = active[a + 3];
+        NEBULA_ASSERT(i0 >= 0 && i3 < p_.rows, "active row out of range");
+        accumulateRows4(out, cols, v,
+                        &c.dense[static_cast<size_t>(i0) * cols],
+                        &c.dense[static_cast<size_t>(i1) * cols],
+                        &c.dense[static_cast<size_t>(i2) * cols],
+                        &c.dense[static_cast<size_t>(i3) * cols]);
+        ref_current += v * c.refCol[static_cast<size_t>(i0)];
+        ref_current += v * c.refCol[static_cast<size_t>(i1)];
+        ref_current += v * c.refCol[static_cast<size_t>(i2)];
+        ref_current += v * c.refCol[static_cast<size_t>(i3)];
+        power += v * v * c.rowGsum[static_cast<size_t>(i0)];
+        power += v * v * c.rowGsum[static_cast<size_t>(i1)];
+        power += v * v * c.rowGsum[static_cast<size_t>(i2)];
+        power += v * v * c.rowGsum[static_cast<size_t>(i3)];
+    }
+    for (; a < n_active; ++a) {
+        const int i = active[a];
+        NEBULA_ASSERT(i >= 0 && i < p_.rows, "active row out of range");
+        accumulateRow(out, cols, v,
+                      &c.dense[static_cast<size_t>(i) * cols]);
+        ref_current += v * c.refCol[static_cast<size_t>(i)];
+        power += v * v * c.rowGsum[static_cast<size_t>(i)];
+    }
+    for (auto &current : eval.currents)
+        current -= ref_current;
+    if (c.anyColOpen) {
+        for (int j = 0; j < cols; ++j)
+            if (c.colOpen[static_cast<size_t>(j)])
+                eval.currents[static_cast<size_t>(j)] = 0.0;
+    }
+    eval.energy = power * duration;
+}
+
+CrossbarBatchEval
+CrossbarArray::evaluateIdealBatch(const std::vector<double> &inputs,
+                                  int batch, double duration) const
+{
+    NEBULA_ASSERT(batch > 0, "empty evaluation batch");
+    NEBULA_ASSERT(inputs.size() ==
+                      static_cast<size_t>(batch) * p_.rows,
+                  "batched input size mismatch");
+
+    const int cols = p_.cols;
+    CrossbarBatchEval eval;
+    if (!p_.fastEval) {
+        // Baseline fallback: B separate scalar evaluations.
+        eval.currents.resize(static_cast<size_t>(batch) * cols);
+        std::vector<double> window(static_cast<size_t>(p_.rows));
+        for (int b = 0; b < batch; ++b) {
+            std::copy_n(inputs.begin() +
+                            static_cast<size_t>(b) * p_.rows,
+                        p_.rows, window.begin());
+            CrossbarEval one = evaluateIdealScalar(window, duration);
+            std::copy(one.currents.begin(), one.currents.end(),
+                      eval.currents.begin() +
+                          static_cast<size_t>(b) * cols);
+            eval.energy += one.energy;
+        }
+        return eval;
+    }
+
+    const EvalCache &c = evalCache();
+    eval.currents.assign(static_cast<size_t>(batch) * cols, 0.0);
+    std::vector<double> ref_current(static_cast<size_t>(batch), 0.0);
+    std::vector<double> power(static_cast<size_t>(batch), 0.0);
+
+    // Row-outer / window-inner: each cached conductance row is streamed
+    // once and reused by every window in the batch. Per-window
+    // accumulation still proceeds in ascending row order, so each
+    // window's result is bit-identical to a standalone evaluateIdeal.
+    for (int i = 0; i < p_.rows; ++i) {
+        const double *row = &c.dense[static_cast<size_t>(i) * cols];
+        for (int b = 0; b < batch; ++b) {
+            const double v =
+                std::clamp(inputs[static_cast<size_t>(b) * p_.rows + i],
+                           0.0, 1.0) *
+                p_.readVoltage;
+            if (v == 0.0)
+                continue;
+            double *out = &eval.currents[static_cast<size_t>(b) * cols];
+            for (int j = 0; j < cols; ++j)
+                out[j] += v * row[j];
+            ref_current[static_cast<size_t>(b)] +=
+                v * c.refCol[static_cast<size_t>(i)];
+            power[static_cast<size_t>(b)] +=
+                v * v * c.rowGsum[static_cast<size_t>(i)];
+        }
+    }
+    for (int b = 0; b < batch; ++b) {
+        double *out = &eval.currents[static_cast<size_t>(b) * cols];
+        for (int j = 0; j < cols; ++j) {
+            out[j] -= ref_current[static_cast<size_t>(b)];
+            if (c.anyColOpen && c.colOpen[static_cast<size_t>(j)])
+                out[j] = 0.0;
+        }
+        eval.energy += power[static_cast<size_t>(b)] * duration;
+    }
+    return eval;
+}
+
+CrossbarEval
+CrossbarArray::evaluateIdealScalar(const std::vector<double> &inputs,
+                                   double duration) const
+{
     CrossbarEval eval;
     eval.currents.assign(p_.cols, 0.0);
 
@@ -361,12 +617,20 @@ CrossbarArray::evaluateParasitic(const std::vector<double> &inputs,
     const int cols = physicalStride(); // data + spares + reference
     const double gw = 1.0 / p_.wireResistance;
 
-    // Node voltages: vr (bit-line side) and vc (source-line side).
-    std::vector<double> vr(static_cast<size_t>(rows) * cols, 0.0);
-    std::vector<double> vc(static_cast<size_t>(rows) * cols, 0.0);
-    std::vector<double> source(rows);
+    // Node voltages: vr (bit-line side) and vc (source-line side). The
+    // solver workspace lives in the eval cache so repeated solves (the
+    // supply-voltage ablation sweeps) stop churning the allocator; it
+    // is fully re-initialized below, so results are unchanged.
+    std::vector<double> local_vr, local_vc, local_source;
+    std::vector<double> &vr = p_.fastEval ? cache_.vr : local_vr;
+    std::vector<double> &vc = p_.fastEval ? cache_.vc : local_vc;
+    std::vector<double> &source = p_.fastEval ? cache_.source : local_source;
+    vr.assign(static_cast<size_t>(rows) * cols, 0.0);
+    vc.assign(static_cast<size_t>(rows) * cols, 0.0);
+    source.resize(static_cast<size_t>(rows));
     for (int i = 0; i < rows; ++i)
-        source[i] = std::clamp(inputs[i], 0.0, 1.0) * p_.readVoltage;
+        source[static_cast<size_t>(i)] =
+            std::clamp(inputs[i], 0.0, 1.0) * p_.readVoltage;
 
     auto g = [&](int i, int j) {
         return conductance_[static_cast<size_t>(i) * cols + j];

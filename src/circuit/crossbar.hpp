@@ -21,6 +21,20 @@
  *    full nodal Gauss-Seidel solve (slow, for validation and the supply
  *    voltage ablation) or a fast per-cell attenuation approximation.
  *
+ * Fast evaluation: the array keeps an EvalCache of derived read-path
+ * state -- the logical-column (remap-resolved) dense conductance view,
+ * the per-row reference conductance and total row conductance used for
+ * energy accounting, the open-column mask, and the parasitic solver
+ * workspace. The cache is invalidated whenever the programmed state can
+ * change (program, injectFaults) and rebuilt lazily on the next
+ * evaluation, so the per-evaluation inner loop is a pure multiply-add
+ * over a contiguous matrix with no remap gathers and no per-row
+ * conductance re-summation. evaluateSparse() exploits SNN spike
+ * sparsity by walking only the active rows of that view; results are
+ * bit-identical to evaluateIdeal() on the densified spike vector.
+ * CrossbarParams::fastEval == false falls back to the original scalar
+ * loops (the pre-cache behaviour), kept as a measurable baseline.
+ *
  * Reliability: the array can carry an explicit FaultMap (stuck cells,
  * pinning drift, retention decay, line opens) injected before
  * programming, and the program() entry point supports the mitigation
@@ -66,6 +80,13 @@ struct CrossbarParams
     /** Relative device-to-device conductance variation (0 = none). */
     double variationSigma = 0.0;
     uint64_t variationSeed = 7;
+
+    /**
+     * Use the cached fast evaluation paths (default). False selects the
+     * original scalar per-cell loops -- numerically identical, kept as
+     * the measurable pre-optimization baseline for benchmarks.
+     */
+    bool fastEval = true;
 };
 
 /** Result of one crossbar evaluation. */
@@ -75,6 +96,22 @@ struct CrossbarEval
     std::vector<double> currents;
 
     /** Total ohmic energy dissipated in the array this evaluation (J). */
+    double energy = 0.0;
+};
+
+/**
+ * Active-row list for the 1-bit spike driver path: indices of the rows
+ * whose bit-line carries a spike this cycle, in ascending order.
+ */
+using SpikeVector = std::vector<int>;
+
+/** Result of one batched crossbar evaluation (B input windows). */
+struct CrossbarBatchEval
+{
+    /** B x cols differential column currents, row-major (A). */
+    std::vector<double> currents;
+
+    /** Ohmic energy summed over the batch (J). */
     double energy = 0.0;
 };
 
@@ -124,6 +161,35 @@ class CrossbarArray
                                double duration) const;
 
     /**
+     * Spike-driven sparse evaluation: only the rows listed in
+     * @p active (ascending row indices, each driven at full read
+     * voltage) contribute. Bit-identical to evaluateIdeal() on the
+     * equivalent dense 0/1 vector, but the cost is linear in the number
+     * of *active* rows -- the event-driven current-domain accumulation
+     * the SNN mode's efficiency argument rests on.
+     */
+    CrossbarEval evaluateSparse(const SpikeVector &active,
+                                double duration) const;
+
+    /**
+     * evaluateSparse() into a caller-owned result so per-timestep inner
+     * loops reuse one allocation. Requires fastEval (the dense fallback
+     * lives in the by-value form); values are identical to it.
+     */
+    void evaluateSparseInto(const SpikeVector &active, double duration,
+                            CrossbarEval &eval) const;
+
+    /**
+     * Evaluate @p batch input windows (row-major batch x rows) in one
+     * call. The blocked loop walks each cached conductance row once per
+     * batch, amortizing the matrix traffic across windows; per-window
+     * results are bit-identical to @p batch separate evaluateIdeal()
+     * calls.
+     */
+    CrossbarBatchEval evaluateIdealBatch(const std::vector<double> &inputs,
+                                         int batch, double duration) const;
+
+    /**
      * Evaluate with interconnect parasitics using a nodal Gauss-Seidel
      * solve of the full resistive network. Accurate but O(rows*cols*iters);
      * intended for validation and small ablation sweeps.
@@ -147,6 +213,14 @@ class CrossbarArray
     /** Normalized signed weight recovered from the programmed cell. */
     double weightAt(int row, int col) const;
 
+    /**
+     * Raw physical-cell conductance (no remap; spares and the reference
+     * column at physical index cols()+spareCols addressable). For the
+     * reference-model validation harness -- inference code wants the
+     * logical view of conductanceAt().
+     */
+    double physicalConductanceAt(int row, int phys_col) const;
+
     /** Worst-case (all cells on, all inputs max) column current (A). */
     double maxColumnCurrent() const;
 
@@ -161,6 +235,43 @@ class CrossbarArray
     const CrossbarParams &params() const { return p_; }
 
   private:
+    /**
+     * Derived read-path state, rebuilt lazily after any event that can
+     * change the programmed conductances or the column remap (program,
+     * injectFaults). Single-threaded per array, like every other
+     * mutable member: worker replicas each own their crossbars.
+     */
+    struct EvalCache
+    {
+        bool valid = false;
+
+        /** rows x cols remapped data conductances, logical order. */
+        std::vector<double> dense;
+
+        /** Per-row reference-column conductance. */
+        std::vector<double> refCol;
+
+        /** Per-row total conductance (data + reference), for energy. */
+        std::vector<double> rowGsum;
+
+        /** Per-logical-column open-line flag. */
+        std::vector<uint8_t> colOpen;
+        bool anyColOpen = false;
+
+        /** Gauss-Seidel node-voltage workspace (parasitic solve). */
+        std::vector<double> vr, vc, source;
+    };
+
+    /** The cache, built if stale. */
+    const EvalCache &evalCache() const;
+
+    /** Mark every derived view stale (programmed state changed). */
+    void invalidateCache() { cache_.valid = false; }
+
+    /** Original scalar evaluation loop (fastEval == false baseline). */
+    CrossbarEval evaluateIdealScalar(const std::vector<double> &inputs,
+                                     double duration) const;
+
     /** Physical data columns (logical + spares). */
     int physicalDataCols() const { return p_.cols + p_.spareCols; }
 
@@ -189,6 +300,7 @@ class CrossbarArray
     std::vector<int> remap_;          //!< logical col -> physical col
     double gMid_;
     double gHalfSwing_;
+    mutable EvalCache cache_;
 };
 
 } // namespace nebula

@@ -33,14 +33,40 @@ class Rng
      */
     void reseed(uint64_t seed);
 
-    /** Next raw 64-bit value. */
-    uint64_t next();
+    /**
+     * Next raw 64-bit value. Defined inline (as are uniform() and
+     * bernoulli()) so per-element hot loops -- the Poisson rate encoder
+     * draws one Bernoulli per pixel per timestep -- pay no call
+     * overhead. The generated stream is identical to the historical
+     * out-of-line definition.
+     */
+    uint64_t next()
+    {
+        const uint64_t result = rotl64(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl64(state_[3], 45);
+
+        return result;
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform()
+    {
+        // 53 high bits -> double in [0, 1).
+        return (next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform double in [lo, hi). */
-    double uniform(double lo, double hi);
+    double uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
     int uniformInt(int lo, int hi);
@@ -52,7 +78,14 @@ class Rng
     double gaussian(double mean, double sigma);
 
     /** Bernoulli draw: true with probability p (p clamped to [0,1]). */
-    bool bernoulli(double p);
+    bool bernoulli(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
 
     /** Poisson draw with the given rate (Knuth for small, normal approx). */
     int poisson(double lambda);
@@ -64,6 +97,11 @@ class Rng
     Rng fork();
 
   private:
+    static constexpr uint64_t rotl64(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     uint64_t state_[4];
     bool hasSpare_ = false;
     double spare_ = 0.0;

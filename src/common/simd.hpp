@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Function multi-versioning for the handful of numeric hot loops on the
+ * fast evaluation paths (sparse crossbar accumulation, pre-activation
+ * reconstruction).
+ */
+
+#ifndef NEBULA_COMMON_SIMD_HPP
+#define NEBULA_COMMON_SIMD_HPP
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define NEBULA_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define NEBULA_SANITIZED 1
+#endif
+#endif
+
+#if defined(__x86_64__) && defined(__ELF__) && !defined(NEBULA_SANITIZED) && \
+    (defined(__GNUC__) || defined(__clang__))
+/**
+ * Compile the annotated function twice -- baseline ISA and AVX2 -- and
+ * pick the widest the CPU supports at load time (GNU ifunc dispatch).
+ * The AVX2 clone widens the column loops from 2 to 4 doubles per
+ * instruction. It deliberately does NOT enable FMA: fused multiply-adds
+ * round differently, and the fast paths are pinned bit-for-bit to the
+ * scalar reference loops by the differential tests.
+ *
+ * Not under TSan/ASan: the ifunc resolvers run before the sanitizer
+ * runtime is initialized and crash the binary at load.
+ */
+#define NEBULA_TARGET_CLONES \
+    __attribute__((target_clones("default", "avx2")))
+#else
+#define NEBULA_TARGET_CLONES
+#endif
+
+#endif // NEBULA_COMMON_SIMD_HPP

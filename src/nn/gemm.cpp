@@ -72,8 +72,12 @@ gemmTransB(int M, int N, int K, const float *A, const float *B, float *C,
         for (int j = 0; j < N; ++j) {
             const float *b = B + static_cast<size_t>(j) * K;
             double acc = c[j];
-            for (int k = 0; k < K; ++k)
-                acc += static_cast<double>(a[k]) * b[k];
+            for (int k = 0; k < K; ++k) {
+                const float aik = a[k];
+                if (aik == 0.0f)
+                    continue;
+                acc += static_cast<double>(aik) * b[k];
+            }
             c[j] = static_cast<float>(acc);
         }
     }

@@ -181,6 +181,58 @@ class FunctionalAnnReplica : public ChipReplica
     Network net_;
 };
 
+/**
+ * Functional spiking replica: a private converted model driven with the
+ * request's encoder seed. This gives the functional SNN leg exactly the
+ * per-request seed stream the chip leg gets from the engine
+ * (deriveRequestSeed over the salted id) instead of a sequential stream
+ * forked from the *fault* seed -- reusing the fault seed both
+ * correlated the input spike trains with the sampled fault maps and
+ * made results depend on submission order, neither of which the chip
+ * backend has.
+ */
+class FunctionalSnnReplica : public ChipReplica
+{
+  public:
+    FunctionalSnnReplica(const Network &prototype, const Tensor &calibration)
+        : model_(convertClone(prototype, calibration)), sim_(model_)
+    {
+    }
+
+    InferenceResult
+    run(const InferenceRequest &request) override
+    {
+        NEBULA_ASSERT(request.timesteps > 0,
+                      "SNN request needs timesteps");
+        const SnnRunResult snn =
+            sim_.run(request.image, request.timesteps, request.seed);
+        InferenceResult result;
+        result.logits = snn.logits;
+        result.predictedClass = snn.predictedClass();
+        result.timesteps = request.timesteps;
+        result.spikes = snn.totalSpikes;
+        return result;
+    }
+
+    const char *
+    mode() const override
+    {
+        return "snn";
+    }
+
+  private:
+    /** convertToSnn folds BN in place, so convert a private clone. */
+    static SpikingModel
+    convertClone(const Network &prototype, const Tensor &calibration)
+    {
+        Network clone = prototype.clone();
+        return convertToSnn(clone, calibration);
+    }
+
+    SpikingModel model_;
+    SnnSimulator sim_;
+};
+
 } // namespace
 
 CampaignResult
@@ -311,16 +363,21 @@ runFunctionalCampaign(const Network &quantized, const Tensor &calibration,
                 }
                 if (config.runSnn) {
                     // The spiking path re-converts the perturbed network
-                    // and runs the plain simulator (it owns the encoder
-                    // seed stream, so this leg is sequential).
-                    SpikingModel snn = convertToSnn(noisy, calibration);
-                    SnnSimulator sim(snn, 1.0, seed ^ 0x5eedull);
-                    const double acc = sim.evaluateAccuracy(
-                        test, images, config.timesteps);
+                    // per replica and runs through the engine, so the
+                    // encoder seeds are the same per-request derivation
+                    // the chip leg uses.
+                    auto proto =
+                        std::make_shared<const Network>(noisy.clone());
+                    auto cal = std::make_shared<const Tensor>(calibration);
+                    const int correct = countCorrect(
+                        [proto, cal](int) -> std::unique_ptr<ChipReplica> {
+                            return std::make_unique<FunctionalSnnReplica>(
+                                *proto, *cal);
+                        },
+                        test, config, config.timesteps, images);
                     row.mode = "snn";
-                    row.correct =
-                        static_cast<int>(std::lround(acc * images));
-                    row.accuracy = acc;
+                    row.correct = correct;
+                    row.accuracy = static_cast<double>(correct) / images;
                     result.rows.push_back(row);
                 }
             }

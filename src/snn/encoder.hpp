@@ -30,6 +30,46 @@ class PoissonEncoder
      */
     Tensor encode(const Tensor &image);
 
+    /**
+     * encode() into a caller-owned buffer (reshaped to match if needed)
+     * so per-timestep loops reuse one allocation. Consumes the same
+     * random draws as encode(): interleaving the two forms on one
+     * encoder produces the identical spike train.
+     */
+    void encodeInto(const Tensor &image, Tensor &out);
+
+    /**
+     * One timestep as an ascending active-pixel index list (the form
+     * sparse crossbar drivers consume) without materializing the spike
+     * tensor. Draw-for-draw identical to encode(): element i spikes in
+     * encodeActive() exactly when it spikes in encode() at the same
+     * stream position.
+     */
+    void encodeActive(const Tensor &image, std::vector<int> &active);
+
+    /**
+     * Precomputed encoding work for one image: the ascending indices of
+     * its pixels with nonzero firing probability, and that probability.
+     * Serving loops that present the same image for many timesteps
+     * build this once instead of re-clamping every pixel per step.
+     */
+    struct EncodePlan
+    {
+        std::vector<int> index;   //!< nonzero-probability pixels, ascending
+        std::vector<double> prob; //!< firing probability of each
+    };
+
+    /** Fill @p plan for @p image (pure function of image and rateScale). */
+    void buildPlan(const Tensor &image, EncodePlan &plan) const;
+
+    /**
+     * encodeActive() driven by a precomputed plan. Draw-for-draw
+     * identical to encode(image): zero-probability pixels consume no
+     * random draws in either form, so skipping them does not shift the
+     * stream, and the drawing pixels are visited in the same order.
+     */
+    void encodeActive(const EncodePlan &plan, std::vector<int> &active);
+
     /** Restart the spike-train stream (same seed -> same train). */
     void reset();
 

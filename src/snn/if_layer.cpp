@@ -40,39 +40,78 @@ IfLayer::clone() const
 Tensor
 IfLayer::forward(const Tensor &input, bool)
 {
-    if (!membrane_.sameShape(input)) {
-        membrane_ = Tensor(input.shape());
-        spikeCounts_.assign(static_cast<size_t>(input.size()), 0);
-        refractoryLeft_.assign(static_cast<size_t>(input.size()), 0);
-        spikes_ = 0;
-    }
-
-    const float keep = 1.0f - options_.leak;
+    ensureState(input.shape());
     Tensor spikes(input.shape());
-    for (long long i = 0; i < input.size(); ++i) {
+    step(input.data(), spikes.data(), input.size());
+    return spikes;
+}
+
+void
+IfLayer::ensureState(const std::vector<int> &shape)
+{
+    if (membrane_.shape() == shape)
+        return;
+    membrane_ = Tensor(shape);
+    spikeCounts_.assign(static_cast<size_t>(membrane_.size()), 0);
+    refractoryLeft_.assign(static_cast<size_t>(membrane_.size()), 0);
+    spikes_ = 0;
+}
+
+void
+IfLayer::step(const float *in, float *out, long long n)
+{
+    NEBULA_ASSERT(membrane_.size() == n,
+                  "IF state not sized for this input");
+    const float keep = 1.0f - options_.leak;
+    float *mem = membrane_.data();
+    for (long long i = 0; i < n; ++i) {
         const size_t k = static_cast<size_t>(i);
         if (options_.refractory > 0 && refractoryLeft_[k] > 0) {
             --refractoryLeft_[k];
-            spikes[i] = 0.0f;
+            out[i] = 0.0f;
             continue;
         }
         if (options_.leak > 0.0f)
-            membrane_[i] *= keep;
-        membrane_[i] += input[i];
-        if (membrane_[i] >= threshold_) {
-            spikes[i] = 1.0f;
-            membrane_[i] = resetMode_ == ResetMode::Zero
-                               ? 0.0f
-                               : membrane_[i] - threshold_;
+            mem[i] *= keep;
+        mem[i] += in[i];
+        if (mem[i] >= threshold_) {
+            out[i] = 1.0f;
+            mem[i] = resetMode_ == ResetMode::Zero ? 0.0f
+                                                   : mem[i] - threshold_;
             if (options_.refractory > 0)
                 refractoryLeft_[k] = options_.refractory;
             ++spikes_;
             ++spikeCounts_[k];
         } else {
-            spikes[i] = 0.0f;
+            out[i] = 0.0f;
         }
     }
-    return spikes;
+}
+
+void
+IfLayer::stepPlain(const float *in, float *out, long long n)
+{
+    NEBULA_ASSERT(membrane_.size() == n,
+                  "IF state not sized for this input");
+    NEBULA_ASSERT(options_.leak == 0.0f && options_.refractory == 0,
+                  "stepPlain requires the plain leak/refractory-free IF");
+    const float vth = threshold_;
+    const bool reset_zero = resetMode_ == ResetMode::Zero;
+    float *mem = membrane_.data();
+    long long fired = 0;
+    for (long long i = 0; i < n; ++i) {
+        const float m = mem[i] + in[i];
+        if (m >= vth) {
+            out[i] = 1.0f;
+            mem[i] = reset_zero ? 0.0f : m - vth;
+            ++fired;
+            ++spikeCounts_[static_cast<size_t>(i)];
+        } else {
+            out[i] = 0.0f;
+            mem[i] = m;
+        }
+    }
+    spikes_ += fired;
 }
 
 void

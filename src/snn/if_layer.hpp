@@ -61,6 +61,31 @@ class IfLayer : public Layer
     /** Clear membrane state and spike statistics for a new inference. */
     void resetState();
 
+    /**
+     * Size the membrane/refractory state for inputs of @p shape (the
+     * same lazy initialization forward() performs). A no-op when the
+     * state already matches, so callers may invoke it once per run.
+     */
+    void ensureState(const std::vector<int> &shape);
+
+    /**
+     * Advance ONE timestep on raw buffers: integrate @p in, write the
+     * binary spike map to @p out. Exactly forward()'s update -- it IS
+     * forward()'s loop -- but without allocating the result tensor;
+     * ensureState() must have sized the state to @p n neurons first.
+     * The chip's fast SNN path drives this form.
+     */
+    void step(const float *in, float *out, long long n);
+
+    /**
+     * step() specialized for the paper's plain IF neuron (no leak, no
+     * refractory period -- asserts both are off): the same integrate /
+     * compare / reset arithmetic with the per-element option branches
+     * hoisted out of the loop. The chip's fast SNN plan calls this when
+     * eligible; the differential tests pin it to step().
+     */
+    void stepPlain(const float *in, float *out, long long n);
+
     /** Total spikes emitted since the last resetState(). */
     long long spikeCount() const { return spikes_; }
 

@@ -15,12 +15,19 @@ SnnSimulator::SnnSimulator(SpikingModel &model, double input_rate,
 SnnRunResult
 SnnSimulator::run(const Tensor &image, int timesteps)
 {
+    return run(image, timesteps, seedStream_.next());
+}
+
+SnnRunResult
+SnnSimulator::run(const Tensor &image, int timesteps,
+                  uint64_t encoder_seed)
+{
     NEBULA_ASSERT(timesteps > 0, "need at least one timestep");
     NEBULA_ASSERT(image.rank() == 3 || image.rank() == 2,
                   "run expects a single (C,H,W) or (F) image");
 
     model_.resetState();
-    PoissonEncoder encoder(inputRate_, seedStream_.next());
+    PoissonEncoder encoder(inputRate_, encoder_seed);
 
     // Batch-of-one input shape.
     std::vector<int> batched;

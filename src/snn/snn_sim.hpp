@@ -49,10 +49,22 @@ class SnnSimulator
                           uint64_t seed = 21);
 
     /**
-     * Run one image for T timesteps.
+     * Run one image for T timesteps, drawing the encoder seed from the
+     * simulator's internal stream (results depend on how many runs
+     * preceded this one).
      * @param image (C, H, W) intensity tensor in [0, 1].
      */
     SnnRunResult run(const Tensor &image, int timesteps);
+
+    /**
+     * Run one image with an explicit encoder seed. Output is a pure
+     * function of (model state, image, timesteps, seed) -- the
+     * call-order-independent form matching NebulaChip::runSnn, so the
+     * functional and chip backends can be driven with identical
+     * per-request seeds and compared spike-for-spike.
+     */
+    SnnRunResult run(const Tensor &image, int timesteps,
+                     uint64_t encoder_seed);
 
     /**
      * ANN-domain rate map of IF layer @p k from the most recent run:

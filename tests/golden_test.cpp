@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Golden regression vectors for the three chip execution modes. Each
+ * test runs a fixed tiny model on fixed inputs with fixed seeds and
+ * compares every number against tests/golden/<name>.txt: integer
+ * quantities (spike counts, accumulator operations) must match exactly,
+ * floating-point ones within 1e-12 relative -- any behavioural drift in
+ * the device/circuit/arch stack fails here even if accuracy metrics
+ * happen to survive it.
+ *
+ * To regenerate after an *intentional* numeric change:
+ *
+ *     NEBULA_REGEN_GOLDEN=1 ./build/tests/golden_test
+ *
+ * and commit the rewritten files together with the change that
+ * justifies them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/chip.hpp"
+#include "nn/models.hpp"
+#include "nn/quantize.hpp"
+#include "runtime/request.hpp"
+#include "snn/hybrid.hpp"
+
+namespace nebula {
+namespace {
+
+constexpr int kImageSize = 10;
+constexpr int kClasses = 10;
+constexpr int kTimesteps = 12;
+constexpr uint64_t kSeedSalt = 2024;
+
+/** Ordered key/value records of one golden scenario. */
+using Golden = std::vector<std::pair<std::string, std::string>>;
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(NEBULA_SOURCE_DIR) + "/tests/golden/" + name;
+}
+
+bool
+regenRequested()
+{
+    const char *env = std::getenv("NEBULA_REGEN_GOLDEN");
+    return env != nullptr && env[0] == '1';
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+void
+addInt(Golden &g, const std::string &key, long long v)
+{
+    g.emplace_back(key, std::to_string(v));
+}
+
+void
+addFloat(Golden &g, const std::string &key, double v)
+{
+    g.emplace_back(key, formatDouble(v));
+}
+
+void
+addTensor(Golden &g, const std::string &key, const Tensor &t)
+{
+    for (long long i = 0; i < t.size(); ++i)
+        addFloat(g, key + "[" + std::to_string(i) + "]",
+                 static_cast<double>(t[i]));
+}
+
+void
+writeGolden(const std::string &name, const Golden &actual)
+{
+    std::ofstream file(goldenPath(name), std::ios::trunc);
+    ASSERT_TRUE(file.good()) << "cannot write " << goldenPath(name);
+    file << "# Golden vectors -- regenerate with NEBULA_REGEN_GOLDEN=1"
+         << " ./golden_test\n";
+    for (const auto &kv : actual)
+        file << kv.first << " " << kv.second << "\n";
+}
+
+/**
+ * Compare against the committed file. Integer-looking values must match
+ * exactly; floats within 1e-12 relative. Missing file instructs how to
+ * create it.
+ */
+void
+checkGolden(const std::string &name, const Golden &actual)
+{
+    if (regenRequested()) {
+        writeGolden(name, actual);
+        return;
+    }
+    std::ifstream file(goldenPath(name));
+    ASSERT_TRUE(file.good())
+        << "missing golden file " << goldenPath(name)
+        << " -- generate it with NEBULA_REGEN_GOLDEN=1 ./golden_test";
+
+    Golden expected;
+    std::string line;
+    while (std::getline(file, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const size_t space = line.find(' ');
+        ASSERT_NE(space, std::string::npos) << "malformed line: " << line;
+        expected.emplace_back(line.substr(0, space),
+                              line.substr(space + 1));
+    }
+
+    ASSERT_EQ(expected.size(), actual.size())
+        << "golden " << name << " has a different record count -- "
+        << "regenerate if the change is intentional";
+    for (size_t i = 0; i < actual.size(); ++i) {
+        EXPECT_EQ(expected[i].first, actual[i].first)
+            << "golden " << name << " key order changed at record " << i;
+        if (expected[i].second == actual[i].second)
+            continue;
+        // Not textually identical: allow 1e-12 relative for floats.
+        const double want = std::strtod(expected[i].second.c_str(), nullptr);
+        const double got = std::strtod(actual[i].second.c_str(), nullptr);
+        EXPECT_LE(std::abs(got - want),
+                  1e-12 * std::max(1.0, std::abs(want)))
+            << "golden " << name << " drifted at " << actual[i].first
+            << ": expected " << expected[i].second << ", got "
+            << actual[i].second
+            << " -- regenerate with NEBULA_REGEN_GOLDEN=1 only if the"
+            << " numeric change is intentional";
+    }
+}
+
+/** Fixed dataset + float/quantized networks shared by the scenarios. */
+struct GoldenFixture
+{
+    SyntheticDigits data{32, kImageSize, /*seed=*/71};
+    Network floatNet;
+    Network quantNet;
+    QuantizationResult quant;
+
+    GoldenFixture()
+        : floatNet(buildMlp3(kImageSize, 1, kClasses, /*seed=*/73)),
+          quantNet(floatNet.clone()),
+          quant(quantizeNetwork(quantNet, data.firstImages(12)))
+    {
+    }
+};
+
+TEST(Golden, AnnLogitsOnChip)
+{
+    GoldenFixture fix;
+    NebulaChip chip;
+    chip.programAnn(fix.quantNet, fix.quant);
+
+    Golden g;
+    for (int i = 0; i < 3; ++i) {
+        const Tensor logits = chip.runAnn(fix.data.image(i));
+        addTensor(g, "image" + std::to_string(i) + ".logit", logits);
+        addInt(g, "image" + std::to_string(i) + ".class",
+               logits.argmaxRow(0));
+    }
+    addInt(g, "stats.crossbar_evals", chip.stats().crossbarEvals);
+    addInt(g, "stats.adc_conversions", chip.stats().adcConversions);
+    checkGolden("ann_logits.txt", g);
+}
+
+TEST(Golden, SnnSpikeCountsOnChip)
+{
+    GoldenFixture fix;
+    SpikingModel model = convertToSnn(fix.floatNet, fix.data.firstImages(12));
+    NebulaChip chip;
+    chip.programSnn(model);
+
+    Golden g;
+    for (int i = 0; i < 2; ++i) {
+        const uint64_t seed =
+            deriveRequestSeed(kSeedSalt, static_cast<uint64_t>(i));
+        const SnnRunResult r =
+            chip.runSnn(fix.data.image(i), kTimesteps, seed);
+        const std::string p = "image" + std::to_string(i) + ".";
+        addInt(g, p + "total_spikes", r.totalSpikes);
+        for (size_t k = 0; k < r.ifSpikes.size(); ++k)
+            addInt(g, p + "if" + std::to_string(k) + ".spikes",
+                   r.ifSpikes[k]);
+        addFloat(g, p + "input_rate", r.inputRate);
+        addTensor(g, p + "logit", r.logits);
+        addInt(g, p + "class", r.predictedClass());
+    }
+    checkGolden("snn_spikes.txt", g);
+}
+
+TEST(Golden, HybridAccumulatorSums)
+{
+    GoldenFixture fix;
+    Network ann = fix.floatNet.clone();
+    HybridNetwork hybrid(ann, fix.data.firstImages(12), /*ann_layers=*/1);
+
+    Golden g;
+    for (int i = 0; i < 2; ++i) {
+        const uint64_t seed =
+            deriveRequestSeed(kSeedSalt, 100 + static_cast<uint64_t>(i));
+        const HybridRunResult r =
+            hybrid.run(fix.data.image(i), kTimesteps, seed);
+        const std::string p = "image" + std::to_string(i) + ".";
+        addInt(g, p + "prefix_spikes", r.prefixSpikes);
+        addInt(g, p + "au_accumulations", r.auAccumulations);
+        // The logits are a pure function of the AU sums through the ANN
+        // suffix, so pinning them pins the accumulator contents.
+        addTensor(g, p + "logit", r.logits);
+        addInt(g, p + "class", r.predictedClass());
+    }
+    addInt(g, "boundary_neurons", hybrid.boundaryNeurons());
+    checkGolden("hybrid_accum.txt", g);
+}
+
+} // namespace
+} // namespace nebula
