@@ -14,6 +14,13 @@
  * recorded `snn.speedup` / `ann.speedup` ratios are machine-relative,
  * so CI can regress on them without depending on absolute host speed.
  *
+ * Also measures resilience under overload (shed/timeout ratios for a
+ * burst against RejectWhenFull admission control and a tight deadline)
+ * and closed-loop recovery from retention decay: the recorded
+ * `resilience.recovery_ratio` is deterministically 1.0 because repair
+ * re-programs the same weights onto the same crossbars, and CI
+ * regresses on it alongside the speedups.
+ *
  * Also microbenchmarks the per-request engine overhead (inline mode vs
  * a direct chip call) so queue/promise costs stay visible.
  *
@@ -33,6 +40,8 @@
 #include "nn/datasets.hpp"
 #include "nn/models.hpp"
 #include "nn/quantize.hpp"
+#include "reliability/fault_model.hpp"
+#include "reliability/health.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/replica.hpp"
 #include "snn/convert.hpp"
@@ -235,6 +244,169 @@ printFastPathStudy()
                  "paths to the same numbers.\n\n";
 }
 
+/**
+ * Overload + closed-loop-recovery study.
+ *
+ * Overload: a burst far larger than the queue is thrown at a small
+ * pool under RejectWhenFull (recording `overload.shed.ratio`) and
+ * under a tight per-request deadline (recording
+ * `overload.timeout.ratio`). The ratios are load-dependent
+ * observability numbers, not regression-gated -- they exist so the
+ * BENCH artifact shows how admission control behaved on this host.
+ *
+ * Recovery: an inline engine with the HealthMonitor attached serves an
+ * accuracy pass, has its live crossbars re-programmed under a
+ * retention-decay ramp via withReplicas (the silent-drift scenario),
+ * serves a degraded pass during which a canary probe catches the drift
+ * and repairs in place, then serves a recovered pass. Repair is a
+ * clean re-programming of the same weights, so the recovered pass is
+ * bit-identical to the clean one and `resilience.recovery_ratio`
+ * (recovered correct / clean correct) is deterministically 1.0 -- CI
+ * regresses on it.
+ */
+void
+printResilienceStudy()
+{
+    Workload &w = workload();
+    const bool tiny = tinyMode();
+
+    // -- overload: shed + timeout ratios under a burst -------------------
+    const int burst = tiny ? 64 : 256;
+    std::vector<Tensor> images;
+    for (int i = 0; i < burst; ++i)
+        images.push_back(w.images[static_cast<size_t>(i) % w.images.size()]);
+
+    long long shed = 0;
+    long long shed_delivered = 0;
+    {
+        EngineConfig cfg;
+        cfg.numWorkers = 2;
+        cfg.queueCapacity = 16;
+        cfg.shedPolicy = ShedPolicy::RejectWhenFull;
+        InferenceEngine engine(cfg, makeAnnReplicaFactory(w.net, w.quant));
+        for (auto &future : engine.submitBatch(images)) {
+            const InferenceResult result = future.get();
+            if (result.ok())
+                ++shed_delivered;
+            else if (result.error == RuntimeErrorKind::Shed)
+                ++shed;
+        }
+        engine.shutdown();
+    }
+
+    long long timeouts = 0;
+    long long deadline_delivered = 0;
+    {
+        EngineConfig cfg;
+        cfg.numWorkers = 1;
+        cfg.queueCapacity = images.size() + 4;
+        cfg.defaultDeadlineNs = 1000000; // 1 ms: the burst tail expires
+        InferenceEngine engine(cfg, makeAnnReplicaFactory(w.net, w.quant));
+        for (auto &future : engine.submitBatch(images)) {
+            const InferenceResult result = future.get();
+            if (result.ok())
+                ++deadline_delivered;
+            else if (result.error == RuntimeErrorKind::Timeout)
+                ++timeouts;
+        }
+        engine.shutdown();
+    }
+
+    const double shed_ratio = static_cast<double>(shed) / burst;
+    const double timeout_ratio = static_cast<double>(timeouts) / burst;
+    bench::record("overload.shed.ratio", shed_ratio);
+    bench::record("overload.timeout.ratio", timeout_ratio);
+
+    Table overload("Overload: " + std::to_string(burst) +
+                       "-request burst vs admission control",
+                   {"policy", "delivered", "shed", "timeouts", "ratio"});
+    overload.row()
+        .add("reject-when-full (q=16, 2 workers)")
+        .add(shed_delivered)
+        .add(shed)
+        .add(0ll)
+        .add(formatDouble(shed_ratio, 3) + " shed");
+    overload.row()
+        .add("1 ms deadline (1 worker)")
+        .add(deadline_delivered)
+        .add(0ll)
+        .add(timeouts)
+        .add(formatDouble(timeout_ratio, 3) + " timeout");
+    overload.print(std::cout);
+
+    // -- closed-loop recovery --------------------------------------------
+    const int eval_images = tiny ? 32 : 128;
+    HealthConfig hc;
+    hc.probeEvery = 16;
+    hc.tolerance = 1e-6;
+    hc.repairWith = {}; // repair = clean re-programming pass
+    std::vector<Tensor> canaries;
+    canaries.push_back(w.images[0]);
+    canaries.push_back(w.images[1]);
+    auto health = std::make_shared<HealthMonitor>(hc, std::move(canaries));
+
+    EngineConfig cfg;
+    cfg.numWorkers = 0; // inline: deterministic probe schedule
+    cfg.health = health;
+    InferenceEngine engine(cfg, makeAnnReplicaFactory(w.net, w.quant));
+
+    const auto countCorrect = [&]() {
+        std::vector<Tensor> batch(w.images.begin(),
+                                  w.images.begin() + eval_images);
+        long long correct = 0;
+        auto futures = engine.submitBatch(batch);
+        for (int i = 0; i < eval_images; ++i) {
+            const InferenceResult result =
+                futures[static_cast<size_t>(i)].get();
+            if (result.ok() && result.predictedClass == w.data.label(i))
+                ++correct;
+        }
+        return correct;
+    };
+
+    const long long clean = countCorrect();
+
+    ReliabilityConfig decay; // aged crossbars: walls relaxed mid-service
+    decay.faults = std::make_shared<RetentionDecayFaultModel>(
+        /*elapsed=*/5.0, /*tau=*/1.0, /*sigma=*/0.3);
+    engine.withReplicas(
+        [&](ChipReplica &replica) { replica.reprogram(decay); });
+
+    const long long degraded = countCorrect();
+    const long long recovered = countCorrect();
+    engine.shutdown();
+
+    const double recovery_ratio =
+        static_cast<double>(recovered) / std::max(1ll, clean);
+    bench::record("resilience.accuracy.clean",
+                  static_cast<double>(clean) / eval_images);
+    bench::record("resilience.accuracy.degraded",
+                  static_cast<double>(degraded) / eval_images);
+    bench::record("resilience.accuracy.recovered",
+                  static_cast<double>(recovered) / eval_images);
+    bench::record("resilience.recovery_ratio", recovery_ratio);
+
+    Table recovery("Closed-loop recovery: retention decay injected "
+                   "mid-run, canary probe every " +
+                       std::to_string(hc.probeEvery) + " requests (" +
+                       std::to_string(eval_images) + " images/pass)",
+                   {"phase", "correct", "accuracy"});
+    recovery.row().add("clean").add(clean).add(
+        formatDouble(100.0 * clean / eval_images, 1) + "%");
+    recovery.row().add("decayed").add(degraded).add(
+        formatDouble(100.0 * degraded / eval_images, 1) + "%");
+    recovery.row().add("recovered").add(recovered).add(
+        formatDouble(100.0 * recovered / eval_images, 1) + "%");
+    recovery.print(std::cout);
+
+    std::cout << "\nhealth: " << health->probes() << " probes, "
+              << health->degradations() << " degradation(s), "
+              << health->repairs() << " repair(s); recovery ratio "
+              << formatDouble(recovery_ratio, 3)
+              << " (repair re-programs the same weights, so recovered "
+                 "== clean exactly)\n\n";
+}
+
 /** Per-request overhead: inline engine vs direct chip call. */
 void
 BM_EngineInlineRequest(benchmark::State &state)
@@ -277,6 +449,7 @@ main(int argc, char **argv)
 {
     nebula::printThroughputStudy();
     nebula::printFastPathStudy();
+    nebula::printResilienceStudy();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     nebula::bench::writeBenchSummary(argv[0]);

@@ -13,6 +13,18 @@
  *
  * Build & run:  ./examples-bin/serve_throughput
  *
+ * Resilience:   --deadline-ms N attaches an N-millisecond deadline to
+ * every request (expired ones resolve to typed Timeout outcomes
+ * instead of being evaluated); --shed-policy block|reject|deadline
+ * selects the admission-control policy (reject sheds when the queue is
+ * full, deadline sheds at submit when the predicted queue wait already
+ * blows the budget). --chaos runs an extra ANN phase with the
+ * closed-loop health monitor attached: mid-run the live replicas are
+ * re-programmed under a retention-decay ramp (aged crossbars serving
+ * silently wrong logits), the canary probes catch the drift, repair
+ * re-programs in place, and the scoreboard shows accuracy before the
+ * fault, while degraded, and after recovery.
+ *
  * Tracing:      ./examples-bin/serve_throughput --trace out.json
  * records every request's latency breakdown, the chip-level layer
  * evaluations and the NoC transfers nested inside them as Chrome
@@ -25,6 +37,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,6 +48,8 @@
 #include "nn/quantize.hpp"
 #include "nn/trainer.hpp"
 #include "obs/trace.hpp"
+#include "reliability/fault_model.hpp"
+#include "reliability/health.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/replica.hpp"
 #include "snn/convert.hpp"
@@ -51,6 +66,10 @@ struct ServeOutcome
     double maxLatencyMs = 0.0;
     long long crossbarEvals = 0;
     long long spikes = 0;
+    long long delivered = 0;
+    long long shed = 0;
+    long long timeouts = 0;
+    long long faults = 0;
 };
 
 /** Serve every test image through the engine; gather the scoreboard. */
@@ -63,18 +82,29 @@ serve(InferenceEngine &engine, const Dataset &test)
 
     const auto start = std::chrono::steady_clock::now();
     auto futures = engine.submitBatch(images);
+    ServeOutcome outcome;
     int correct = 0;
-    for (int i = 0; i < test.size(); ++i)
-        correct +=
-            (futures[static_cast<size_t>(i)].get().predictedClass ==
-             test.label(i));
+    for (int i = 0; i < test.size(); ++i) {
+        const InferenceResult result = futures[static_cast<size_t>(i)].get();
+        if (result.ok()) {
+            ++outcome.delivered;
+            correct += (result.predictedClass == test.label(i));
+        } else if (result.error == RuntimeErrorKind::Shed) {
+            ++outcome.shed;
+        } else if (result.error == RuntimeErrorKind::Timeout) {
+            ++outcome.timeouts;
+        } else {
+            ++outcome.faults;
+        }
+    }
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
 
-    ServeOutcome outcome;
-    outcome.accuracy = 100.0 * correct / test.size();
+    outcome.accuracy = outcome.delivered > 0
+                           ? 100.0 * correct / outcome.delivered
+                           : 0.0;
     outcome.imagesPerSec = test.size() / seconds;
     const StatGroup stats = engine.runtimeStats();
     outcome.meanLatencyMs = stats.scalarAt("latency_ms").mean();
@@ -85,6 +115,87 @@ serve(InferenceEngine &engine, const Dataset &test)
     return outcome;
 }
 
+void
+addOutcomeRow(Table &table, const std::string &mode,
+              const ServeOutcome &o)
+{
+    table.row()
+        .add(mode)
+        .add(formatDouble(o.accuracy, 1) + "%")
+        .add(o.imagesPerSec, 1)
+        .add(o.meanLatencyMs, 3)
+        .add(o.maxLatencyMs, 3)
+        .add(o.delivered)
+        .add(o.shed)
+        .add(o.timeouts)
+        .add(o.crossbarEvals);
+}
+
+/**
+ * Chaos phase: serve with the health monitor attached, age the live
+ * replicas mid-run with a retention-decay ramp, and let the canary
+ * probe / repair loop pull accuracy back.
+ */
+void
+runChaosPhase(const Network &net, const QuantizationResult &quant,
+              const SyntheticDigits &train_set, const Dataset &test,
+              int workers)
+{
+    HealthConfig hc;
+    hc.probeEvery = 8;       // probe often: the demo run is short
+    hc.tolerance = 1e-6;     // any drift at all trips the repair
+    hc.repairWith = {};      // repair = clean re-programming pass
+    std::vector<Tensor> canaries;
+    canaries.push_back(train_set.image(0));
+    canaries.push_back(train_set.image(1));
+    auto health = std::make_shared<HealthMonitor>(hc, std::move(canaries));
+    health->setFallback(makeFunctionalAnnReplicaFactory(net));
+
+    EngineConfig cfg;
+    cfg.numWorkers = workers;
+    cfg.queueCapacity = 64;
+    cfg.health = health;
+    InferenceEngine engine(cfg, makeAnnReplicaFactory(net, quant));
+
+    const ServeOutcome clean = serve(engine, test);
+
+    // Age every serving crossbar in place: re-program under a
+    // retention-decay ramp (walls relaxed toward the track middle) --
+    // the silent-drift scenario the monitor exists for.
+    ReliabilityConfig decay;
+    decay.faults = std::make_shared<RetentionDecayFaultModel>(
+        /*elapsed=*/5.0, /*tau=*/1.0, /*sigma=*/0.3);
+    engine.withReplicas(
+        [&](ChipReplica &replica) { replica.reprogram(decay); });
+
+    const ServeOutcome degraded = serve(engine, test);
+    const ServeOutcome recovered = serve(engine, test);
+    engine.shutdown();
+
+    Table table("Chaos: retention decay injected mid-run, closed-loop "
+                "repair (probe every " +
+                    std::to_string(hc.probeEvery) + " requests)",
+                {"phase", "accuracy", "images/sec", "mean latency (ms)",
+                 "max latency (ms)", "delivered", "shed", "timeouts",
+                 "crossbar evals"});
+    addOutcomeRow(table, "clean", clean);
+    addOutcomeRow(table, "decayed", degraded);
+    addOutcomeRow(table, "recovered", recovered);
+    table.print(std::cout);
+
+    std::cout << "\nhealth: " << health->probes() << " probes, "
+              << health->degradations() << " degradation(s), "
+              << health->repairs() << " repair(s), "
+              << health->demotions() << " demotion(s)\n";
+    for (int slot = 0; slot < std::max(1, workers); ++slot)
+        std::cout << "  replica " << slot << ": "
+                  << toString(health->health(slot)) << "\n";
+    std::cout << "\nThe decayed phase serves whatever drift the probes "
+                 "have not caught yet; the\nrecovered phase is "
+                 "bit-identical to clean -- repair re-programs the "
+                 "same weights\nonto the same crossbars.\n\n";
+}
+
 } // namespace
 
 int
@@ -92,14 +203,39 @@ main(int argc, char **argv)
 {
     std::string trace_path;
     obs::TraceConfig trace_cfg;
+    double deadline_ms = 0.0;
+    ShedPolicy shed_policy = ShedPolicy::Block;
+    bool chaos = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
         } else if (std::strcmp(argv[i], "--sample") == 0 && i + 1 < argc) {
             trace_cfg.sampleEvery = std::max(1ll, std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--deadline-ms") == 0 &&
+                   i + 1 < argc) {
+            deadline_ms = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--shed-policy") == 0 &&
+                   i + 1 < argc) {
+            const std::string policy = argv[++i];
+            if (policy == "block") {
+                shed_policy = ShedPolicy::Block;
+            } else if (policy == "reject") {
+                shed_policy = ShedPolicy::RejectWhenFull;
+            } else if (policy == "deadline") {
+                shed_policy = ShedPolicy::DeadlineAware;
+            } else {
+                std::cerr << "unknown shed policy '" << policy
+                          << "' (block|reject|deadline)\n";
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--chaos") == 0) {
+            chaos = true;
         } else {
             std::cerr << "usage: " << argv[0]
-                      << " [--trace out.json] [--sample N]\n";
+                      << " [--trace out.json] [--sample N]"
+                         " [--deadline-ms N]"
+                         " [--shed-policy block|reject|deadline]"
+                         " [--chaos]\n";
             return 2;
         }
     }
@@ -128,12 +264,25 @@ main(int argc, char **argv)
     const int workers =
         std::max(2u, std::thread::hardware_concurrency());
     std::cout << "serving " << test_set.size() << " images with "
-              << workers << " workers\n\n";
+              << workers << " workers";
+    if (deadline_ms > 0.0)
+        std::cout << ", " << deadline_ms << " ms deadline";
+    if (shed_policy != ShedPolicy::Block)
+        std::cout << ", shed policy "
+                  << (shed_policy == ShedPolicy::RejectWhenFull
+                          ? "reject-when-full"
+                          : "deadline-aware");
+    std::cout << "\n\n";
+
+    const uint64_t deadline_ns =
+        deadline_ms > 0.0 ? static_cast<uint64_t>(1e6 * deadline_ms) : 0;
 
     // 2. ANN-mode engine. -------------------------------------------------
     EngineConfig ann_cfg;
     ann_cfg.numWorkers = workers;
     ann_cfg.queueCapacity = 64;
+    ann_cfg.defaultDeadlineNs = deadline_ns;
+    ann_cfg.shedPolicy = shed_policy;
     InferenceEngine ann_engine(ann_cfg, makeAnnReplicaFactory(net, quant));
     const ServeOutcome ann = serve(ann_engine, test_set);
     ann_engine.shutdown();
@@ -143,6 +292,8 @@ main(int argc, char **argv)
     EngineConfig snn_cfg;
     snn_cfg.numWorkers = workers;
     snn_cfg.defaultTimesteps = 40;
+    snn_cfg.defaultDeadlineNs = deadline_ns;
+    snn_cfg.shedPolicy = shed_policy;
     InferenceEngine snn_engine(snn_cfg, makeSnnReplicaFactory(snn));
     const ServeOutcome snn_out = serve(snn_engine, test_set);
     snn_engine.shutdown();
@@ -150,31 +301,22 @@ main(int argc, char **argv)
     // 4. Scoreboard. ------------------------------------------------------
     Table table("Worker-pool serving: ANN vs SNN mode",
                 {"mode", "accuracy", "images/sec", "mean latency (ms)",
-                 "max latency (ms)", "crossbar evals", "spikes"});
-    table.row()
-        .add("ANN")
-        .add(formatDouble(ann.accuracy, 1) + "%")
-        .add(ann.imagesPerSec, 1)
-        .add(ann.meanLatencyMs, 3)
-        .add(ann.maxLatencyMs, 3)
-        .add(ann.crossbarEvals)
-        .add(ann.spikes);
-    table.row()
-        .add("SNN (T=40)")
-        .add(formatDouble(snn_out.accuracy, 1) + "%")
-        .add(snn_out.imagesPerSec, 1)
-        .add(snn_out.meanLatencyMs, 3)
-        .add(snn_out.maxLatencyMs, 3)
-        .add(snn_out.crossbarEvals)
-        .add(snn_out.spikes);
+                 "max latency (ms)", "delivered", "shed", "timeouts",
+                 "crossbar evals"});
+    addOutcomeRow(table, "ANN", ann);
+    addOutcomeRow(table, "SNN (T=40)", snn_out);
     table.print(std::cout);
 
     std::cout << "\nDeterminism: every request carries its own encoder "
                  "seed, so re-serving the same\nbatch -- with any worker "
                  "count, including the inline numWorkers=0 mode -- "
-                 "reproduces\nbit-identical logits.\n";
+                 "reproduces\nbit-identical logits.\n\n";
 
-    // 5. Trace output. ----------------------------------------------------
+    // 5. Chaos phase (opt-in). ---------------------------------------------
+    if (chaos)
+        runChaosPhase(net, quant, train_set, test_set, workers);
+
+    // 6. Trace output. ----------------------------------------------------
     if (!trace_path.empty()) {
         auto session = obs::TraceSession::stop();
         if (session) {

@@ -149,89 +149,10 @@ captureReport(ReplicaFactory base, std::shared_ptr<ProgramReport> report)
     };
 }
 
-/** Functional replica: the perturbed network evaluated as-is. */
-class FunctionalAnnReplica : public ChipReplica
-{
-  public:
-    explicit FunctionalAnnReplica(const Network &prototype)
-        : net_(prototype.clone())
-    {
-    }
-
-    InferenceResult
-    run(const InferenceRequest &request) override
-    {
-        std::vector<int> batched;
-        batched.push_back(1);
-        for (int d = 0; d < request.image.rank(); ++d)
-            batched.push_back(request.image.dim(d));
-        InferenceResult result;
-        result.logits = net_.forward(request.image.reshaped(batched), false);
-        result.predictedClass = result.logits.argmaxRow(0);
-        return result;
-    }
-
-    const char *
-    mode() const override
-    {
-        return "ann";
-    }
-
-  private:
-    Network net_;
-};
-
-/**
- * Functional spiking replica: a private converted model driven with the
- * request's encoder seed. This gives the functional SNN leg exactly the
- * per-request seed stream the chip leg gets from the engine
- * (deriveRequestSeed over the salted id) instead of a sequential stream
- * forked from the *fault* seed -- reusing the fault seed both
- * correlated the input spike trains with the sampled fault maps and
- * made results depend on submission order, neither of which the chip
- * backend has.
- */
-class FunctionalSnnReplica : public ChipReplica
-{
-  public:
-    FunctionalSnnReplica(const Network &prototype, const Tensor &calibration)
-        : model_(convertClone(prototype, calibration)), sim_(model_)
-    {
-    }
-
-    InferenceResult
-    run(const InferenceRequest &request) override
-    {
-        NEBULA_ASSERT(request.timesteps > 0,
-                      "SNN request needs timesteps");
-        const SnnRunResult snn =
-            sim_.run(request.image, request.timesteps, request.seed);
-        InferenceResult result;
-        result.logits = snn.logits;
-        result.predictedClass = snn.predictedClass();
-        result.timesteps = request.timesteps;
-        result.spikes = snn.totalSpikes;
-        return result;
-    }
-
-    const char *
-    mode() const override
-    {
-        return "snn";
-    }
-
-  private:
-    /** convertToSnn folds BN in place, so convert a private clone. */
-    static SpikingModel
-    convertClone(const Network &prototype, const Tensor &calibration)
-    {
-        Network clone = prototype.clone();
-        return convertToSnn(clone, calibration);
-    }
-
-    SpikingModel model_;
-    SnnSimulator sim_;
-};
+// The functional (non-chip) replicas the campaigns run against live in
+// runtime/replica.cpp (makeFunctionalAnnReplicaFactory /
+// makeFunctionalSnnReplicaFactory) -- the health monitor shares them as
+// its graceful-degradation fallback backend.
 
 } // namespace
 
@@ -348,14 +269,9 @@ runFunctionalCampaign(const Network &quantized, const Tensor &calibration,
                 row.images = images;
 
                 if (config.runAnn) {
-                    auto proto =
-                        std::make_shared<const Network>(noisy.clone());
                     const int correct = countCorrect(
-                        [proto](int) -> std::unique_ptr<ChipReplica> {
-                            return std::make_unique<FunctionalAnnReplica>(
-                                *proto);
-                        },
-                        test, config, 0, images);
+                        makeFunctionalAnnReplicaFactory(noisy), test,
+                        config, 0, images);
                     row.mode = "ann";
                     row.correct = correct;
                     row.accuracy = static_cast<double>(correct) / images;
@@ -366,14 +282,8 @@ runFunctionalCampaign(const Network &quantized, const Tensor &calibration,
                     // per replica and runs through the engine, so the
                     // encoder seeds are the same per-request derivation
                     // the chip leg uses.
-                    auto proto =
-                        std::make_shared<const Network>(noisy.clone());
-                    auto cal = std::make_shared<const Tensor>(calibration);
                     const int correct = countCorrect(
-                        [proto, cal](int) -> std::unique_ptr<ChipReplica> {
-                            return std::make_unique<FunctionalSnnReplica>(
-                                *proto, *cal);
-                        },
+                        makeFunctionalSnnReplicaFactory(noisy, calibration),
                         test, config, config.timesteps, images);
                     row.mode = "snn";
                     row.correct = correct;

@@ -1,0 +1,214 @@
+#include "reliability/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nebula {
+
+namespace {
+
+/** health.state gauge value for one slot. */
+void
+publishState(int slot, ReplicaHealth state)
+{
+    obs::MetricsRegistry::global()
+        .gauge("health.state", {{"slot", std::to_string(slot)}})
+        .set(static_cast<double>(static_cast<int>(state)));
+}
+
+} // namespace
+
+const char *
+toString(ReplicaHealth health)
+{
+    switch (health) {
+    case ReplicaHealth::Healthy: return "healthy";
+    case ReplicaHealth::Degraded: return "degraded";
+    case ReplicaHealth::Repaired: return "repaired";
+    case ReplicaHealth::Demoted: return "demoted";
+    }
+    return "unknown";
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config,
+                             std::vector<Tensor> canaries)
+    : config_(config), canaries_(std::move(canaries))
+{
+    NEBULA_ASSERT(config_.probeEvery > 0, "probeEvery must be positive");
+    NEBULA_ASSERT(!canaries_.empty(), "health monitor needs canaries");
+}
+
+HealthMonitor::~HealthMonitor() = default;
+
+void
+HealthMonitor::setFallback(ReplicaFactory fallback)
+{
+    fallback_ = std::move(fallback);
+}
+
+InferenceRequest
+HealthMonitor::canaryRequest(size_t index) const
+{
+    InferenceRequest request;
+    request.id = static_cast<uint64_t>(index);
+    request.image = canaries_[index];
+    request.timesteps = timesteps_;
+    request.seed = deriveRequestSeed(config_.canarySeedSalt,
+                                     static_cast<uint64_t>(index));
+    return request;
+}
+
+void
+HealthMonitor::captureExpected(ChipReplica &pristine, int default_timesteps)
+{
+    timesteps_ = config_.timesteps > 0 ? config_.timesteps
+                                       : default_timesteps;
+    expected_.clear();
+    expected_.reserve(canaries_.size());
+    for (size_t i = 0; i < canaries_.size(); ++i) {
+        const InferenceResult result = pristine.run(canaryRequest(i));
+        expected_.push_back(result.logits);
+    }
+    NEBULA_DEBUG("health", "captured ", expected_.size(),
+                 " canary expectation(s), T=", timesteps_);
+}
+
+void
+HealthMonitor::resizeSlots(int slots)
+{
+    NEBULA_ASSERT(slots >= 1, "need at least one health slot");
+    slots_.clear();
+    for (int i = 0; i < slots; ++i)
+        slots_.push_back(std::make_unique<Slot>());
+}
+
+double
+HealthMonitor::measureDeviation(ChipReplica &replica) const
+{
+    double worst = 0.0;
+    for (size_t i = 0; i < canaries_.size(); ++i) {
+        const InferenceResult result = replica.run(canaryRequest(i));
+        const Tensor &want = expected_[i];
+        if (result.logits.size() != want.size())
+            return std::numeric_limits<double>::infinity();
+        for (long long k = 0; k < want.size(); ++k)
+            worst = std::max(
+                worst, std::abs(static_cast<double>(result.logits[k]) -
+                                static_cast<double>(want[k])));
+    }
+    return worst;
+}
+
+void
+HealthMonitor::afterRequest(int slot, std::unique_ptr<ChipReplica> &replica)
+{
+    if (!config_.enabled || expected_.empty())
+        return;
+    NEBULA_ASSERT(slot >= 0 && static_cast<size_t>(slot) < slots_.size(),
+                  "health slot out of range");
+    Slot &s = *slots_[static_cast<size_t>(slot)];
+    if (static_cast<ReplicaHealth>(s.state.load()) ==
+        ReplicaHealth::Demoted)
+        return; // the functional fallback is not canary-comparable
+    if (++s.served % static_cast<uint64_t>(config_.probeEvery) != 0)
+        return;
+    probeNow(slot, replica);
+}
+
+ReplicaHealth
+HealthMonitor::probeNow(int slot, std::unique_ptr<ChipReplica> &replica)
+{
+    NEBULA_ASSERT(slot >= 0 && static_cast<size_t>(slot) < slots_.size(),
+                  "health slot out of range");
+    NEBULA_ASSERT(!expected_.empty(),
+                  "probe before captureExpected()");
+    Slot &s = *slots_[static_cast<size_t>(slot)];
+    auto &metrics = obs::MetricsRegistry::global();
+
+    obs::TraceSpan probe_span("health", "health.probe", true,
+                              /*sampled_root=*/true);
+    probe_span.arg("slot", static_cast<double>(slot));
+    double deviation = measureDeviation(*replica);
+    probe_span.arg("deviation", deviation);
+    probes_.fetch_add(1);
+    metrics.counter("health.probe").inc();
+    s.lastDeviation.store(deviation);
+
+    if (deviation <= config_.tolerance) {
+        // A Repaired slot stays Repaired so operators can see history.
+        if (static_cast<ReplicaHealth>(s.state.load()) ==
+            ReplicaHealth::Degraded) {
+            s.state.store(static_cast<int>(ReplicaHealth::Healthy));
+            publishState(slot, ReplicaHealth::Healthy);
+        }
+        return static_cast<ReplicaHealth>(s.state.load());
+    }
+
+    degradations_.fetch_add(1);
+    metrics.counter("health.degraded").inc();
+    s.state.store(static_cast<int>(ReplicaHealth::Degraded));
+    publishState(slot, ReplicaHealth::Degraded);
+    NEBULA_DEBUG("health", "slot ", slot, " degraded: deviation ",
+                 deviation, " > tolerance ", config_.tolerance);
+
+    for (int attempt = 0; attempt < config_.maxRepairAttempts; ++attempt) {
+        obs::TraceSpan repair_span("health", "health.repair", true,
+                                   /*sampled_root=*/true);
+        repair_span.arg("slot", static_cast<double>(slot));
+        repair_span.arg("attempt", static_cast<double>(attempt));
+        metrics.counter("health.repair").inc();
+        if (!replica->reprogram(config_.repairWith))
+            break; // backend has no reprogrammable chip
+        deviation = measureDeviation(*replica);
+        repair_span.arg("deviation", deviation);
+        s.lastDeviation.store(deviation);
+        if (deviation <= config_.tolerance) {
+            repairs_.fetch_add(1);
+            metrics.counter("health.repair.success").inc();
+            s.state.store(static_cast<int>(ReplicaHealth::Repaired));
+            publishState(slot, ReplicaHealth::Repaired);
+            NEBULA_DEBUG("health", "slot ", slot,
+                         " repaired in-place (deviation ", deviation, ")");
+            return ReplicaHealth::Repaired;
+        }
+    }
+
+    if (fallback_) {
+        replica = fallback_(slot);
+        NEBULA_ASSERT(replica, "fallback factory returned null replica");
+        demotions_.fetch_add(1);
+        metrics.counter("health.demote").inc();
+        s.state.store(static_cast<int>(ReplicaHealth::Demoted));
+        publishState(slot, ReplicaHealth::Demoted);
+        NEBULA_INFORM("health: slot ", slot,
+                      " demoted to functional backend after failed repair");
+        return ReplicaHealth::Demoted;
+    }
+    return ReplicaHealth::Degraded;
+}
+
+ReplicaHealth
+HealthMonitor::health(int slot) const
+{
+    NEBULA_ASSERT(slot >= 0 && static_cast<size_t>(slot) < slots_.size(),
+                  "health slot out of range");
+    return static_cast<ReplicaHealth>(
+        slots_[static_cast<size_t>(slot)]->state.load());
+}
+
+double
+HealthMonitor::lastDeviation(int slot) const
+{
+    NEBULA_ASSERT(slot >= 0 && static_cast<size_t>(slot) < slots_.size(),
+                  "health slot out of range");
+    return slots_[static_cast<size_t>(slot)]->lastDeviation.load();
+}
+
+} // namespace nebula

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Closed-loop crossbar health management for the serving runtime.
+ *
+ * DW-MTJ cells drift after programming -- retention decay relaxes the
+ * wall toward the demagnetized track middle, pinning sites capture it a
+ * few levels off target -- so a chip that was programmed correctly can
+ * start serving wrong logits hours later without any fault being
+ * *reported*. The HealthMonitor closes the loop the reliability
+ * literature (Cui et al., arXiv 2405.14851) calls for and the paper's
+ * periodic re-programming assumption (Sengupta et al., arXiv 1510.00459)
+ * leaves offline:
+ *
+ *   1. Probe: every probeEvery requests a worker serves, it runs a set
+ *      of canary inputs (golden vectors captured from a pristine
+ *      replica at engine start) through its replica and compares the
+ *      logits against the expected ones.
+ *   2. Repair: when the worst absolute logit deviation exceeds the
+ *      tolerance, the replica is marked Degraded and re-programmed in
+ *      place under HealthConfig::repairWith -- typically write-verify +
+ *      spare-column repair with the decay cleared, modelling a fresh
+ *      programming pass whose walls have not yet relaxed.
+ *   3. Demote: if re-probing still fails after maxRepairAttempts, the
+ *      replica is swapped for a functional (non-chip) backend built by
+ *      the fallback factory -- graceful degradation instead of silent
+ *      wrong answers. Demoted slots are not probed again.
+ *
+ * Threading: each slot is owned by exactly one worker thread (the
+ * worker that serves that replica); afterRequest()/probeNow() must only
+ * be called from that thread. Cross-thread reads (health(), counters)
+ * go through atomics. Expected logits are captured before the worker
+ * pool starts and immutable afterwards.
+ */
+
+#ifndef NEBULA_RELIABILITY_HEALTH_HPP
+#define NEBULA_RELIABILITY_HEALTH_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "reliability/mitigation.hpp"
+#include "runtime/replica.hpp"
+
+namespace nebula {
+
+/** Lifecycle state of one serving replica. */
+enum class ReplicaHealth : int
+{
+    Healthy = 0,  //!< all probes within tolerance so far
+    Degraded, //!< probe failed; repair unavailable or not yet successful
+    Repaired, //!< probe failed, in-place re-programming restored it
+    Demoted,  //!< repair failed; serving from the functional fallback
+};
+
+/** Stable lower-case name ("healthy", "degraded", ...). */
+const char *toString(ReplicaHealth health);
+
+/** Knobs of the closed-loop health monitor. */
+struct HealthConfig
+{
+    /** Master switch (an attached-but-disabled monitor does nothing). */
+    bool enabled = true;
+
+    /** Probe a replica every N requests it serves. */
+    int probeEvery = 64;
+
+    /** Max acceptable |logit - expected| across canaries. */
+    double tolerance = 1e-6;
+
+    /** In-place re-programming attempts before demotion. */
+    int maxRepairAttempts = 1;
+
+    /**
+     * Reliability scenario for the repair pass. Reprogramming resets
+     * time-dependent decay by construction (the walls are re-written),
+     * so a typical repair config carries the array's *permanent* fault
+     * model (stuck cells, opens) plus write-verify and spare-column
+     * repair enabled -- not the decay ramp that triggered the probe.
+     */
+    ReliabilityConfig repairWith;
+
+    /** Seed salt for the canary encoder seeds (SNN/hybrid canaries). */
+    uint64_t canarySeedSalt = 0x6865616c7468ull; // "health"
+
+    /** Timesteps for SNN/hybrid canaries (0: engine default). */
+    int timesteps = 0;
+};
+
+/** Closed-loop canary prober / repairer / demoter. */
+class HealthMonitor
+{
+  public:
+    /** @param canaries Canary input images, run at every probe. */
+    HealthMonitor(HealthConfig config, std::vector<Tensor> canaries);
+    ~HealthMonitor();
+
+    HealthMonitor(const HealthMonitor &) = delete;
+    HealthMonitor &operator=(const HealthMonitor &) = delete;
+
+    /**
+     * Fallback factory for demotion (typically
+     * makeFunctionalAnnReplicaFactory / ...Snn...). Null: demotion is
+     * skipped and an irreparable replica stays Degraded.
+     */
+    void setFallback(ReplicaFactory fallback);
+
+    /**
+     * Record the expected canary logits by running the canaries through
+     * @p pristine (a freshly programmed replica). Called by the engine
+     * before its workers start; @p default_timesteps fills
+     * HealthConfig::timesteps == 0.
+     */
+    void captureExpected(ChipReplica &pristine, int default_timesteps);
+
+    bool hasExpected() const { return !expected_.empty(); }
+
+    /**
+     * Size the per-replica slot table. Must be called before any
+     * afterRequest()/probeNow() and never while workers run.
+     */
+    void resizeSlots(int slots);
+
+    /**
+     * Worker-thread hook, called after each successfully served
+     * request. Every probeEvery calls it probes @p replica and walks
+     * the repair/demote ladder; may replace @p replica (demotion).
+     */
+    void afterRequest(int slot, std::unique_ptr<ChipReplica> &replica);
+
+    /** Probe @p replica now, unconditionally (same ladder). */
+    ReplicaHealth probeNow(int slot, std::unique_ptr<ChipReplica> &replica);
+
+    /** Current state of one slot (any thread). */
+    ReplicaHealth health(int slot) const;
+
+    /** Worst canary deviation seen at the slot's last probe. */
+    double lastDeviation(int slot) const;
+
+    // -- monitor-wide counters (any thread) -----------------------------
+    long long probes() const { return probes_.load(); }
+    long long degradations() const { return degradations_.load(); }
+    long long repairs() const { return repairs_.load(); }
+    long long demotions() const { return demotions_.load(); }
+
+    const HealthConfig &config() const { return config_; }
+
+  private:
+    struct Slot
+    {
+        std::atomic<int> state{static_cast<int>(ReplicaHealth::Healthy)};
+        std::atomic<double> lastDeviation{0.0};
+        uint64_t served = 0; //!< owner-worker-local request counter
+    };
+
+    /**
+     * Run every canary through @p replica; return the worst absolute
+     * logit deviation from the expected vectors.
+     */
+    double measureDeviation(ChipReplica &replica) const;
+
+    /** Canary request for canary @p index (fixed seed/timesteps). */
+    InferenceRequest canaryRequest(size_t index) const;
+
+    HealthConfig config_;
+    std::vector<Tensor> canaries_;
+    std::vector<Tensor> expected_; //!< immutable once workers run
+    int timesteps_ = 0;            //!< resolved canary timestep count
+    ReplicaFactory fallback_;
+    std::vector<std::unique_ptr<Slot>> slots_;
+
+    std::atomic<long long> probes_{0};
+    std::atomic<long long> degradations_{0};
+    std::atomic<long long> repairs_{0};
+    std::atomic<long long> demotions_{0};
+};
+
+} // namespace nebula
+
+#endif // NEBULA_RELIABILITY_HEALTH_HPP

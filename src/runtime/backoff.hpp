@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Seeded exponential backoff with jitter for retrying transient
+ * failures (ReplicaFault outcomes from the inference engine).
+ *
+ * The delay sequence is base * multiplier^k capped at capNs, with a
+ * symmetric uniform jitter fraction drawn from a private Rng -- so two
+ * backoffs built from the same seed produce bit-identical delay
+ * sequences (testable, reproducible under load replay), while distinct
+ * seeds decorrelate retry storms across callers. The helper owns no
+ * heap state: construction and every nextDelayNs() step are
+ * allocation-free, so it can live on the stack of a per-request retry
+ * loop without touching the allocator.
+ */
+
+#ifndef NEBULA_RUNTIME_BACKOFF_HPP
+#define NEBULA_RUNTIME_BACKOFF_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace nebula {
+
+/** Shape of one exponential-backoff schedule. */
+struct BackoffConfig
+{
+    uint64_t initialNs = 1'000'000;  //!< first delay (1 ms)
+    uint64_t capNs = 100'000'000;    //!< un-jittered ceiling (100 ms)
+    double multiplier = 2.0;         //!< growth per attempt (>= 1)
+    double jitter = 0.2;             //!< symmetric fraction in [0, 1)
+};
+
+/**
+ * The delay generator. Deterministic in (config, seed); zero
+ * allocations per step.
+ */
+class ExponentialBackoff
+{
+  public:
+    explicit ExponentialBackoff(const BackoffConfig &config = {},
+                                uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : cfg_(config), rng_(seed),
+          currentNs_(static_cast<double>(config.initialNs))
+    {
+    }
+
+    /**
+     * Delay before the next retry attempt (ns). The un-jittered base
+     * grows monotonically and saturates at capNs; the returned value
+     * stays within [base * (1 - jitter), base * (1 + jitter)].
+     */
+    uint64_t
+    nextDelayNs()
+    {
+        const double base = currentNs_;
+        currentNs_ = std::min(static_cast<double>(cfg_.capNs),
+                              currentNs_ * std::max(1.0, cfg_.multiplier));
+        ++attempt_;
+        double delay = base;
+        if (cfg_.jitter > 0.0)
+            delay *= 1.0 + rng_.uniform(-cfg_.jitter, cfg_.jitter);
+        return static_cast<uint64_t>(std::llround(std::max(0.0, delay)));
+    }
+
+    /** Attempts drawn so far. */
+    int attempt() const { return attempt_; }
+
+    /** Restart the schedule (the jitter stream keeps advancing). */
+    void
+    reset()
+    {
+        currentNs_ = static_cast<double>(cfg_.initialNs);
+        attempt_ = 0;
+    }
+
+    const BackoffConfig &config() const { return cfg_; }
+
+  private:
+    BackoffConfig cfg_;
+    Rng rng_;
+    double currentNs_;
+    int attempt_ = 0;
+};
+
+} // namespace nebula
+
+#endif // NEBULA_RUNTIME_BACKOFF_HPP

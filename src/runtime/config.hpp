@@ -8,8 +8,34 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 namespace nebula {
+
+class HealthMonitor;
+
+/**
+ * Admission-control policy when a request arrives and the engine is
+ * loaded. Shed requests resolve immediately to a typed Shed outcome --
+ * the future is fulfilled, never broken -- and are counted in the
+ * `runtime.shed` metric.
+ */
+enum class ShedPolicy : uint8_t
+{
+    /** Block the submitter until the queue has room (backpressure). */
+    Block = 0,
+
+    /** Never block: shed the request when the queue is full. */
+    RejectWhenFull,
+
+    /**
+     * Shed a deadline-carrying request at submit when the predicted
+     * queue wait -- queue depth times the running service-time EWMA,
+     * divided across workers -- already exceeds its budget; block
+     * otherwise. Requests without deadlines behave as Block.
+     */
+    DeadlineAware,
+};
 
 /** Knobs of the InferenceEngine worker pool. */
 struct EngineConfig
@@ -42,6 +68,37 @@ struct EngineConfig
      * session is active is one relaxed atomic load per request.
      */
     bool traceRequests = true;
+
+    // -- resilience ------------------------------------------------------
+
+    /** Admission control under load (see ShedPolicy). */
+    ShedPolicy shedPolicy = ShedPolicy::Block;
+
+    /**
+     * Deadline for requests that do not carry one (ns from submit);
+     * 0 = no deadline. Expired requests are shed at dequeue with a
+     * Timeout outcome instead of being evaluated.
+     */
+    uint64_t defaultDeadlineNs = 0;
+
+    /** Smoothing of the service-time EWMA admission control reads. */
+    double serviceEwmaAlpha = 0.2;
+
+    /**
+     * Supervisor restart threshold: after this many *consecutive*
+     * ReplicaFault outcomes a worker quarantines its replica and
+     * receives a freshly cloned+programmed one from the engine's
+     * factory. 0 disables supervision (a poisoned replica keeps
+     * faulting every request it serves -- but still never hangs one).
+     */
+    int maxConsecutiveFaults = 3;
+
+    /**
+     * Optional closed-loop crossbar health monitor (reliability/health):
+     * canary probes between requests, in-place re-programming repair,
+     * demotion to a functional backend when repair fails. Null: off.
+     */
+    std::shared_ptr<HealthMonitor> health;
 };
 
 } // namespace nebula

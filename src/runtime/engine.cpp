@@ -1,11 +1,14 @@
 #include "runtime/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
-#include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "reliability/health.hpp"
 
 namespace nebula {
 
@@ -20,25 +23,71 @@ constexpr int kLatencyBuckets = 500;
 
 InferenceEngine::InferenceEngine(EngineConfig config,
                                  const ReplicaFactory &factory)
-    : config_(config), queue_(config.queueCapacity)
+    : config_(std::move(config)), factory_(factory),
+      queue_(config_.queueCapacity)
 {
     NEBULA_ASSERT(config_.numWorkers >= 0, "negative worker count");
-    NEBULA_ASSERT(factory, "null replica factory");
+    NEBULA_ASSERT(factory_, "null replica factory");
+
+    HealthMonitor *health = config_.health.get();
+    const bool health_on = health && health->config().enabled;
 
     if (config_.numWorkers == 0) {
-        inlineReplica_ = factory(0);
+        inlineReplica_ = factory_(0);
         NEBULA_ASSERT(inlineReplica_, "factory returned null replica");
+        if (health_on) {
+            health->resizeSlots(1);
+            if (!health->hasExpected())
+                health->captureExpected(*inlineReplica_,
+                                        config_.defaultTimesteps);
+        }
         NEBULA_DEBUG("runtime", "engine up in inline mode");
         return;
     }
-    workers_.reserve(static_cast<size_t>(config_.numWorkers));
+
+    std::vector<std::unique_ptr<ChipReplica>> replicas;
+    replicas.reserve(static_cast<size_t>(config_.numWorkers));
     for (int i = 0; i < config_.numWorkers; ++i) {
-        auto replica = factory(i);
-        NEBULA_ASSERT(replica, "factory returned null replica");
-        workers_.push_back(std::make_unique<Worker>(
-            i, std::move(replica), &queue_, [this] { noteCompleted(); },
-            config_.traceRequests));
+        replicas.push_back(factory_(i));
+        NEBULA_ASSERT(replicas.back(), "factory returned null replica");
     }
+    if (health_on) {
+        health->resizeSlots(config_.numWorkers);
+        // Capture the golden canary logits from replica 0 while it is
+        // still pristine -- replicas are programmed identically, so one
+        // expectation covers every slot.
+        if (!health->hasExpected())
+            health->captureExpected(*replicas.front(),
+                                    config_.defaultTimesteps);
+    }
+
+    WorkerHooks hooks;
+    hooks.onComplete = [this](double service) { noteCompleted(service); };
+    hooks.health = health_on ? health : nullptr;
+    hooks.maxConsecutiveFaults = config_.maxConsecutiveFaults;
+    hooks.traceRequests = config_.traceRequests;
+    if (config_.maxConsecutiveFaults > 0) {
+        hooks.superviseRestart =
+            [this](int id, std::unique_ptr<ChipReplica> old) {
+                {
+                    std::lock_guard<std::mutex> lock(quarantineMutex_);
+                    quarantined_.push_back(std::move(old));
+                }
+                restarts_.fetch_add(1);
+                obs::MetricsRegistry::global()
+                    .counter("runtime.worker_restart")
+                    .inc();
+                obs::recordInstant("runtime", "worker.restart",
+                                   config_.traceRequests);
+                return factory_(id);
+            };
+    }
+
+    workers_.reserve(replicas.size());
+    for (int i = 0; i < config_.numWorkers; ++i)
+        workers_.push_back(std::make_unique<Worker>(
+            i, std::move(replicas[static_cast<size_t>(i)]), &queue_,
+            hooks));
     for (auto &worker : workers_)
         worker->start();
     NEBULA_DEBUG("runtime", "engine up with ", config_.numWorkers,
@@ -58,6 +107,8 @@ InferenceEngine::finalizeRequest(InferenceRequest &request)
         request.timesteps = config_.defaultTimesteps;
     if (request.seed == 0)
         request.seed = seedFor(request.id);
+    if (request.deadlineNs == 0)
+        request.deadlineNs = config_.defaultDeadlineNs;
 }
 
 std::future<InferenceResult>
@@ -69,30 +120,96 @@ InferenceEngine::submit(const Tensor &image)
 }
 
 std::future<InferenceResult>
+InferenceEngine::shedRequest(InferenceRequest request, const char *why)
+{
+    shed_.fetch_add(1);
+    obs::MetricsRegistry::global().counter("runtime.shed").inc();
+    obs::recordInstant("runtime", "request.shed", config_.traceRequests);
+    InferenceResult result;
+    result.id = request.id;
+    result.error = RuntimeErrorKind::Shed;
+    result.errorMessage = why;
+    std::promise<InferenceResult> promise;
+    promise.set_value(std::move(result));
+    return promise.get_future();
+}
+
+bool
+InferenceEngine::predictsDeadlineMiss(const InferenceRequest &request) const
+{
+    const double ewma = serviceEwmaSec_.load(std::memory_order_relaxed);
+    if (ewma <= 0.0)
+        return false; // no service-time evidence yet: admit
+    const int workers = std::max(1, static_cast<int>(workers_.size()));
+    const double predicted_wait_ns =
+        1e9 * ewma * static_cast<double>(queue_.size() + 1) / workers;
+    return predicted_wait_ns > static_cast<double>(request.deadlineNs);
+}
+
+std::future<InferenceResult>
 InferenceEngine::submit(InferenceRequest request)
 {
     if (!accepting_.load())
-        throw std::runtime_error("InferenceEngine is shut down");
+        throw EngineStoppedError("InferenceEngine is shut down");
     finalizeRequest(request);
 
     if (inlineReplica_)
         return runInline(std::move(request));
 
+    // Admission control. Shed requests resolve immediately and are
+    // never counted in submitted_/completed_ -- they were refused, not
+    // accepted-then-failed.
+    if (config_.shedPolicy == ShedPolicy::DeadlineAware &&
+        request.deadlineNs > 0 && predictsDeadlineMiss(request))
+        return shedRequest(std::move(request),
+                           "predicted queue wait exceeds deadline");
+
     QueueItem item;
     item.request = std::move(request);
     item.enqueued = std::chrono::steady_clock::now();
+    if (item.request.deadlineNs > 0) {
+        item.hasDeadline = true;
+        item.deadline = item.enqueued +
+                        std::chrono::nanoseconds(item.request.deadlineNs);
+    }
     std::future<InferenceResult> future = item.promise.get_future();
 
-    submitted_.fetch_add(1);
-    if (!queue_.push(std::move(item))) {
-        // Closed while we were blocked on a full queue.
-        submitted_.fetch_sub(1);
-        {
-            std::lock_guard<std::mutex> lock(idleMutex_);
+    if (config_.shedPolicy == ShedPolicy::RejectWhenFull) {
+        if (!queue_.tryPush(item)) {
+            if (queue_.closed()) {
+                InferenceResult result;
+                result.id = item.request.id;
+                result.error = RuntimeErrorKind::EngineStopped;
+                result.errorMessage = "engine shut down during admission";
+                item.promise.set_value(std::move(result));
+                return future;
+            }
+            shed_.fetch_add(1);
+            obs::MetricsRegistry::global().counter("runtime.shed").inc();
+            obs::recordInstant("runtime", "request.shed",
+                               config_.traceRequests);
+            InferenceResult result;
+            result.id = item.request.id;
+            result.error = RuntimeErrorKind::Shed;
+            result.errorMessage = "queue full";
+            item.promise.set_value(std::move(result));
+            return future;
         }
-        idleCv_.notify_all();
-        throw std::runtime_error("InferenceEngine is shut down");
+    } else if (!queue_.push(std::move(item))) {
+        // Closed while we were blocked on a full queue: the item came
+        // back untouched only conceptually (push consumed it), but its
+        // promise was moved with it -- so we cannot fulfil it here.
+        // push() only fails after close(), which shutdown() performs
+        // strictly after accepting_ went false, so report typed stop.
+        throw EngineStoppedError("InferenceEngine shut down during submit");
     }
+
+    // Count *after* the item is actually in the queue: one increment,
+    // no rollback dance on refused admission. A worker may pop and
+    // finish the request before this line runs; completed_ then briefly
+    // exceeds submitted_, which keeps waitIdle conservative-correct
+    // because the request it "missed" has already completed.
+    submitted_.fetch_add(1);
     obs::recordCounter("queue.depth", static_cast<double>(queue_.size()),
                        config_.traceRequests);
     return future;
@@ -103,12 +220,12 @@ InferenceEngine::trySubmit(const Tensor &image,
                            std::future<InferenceResult> &out)
 {
     if (!accepting_.load())
-        throw std::runtime_error("InferenceEngine is shut down");
+        throw EngineStoppedError("InferenceEngine is shut down");
 
     InferenceRequest request;
     request.image = image;
+    finalizeRequest(request);
     if (inlineReplica_) {
-        finalizeRequest(request);
         out = runInline(std::move(request));
         return true;
     }
@@ -116,20 +233,20 @@ InferenceEngine::trySubmit(const Tensor &image,
     QueueItem item;
     item.request = std::move(request);
     item.enqueued = std::chrono::steady_clock::now();
+    if (item.request.deadlineNs > 0) {
+        item.hasDeadline = true;
+        item.deadline = item.enqueued +
+                        std::chrono::nanoseconds(item.request.deadlineNs);
+    }
     std::future<InferenceResult> future = item.promise.get_future();
 
-    submitted_.fetch_add(1);
     // A refused trySubmit burns the id it drew: rolling the shared
-    // counter back would race with concurrent producers.
-    finalizeRequest(item.request);
-    if (!queue_.tryPush(item)) {
-        submitted_.fetch_sub(1);
-        {
-            std::lock_guard<std::mutex> lock(idleMutex_);
-        }
-        idleCv_.notify_all();
+    // counter back would race with concurrent producers. submitted_ is
+    // bumped only after a successful enqueue, so refusal needs no
+    // counter rollback at all.
+    if (!queue_.tryPush(item))
         return false;
-    }
+    submitted_.fetch_add(1);
     out = std::move(future);
     return true;
 }
@@ -154,6 +271,19 @@ InferenceEngine::runInline(InferenceRequest request)
     obs::TraceSpan span("runtime", "request", config_.traceRequests,
                         /*sampled_root=*/true);
     span.arg("id", static_cast<double>(request.id));
+
+    if (request.cancel && request.cancel->load(std::memory_order_acquire)) {
+        inlineStats_.scalar("cancelled").inc();
+        obs::MetricsRegistry::global().counter("runtime.cancelled").inc();
+        InferenceResult result;
+        result.id = request.id;
+        result.error = RuntimeErrorKind::Cancelled;
+        result.errorMessage = "request cancelled before evaluation";
+        promise.set_value(std::move(result));
+        noteCompleted(-1.0);
+        return future;
+    }
+
     try {
         InferenceResult result = inlineReplica_->run(request);
         const auto end = std::chrono::steady_clock::now();
@@ -182,20 +312,57 @@ InferenceEngine::runInline(InferenceRequest request)
             .sample(0.0);
         inlineStats_.scalar("spikes").add(
             static_cast<double>(result.spikes));
+        const double service = result.serviceSeconds;
+        promise.set_value(std::move(result));
+        if (config_.health && config_.health->config().enabled)
+            config_.health->afterRequest(0, inlineReplica_);
+        noteCompleted(service);
+        return future;
+    } catch (const std::exception &e) {
+        inlineStats_.scalar("failures").inc();
+        obs::MetricsRegistry::global().counter("runtime.replica_fault").inc();
+        obs::recordInstant("runtime", "request.failed",
+                           config_.traceRequests);
+        InferenceResult result;
+        result.id = request.id;
+        result.workerId = -1;
+        result.error = RuntimeErrorKind::ReplicaFault;
+        result.errorMessage = e.what();
         promise.set_value(std::move(result));
     } catch (...) {
         inlineStats_.scalar("failures").inc();
+        obs::MetricsRegistry::global().counter("runtime.replica_fault").inc();
         obs::recordInstant("runtime", "request.failed",
                            config_.traceRequests);
-        promise.set_exception(std::current_exception());
+        InferenceResult result;
+        result.id = request.id;
+        result.workerId = -1;
+        result.error = RuntimeErrorKind::ReplicaFault;
+        result.errorMessage = "replica threw a non-std exception";
+        promise.set_value(std::move(result));
     }
-    noteCompleted();
+    noteCompleted(-1.0);
     return future;
 }
 
 void
-InferenceEngine::noteCompleted()
+InferenceEngine::noteServiceTime(double seconds)
 {
+    double current = serviceEwmaSec_.load(std::memory_order_relaxed);
+    double next;
+    do {
+        next = current <= 0.0
+                   ? seconds
+                   : current + config_.serviceEwmaAlpha * (seconds - current);
+    } while (!serviceEwmaSec_.compare_exchange_weak(
+        current, next, std::memory_order_relaxed));
+}
+
+void
+InferenceEngine::noteCompleted(double service_seconds)
+{
+    if (service_seconds >= 0.0)
+        noteServiceTime(service_seconds);
     completed_.fetch_add(1);
     {
         std::lock_guard<std::mutex> lock(idleMutex_);
@@ -236,9 +403,12 @@ InferenceEngine::shutdownNow()
     auto pending = queue_.drain();
     queue_.close();
     for (QueueItem &item : pending) {
-        item.promise.set_exception(std::make_exception_ptr(
-            std::runtime_error("request discarded: engine shut down")));
-        noteCompleted();
+        InferenceResult result;
+        result.id = item.request.id;
+        result.error = RuntimeErrorKind::EngineStopped;
+        result.errorMessage = "request discarded: engine shut down";
+        item.promise.set_value(std::move(result));
+        noteCompleted(-1.0);
     }
     waitIdle();
     joinWorkers();
@@ -265,6 +435,28 @@ InferenceEngine::chipStats()
     return total;
 }
 
+void
+InferenceEngine::withReplicas(const std::function<void(ChipReplica &)> &fn)
+{
+    NEBULA_ASSERT(fn, "null replica function");
+    // Quiesce first: workers blocked in pop() are not touching their
+    // replica, and the completed_ handshake in noteCompleted gives this
+    // thread a happens-before edge over each worker's last replica use.
+    // The caller must not submit concurrently with this call.
+    waitIdle();
+    if (inlineReplica_)
+        fn(*inlineReplica_);
+    for (auto &worker : workers_)
+        fn(*worker->replicaSlot());
+}
+
+size_t
+InferenceEngine::quarantinedCount() const
+{
+    std::lock_guard<std::mutex> lock(quarantineMutex_);
+    return quarantined_.size();
+}
+
 StatGroup
 InferenceEngine::runtimeStats()
 {
@@ -286,7 +478,30 @@ InferenceEngine::runtimeStats()
         static_cast<double>(queue_.highWater()));
     group.scalar("submitted").add(static_cast<double>(submitted_.load()));
     group.scalar("completed").add(static_cast<double>(completed_.load()));
+    group.scalar("shed").add(static_cast<double>(shed_.load()));
+    group.scalar("worker_restarts").add(
+        static_cast<double>(restarts_.load()));
     return group;
+}
+
+InferenceResult
+submitWithRetry(InferenceEngine &engine, const Tensor &image,
+                int max_attempts, const BackoffConfig &backoff,
+                uint64_t backoff_seed)
+{
+    NEBULA_ASSERT(max_attempts >= 1, "need at least one attempt");
+    ExponentialBackoff delays(backoff, backoff_seed);
+    InferenceResult result;
+    for (int attempt = 1;; ++attempt) {
+        result = engine.submit(image).get();
+        if (result.error != RuntimeErrorKind::ReplicaFault ||
+            attempt >= max_attempts)
+            return result;
+        obs::MetricsRegistry::global().counter("runtime.retry").inc();
+        obs::recordInstant("runtime", "request.retry");
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(delays.nextDelayNs()));
+    }
 }
 
 } // namespace nebula

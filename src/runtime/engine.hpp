@@ -17,6 +17,15 @@
  * executes synchronously on the submitting thread -- the reference
  * against which the threaded modes are tested.
  *
+ * Resilience: every returned future resolves to a typed terminal
+ * outcome (InferenceResult::error) -- ok, Timeout, Shed, EngineStopped,
+ * ReplicaFault or Cancelled -- never a broken promise. Admission
+ * control (EngineConfig::shedPolicy) can shed instead of blocking under
+ * overload; per-request deadlines are enforced at dequeue; a worker
+ * whose replica faults repeatedly is restarted with a fresh replica by
+ * the supervisor; an attached HealthMonitor closes the loop on silent
+ * crossbar drift (probe / repair / demote).
+ *
  * Statistics: workers accumulate latency/throughput counters and chip
  * stats replica-locally (no locks on the hot path); chipStats() /
  * runtimeStats() quiesce the pool (waitIdle) and merge.
@@ -34,7 +43,9 @@
 
 #include "arch/chip.hpp"
 #include "common/stats.hpp"
+#include "runtime/backoff.hpp"
 #include "runtime/config.hpp"
+#include "runtime/error.hpp"
 #include "runtime/replica.hpp"
 #include "runtime/request.hpp"
 #include "runtime/request_queue.hpp"
@@ -49,7 +60,8 @@ class InferenceEngine
     /**
      * Build the pool: @p factory is invoked once per worker (or once
      * total in inline mode) and must produce identically-programmed
-     * replicas for the determinism guarantee to hold.
+     * replicas for the determinism guarantee to hold. The engine keeps
+     * a copy of @p factory for supervisor restarts.
      */
     InferenceEngine(EngineConfig config, const ReplicaFactory &factory);
 
@@ -60,21 +72,23 @@ class InferenceEngine
     InferenceEngine &operator=(const InferenceEngine &) = delete;
 
     /**
-     * Enqueue one image with engine-default timesteps and a seed
-     * derived from the assigned request id. Blocks while the queue is
-     * full (backpressure). Throws if the engine is shut down.
+     * Enqueue one image with engine-default timesteps/deadline and a
+     * seed derived from the assigned request id. Under ShedPolicy::Block
+     * a full queue blocks the submitter (backpressure); the other
+     * policies may instead return an already-resolved future carrying a
+     * Shed outcome. Throws EngineStoppedError once shutdown has begun.
      */
     std::future<InferenceResult> submit(const Tensor &image);
 
     /**
      * Enqueue a fully-specified request. The id is always overwritten
-     * with the engine's monotone counter; timesteps == 0 and seed == 0
-     * are replaced by the engine defaults/derivation.
+     * with the engine's monotone counter; timesteps == 0, seed == 0 and
+     * deadlineNs == 0 are replaced by the engine defaults/derivation.
      */
     std::future<InferenceResult> submit(InferenceRequest request);
 
     /**
-     * Enqueue without blocking.
+     * Enqueue without blocking, regardless of shed policy.
      * @return false if the queue is full; @p out is untouched. A
      * refused call burns one request id (the shared counter is never
      * rolled back, to stay race-free with concurrent producers).
@@ -95,9 +109,9 @@ class InferenceEngine
     void shutdown();
 
     /**
-     * Stop accepting, discard queued (not yet running) requests --
-     * their futures receive a std::runtime_error -- finish in-flight
-     * ones, join the workers. Idempotent with shutdown().
+     * Stop accepting, resolve queued (not yet running) requests to a
+     * typed EngineStopped outcome without evaluating them, finish
+     * in-flight ones, join the workers. Idempotent with shutdown().
      */
     void shutdownNow();
 
@@ -114,9 +128,21 @@ class InferenceEngine
     /**
      * Merged runtime statistics (quiesces first): request latency /
      * service / wait distributions across workers, per-worker request
-     * counts, queue high-water mark and capacity.
+     * counts, shed/timeout/fault counters, queue high-water mark.
      */
     StatGroup runtimeStats();
+
+    /**
+     * Quiesce the pool and apply @p fn to every serving replica (inline
+     * or per-worker). This is the administration hatch the resilience
+     * tests and the chaos mode use to mutate live replicas -- e.g.
+     * re-programming them under a retention-decay ramp to emulate aged
+     * crossbars -- without tearing the engine down.
+     */
+    void withReplicas(const std::function<void(ChipReplica &)> &fn);
+
+    /** Attached health monitor (null when none was configured). */
+    HealthMonitor *health() const { return config_.health.get(); }
 
     /** Seed a request with this id would get (for reference runs). */
     uint64_t
@@ -131,19 +157,48 @@ class InferenceEngine
     int numWorkers() const { return static_cast<int>(workers_.size()); }
     const EngineConfig &config() const { return config_; }
 
+    /** Requests refused at admission (typed Shed outcomes). */
+    uint64_t shedCount() const { return shed_.load(); }
+
+    /** Supervisor restarts performed across the pool. */
+    uint64_t workerRestarts() const { return restarts_.load(); }
+
+    /** Replicas quarantined by supervisor restarts, in restart order. */
+    size_t quarantinedCount() const;
+
+    /**
+     * Running service-time estimate (seconds) driving DeadlineAware
+     * admission; 0 until the first request completes.
+     */
+    double serviceEstimateSeconds() const
+    {
+        return serviceEwmaSec_.load(std::memory_order_relaxed);
+    }
+
   private:
-    /** Assign id/seed/timesteps defaults to a request. */
+    /** Assign id/seed/timesteps/deadline defaults to a request. */
     void finalizeRequest(InferenceRequest &request);
 
     /** Execute a request synchronously on the inline replica. */
     std::future<InferenceResult> runInline(InferenceRequest request);
 
+    /** Resolve a future immediately with a typed Shed outcome. */
+    std::future<InferenceResult> shedRequest(InferenceRequest request,
+                                             const char *why);
+
     /** Completion callback shared by workers and inline mode. */
-    void noteCompleted();
+    void noteCompleted(double service_seconds);
+
+    /** Fold one measured service time into the admission EWMA. */
+    void noteServiceTime(double seconds);
+
+    /** Admission decision for DeadlineAware (true: shed now). */
+    bool predictsDeadlineMiss(const InferenceRequest &request) const;
 
     void joinWorkers();
 
     EngineConfig config_;
+    ReplicaFactory factory_; //!< kept for supervisor restarts
     BoundedQueue<QueueItem> queue_;
     std::vector<std::unique_ptr<Worker>> workers_;
     std::unique_ptr<ChipReplica> inlineReplica_; //!< numWorkers == 0
@@ -152,7 +207,13 @@ class InferenceEngine
     std::atomic<uint64_t> nextId_{0};
     std::atomic<uint64_t> submitted_{0};
     std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> shed_{0};
+    std::atomic<uint64_t> restarts_{0};
     std::atomic<bool> accepting_{true};
+    std::atomic<double> serviceEwmaSec_{0.0};
+
+    mutable std::mutex quarantineMutex_;
+    std::vector<std::unique_ptr<ChipReplica>> quarantined_;
 
     std::mutex idleMutex_;
     std::condition_variable idleCv_;
@@ -160,6 +221,20 @@ class InferenceEngine
     std::mutex shutdownMutex_;
     bool joined_ = false;
 };
+
+/**
+ * Submit @p image and wait for its result, retrying transient
+ * ReplicaFault outcomes under seeded exponential backoff with jitter
+ * (deterministic in @p backoff's config and @p backoff_seed). Other
+ * outcomes -- ok, Timeout, Shed, Cancelled -- are terminal and returned
+ * as-is; EngineStoppedError propagates. At most @p max_attempts
+ * submissions are made; the last result is returned even if it is still
+ * a fault.
+ */
+InferenceResult submitWithRetry(InferenceEngine &engine, const Tensor &image,
+                                int max_attempts = 3,
+                                const BackoffConfig &backoff = {},
+                                uint64_t backoff_seed = 0x7265747279ull);
 
 } // namespace nebula
 

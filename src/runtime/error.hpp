@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Typed error taxonomy for the inference runtime.
+ *
+ * Every request submitted to the InferenceEngine resolves to a typed
+ * terminal outcome carried *inside* InferenceResult -- the future is
+ * always fulfilled with a value, never a broken promise, so callers can
+ * branch on the kind (retry a transient ReplicaFault, drop a Shed
+ * request, surface a Timeout) without exception plumbing on the hot
+ * path. The only exception the engine still throws is
+ * EngineStoppedError from submit()/trySubmit() after shutdown, because
+ * there is no future to deliver a value through at that point.
+ */
+
+#ifndef NEBULA_RUNTIME_ERROR_HPP
+#define NEBULA_RUNTIME_ERROR_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace nebula {
+
+/** Terminal outcome kind of one inference request. */
+enum class RuntimeErrorKind : uint8_t
+{
+    None = 0,      //!< request completed normally
+    Timeout,       //!< deadline expired before evaluation started
+    Shed,          //!< refused at admission (queue full / predicted miss)
+    EngineStopped, //!< engine shut down before the request could run
+    ReplicaFault,  //!< the serving replica threw (transient; retryable)
+    Cancelled,     //!< caller raised the request's cancel flag
+};
+
+/** Stable lower-case name ("timeout", "shed", ...). */
+inline const char *
+toString(RuntimeErrorKind kind)
+{
+    switch (kind) {
+    case RuntimeErrorKind::None: return "ok";
+    case RuntimeErrorKind::Timeout: return "timeout";
+    case RuntimeErrorKind::Shed: return "shed";
+    case RuntimeErrorKind::EngineStopped: return "engine_stopped";
+    case RuntimeErrorKind::ReplicaFault: return "replica_fault";
+    case RuntimeErrorKind::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+/**
+ * Thrown by submit()/trySubmit() once shutdown has begun. Derives from
+ * std::runtime_error so pre-taxonomy call sites that caught the bare
+ * type keep working.
+ */
+class EngineStoppedError : public std::runtime_error
+{
+  public:
+    explicit EngineStoppedError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+} // namespace nebula
+
+#endif // NEBULA_RUNTIME_ERROR_HPP

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/logging.hpp"
+#include "snn/snn_sim.hpp"
 
 namespace nebula {
 
@@ -25,6 +26,14 @@ AnnChipReplica::run(const InferenceRequest &request)
     result.logits = chip_.runAnn(request.image);
     result.predictedClass = result.logits.argmaxRow(0);
     return result;
+}
+
+bool
+AnnChipReplica::reprogram(const ReliabilityConfig &rel)
+{
+    chip_.setReliability(rel);
+    chip_.programAnn(net_, quant_);
+    return true;
 }
 
 SnnChipReplica::SnnChipReplica(const SpikingModel &prototype,
@@ -50,6 +59,14 @@ SnnChipReplica::run(const InferenceRequest &request)
     result.timesteps = snn.timesteps;
     result.spikes = snn.totalSpikes;
     return result;
+}
+
+bool
+SnnChipReplica::reprogram(const ReliabilityConfig &rel)
+{
+    chip_.setReliability(rel);
+    chip_.programSnn(model_);
+    return true;
 }
 
 HybridReplica::HybridReplica(std::unique_ptr<HybridNetwork> hybrid)
@@ -99,6 +116,101 @@ makeSnnReplicaFactory(const SpikingModel &prototype,
         return std::make_unique<SnnChipReplica>(*proto, config,
                                                 variation_sigma, chip_seed,
                                                 reliability);
+    };
+}
+
+namespace {
+
+/** Functional ANN replica: the prototype network evaluated as-is. */
+class FunctionalAnnReplica : public ChipReplica
+{
+  public:
+    explicit FunctionalAnnReplica(const Network &prototype)
+        : net_(prototype.clone())
+    {
+    }
+
+    InferenceResult
+    run(const InferenceRequest &request) override
+    {
+        std::vector<int> batched;
+        batched.push_back(1);
+        for (int d = 0; d < request.image.rank(); ++d)
+            batched.push_back(request.image.dim(d));
+        InferenceResult result;
+        result.logits = net_.forward(request.image.reshaped(batched), false);
+        result.predictedClass = result.logits.argmaxRow(0);
+        return result;
+    }
+
+    const char *mode() const override { return "ann"; }
+
+  private:
+    Network net_;
+};
+
+/**
+ * Functional spiking replica: a private converted model driven with the
+ * request's encoder seed -- exactly the per-request seed stream the
+ * chip backend gets from the engine, so the two legs differ only in the
+ * crossbar model.
+ */
+class FunctionalSnnReplica : public ChipReplica
+{
+  public:
+    FunctionalSnnReplica(const Network &prototype, const Tensor &calibration)
+        : model_(convertClone(prototype, calibration)), sim_(model_)
+    {
+    }
+
+    InferenceResult
+    run(const InferenceRequest &request) override
+    {
+        NEBULA_ASSERT(request.timesteps > 0, "SNN request needs timesteps");
+        const SnnRunResult snn =
+            sim_.run(request.image, request.timesteps, request.seed);
+        InferenceResult result;
+        result.logits = snn.logits;
+        result.predictedClass = snn.predictedClass();
+        result.timesteps = request.timesteps;
+        result.spikes = snn.totalSpikes;
+        return result;
+    }
+
+    const char *mode() const override { return "snn"; }
+
+  private:
+    /** convertToSnn folds BN in place, so convert a private clone. */
+    static SpikingModel
+    convertClone(const Network &prototype, const Tensor &calibration)
+    {
+        Network clone = prototype.clone();
+        return convertToSnn(clone, calibration);
+    }
+
+    SpikingModel model_;
+    SnnSimulator sim_;
+};
+
+} // namespace
+
+ReplicaFactory
+makeFunctionalAnnReplicaFactory(const Network &prototype)
+{
+    auto proto = std::make_shared<const Network>(prototype.clone());
+    return [proto](int) -> std::unique_ptr<ChipReplica> {
+        return std::make_unique<FunctionalAnnReplica>(*proto);
+    };
+}
+
+ReplicaFactory
+makeFunctionalSnnReplicaFactory(const Network &prototype,
+                                const Tensor &calibration)
+{
+    auto proto = std::make_shared<const Network>(prototype.clone());
+    auto calib = std::make_shared<const Tensor>(calibration);
+    return [proto, calib](int) -> std::unique_ptr<ChipReplica> {
+        return std::make_unique<FunctionalSnnReplica>(*proto, *calib);
     };
 }
 

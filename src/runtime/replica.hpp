@@ -47,6 +47,17 @@ class ChipReplica
     /** Reset the replica's chip counters. */
     virtual void clearStats() {}
 
+    /**
+     * Re-program the replica's chip in place under @p rel (fault model,
+     * write-verify, spare-column repair). The closed-loop health
+     * monitor calls this both to *degrade* a replica (injecting a
+     * retention-decay ramp, say) and to *repair* it (re-programming
+     * with mitigations and a fresh -- undecayed -- fault state).
+     * @return false when the replica has no reprogrammable chip
+     * (functional / hybrid backends).
+     */
+    virtual bool reprogram(const ReliabilityConfig &) { return false; }
+
     /** Replica mode tag ("ann" / "snn" / "hybrid"). */
     virtual const char *mode() const = 0;
 };
@@ -76,6 +87,7 @@ class AnnChipReplica : public ChipReplica
         return &chip_.programReport();
     }
     void clearStats() override { chip_.clearStats(); }
+    bool reprogram(const ReliabilityConfig &rel) override;
     const char *mode() const override { return "ann"; }
 
   private:
@@ -99,6 +111,7 @@ class SnnChipReplica : public ChipReplica
         return &chip_.programReport();
     }
     void clearStats() override { chip_.clearStats(); }
+    bool reprogram(const ReliabilityConfig &rel) override;
     const char *mode() const override { return "snn"; }
 
   private:
@@ -151,6 +164,24 @@ ReplicaFactory makeHybridReplicaFactory(const Network &ann,
                                         const Tensor &calibration,
                                         int ann_layers,
                                         const ConversionConfig &config = {});
+
+/**
+ * Functional (non-chip) ANN replica factory: the prototype network is
+ * evaluated as-is, with no crossbar model in the loop. Used by the
+ * fault campaigns as the algorithmic baseline and by the health monitor
+ * as the graceful-degradation fallback when a chip replica cannot be
+ * repaired.
+ */
+ReplicaFactory makeFunctionalAnnReplicaFactory(const Network &prototype);
+
+/**
+ * Functional SNN replica factory: each replica converts a private clone
+ * of @p prototype and runs the algorithmic SNN simulator with the
+ * request's encoder seed (the same per-request derivation the chip
+ * backend sees).
+ */
+ReplicaFactory makeFunctionalSnnReplicaFactory(const Network &prototype,
+                                               const Tensor &calibration);
 
 } // namespace nebula
 

@@ -6,18 +6,35 @@
  * make execution order-independent: the SNN encoder seed travels with
  * the request (not with the chip), so a request produces bit-identical
  * output no matter which worker replica serves it or in which order.
+ *
+ * Lifecycle hardening: a request may carry a deadline (a latency budget
+ * measured from submit) and a cancel flag; both are honoured at dequeue
+ * -- an expired or cancelled request is shed without evaluation and its
+ * future resolves to a typed terminal outcome (RuntimeErrorKind) inside
+ * the result, never a broken promise.
  */
 
 #ifndef NEBULA_RUNTIME_REQUEST_HPP
 #define NEBULA_RUNTIME_REQUEST_HPP
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <memory>
+#include <string>
 
 #include "nn/tensor.hpp"
+#include "runtime/error.hpp"
 
 namespace nebula {
+
+/**
+ * Shared cancellation flag: the submitter keeps one reference, the
+ * request another; store(true) makes a still-queued request resolve to
+ * Cancelled at dequeue instead of being evaluated.
+ */
+using CancelFlag = std::shared_ptr<std::atomic<bool>>;
 
 /** One inference request submitted to the engine. */
 struct InferenceRequest
@@ -26,6 +43,19 @@ struct InferenceRequest
     Tensor image;        //!< (C, H, W) input in [0, 1]
     int timesteps = 0;   //!< SNN/hybrid evidence window (0: engine default)
     uint64_t seed = 0;   //!< SNN/hybrid encoder seed (0: derived from id)
+
+    /**
+     * Latency budget from submit (ns); 0 selects the engine default
+     * (EngineConfig::defaultDeadlineNs, itself 0 = no deadline). A
+     * request whose budget has lapsed before a worker picks it up is
+     * shed with a Timeout outcome; deadline-aware admission control can
+     * also shed it at submit when the predicted queue wait alone would
+     * blow the budget.
+     */
+    uint64_t deadlineNs = 0;
+
+    /** Optional cancellation flag (null: not cancellable). */
+    CancelFlag cancel;
 };
 
 /** The completed inference for one request. */
@@ -37,9 +67,15 @@ struct InferenceResult
     int workerId = -1;        //!< serving worker (-1: inline mode)
     double queueSeconds = 0.0;   //!< time spent waiting in the queue
     double serviceSeconds = 0.0; //!< time spent on the chip replica
+    // -- typed terminal outcome -----------------------------------------
+    RuntimeErrorKind error = RuntimeErrorKind::None;
+    std::string errorMessage; //!< human-readable detail (empty when ok)
     // -- mode-specific extras -------------------------------------------
     int timesteps = 0;        //!< SNN/hybrid steps actually run
     long long spikes = 0;     //!< SNN/hybrid spike count (0 for ANN)
+
+    /** True when the request was evaluated and the logits are valid. */
+    bool ok() const { return error == RuntimeErrorKind::None; }
 };
 
 /** A queued request together with its delivery channel. */
@@ -48,6 +84,8 @@ struct QueueItem
     InferenceRequest request;
     std::promise<InferenceResult> promise;
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline; //!< absolute form
+    bool hasDeadline = false;
 };
 
 /**

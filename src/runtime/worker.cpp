@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "reliability/health.hpp"
 
 namespace nebula {
 
@@ -27,11 +29,9 @@ constexpr int kLatencyBuckets = 500;
 } // namespace
 
 Worker::Worker(int id, std::unique_ptr<ChipReplica> replica,
-               BoundedQueue<QueueItem> *queue,
-               std::function<void()> on_complete, bool trace_requests)
+               BoundedQueue<QueueItem> *queue, WorkerHooks hooks)
     : id_(id), replica_(std::move(replica)), queue_(queue),
-      onComplete_(std::move(on_complete)), traceRequests_(trace_requests),
-      stats_("worker" + std::to_string(id))
+      hooks_(std::move(hooks)), stats_("worker" + std::to_string(id))
 {
 }
 
@@ -49,6 +49,19 @@ Worker::join()
 }
 
 void
+Worker::shedItem(QueueItem &item, RuntimeErrorKind kind,
+                 std::string message, double wait_seconds)
+{
+    InferenceResult result;
+    result.id = item.request.id;
+    result.workerId = id_;
+    result.queueSeconds = wait_seconds;
+    result.error = kind;
+    result.errorMessage = std::move(message);
+    item.promise.set_value(std::move(result));
+}
+
+void
 Worker::loop()
 {
     obs::setThreadName("worker" + std::to_string(id_));
@@ -56,18 +69,46 @@ Worker::loop()
     while (auto item = queue_->pop()) {
         const auto start = std::chrono::steady_clock::now();
         const double wait = secondsSince(item->enqueued, start);
+
+        // Non-evaluated terminal outcomes, checked at dequeue: a
+        // cancelled or expired request is shed without touching the
+        // replica -- under overload this is what keeps the tail of the
+        // queue from wasting chip time on answers nobody can use.
+        if (item->request.cancel &&
+            item->request.cancel->load(std::memory_order_acquire)) {
+            stats_.scalar("cancelled").inc();
+            obs::MetricsRegistry::global().counter("runtime.cancelled").inc();
+            obs::recordInstant("runtime", "request.cancelled",
+                               hooks_.traceRequests);
+            shedItem(*item, RuntimeErrorKind::Cancelled,
+                     "request cancelled before evaluation", wait);
+            hooks_.onComplete(-1.0);
+            continue;
+        }
+        if (item->hasDeadline && start > item->deadline) {
+            stats_.scalar("timeouts").inc();
+            obs::MetricsRegistry::global().counter("runtime.timeout").inc();
+            obs::recordInstant("runtime", "request.timeout",
+                               hooks_.traceRequests);
+            shedItem(*item, RuntimeErrorKind::Timeout,
+                     "deadline expired in queue", wait);
+            hooks_.onComplete(-1.0);
+            continue;
+        }
+
         // The request span is a sampling root: TraceConfig::sampleEvery
         // applies to it and suppresses the chip/noc spans nested inside
         // replica_->run() when this request is sampled out. Queue wait
         // is attached as an arg (not a span) so per-thread timestamps
         // stay monotonic.
-        obs::TraceSpan span("runtime", "request", traceRequests_,
+        obs::TraceSpan span("runtime", "request", hooks_.traceRequests,
                             /*sampled_root=*/true);
         span.arg("id", static_cast<double>(item->request.id));
         span.arg("wait_ms", 1e3 * wait);
         obs::recordCounter("queue.depth",
                            static_cast<double>(queue_->size()),
-                           traceRequests_);
+                           hooks_.traceRequests);
+        double service = -1.0;
         try {
             InferenceResult result = replica_->run(item->request);
             const auto end = std::chrono::steady_clock::now();
@@ -75,6 +116,7 @@ Worker::loop()
             result.workerId = id_;
             result.queueSeconds = wait;
             result.serviceSeconds = secondsSince(start, end);
+            service = result.serviceSeconds;
             span.arg("service_ms", 1e3 * result.serviceSeconds);
 
             stats_.scalar("requests").inc();
@@ -98,13 +140,45 @@ Worker::loop()
                 static_cast<double>(result.spikes));
 
             item->promise.set_value(std::move(result));
+            consecutiveFaults_ = 0;
+
+            // Probe between requests, after the caller has its answer:
+            // the canary cost lands on the worker, not on any request's
+            // latency. May repair or swap replica_ (demotion).
+            if (hooks_.health)
+                hooks_.health->afterRequest(id_, replica_);
+        } catch (const std::exception &e) {
+            stats_.scalar("failures").inc();
+            obs::MetricsRegistry::global()
+                .counter("runtime.replica_fault")
+                .inc();
+            obs::recordInstant("runtime", "request.failed",
+                               hooks_.traceRequests);
+            shedItem(*item, RuntimeErrorKind::ReplicaFault, e.what(), wait);
+            ++consecutiveFaults_;
         } catch (...) {
             stats_.scalar("failures").inc();
+            obs::MetricsRegistry::global()
+                .counter("runtime.replica_fault")
+                .inc();
             obs::recordInstant("runtime", "request.failed",
-                               traceRequests_);
-            item->promise.set_exception(std::current_exception());
+                               hooks_.traceRequests);
+            shedItem(*item, RuntimeErrorKind::ReplicaFault,
+                     "replica threw a non-std exception", wait);
+            ++consecutiveFaults_;
         }
-        onComplete_();
+
+        if (hooks_.superviseRestart && hooks_.maxConsecutiveFaults > 0 &&
+            consecutiveFaults_ >= hooks_.maxConsecutiveFaults) {
+            NEBULA_DEBUG("runtime", "worker", id_, " restarting after ",
+                         consecutiveFaults_, " consecutive faults");
+            stats_.scalar("restarts").inc();
+            replica_ = hooks_.superviseRestart(id_, std::move(replica_));
+            NEBULA_ASSERT(replica_, "supervisor returned null replica");
+            consecutiveFaults_ = 0;
+        }
+
+        hooks_.onComplete(service);
     }
     NEBULA_DEBUG("runtime", "worker", id_, " draining done, exiting");
 }

@@ -6,6 +6,14 @@
  * StatGroup. All per-request accounting is thread-local; the engine
  * merges it only after the pool has quiesced, so the hot path takes no
  * locks beyond the queue's own.
+ *
+ * Lifecycle hardening: every popped request reaches a typed terminal
+ * outcome -- evaluated (ok), expired (Timeout), cancelled (Cancelled)
+ * or failed (ReplicaFault) -- and the promise is always fulfilled with
+ * a value, never broken and never an exception. A replica that throws
+ * repeatedly is quarantined and replaced by the supervisor hook; the
+ * optional health monitor probes the replica between requests and may
+ * swap it too (repair / demotion).
  */
 
 #ifndef NEBULA_RUNTIME_WORKER_HPP
@@ -22,21 +30,53 @@
 
 namespace nebula {
 
+class HealthMonitor;
+
+/** Engine callbacks and resilience knobs wired into each worker. */
+struct WorkerHooks
+{
+    /**
+     * Fired after each popped request has been fully accounted (promise
+     * fulfilled, worker-local stats written, health probe done).
+     * @p service_seconds is the replica evaluation time, or a negative
+     * value when the request was shed without evaluation (timeout /
+     * cancel / fault) -- the engine's service-time EWMA skips those.
+     */
+    std::function<void(double service_seconds)> onComplete;
+
+    /**
+     * Supervisor restart: called from the worker thread after
+     * maxConsecutiveFaults consecutive ReplicaFault outcomes with the
+     * poisoned replica; returns its freshly programmed replacement
+     * (typically a new clone from the engine's factory, with the old
+     * one quarantined for inspection). Null: no supervision.
+     */
+    std::function<std::unique_ptr<ChipReplica>(
+        int worker_id, std::unique_ptr<ChipReplica> old)>
+        superviseRestart;
+
+    /** Closed-loop health monitor (slot = worker id); null: off. */
+    HealthMonitor *health = nullptr;
+
+    /** Consecutive-fault threshold for superviseRestart (0: off). */
+    int maxConsecutiveFaults = 0;
+
+    /** Emit per-request trace spans when a session is active. */
+    bool traceRequests = true;
+};
+
 /** One worker thread plus its private replica and local stats. */
 class Worker
 {
   public:
     /**
-     * @param id           0-based worker id.
-     * @param replica      Private chip replica (takes ownership).
-     * @param queue        Shared request queue (not owned).
-     * @param on_complete  Engine callback fired after each request has
-     *                     been fully accounted (promise fulfilled and
-     *                     worker-local stats written).
+     * @param id       0-based worker id (doubles as the health slot).
+     * @param replica  Private chip replica (takes ownership).
+     * @param queue    Shared request queue (not owned).
+     * @param hooks    Engine callbacks / resilience knobs.
      */
     Worker(int id, std::unique_ptr<ChipReplica> replica,
-           BoundedQueue<QueueItem> *queue,
-           std::function<void()> on_complete, bool trace_requests = true);
+           BoundedQueue<QueueItem> *queue, WorkerHooks hooks);
 
     Worker(const Worker &) = delete;
     Worker &operator=(const Worker &) = delete;
@@ -57,14 +97,24 @@ class Worker
 
     const ChipReplica &replica() const { return *replica_; }
 
+    /**
+     * Mutable replica access for the engine's quiesced administration
+     * paths (withReplicas). Same quiescence contract as stats().
+     */
+    std::unique_ptr<ChipReplica> &replicaSlot() { return replica_; }
+
   private:
     void loop();
+
+    /** Fulfil @p item with a typed non-evaluated terminal outcome. */
+    void shedItem(QueueItem &item, RuntimeErrorKind kind,
+                  std::string message, double wait_seconds);
 
     int id_;
     std::unique_ptr<ChipReplica> replica_;
     BoundedQueue<QueueItem> *queue_;
-    std::function<void()> onComplete_;
-    bool traceRequests_;
+    WorkerHooks hooks_;
+    int consecutiveFaults_ = 0;
     StatGroup stats_;
     std::thread thread_;
 };

@@ -319,7 +319,7 @@ TEST(Runtime, ShutdownWhileBusyDrainsEveryFuture)
     EXPECT_THROW(engine.submit(p.data.image(0)), std::runtime_error);
 }
 
-TEST(Runtime, ShutdownNowDiscardsPendingWithException)
+TEST(Runtime, ShutdownNowResolvesPendingToTypedEngineStopped)
 {
     Prototypes &p = protos();
     const int n = 24;
@@ -335,18 +335,26 @@ TEST(Runtime, ShutdownNowDiscardsPendingWithException)
         futures.push_back(engine.submit(p.data.image(i % p.data.size())));
 
     engine.shutdownNow();
+    // Every future resolves to a typed terminal outcome -- evaluated
+    // requests carry logits, discarded ones carry EngineStopped; no
+    // promise is broken and nothing throws from get().
     int delivered = 0, discarded = 0;
     for (auto &future : futures) {
-        try {
-            future.get();
+        const InferenceResult result = future.get();
+        if (result.ok()) {
+            EXPECT_EQ(result.logits.size(), kClasses);
             ++delivered;
-        } catch (const std::runtime_error &) {
+        } else {
+            EXPECT_EQ(result.error, RuntimeErrorKind::EngineStopped);
+            EXPECT_FALSE(result.errorMessage.empty());
             ++discarded;
         }
     }
     EXPECT_EQ(delivered + discarded, n);
     EXPECT_EQ(engine.completed(), static_cast<uint64_t>(n));
-    EXPECT_THROW(engine.submit(p.data.image(0)), std::runtime_error);
+    // Submitting after shutdown still throws the typed exception, which
+    // remains catchable as the pre-taxonomy std::runtime_error.
+    EXPECT_THROW(engine.submit(p.data.image(0)), EngineStoppedError);
 }
 
 TEST(Runtime, TrySubmitRefusesWhenFull)
