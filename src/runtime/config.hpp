@@ -94,6 +94,14 @@ struct EngineConfig
     int maxConsecutiveFaults = 3;
 
     /**
+     * Most-recent quarantined replicas retained for inspection after
+     * supervisor restarts; older ones are dropped so a permanently
+     * faulting worker (which re-trips maxConsecutiveFaults forever)
+     * cannot grow the engine's memory without bound. 0 retains none.
+     */
+    size_t quarantineCapacity = 16;
+
+    /**
      * Optional closed-loop crossbar health monitor (reliability/health):
      * canary probes between requests, in-place re-programming repair,
      * demotion to a functional backend when repair fails. Null: off.

@@ -70,8 +70,13 @@ InferenceEngine::InferenceEngine(EngineConfig config,
         hooks.superviseRestart =
             [this](int id, std::unique_ptr<ChipReplica> old) {
                 {
+                    // Bounded retention: a permanently bad worker
+                    // re-trips the fault threshold forever, so keep
+                    // only the newest quarantineCapacity replicas.
                     std::lock_guard<std::mutex> lock(quarantineMutex_);
                     quarantined_.push_back(std::move(old));
+                    while (quarantined_.size() > config_.quarantineCapacity)
+                        quarantined_.erase(quarantined_.begin());
                 }
                 restarts_.fetch_add(1);
                 obs::MetricsRegistry::global()
@@ -174,8 +179,16 @@ InferenceEngine::submit(InferenceRequest request)
     }
     std::future<InferenceResult> future = item.promise.get_future();
 
+    // Count *before* the push so the quiesce invariant holds: any item
+    // a worker can possibly be evaluating is already reflected in
+    // submitted_, and waitIdle (completed_ >= submitted_) cannot return
+    // while that worker still touches its replica or stats. Refusal
+    // paths below (shed / closed) roll the increment back -- refused
+    // requests were never accepted, so they stay uncounted.
+    submitted_.fetch_add(1);
     if (config_.shedPolicy == ShedPolicy::RejectWhenFull) {
         if (!queue_.tryPush(item)) {
+            rollbackSubmitted();
             if (queue_.closed()) {
                 InferenceResult result;
                 result.id = item.request.id;
@@ -201,15 +214,10 @@ InferenceEngine::submit(InferenceRequest request)
         // promise was moved with it -- so we cannot fulfil it here.
         // push() only fails after close(), which shutdown() performs
         // strictly after accepting_ went false, so report typed stop.
+        rollbackSubmitted();
         throw EngineStoppedError("InferenceEngine shut down during submit");
     }
 
-    // Count *after* the item is actually in the queue: one increment,
-    // no rollback dance on refused admission. A worker may pop and
-    // finish the request before this line runs; completed_ then briefly
-    // exceeds submitted_, which keeps waitIdle conservative-correct
-    // because the request it "missed" has already completed.
-    submitted_.fetch_add(1);
     obs::recordCounter("queue.depth", static_cast<double>(queue_.size()),
                        config_.traceRequests);
     return future;
@@ -240,13 +248,16 @@ InferenceEngine::trySubmit(const Tensor &image,
     }
     std::future<InferenceResult> future = item.promise.get_future();
 
-    // A refused trySubmit burns the id it drew: rolling the shared
+    // A refused trySubmit burns the id it drew: rolling the *id*
     // counter back would race with concurrent producers. submitted_ is
-    // bumped only after a successful enqueue, so refusal needs no
-    // counter rollback at all.
-    if (!queue_.tryPush(item))
-        return false;
+    // different -- it is bumped before the enqueue (quiesce invariant,
+    // see submit) and rolled back on refusal, which is safe because a
+    // transiently inflated submitted_ only makes waitIdle conservative.
     submitted_.fetch_add(1);
+    if (!queue_.tryPush(item)) {
+        rollbackSubmitted();
+        return false;
+    }
     out = std::move(future);
     return true;
 }
@@ -284,6 +295,7 @@ InferenceEngine::runInline(InferenceRequest request)
         return future;
     }
 
+    double service = -1.0;
     try {
         InferenceResult result = inlineReplica_->run(request);
         const auto end = std::chrono::steady_clock::now();
@@ -312,12 +324,8 @@ InferenceEngine::runInline(InferenceRequest request)
             .sample(0.0);
         inlineStats_.scalar("spikes").add(
             static_cast<double>(result.spikes));
-        const double service = result.serviceSeconds;
+        service = result.serviceSeconds;
         promise.set_value(std::move(result));
-        if (config_.health && config_.health->config().enabled)
-            config_.health->afterRequest(0, inlineReplica_);
-        noteCompleted(service);
-        return future;
     } catch (const std::exception &e) {
         inlineStats_.scalar("failures").inc();
         obs::MetricsRegistry::global().counter("runtime.replica_fault").inc();
@@ -341,7 +349,26 @@ InferenceEngine::runInline(InferenceRequest request)
         result.errorMessage = "replica threw a non-std exception";
         promise.set_value(std::move(result));
     }
-    noteCompleted(-1.0);
+
+    // Probe after a successful request, with the promise already
+    // settled and outside the try/catch above: a throwing probe is
+    // absorbed and counted here -- re-entering the catch would call
+    // set_value on a satisfied promise and throw std::future_error at
+    // the submitter instead of returning the typed-result future.
+    if (service >= 0.0 && config_.health &&
+        config_.health->config().enabled) {
+        try {
+            config_.health->afterRequest(0, inlineReplica_);
+        } catch (...) {
+            inlineStats_.scalar("probe_failures").inc();
+            obs::MetricsRegistry::global()
+                .counter("health.probe_fault")
+                .inc();
+            obs::recordInstant("runtime", "health.probe_fault",
+                               config_.traceRequests);
+        }
+    }
+    noteCompleted(service);
     return future;
 }
 
@@ -364,6 +391,18 @@ InferenceEngine::noteCompleted(double service_seconds)
     if (service_seconds >= 0.0)
         noteServiceTime(service_seconds);
     completed_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(idleMutex_);
+    }
+    idleCv_.notify_all();
+}
+
+void
+InferenceEngine::rollbackSubmitted()
+{
+    submitted_.fetch_sub(1);
+    // The decrement can flip waitIdle's predicate true, so wake any
+    // waiter the same way noteCompleted does.
     {
         std::lock_guard<std::mutex> lock(idleMutex_);
     }

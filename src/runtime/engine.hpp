@@ -163,7 +163,11 @@ class InferenceEngine
     /** Supervisor restarts performed across the pool. */
     uint64_t workerRestarts() const { return restarts_.load(); }
 
-    /** Replicas quarantined by supervisor restarts, in restart order. */
+    /**
+     * Replicas currently retained in quarantine, in restart order.
+     * Retention is bounded by EngineConfig::quarantineCapacity (newest
+     * kept); workerRestarts() counts all restarts ever performed.
+     */
     size_t quarantinedCount() const;
 
     /**
@@ -188,6 +192,12 @@ class InferenceEngine
 
     /** Completion callback shared by workers and inline mode. */
     void noteCompleted(double service_seconds);
+
+    /**
+     * Undo the pre-enqueue submitted_ increment when admission refuses
+     * a request (shed / closed queue), waking waitIdle waiters.
+     */
+    void rollbackSubmitted();
 
     /** Fold one measured service time into the admission EWMA. */
     void noteServiceTime(double seconds);

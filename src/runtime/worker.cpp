@@ -141,12 +141,6 @@ Worker::loop()
 
             item->promise.set_value(std::move(result));
             consecutiveFaults_ = 0;
-
-            // Probe between requests, after the caller has its answer:
-            // the canary cost lands on the worker, not on any request's
-            // latency. May repair or swap replica_ (demotion).
-            if (hooks_.health)
-                hooks_.health->afterRequest(id_, replica_);
         } catch (const std::exception &e) {
             stats_.scalar("failures").inc();
             obs::MetricsRegistry::global()
@@ -166,6 +160,28 @@ Worker::loop()
             shedItem(*item, RuntimeErrorKind::ReplicaFault,
                      "replica threw a non-std exception", wait);
             ++consecutiveFaults_;
+        }
+
+        // Probe between requests, after the caller has its answer: the
+        // canary cost lands on the worker, not on any request's
+        // latency. May repair or swap replica_ (demotion). The probe
+        // runs only after a successful evaluation (service >= 0) and
+        // OUTSIDE the request's try block: the promise above is already
+        // satisfied, so a throwing probe must be absorbed here -- it is
+        // accounted as a fault (feeding the supervisor) and must never
+        // reach shedItem, which would set the promise a second time.
+        if (service >= 0.0 && hooks_.health) {
+            try {
+                hooks_.health->afterRequest(id_, replica_);
+            } catch (...) {
+                stats_.scalar("probe_failures").inc();
+                obs::MetricsRegistry::global()
+                    .counter("health.probe_fault")
+                    .inc();
+                obs::recordInstant("runtime", "health.probe_fault",
+                                   hooks_.traceRequests);
+                ++consecutiveFaults_;
+            }
         }
 
         if (hooks_.superviseRestart && hooks_.maxConsecutiveFaults > 0 &&

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -592,8 +593,35 @@ TEST(Resilience, ChaosLoadResolvesEveryFutureToTypedOutcome)
     EXPECT_GT(cancelled, 0);
     EXPECT_EQ(engine.completed(), static_cast<uint64_t>(total));
     EXPECT_GE(engine.workerRestarts(), 1u);
+    // Quarantine retains the newest replicas up to its capacity.
     EXPECT_EQ(engine.quarantinedCount(),
-              static_cast<size_t>(engine.workerRestarts()));
+              std::min(static_cast<size_t>(engine.workerRestarts()),
+                       engine.config().quarantineCapacity));
+}
+
+TEST(Resilience, QuarantineRetentionIsCapped)
+{
+    Prototypes &p = protos();
+
+    EngineConfig cfg;
+    cfg.numWorkers = 1;
+    cfg.maxConsecutiveFaults = 1; // restart after every fault
+    cfg.quarantineCapacity = 2;
+    auto base = makeAnnReplicaFactory(p.quantNet, p.quant);
+    InferenceEngine engine(cfg, [&](int id) {
+        return std::make_unique<PoisonedReplica>(base(id), /*healthy=*/0);
+    });
+
+    // Every request faults and every fault restarts the worker, the
+    // pathological case where an unbounded quarantine would retain one
+    // poisoned replica per request forever.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(engine.submit(p.data.image(i)).get().error,
+                  RuntimeErrorKind::ReplicaFault);
+    engine.waitIdle();
+    EXPECT_EQ(engine.workerRestarts(), 5u);
+    EXPECT_EQ(engine.quarantinedCount(), 2u);
+    engine.shutdown();
 }
 
 // ---------------------------------------------------------------------------
@@ -752,6 +780,68 @@ TEST(Health, FailedRepairDemotesToFunctionalBackend)
     }
     EXPECT_EQ(health->demotions(), 1);
     EXPECT_EQ(health->health(0), ReplicaHealth::Demoted);
+    engine.shutdown();
+}
+
+// The canary probe runs on the worker thread after the request's
+// promise is already satisfied. A replica that faults *during the
+// probe* must not crash the worker (std::terminate via a second
+// set_value on the settled promise) -- the probe failure is absorbed
+// and later requests still resolve to typed outcomes.
+TEST(Health, ThrowingProbeNeverTouchesTheSettledPromise)
+{
+    Prototypes &p = protos();
+
+    HealthConfig hc;
+    hc.probeEvery = 1; // probe after every request
+    std::vector<Tensor> canaries{p.data.image(40)};
+
+    EngineConfig cfg;
+    cfg.numWorkers = 1;
+    cfg.maxConsecutiveFaults = 0; // keep the poisoned replica in place
+    cfg.health = std::make_shared<HealthMonitor>(hc, canaries);
+    auto base = makeAnnReplicaFactory(p.quantNet, p.quant);
+    InferenceEngine engine(cfg, [&](int id) {
+        // Healthy budget 2: one run for the canary capture at engine
+        // start, one for the first request. The probe that follows the
+        // first request then throws inside the worker.
+        return std::make_unique<PoisonedReplica>(base(id), /*healthy=*/2);
+    });
+
+    EXPECT_TRUE(engine.submit(p.data.image(0)).get().ok());
+    // The worker survived the throwing probe: the next request reaches
+    // the (now poisoned) replica and resolves to a typed fault instead
+    // of hanging on a dead thread.
+    EXPECT_EQ(engine.submit(p.data.image(1)).get().error,
+              RuntimeErrorKind::ReplicaFault);
+
+    StatGroup stats = engine.runtimeStats();
+    EXPECT_EQ(stats.scalarAt("probe_failures").sum(), 1.0);
+    engine.shutdown();
+}
+
+// Same hazard on the inline (numWorkers == 0) path: a throwing probe
+// used to land in runInline's catch block, whose second set_value threw
+// std::future_error at the submitter instead of returning the future.
+TEST(Health, ThrowingProbeInlineStillReturnsTypedResults)
+{
+    Prototypes &p = protos();
+
+    HealthConfig hc;
+    hc.probeEvery = 1;
+    std::vector<Tensor> canaries{p.data.image(40)};
+
+    EngineConfig cfg;
+    cfg.numWorkers = 0;
+    cfg.health = std::make_shared<HealthMonitor>(hc, canaries);
+    auto base = makeAnnReplicaFactory(p.quantNet, p.quant);
+    InferenceEngine engine(cfg, [&](int id) {
+        return std::make_unique<PoisonedReplica>(base(id), /*healthy=*/2);
+    });
+
+    EXPECT_TRUE(engine.submit(p.data.image(0)).get().ok());
+    EXPECT_EQ(engine.submit(p.data.image(1)).get().error,
+              RuntimeErrorKind::ReplicaFault);
     engine.shutdown();
 }
 
