@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Multi-tenant serving study: the full front-end stack -- ModelRegistry
+ * (LRU weight-swap scheduler, write-verify-costed swap-ins) behind a
+ * ServingServer on loopback -- driven by several tenant clients that
+ * walk a 3-model catalog through 2 resident slots. Records per-tenant
+ * tail latency and the total swap bill:
+ *
+ *   serving.tenant<k>.p99_ms   per-tenant p99 wire latency
+ *   serving.ok_fraction        typed-Ok fraction of all requests
+ *   serving.swap.count         registry swap-ins during the run
+ *   serving.swap.pulses        write-verify program pulses paid
+ *   serving.swap.energy_uj     write-verify program energy (uJ)
+ *   serving.swap.overhead_ms   mean wall time of one swap-in
+ *
+ * On NEBULA the cost of rotating tenants' working sets is literally
+ * crossbar reprogramming; this study makes that bill a regression
+ * surface next to the latency it buys.
+ *
+ * Also microbenchmarks the wire codec (request encode+decode round
+ * trip) so protocol overhead stays visible.
+ *
+ * Set NEBULA_BENCH_TINY=1 to shrink to smoke-test size for CI.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.hpp"
+#include "nn/datasets.hpp"
+#include "serving/client.hpp"
+#include "serving/models.hpp"
+#include "serving/registry.hpp"
+#include "serving/server.hpp"
+
+#include "bench_common.hpp"
+
+namespace nebula {
+namespace {
+
+using namespace nebula::serving;
+
+/** CI smoke-test mode: tiny shapes, same code paths. */
+bool
+tinyMode()
+{
+    const char *env = std::getenv("NEBULA_BENCH_TINY");
+    return env != nullptr && env[0] == '1';
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    return values[static_cast<size_t>(p * (values.size() - 1))];
+}
+
+void
+printTenancyStudy()
+{
+    const bool tiny = tinyMode();
+    const int tenants = 3;
+    const int requests = tiny ? 24 : 90;
+    const int run_length = tiny ? 6 : 10;
+    const int timesteps = tiny ? 6 : 10;
+    const std::vector<std::string> model_ids = {"mlp3/ann", "mlp3/snn",
+                                                "lenet5/ann"};
+
+    std::cout << "== Multi-tenant serving tenancy study ==\n"
+              << "3-model catalog through 2 resident slots, " << tenants
+              << " tenants x " << requests << " pipelined requests\n\n";
+
+    RegistryConfig reg_cfg;
+    for (const std::string &id : model_ids) {
+        ServableModelSpec spec;
+        parseServableId(id, spec);
+        spec.trainImages = tiny ? 128 : 400;
+        spec.epochs = tiny ? 1 : (spec.family == "lenet5" ? 2 : 3);
+        reg_cfg.catalog.push_back(spec);
+    }
+    reg_cfg.residentCapacity = 2;
+    reg_cfg.workersPerModel = 1;
+    reg_cfg.engine.queueCapacity = 256;
+    reg_cfg.engine.defaultTimesteps = timesteps;
+    auto registry = std::make_shared<ModelRegistry>(reg_cfg);
+
+    ServingServer server({}, registry);
+    server.start();
+
+    std::vector<std::vector<double>> latencies(tenants);
+    std::vector<int> oks(tenants, 0);
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < tenants; ++t) {
+        threads.emplace_back([&, t] {
+            ServingClient client;
+            if (!client.connect("127.0.0.1", server.port()))
+                return;
+            SyntheticDigits images(32, 16, /*seed=*/40 + t);
+            std::vector<std::future<WireResponse>> futures;
+            std::vector<std::chrono::steady_clock::time_point> sent;
+            for (int i = 0; i < requests; ++i) {
+                // Tenants start at different catalog offsets so their
+                // runs collide on the resident slots and force swaps.
+                const std::string &id =
+                    model_ids[(t + i / run_length) % model_ids.size()];
+                ServableModelSpec spec;
+                parseServableId(id, spec);
+                WireMode mode;
+                parseWireMode(spec.mode, mode);
+                ServeOptions options;
+                options.timesteps = timesteps;
+                sent.push_back(std::chrono::steady_clock::now());
+                futures.push_back(client.inferAsync(
+                    "tenant" + std::to_string(t), spec.family, mode,
+                    images.image(i % images.size()), options));
+            }
+            for (size_t i = 0; i < futures.size(); ++i) {
+                const WireResponse reply = futures[i].get();
+                if (reply.status != WireStatus::Ok)
+                    continue;
+                ++oks[t];
+                latencies[t].push_back(
+                    1e3 * std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - sent[i])
+                              .count());
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    Table table("Per-tenant tail latency",
+                {"tenant", "ok", "p50 ms", "p95 ms", "p99 ms"});
+    int total_ok = 0;
+    for (int t = 0; t < tenants; ++t) {
+        total_ok += oks[t];
+        const double p99 = percentile(latencies[t], 0.99);
+        bench::record("serving.tenant" + std::to_string(t) + ".p99_ms",
+                      p99);
+        table.row()
+            .add("tenant" + std::to_string(t))
+            .add(static_cast<long long>(oks[t]))
+            .add(percentile(latencies[t], 0.50), 2)
+            .add(percentile(latencies[t], 0.95), 2)
+            .add(p99, 2);
+    }
+    table.print(std::cout);
+
+    const uint64_t swaps = registry->swapIns();
+    const ProgramReport cost = registry->totalSwapCost();
+    server.stop();
+    registry->shutdown();
+
+    const double ok_fraction =
+        static_cast<double>(total_ok) / (tenants * requests);
+    bench::record("serving.ok_fraction", ok_fraction);
+    bench::record("serving.swap.count", static_cast<double>(swaps));
+    bench::record("serving.swap.pulses", static_cast<double>(cost.pulses));
+    bench::record("serving.swap.energy_uj", cost.programEnergy * 1e6);
+
+    std::cout << "\nswaps: " << swaps << " swap-ins, "
+              << registry->evictions() << " evictions; cost "
+              << cost.pulses << " pulses / "
+              << formatDouble(cost.programEnergy * 1e6, 3)
+              << " uJ write-verify energy\n"
+              << "ok fraction " << formatDouble(ok_fraction, 3) << ", "
+              << formatDouble(total_ok / wall_s, 1)
+              << " ok replies/sec aggregate\n\n";
+}
+
+/** Wall-time of one cold swap-in (program-on-demand), measured alone. */
+void
+printSwapOverheadStudy()
+{
+    const bool tiny = tinyMode();
+    RegistryConfig reg_cfg;
+    for (const char *id : {"mlp3/ann", "mlp3/snn"}) {
+        ServableModelSpec spec;
+        parseServableId(id, spec);
+        spec.trainImages = tiny ? 128 : 400;
+        spec.epochs = tiny ? 1 : 3;
+        reg_cfg.catalog.push_back(spec);
+    }
+    reg_cfg.residentCapacity = 1; // every alternation is a swap
+    ModelRegistry registry(reg_cfg);
+
+    // Warm the loader cache so we time programming, not training.
+    registry.acquire("mlp3/ann");
+    registry.acquire("mlp3/snn");
+
+    const int alternations = tiny ? 4 : 10;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < alternations; ++i)
+        registry.acquire(i % 2 == 0 ? "mlp3/ann" : "mlp3/snn");
+    const double mean_ms =
+        1e3 *
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count() /
+        alternations;
+    registry.shutdown();
+
+    bench::record("serving.swap.overhead_ms", mean_ms);
+    std::cout << "swap-in overhead (capacity-1 alternation, warm "
+                 "prototypes): "
+              << formatDouble(mean_ms, 2) << " ms mean over "
+              << alternations << " swaps\n\n";
+}
+
+/** Wire codec round trip: encode a request frame, decode it back. */
+void
+BM_ProtocolRoundTrip(benchmark::State &state)
+{
+    WireRequest request;
+    request.corrId = 42;
+    request.mode = WireMode::Snn;
+    request.timesteps = 10;
+    request.tenant = "tenant0";
+    request.model = "mlp3";
+    request.image = Tensor({1, 16, 16});
+    for (auto _ : state) {
+        const std::vector<uint8_t> frame = encodeRequestFrame(request);
+        FrameHeader header;
+        decodeHeader(frame.data(), kHeaderBytes, 1 << 26, header);
+        WireRequest decoded;
+        decodeRequestBody(frame.data() + kHeaderBytes, header.bodyLen,
+                          decoded);
+        benchmark::DoNotOptimize(decoded.corrId);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProtocolRoundTrip)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace nebula
+
+int
+main(int argc, char **argv)
+{
+    nebula::printTenancyStudy();
+    nebula::printSwapOverheadStudy();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    nebula::bench::writeBenchSummary(argv[0]);
+    return 0;
+}

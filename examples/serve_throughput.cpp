@@ -13,6 +13,11 @@
  *
  * Build & run:  ./examples-bin/serve_throughput
  *
+ * Model:        --model mlp3|lenet5 selects the served topology; the
+ * trained prototype comes from the serving ServableLoader, the same
+ * loader the multi-tenant registry programs swap-ins from, so the
+ * example and the server share model-construction code.
+ *
  * Resilience:   --deadline-ms N attaches an N-millisecond deadline to
  * every request (expired ones resolve to typed Timeout outcomes
  * instead of being evaluated); --shed-policy block|reject|deadline
@@ -52,6 +57,7 @@
 #include "reliability/health.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/replica.hpp"
+#include "serving/models.hpp"
 #include "snn/convert.hpp"
 
 using namespace nebula;
@@ -202,12 +208,20 @@ int
 main(int argc, char **argv)
 {
     std::string trace_path;
+    std::string model_name = "mlp3";
     obs::TraceConfig trace_cfg;
     double deadline_ms = 0.0;
     ShedPolicy shed_policy = ShedPolicy::Block;
     bool chaos = false;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+            model_name = argv[++i];
+            if (model_name != "mlp3" && model_name != "lenet5") {
+                std::cerr << "unknown model '" << model_name
+                          << "' (mlp3|lenet5)\n";
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
         } else if (std::strcmp(argv[i], "--sample") == 0 && i + 1 < argc) {
             trace_cfg.sampleEvery = std::max(1ll, std::atoll(argv[++i]));
@@ -232,7 +246,8 @@ main(int argc, char **argv)
             chaos = true;
         } else {
             std::cerr << "usage: " << argv[0]
-                      << " [--trace out.json] [--sample N]"
+                      << " [--model mlp3|lenet5]"
+                         " [--trace out.json] [--sample N]"
                          " [--deadline-ms N]"
                          " [--shed-policy block|reject|deadline]"
                          " [--chaos]\n";
@@ -246,25 +261,22 @@ main(int argc, char **argv)
 
     std::cout << "== NEBULA serving quickstart ==\n\n";
 
-    // 1. Train + quantize. ------------------------------------------------
-    SyntheticDigits train_set(1200, 16, /*seed=*/1);
-    SyntheticDigits test_set(300, 16, /*seed=*/2);
+    // 1. Train + quantize via the shared servable loader (the same
+    //    prototype the multi-tenant registry programs swap-ins from).
+    serving::ServableModelSpec spec;
+    spec.family = model_name;
+    spec.trainImages = 1200;
+    spec.epochs = 6;
+    SyntheticDigits train_set(1200, spec.imageSize, /*seed=*/1);
+    SyntheticDigits test_set(300, spec.imageSize, /*seed=*/2);
 
-    Network net = buildMlp3(16, 1, 10, /*seed=*/7);
-    TrainConfig tc;
-    tc.epochs = 6;
-    tc.learningRate = 0.08;
-    SgdTrainer trainer(tc);
-    trainer.train(net, train_set);
-
-    Network float_net = net.clone(); // SNN conversion wants plain ReLUs
-    const Tensor calibration = train_set.firstImages(64);
-    const auto quant = quantizeNetwork(net, calibration);
+    auto &loader = serving::ServableLoader::global();
+    auto [net, quant] = loader.quantized(spec);
 
     const int workers =
         std::max(2u, std::thread::hardware_concurrency());
-    std::cout << "serving " << test_set.size() << " images with "
-              << workers << " workers";
+    std::cout << "serving " << test_set.size() << " images (" << model_name
+              << ") with " << workers << " workers";
     if (deadline_ms > 0.0)
         std::cout << ", " << deadline_ms << " ms deadline";
     if (shed_policy != ShedPolicy::Block)
@@ -288,7 +300,7 @@ main(int argc, char **argv)
     ann_engine.shutdown();
 
     // 3. SNN-mode engine. -------------------------------------------------
-    SpikingModel snn = convertToSnn(float_net, calibration);
+    SpikingModel snn = loader.spiking(spec);
     EngineConfig snn_cfg;
     snn_cfg.numWorkers = workers;
     snn_cfg.defaultTimesteps = 40;

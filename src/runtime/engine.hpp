@@ -153,6 +153,21 @@ class InferenceEngine
 
     uint64_t submitted() const { return submitted_.load(); }
     uint64_t completed() const { return completed_.load(); }
+
+    /**
+     * Requests accepted but not yet completed (queued + being
+     * evaluated). Two relaxed loads -- cheap enough for admission
+     * layers and load generators to poll per request, with no
+     * MetricsRegistry scrape. Transiently conservative (high by up to
+     * one) while an admission refusal is being rolled back.
+     */
+    uint64_t inflight() const
+    {
+        const uint64_t completed = completed_.load();
+        const uint64_t submitted = submitted_.load();
+        return submitted > completed ? submitted - completed : 0;
+    }
+
     size_t queueDepth() const { return queue_.size(); }
     int numWorkers() const { return static_cast<int>(workers_.size()); }
     const EngineConfig &config() const { return config_; }

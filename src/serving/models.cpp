@@ -1,0 +1,146 @@
+#include "serving/models.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "nn/datasets.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+#include "snn/hybrid.hpp"
+
+namespace nebula {
+namespace serving {
+
+bool
+parseServableId(const std::string &id, ServableModelSpec &out)
+{
+    const size_t slash = id.find('/');
+    if (slash == std::string::npos || slash == 0 || slash + 1 >= id.size())
+        return false;
+    ServableModelSpec spec;
+    spec.family = id.substr(0, slash);
+    spec.mode = id.substr(slash + 1);
+    if (spec.family != "mlp3" && spec.family != "lenet5")
+        return false;
+    if (spec.mode != "ann" && spec.mode != "snn" && spec.mode != "hybrid")
+        return false;
+    out = spec;
+    return true;
+}
+
+/** Trained float prototype + the batch everything is calibrated on. */
+struct ServableLoader::Cached
+{
+    Network net{"uninit"};
+    Tensor calibration;
+};
+
+ServableLoader &
+ServableLoader::global()
+{
+    static ServableLoader loader;
+    return loader;
+}
+
+const ServableLoader::Cached &
+ServableLoader::cached(const ServableModelSpec &spec)
+{
+    // Key on everything training depends on; mode is deliberately
+    // excluded -- ann/snn/hybrid servables of one family share the
+    // trained float prototype.
+    std::ostringstream key;
+    key << spec.family << ':' << spec.imageSize << ':' << spec.classes
+        << ':' << spec.trainImages << ':' << spec.epochs << ':'
+        << spec.learningRate << ':' << spec.seed;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key.str());
+    if (it != cache_.end())
+        return *it->second;
+
+    auto entry = std::make_unique<Cached>();
+    if (spec.family == "mlp3") {
+        entry->net = buildMlp3(spec.imageSize, 1, spec.classes, spec.seed);
+    } else if (spec.family == "lenet5") {
+        entry->net =
+            buildLenet5(spec.imageSize, 1, spec.classes, spec.seed);
+    } else {
+        NEBULA_FATAL("unknown servable family '", spec.family, "'");
+    }
+
+    SyntheticDigits train(std::max(spec.trainImages, 64), spec.imageSize,
+                          /*seed=*/1);
+    if (spec.epochs > 0) {
+        TrainConfig tc;
+        tc.epochs = spec.epochs;
+        tc.learningRate = spec.learningRate;
+        SgdTrainer trainer(tc);
+        trainer.train(entry->net, train);
+    } else {
+        // Untrained servables still need fixed geometry for mapping.
+        Tensor probe({1, 1, spec.imageSize, spec.imageSize});
+        entry->net.forward(probe);
+    }
+    entry->calibration = train.firstImages(std::min(64, train.size()));
+
+    it = cache_.emplace(key.str(), std::move(entry)).first;
+    NEBULA_DEBUG("serving", "trained servable prototype ", spec.family,
+                 " (", spec.epochs, " epochs, cached)");
+    return *it->second;
+}
+
+Network
+ServableLoader::trainedNetwork(const ServableModelSpec &spec)
+{
+    return cached(spec).net.clone();
+}
+
+Tensor
+ServableLoader::calibration(const ServableModelSpec &spec)
+{
+    return cached(spec).calibration;
+}
+
+QuantizedServable
+ServableLoader::quantized(const ServableModelSpec &spec)
+{
+    const Cached &entry = cached(spec);
+    QuantizedServable out{entry.net.clone(), {}};
+    out.quant = quantizeNetwork(out.net, entry.calibration);
+    return out;
+}
+
+SpikingModel
+ServableLoader::spiking(const ServableModelSpec &spec)
+{
+    const Cached &entry = cached(spec);
+    Network net = entry.net.clone();
+    return convertToSnn(net, entry.calibration);
+}
+
+ReplicaFactory
+ServableLoader::makeFactory(const ServableModelSpec &spec,
+                            const ReliabilityConfig &reliability)
+{
+    if (spec.mode == "ann") {
+        QuantizedServable q = quantized(spec);
+        return makeAnnReplicaFactory(q.net, q.quant, NebulaConfig{},
+                                     /*variation_sigma=*/0.0, spec.chipSeed,
+                                     reliability);
+    }
+    if (spec.mode == "snn") {
+        SpikingModel model = spiking(spec);
+        return makeSnnReplicaFactory(model, NebulaConfig{},
+                                     /*variation_sigma=*/0.0, spec.chipSeed,
+                                     reliability);
+    }
+    if (spec.mode == "hybrid") {
+        const Cached &entry = cached(spec);
+        return makeHybridReplicaFactory(entry.net, entry.calibration,
+                                        spec.hybridAnnLayers);
+    }
+    NEBULA_FATAL("unknown servable mode '", spec.mode, "'");
+}
+
+} // namespace serving
+} // namespace nebula

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Wire protocol of the serving front-end: a length-prefixed binary
+ * framing over TCP, little-endian throughout.
+ *
+ *   Frame   = [u32 magic "NEBP"] [u8 version] [u8 type] [u16 reserved]
+ *             [u32 bodyLen] [body ...]
+ *   Request = [u64 corrId] [u8 mode] [u32 timesteps] [u64 deadlineNs]
+ *             [u64 seed] [u8 len + tenant] [u8 len + model]
+ *             [u8 rank] [i32 dims]* [f32 data]*
+ *   Response= [u64 corrId] [u16 status] [i32 predictedClass]
+ *             [f64 serverMs] [u16 len + message]
+ *             [u8 rank] [i32 dims]* [f32 logits]*
+ *
+ * Every malformed input maps to a typed WireStatus -- the decoder
+ * never throws on wire bytes and never reads past the buffer, so a
+ * truncated frame, an oversized length prefix or random garbage yields
+ * a clean error response (then a close), not a crash or a hang. The
+ * float payloads travel as raw IEEE-754 bits, so a round trip is
+ * bit-exact and the determinism guarantee of the engine (per-request
+ * encoder seeds) extends across the socket.
+ */
+
+#ifndef NEBULA_SERVING_PROTOCOL_HPP
+#define NEBULA_SERVING_PROTOCOL_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace nebula {
+namespace serving {
+
+constexpr uint32_t kWireMagic = 0x4E454250u; // "NEBP"
+constexpr uint8_t kWireVersion = 1;
+constexpr size_t kHeaderBytes = 12;
+constexpr int kMaxTensorRank = 8;
+constexpr long long kMaxTensorDim = 1 << 20;
+
+/** Frame payload kind. */
+enum class FrameType : uint8_t
+{
+    Request = 1,
+    Response = 2,
+};
+
+/**
+ * Typed outcome of one wire request. Values < 16 mirror the engine's
+ * RuntimeErrorKind; 16..99 are protocol/serving-layer outcomes; values
+ * >= 100 are client-local synthetics (never sent on the wire).
+ */
+enum class WireStatus : uint16_t
+{
+    Ok = 0,
+    Timeout = 1,       //!< deadline expired before evaluation
+    Shed = 2,          //!< engine admission control refused the request
+    EngineStopped = 3, //!< model engine shut down mid-request
+    ReplicaFault = 4,  //!< serving replica threw (transient)
+    Cancelled = 5,
+
+    BadFrame = 16,           //!< malformed header or body
+    UnsupportedVersion = 17, //!< magic ok, version unknown
+    PayloadTooLarge = 18,    //!< length prefix exceeds the server cap
+    BadRequest = 19,         //!< well-framed but semantically invalid
+    UnknownModel = 20,       //!< (model, mode) not in the registry catalog
+    QuotaExceeded = 21,      //!< tenant token bucket empty (typed shed)
+    Internal = 22,           //!< unexpected server-side failure
+
+    ConnectionLost = 100, //!< client-local: socket closed mid-request
+    SendFailed = 101,     //!< client-local: could not write the frame
+};
+
+/** Stable lower-case name ("ok", "quota_exceeded", ...). */
+const char *toString(WireStatus status);
+
+/** Inference mode requested on the wire. */
+enum class WireMode : uint8_t
+{
+    Ann = 0,
+    Snn = 1,
+    Hybrid = 2,
+};
+
+const char *toString(WireMode mode);
+
+/** Parse "ann" / "snn" / "hybrid"; false on anything else. */
+bool parseWireMode(const std::string &text, WireMode &out);
+
+/** Fixed-size frame header (see file comment for layout). */
+struct FrameHeader
+{
+    uint32_t magic = kWireMagic;
+    uint8_t version = kWireVersion;
+    FrameType type = FrameType::Request;
+    uint32_t bodyLen = 0;
+};
+
+/** One decoded inference request. */
+struct WireRequest
+{
+    uint64_t corrId = 0;     //!< client-chosen correlation id (echoed)
+    WireMode mode = WireMode::Ann;
+    uint32_t timesteps = 0;  //!< 0: engine default
+    uint64_t deadlineNs = 0; //!< 0: server/engine default
+    uint64_t seed = 0;       //!< 0: engine derives from request id
+    std::string tenant;
+    std::string model;       //!< catalog family, e.g. "mlp3"
+    Tensor image;
+};
+
+/** One decoded inference response. */
+struct WireResponse
+{
+    uint64_t corrId = 0;
+    WireStatus status = WireStatus::Ok;
+    int32_t predictedClass = -1;
+    double serverMs = 0.0; //!< receive-to-respond latency at the server
+    std::string message;   //!< human-readable detail (empty when ok)
+    Tensor logits;         //!< empty on error
+};
+
+/** Bounds-checked little-endian reader; all reads fail-soft. */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t *data, size_t size) : data_(data), size_(size) {}
+
+    bool u8(uint8_t &v);
+    bool u16(uint16_t &v);
+    bool u32(uint32_t &v);
+    bool u64(uint64_t &v);
+    bool i32(int32_t &v);
+    bool f32(float &v);
+    bool f64(double &v);
+    bool bytes(void *out, size_t n);
+    bool str(std::string &out, size_t len);
+
+    size_t remaining() const { return size_ - pos_; }
+    bool done() const { return pos_ == size_; }
+
+  private:
+    const uint8_t *data_;
+    size_t size_;
+    size_t pos_ = 0;
+};
+
+/** Little-endian appender over a growable byte vector. */
+class ByteWriter
+{
+  public:
+    explicit ByteWriter(std::vector<uint8_t> &out) : out_(out) {}
+
+    void u8(uint8_t v) { out_.push_back(v); }
+    void u16(uint16_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+    void f32(float v);
+    void f64(double v);
+    void bytes(const void *data, size_t n);
+
+  private:
+    std::vector<uint8_t> &out_;
+};
+
+/**
+ * Validate a raw 12-byte header. @return Ok, BadFrame (magic/type),
+ * UnsupportedVersion, or PayloadTooLarge (bodyLen > @p max_body).
+ */
+WireStatus decodeHeader(const uint8_t *raw, size_t size, size_t max_body,
+                        FrameHeader &out);
+
+/** Encode a complete frame (header + body) for @p type. */
+std::vector<uint8_t> encodeFrame(FrameType type,
+                                 const std::vector<uint8_t> &body);
+
+/** Request body -> bytes (frame it with encodeFrame). */
+std::vector<uint8_t> encodeRequestBody(const WireRequest &request);
+
+/** Response body -> bytes. */
+std::vector<uint8_t> encodeResponseBody(const WireResponse &response);
+
+/** Convenience: full request/response frames. */
+std::vector<uint8_t> encodeRequestFrame(const WireRequest &request);
+std::vector<uint8_t> encodeResponseFrame(const WireResponse &response);
+
+/**
+ * Decode a request body. @return Ok or BadFrame/BadRequest; on failure
+ * @p out.corrId still carries the correlation id when the first eight
+ * bytes were readable, so the error response can be matched.
+ */
+WireStatus decodeRequestBody(const uint8_t *data, size_t size,
+                             WireRequest &out);
+
+/** Decode a response body (client side). */
+WireStatus decodeResponseBody(const uint8_t *data, size_t size,
+                              WireResponse &out);
+
+} // namespace serving
+} // namespace nebula
+
+#endif // NEBULA_SERVING_PROTOCOL_HPP

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Per-tenant admission quotas: token buckets layered *in front of* the
+ * engine's ShedPolicy. A tenant whose bucket is empty gets a typed
+ * QuotaExceeded outcome at the serving layer -- the request never
+ * reaches the engine queue, so one greedy tenant cannot fill the
+ * shared queue and starve another tenant's latency tail. Requests that
+ * pass the bucket still face the engine's own admission control
+ * (queue-full / deadline-aware shedding), which resolves as Shed.
+ */
+
+#ifndef NEBULA_SERVING_QUOTA_HPP
+#define NEBULA_SERVING_QUOTA_HPP
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace nebula {
+namespace serving {
+
+/** Admission quota of one tenant. */
+struct TenantQuota
+{
+    /** Sustained admission rate (tokens refilled per second). */
+    double ratePerSec = 1e9;
+
+    /** Bucket capacity: how far a tenant may burst above the rate. */
+    double burst = 1e9;
+};
+
+/** Classic token bucket; thread-safe, monotonic-clock driven. */
+class TokenBucket
+{
+  public:
+    explicit TokenBucket(const TenantQuota &quota)
+        : quota_(quota), tokens_(quota.burst),
+          last_(std::chrono::steady_clock::now())
+    {
+    }
+
+    /** Take one token if available; false = over quota right now. */
+    bool tryAcquire(std::chrono::steady_clock::time_point now =
+                        std::chrono::steady_clock::now())
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const double elapsed =
+            std::chrono::duration<double>(now - last_).count();
+        if (elapsed > 0.0) {
+            tokens_ = std::min(quota_.burst,
+                               tokens_ + elapsed * quota_.ratePerSec);
+            last_ = now;
+        }
+        if (tokens_ < 1.0)
+            return false;
+        tokens_ -= 1.0;
+        return true;
+    }
+
+    const TenantQuota &quota() const { return quota_; }
+
+  private:
+    TenantQuota quota_;
+    std::mutex mutex_;
+    double tokens_;
+    std::chrono::steady_clock::time_point last_;
+};
+
+/**
+ * Tenant -> bucket table. Tenants without an explicit quota share the
+ * default (each still gets a *private* bucket, so a hot default-quota
+ * tenant cannot drain a stranger's tokens).
+ */
+class TenantTable
+{
+  public:
+    TenantTable(TenantQuota default_quota,
+                std::map<std::string, TenantQuota> overrides = {})
+        : default_(default_quota), overrides_(std::move(overrides))
+    {
+    }
+
+    /** Admit one request from @p tenant? (false: quota exceeded). */
+    bool admit(const std::string &tenant)
+    {
+        return bucket(tenant).tryAcquire();
+    }
+
+    /** The tenant's bucket (created on first use). */
+    TokenBucket &bucket(const std::string &tenant)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = buckets_.find(tenant);
+        if (it == buckets_.end()) {
+            const auto quota_it = overrides_.find(tenant);
+            const TenantQuota &quota = quota_it != overrides_.end()
+                                           ? quota_it->second
+                                           : default_;
+            it = buckets_
+                     .emplace(tenant, std::make_unique<TokenBucket>(quota))
+                     .first;
+        }
+        return *it->second;
+    }
+
+  private:
+    TenantQuota default_;
+    std::map<std::string, TenantQuota> overrides_;
+    std::mutex mutex_;
+    // unique_ptr for address stability across map growth (TokenBucket
+    // holds a mutex and is handed out by reference).
+    std::map<std::string, std::unique_ptr<TokenBucket>> buckets_;
+};
+
+} // namespace serving
+} // namespace nebula
+
+#endif // NEBULA_SERVING_QUOTA_HPP

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Multi-tenant model registry + weight-swap scheduler. The registry
+ * owns a catalog of servable specs (family x mode) and keeps at most
+ * residentCapacity of them *resident*: programmed onto their own
+ * replica pool behind a private InferenceEngine. A request for a cold
+ * model triggers a swap-in -- program-on-demand with LRU eviction --
+ * and each swap is costed through the reliability layer's write-verify
+ * accounting (ProgramReport pulses/energy), surfaced as
+ * `serving.swap.*` metrics: on NEBULA the price of changing tenants'
+ * resident working set is literally program pulses and Joules.
+ *
+ * Eviction safety: evicting an instance calls
+ * InferenceEngine::shutdown(), which quiesces (waitIdle) before the
+ * replicas are torn down -- a swap can never race an in-flight request
+ * on the evicted pool. A handler that still holds the evicted
+ * shared_ptr and submits afterwards gets EngineStoppedError and simply
+ * re-acquires (the model swaps back in).
+ */
+
+#ifndef NEBULA_SERVING_REGISTRY_HPP
+#define NEBULA_SERVING_REGISTRY_HPP
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "reliability/mitigation.hpp"
+#include "runtime/engine.hpp"
+#include "serving/models.hpp"
+
+namespace nebula {
+namespace serving {
+
+/** Write-verify on: swap-ins report real pulse/energy costs. */
+inline ReliabilityConfig
+defaultSwapAccounting()
+{
+    ReliabilityConfig rel;
+    rel.writeVerify.enabled = true;
+    return rel;
+}
+
+/** Registry knobs. */
+struct RegistryConfig
+{
+    /** The servable catalog; ids (family/mode) must be unique. */
+    std::vector<ServableModelSpec> catalog;
+
+    /** Max models resident (programmed) at once. */
+    size_t residentCapacity = 2;
+
+    /** Worker threads per resident model's engine. */
+    int workersPerModel = 1;
+
+    /**
+     * Engine template for every instance (queue capacity, shed policy,
+     * deadlines, timesteps); numWorkers is overridden per model.
+     */
+    EngineConfig engine;
+
+    /** Programming scenario for swap-ins (write-verify accounting). */
+    ReliabilityConfig reliability = defaultSwapAccounting();
+};
+
+/** One resident model: spec + engine + the cost of swapping it in. */
+class ModelInstance
+{
+  public:
+    ModelInstance(ServableModelSpec spec, EngineConfig engine_config,
+                  const ReplicaFactory &factory);
+
+    InferenceEngine &engine() { return engine_; }
+    const ServableModelSpec &spec() const { return spec_; }
+
+    /** Write-verify programming cost of this swap-in (all replicas). */
+    const ProgramReport &swapCost() const { return swapCost_; }
+
+    /** Expected request-image shape (C, H, W). */
+    const std::vector<int> &inputShape() const { return inputShape_; }
+
+  private:
+    ServableModelSpec spec_;
+    InferenceEngine engine_;
+    ProgramReport swapCost_;
+    std::vector<int> inputShape_;
+};
+
+/** LRU-managed registry of resident model instances. */
+class ModelRegistry
+{
+  public:
+    explicit ModelRegistry(RegistryConfig config);
+
+    /** Shuts every resident engine down. */
+    ~ModelRegistry();
+
+    ModelRegistry(const ModelRegistry &) = delete;
+    ModelRegistry &operator=(const ModelRegistry &) = delete;
+
+    /**
+     * Resolve @p id ("family/mode") to a resident instance, swapping
+     * it in (and evicting the least-recently-used resident) if needed.
+     * @return null when the id is not in the catalog. May block for
+     * the duration of a swap (programming) or an eviction (quiesce).
+     */
+    std::shared_ptr<ModelInstance> acquire(const std::string &id);
+
+    /** True when @p id is in the catalog (resident or cold). */
+    bool has(const std::string &id) const;
+
+    /** Catalog ids, sorted. */
+    std::vector<std::string> catalogIds() const;
+
+    /** Resident ids, most recently used first. */
+    std::vector<std::string> residentIds() const;
+
+    size_t residentCount() const;
+    size_t residentCapacity() const { return config_.residentCapacity; }
+
+    /** Swap-ins performed (first-time programming included). */
+    uint64_t swapIns() const;
+
+    /** Evictions performed (quiesce + teardown of a resident pool). */
+    uint64_t evictions() const;
+
+    /** Cumulative write-verify cost across every swap-in. */
+    ProgramReport totalSwapCost() const;
+
+    /** Quiesce and tear down every resident instance. Idempotent. */
+    void shutdown();
+
+  private:
+    /** Evict the LRU resident (callers hold mutex_). */
+    void evictOneLocked();
+
+    RegistryConfig config_;
+    std::map<std::string, ServableModelSpec> catalog_;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<ModelInstance>> resident_;
+    std::list<std::string> lru_; //!< front = most recently used
+    uint64_t swapIns_ = 0;
+    uint64_t evictions_ = 0;
+    ProgramReport totalSwapCost_;
+    bool shutdown_ = false;
+};
+
+} // namespace serving
+} // namespace nebula
+
+#endif // NEBULA_SERVING_REGISTRY_HPP

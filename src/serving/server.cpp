@@ -1,0 +1,496 @@
+#include "serving/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nebula {
+namespace serving {
+
+namespace {
+
+/** recv exactly @p n bytes; false on EOF, error or timeout. */
+bool
+readFully(int fd, void *buf, size_t n)
+{
+    uint8_t *p = static_cast<uint8_t *>(buf);
+    while (n > 0) {
+        const ssize_t got = ::recv(fd, p, n, 0);
+        if (got > 0) {
+            p += got;
+            n -= static_cast<size_t>(got);
+            continue;
+        }
+        if (got < 0 && errno == EINTR)
+            continue;
+        return false; // EOF (0), timeout or hard error
+    }
+    return true;
+}
+
+/** send the whole buffer; false on error. Never raises SIGPIPE. */
+bool
+writeFully(int fd, const void *buf, size_t n)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(buf);
+    while (n > 0) {
+        const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (sent > 0) {
+            p += sent;
+            n -= static_cast<size_t>(sent);
+            continue;
+        }
+        if (sent < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+WireStatus
+fromRuntimeError(RuntimeErrorKind kind)
+{
+    switch (kind) {
+    case RuntimeErrorKind::None: return WireStatus::Ok;
+    case RuntimeErrorKind::Timeout: return WireStatus::Timeout;
+    case RuntimeErrorKind::Shed: return WireStatus::Shed;
+    case RuntimeErrorKind::EngineStopped: return WireStatus::EngineStopped;
+    case RuntimeErrorKind::ReplicaFault: return WireStatus::ReplicaFault;
+    case RuntimeErrorKind::Cancelled: return WireStatus::Cancelled;
+    }
+    return WireStatus::Internal;
+}
+
+constexpr double kLatencyHistLoMs = 0.0;
+constexpr double kLatencyHistHiMs = 500.0;
+constexpr int kLatencyHistBuckets = 500;
+
+} // namespace
+
+/** One live client connection: reader + writer + response pipeline. */
+struct ServingServer::Connection
+{
+    /** One slot of the in-order response pipeline. */
+    struct Pending
+    {
+        WireResponse ready;  //!< used when !future.valid()
+        std::future<InferenceResult> future;
+        std::shared_ptr<ModelInstance> instance;
+        std::string tenant;
+        std::chrono::steady_clock::time_point received;
+        bool closeAfter = false;
+    };
+
+    int fd = -1;
+    uint64_t id = 0;
+    std::thread reader;
+    std::thread writer;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Pending> pipeline;
+    bool readerDone = false;
+
+    std::atomic<bool> dead{false};     //!< socket broken: stop writing
+    std::atomic<bool> readerExited{false};
+    std::atomic<bool> writerExited{false};
+
+    bool finished() const
+    {
+        return readerExited.load() && writerExited.load();
+    }
+};
+
+ServingServer::ServingServer(ServerConfig config,
+                             std::shared_ptr<ModelRegistry> registry)
+    : config_(std::move(config)), registry_(std::move(registry)),
+      tenants_(config_.defaultQuota, config_.tenantQuotas)
+{
+    NEBULA_ASSERT(registry_, "server needs a registry");
+}
+
+ServingServer::~ServingServer()
+{
+    stop();
+}
+
+void
+ServingServer::start()
+{
+    NEBULA_ASSERT(listenFd_ < 0, "server already started");
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw std::runtime_error("serving: socket() failed");
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("serving: bad host " + config_.host);
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, config_.backlog) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("serving: bind/listen failed on " +
+                                 config_.host + ":" +
+                                 std::to_string(config_.port));
+    }
+
+    socklen_t len = sizeof(addr);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+
+    running_.store(true);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    NEBULA_DEBUG("serving", "server listening on ", config_.host, ":",
+                 port_);
+}
+
+void
+ServingServer::acceptLoop()
+{
+    obs::setThreadName("serving.accept");
+    while (running_.load()) {
+        sockaddr_in peer{};
+        socklen_t len = sizeof(peer);
+        const int fd = ::accept(
+            listenFd_, reinterpret_cast<sockaddr *>(&peer), &len);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // listener closed by stop()
+        }
+        reapFinished();
+
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        if (!running_.load() ||
+            connections_.size() >=
+                static_cast<size_t>(config_.maxConnections)) {
+            ::close(fd);
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        conn->id = accepted_.fetch_add(1);
+        Connection &ref = *conn;
+        conn->reader = std::thread([this, &ref] { readerLoop(ref); });
+        conn->writer = std::thread([this, &ref] { writerLoop(ref); });
+        connections_.push_back(std::move(conn));
+        obs::MetricsRegistry::global().counter("serving.connections").inc();
+    }
+}
+
+void
+ServingServer::enqueueReady(Connection &conn, WireResponse response,
+                            bool close_after)
+{
+    std::unique_lock<std::mutex> lock(conn.mutex);
+    conn.cv.wait(lock, [&] {
+        return conn.pipeline.size() < config_.pipelineDepth;
+    });
+    Connection::Pending pending;
+    pending.ready = std::move(response);
+    pending.closeAfter = close_after;
+    pending.received = std::chrono::steady_clock::now();
+    conn.pipeline.push_back(std::move(pending));
+    lock.unlock();
+    conn.cv.notify_all();
+}
+
+bool
+ServingServer::dispatch(Connection &conn, WireRequest request)
+{
+    obs::TraceSpan span("serving", "request", config_.traceRequests);
+    span.arg("corr_id", static_cast<double>(request.corrId));
+    auto &metrics = obs::MetricsRegistry::global();
+    const auto received = std::chrono::steady_clock::now();
+
+    WireResponse response;
+    response.corrId = request.corrId;
+
+    // Admission layer 1: the tenant's token bucket. A refusal here is
+    // the typed quota shed -- the request never reaches the engine
+    // queue, so greedy tenants cannot crowd out the others.
+    if (!tenants_.admit(request.tenant)) {
+        metrics
+            .counter("serving.shed", {{"tenant", request.tenant},
+                                      {"reason", "quota"}})
+            .inc();
+        response.status = WireStatus::QuotaExceeded;
+        response.message = "tenant over admission quota";
+        enqueueReady(conn, std::move(response));
+        return true;
+    }
+
+    const std::string catalog_id =
+        request.model + "/" + toString(request.mode);
+    std::shared_ptr<ModelInstance> instance = registry_->acquire(catalog_id);
+    if (!instance) {
+        response.status = WireStatus::UnknownModel;
+        response.message = "no servable '" + catalog_id + "' in catalog";
+        enqueueReady(conn, std::move(response));
+        return true;
+    }
+
+    if (request.image.shape() != instance->inputShape()) {
+        response.status = WireStatus::BadRequest;
+        response.message = "image shape does not match model input";
+        enqueueReady(conn, std::move(response));
+        return true;
+    }
+
+    metrics.counter("serving.requests", {{"tenant", request.tenant}}).inc();
+
+    // Admission layer 2: the engine (queue-full / deadline shedding,
+    // typed outcomes inside the future). An eviction racing this
+    // submit surfaces as EngineStoppedError: re-acquire (the registry
+    // swaps the model back in) and retry.
+    std::future<InferenceResult> future;
+    bool submitted = false;
+    for (int attempt = 0; attempt < 3 && !submitted; ++attempt) {
+        InferenceRequest engine_request;
+        engine_request.image = request.image;
+        engine_request.timesteps = static_cast<int>(request.timesteps);
+        engine_request.seed = request.seed;
+        engine_request.deadlineNs = request.deadlineNs != 0
+                                        ? request.deadlineNs
+                                        : config_.defaultDeadlineNs;
+        try {
+            future = instance->engine().submit(std::move(engine_request));
+            submitted = true;
+        } catch (const EngineStoppedError &) {
+            instance = registry_->acquire(catalog_id);
+            if (!instance)
+                break;
+        }
+    }
+    if (!submitted) {
+        response.status = WireStatus::EngineStopped;
+        response.message = "model engine stopped during submit";
+        enqueueReady(conn, std::move(response));
+        return true;
+    }
+
+    std::unique_lock<std::mutex> lock(conn.mutex);
+    conn.cv.wait(lock, [&] {
+        return conn.pipeline.size() < config_.pipelineDepth;
+    });
+    Connection::Pending pending;
+    pending.ready.corrId = request.corrId;
+    pending.future = std::move(future);
+    pending.instance = std::move(instance);
+    pending.tenant = request.tenant;
+    pending.received = received;
+    conn.pipeline.push_back(std::move(pending));
+    lock.unlock();
+    conn.cv.notify_all();
+    return true;
+}
+
+void
+ServingServer::readerLoop(Connection &conn)
+{
+    obs::setThreadName("serving.conn" + std::to_string(conn.id) + ".r");
+    bool keep_going = true;
+    while (keep_going) {
+        uint8_t raw_header[kHeaderBytes];
+        if (!readFully(conn.fd, raw_header, sizeof(raw_header)))
+            break; // clean EOF or mid-frame disconnect: just stop
+
+        FrameHeader header;
+        const WireStatus header_status = decodeHeader(
+            raw_header, sizeof(raw_header), config_.maxBodyBytes, header);
+        if (header_status != WireStatus::Ok ||
+            header.type != FrameType::Request) {
+            // The stream cannot be resynchronized after a bad header:
+            // answer with the typed error, then close.
+            WireResponse err;
+            err.status = header_status == WireStatus::Ok
+                             ? WireStatus::BadFrame
+                             : header_status;
+            err.message = "rejected frame header";
+            obs::MetricsRegistry::global()
+                .counter("serving.bad_frames")
+                .inc();
+            enqueueReady(conn, std::move(err), /*close_after=*/true);
+            break;
+        }
+
+        std::vector<uint8_t> body(header.bodyLen);
+        if (header.bodyLen > 0 &&
+            !readFully(conn.fd, body.data(), body.size()))
+            break; // disconnect mid-body
+
+        WireRequest request;
+        const WireStatus decode_status =
+            decodeRequestBody(body.data(), body.size(), request);
+        if (decode_status != WireStatus::Ok) {
+            WireResponse err;
+            err.corrId = request.corrId; // best-effort correlation
+            err.status = decode_status;
+            err.message = "rejected request body";
+            obs::MetricsRegistry::global()
+                .counter("serving.bad_frames")
+                .inc();
+            // A malformed *frame* poisons the framing; a semantically
+            // bad (but well-framed) request does not.
+            const bool fatal = decode_status != WireStatus::BadRequest;
+            enqueueReady(conn, std::move(err), fatal);
+            if (fatal)
+                break;
+            continue;
+        }
+
+        keep_going = dispatch(conn, std::move(request));
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(conn.mutex);
+        conn.readerDone = true;
+    }
+    conn.cv.notify_all();
+    conn.readerExited.store(true);
+}
+
+void
+ServingServer::writerLoop(Connection &conn)
+{
+    obs::setThreadName("serving.conn" + std::to_string(conn.id) + ".w");
+    auto &metrics = obs::MetricsRegistry::global();
+    while (true) {
+        std::unique_lock<std::mutex> lock(conn.mutex);
+        conn.cv.wait(lock, [&] {
+            return !conn.pipeline.empty() || conn.readerDone;
+        });
+        if (conn.pipeline.empty())
+            break; // readerDone and drained
+        Connection::Pending pending = std::move(conn.pipeline.front());
+        conn.pipeline.pop_front();
+        lock.unlock();
+        conn.cv.notify_all(); // free a pipeline slot for the reader
+
+        WireResponse response = std::move(pending.ready);
+        if (pending.future.valid()) {
+            // The engine guarantees a typed terminal outcome -- this
+            // get() never hangs on a broken promise.
+            InferenceResult result = pending.future.get();
+            response.status = fromRuntimeError(result.error);
+            response.message = result.errorMessage;
+            response.predictedClass = result.predictedClass;
+            if (result.ok())
+                response.logits = std::move(result.logits);
+
+            const double ms =
+                1e3 * std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() -
+                          pending.received)
+                          .count();
+            response.serverMs = ms;
+            metrics.observe("serving.latency_ms", ms, kLatencyHistLoMs,
+                            kLatencyHistHiMs, kLatencyHistBuckets,
+                            {{"tenant", pending.tenant}});
+            metrics
+                .counter("serving.responses",
+                         {{"tenant", pending.tenant},
+                          {"status", toString(response.status)}})
+                .inc();
+            if (response.status == WireStatus::Shed)
+                metrics
+                    .counter("serving.shed",
+                             {{"tenant", pending.tenant},
+                              {"reason", "engine"}})
+                    .inc();
+        }
+
+        if (!conn.dead.load()) {
+            const std::vector<uint8_t> frame =
+                encodeResponseFrame(response);
+            if (!writeFully(conn.fd, frame.data(), frame.size()))
+                conn.dead.store(true);
+        }
+        if (pending.closeAfter) {
+            // Unblock the reader (it may be mid-recv on this fd).
+            ::shutdown(conn.fd, SHUT_RDWR);
+            conn.dead.store(true);
+        }
+    }
+    conn.writerExited.store(true);
+}
+
+void
+ServingServer::reapFinished()
+{
+    std::lock_guard<std::mutex> lock(connectionsMutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+        Connection &conn = **it;
+        if (!conn.finished()) {
+            ++it;
+            continue;
+        }
+        conn.reader.join();
+        conn.writer.join();
+        ::close(conn.fd);
+        it = connections_.erase(it);
+    }
+}
+
+void
+ServingServer::stop()
+{
+    if (!running_.exchange(false)) {
+        // start() never ran (or stop() already did): nothing to join.
+        if (listenFd_ >= 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+        return;
+    }
+
+    // Kill the listener first so no new connections arrive.
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    listenFd_ = -1;
+
+    // Then unblock and drain every live connection.
+    std::vector<std::unique_ptr<Connection>> doomed;
+    {
+        std::lock_guard<std::mutex> lock(connectionsMutex_);
+        doomed.swap(connections_);
+    }
+    for (auto &conn : doomed)
+        ::shutdown(conn->fd, SHUT_RDWR);
+    for (auto &conn : doomed) {
+        conn->reader.join();
+        conn->writer.join();
+        ::close(conn->fd);
+    }
+    NEBULA_DEBUG("serving", "server stopped after ", accepted_.load(),
+                 " connections");
+}
+
+} // namespace serving
+} // namespace nebula
