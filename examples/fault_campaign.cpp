@@ -11,7 +11,9 @@
  *     chip-programmed ANN and its converted SNN, running every trial
  *     through the concurrent inference engine.
  *  3. Print the accuracy-degradation curves and the programming-flow
- *     statistics, and write the raw rows to fault_campaign.csv.
+ *     statistics, and write the raw rows to fault_campaign.csv. The CSV
+ *     leads with a `#` comment documenting column units (program energy
+ *     in joules; accuracy and rate as dimensionless fractions).
  *
  * The campaign is deterministic: rerunning produces byte-identical CSV.
  *

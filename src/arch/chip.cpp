@@ -108,6 +108,78 @@ NebulaChip::programCrossbar(CrossbarArray &xbar,
     programReport_.merge(xbar.program(cells, pc));
 }
 
+float
+NebulaChip::mappedWeightScale(int k) const
+{
+    NEBULA_ASSERT(k >= 0 && k < mappedLayerCount(),
+                  "mapped layer index out of range: ", k);
+    return layers_[static_cast<size_t>(k)].weightScale;
+}
+
+UpdateReport
+NebulaChip::updateMappedLayer(int k,
+                              const std::vector<WeightCellUpdate> &ups,
+                              const ProgrammingConfig &config)
+{
+    NEBULA_ASSERT(k >= 0 && k < mappedLayerCount(),
+                  "mapped layer index out of range: ", k);
+    MappedLayer &layer = layers_[static_cast<size_t>(k)];
+    NEBULA_ASSERT(layer.dwKernelsPerAc == 0,
+                  "incremental updates not supported for diagonal-packed "
+                  "depthwise layers");
+    obs::TraceSpan span("learning", "layer.update", config_.traceChip);
+    span.arg("layer", static_cast<double>(layer.map.layerIndex));
+
+    const int m = config_.atomicSize;
+    const int rf = layer.source->receptiveField();
+    const int kernels = layer.source->numKernels();
+    const int top = mappedLevels() - 1;
+
+    // Bucket the updates per column group so each crossbar gets one
+    // updateCells pass (one cache invalidation per touched group).
+    std::vector<std::vector<CellUpdate>> per_group(layer.groups.size());
+    for (const WeightCellUpdate &u : ups) {
+        NEBULA_ASSERT(u.kernel >= 0 && u.kernel < kernels && u.r >= 0 &&
+                          u.r < rf,
+                      "weight cell update out of range: kernel ", u.kernel,
+                      " r ", u.r);
+        const size_t g = static_cast<size_t>(u.kernel / m);
+        CrossbarArray &xbar = *layer.groups[g];
+        const int col = u.kernel % m;
+        const int target = std::clamp(u.targetLevel, 0, top);
+        const int delta = target - xbar.levelAt(u.r, col);
+        if (delta == 0)
+            continue;
+        per_group[g].push_back(CellUpdate{u.r, col, delta});
+    }
+
+    UpdateReport report;
+    for (size_t g = 0; g < per_group.size(); ++g) {
+        if (per_group[g].empty())
+            continue;
+        report.merge(layer.groups[g]->updateCells(per_group[g], config));
+    }
+
+    // Bias lives in the digital periphery: re-sync it from the source
+    // network so host-side bias learning takes effect pulse-free.
+    const auto params = layer.source->constParameters();
+    if (params.size() > 1) {
+        const Tensor &b = *params[1];
+        layer.bias.assign(b.data(), b.data() + b.size());
+    }
+
+    updateReport_.merge(report);
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("learning.update.cells")
+        .inc(static_cast<double>(report.cells));
+    registry.counter("learning.update.pulses")
+        .inc(static_cast<double>(report.pulses));
+    registry.counter("learning.update.energy_j").inc(report.updateEnergy);
+    span.arg("cells", static_cast<double>(report.cells));
+    span.arg("pulses", static_cast<double>(report.pulses));
+    return report;
+}
+
 NebulaChip::MappedLayer
 NebulaChip::mapWeightLayer(const Layer &layer, int index,
                            float weight_scale, Mode mode)
@@ -191,6 +263,7 @@ NebulaChip::programAnn(Network &net, const QuantizationResult &quant)
     mapping_ = mapper_.map(net);
     clearStats();
     programReport_ = ProgramReport();
+    updateReport_ = UpdateReport();
     crossbarIndex_ = 0;
 
     for (const LayerQuantInfo &info : quant.layers) {
@@ -587,6 +660,7 @@ NebulaChip::programSnn(SpikingModel &model)
     mapping_ = mapper_.map(model.net);
     clearStats();
     programReport_ = ProgramReport();
+    updateReport_ = UpdateReport();
     crossbarIndex_ = 0;
 
     for (int i = 0; i < model.net.numLayers(); ++i) {

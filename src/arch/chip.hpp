@@ -107,6 +107,43 @@ class NebulaChip
      */
     const ProgramReport &programReport() const { return programReport_; }
 
+    /**
+     * One weight-cell update at network granularity: move the cell that
+     * holds weight element (kernel, r) of a mapped layer to an absolute
+     * conductance level (clamped to the device range). The chip resolves
+     * the crossbar group and logical column the mapper placed it on.
+     */
+    struct WeightCellUpdate
+    {
+        int kernel = 0;      //!< output kernel index in the layer
+        int r = 0;           //!< receptive-field (input) index
+        int targetLevel = 0; //!< absolute level in [0, levels-1]
+    };
+
+    /** Number of mapped weight layers (programming order). */
+    int mappedLayerCount() const { return static_cast<int>(layers_.size()); }
+
+    /** |w| normalization used on mapped layer @p k's cells. */
+    float mappedWeightScale(int k) const;
+
+    /** Conductance levels per cell (1 << precisionBits). */
+    int mappedLevels() const { return 1 << config_.precisionBits; }
+
+    /**
+     * Incrementally reprogram cells of mapped weight layer @p k through
+     * CrossbarArray::updateCells -- faults/remap respected, EvalCache
+     * invalidated, every pulse billed. Also re-reads the layer's bias
+     * from the source network (bias lives in the digital periphery, so
+     * host-side bias updates take effect without pulses). Not supported
+     * for diagonal-packed depthwise layers.
+     */
+    UpdateReport updateMappedLayer(int k,
+                                   const std::vector<WeightCellUpdate> &ups,
+                                   const ProgrammingConfig &config = {});
+
+    /** Aggregate incremental-update accounting since the last program. */
+    const UpdateReport &updateReport() const { return updateReport_; }
+
     const ChipStats &stats() const { return stats_; }
     void clearStats() { stats_ = ChipStats(); }
 
@@ -207,6 +244,7 @@ class NebulaChip
     uint64_t seed_;
     ReliabilityConfig rel_;
     ProgramReport programReport_;
+    UpdateReport updateReport_;
     int crossbarIndex_ = 0; //!< programming-order counter for fault seeds
     LayerMapper mapper_;
     MeshNoc noc_;

@@ -52,7 +52,8 @@ programPulseEnergy()
 } // namespace
 
 CrossbarArray::CrossbarArray(const CrossbarParams &params)
-    : p_(params), cell_(params.mtj)
+    : p_(params), cell_(params.mtj),
+      updateRng_(params.variationSeed ^ 0x757064ull)
 {
     NEBULA_ASSERT(p_.rows > 0 && p_.cols > 0, "bad crossbar geometry");
     NEBULA_ASSERT(p_.spareCols >= 0, "negative spare column count");
@@ -249,6 +250,145 @@ CrossbarArray::programCell(int row, int phys_col, int level,
     if (fault.kind == FaultKind::Decay)
         landed = gMid_ + (landed - gMid_) * fault.decay;
     cellAt(row, phys_col) = landed;
+}
+
+bool
+CrossbarArray::updateCell(int row, int phys_col, int current, int target,
+                          const ProgrammingConfig &config,
+                          const GaussianVariabilityModel &noise,
+                          UpdateReport &report)
+{
+    const int top = p_.levels - 1;
+    const double step = 2.0 * gHalfSwing_ / top;
+    const double g_lo = 0.25 * cell_.conductanceAp();
+    const double g_hi = 2.0 * cell_.conductanceP();
+    const double g_target = gMid_ + (2.0 * target / top - 1.0) * gHalfSwing_;
+
+    if (openAt(row, phys_col)) {
+        // The line is broken: the pulse is spent, nothing moves.
+        ++report.pulses;
+        report.updateEnergy += programPulseEnergy();
+        ++report.blockedCells;
+        return false;
+    }
+    const CellFault fault = faultAt(row, phys_col);
+    if (fault.stuck()) {
+        // The single-level update pulse is gentler than the full program
+        // waveform, so a pinned wall stays pinned (no depin escalation
+        // on the incremental path; program() is the repair tool).
+        ++report.pulses;
+        report.updateEnergy += programPulseEnergy();
+        ++report.blockedCells;
+        return false;
+    }
+
+    const int moved = std::abs(target - current);
+    if (moved == 0)
+        return false;
+
+    if (!config.writeVerify.enabled) {
+        // Open loop: one pulse per level step, and the final pulse lands
+        // exactly as programCell()'s open-loop write of the same target
+        // level would -- drift offset, variation, decay, clamp in the
+        // same order, so the differential tests can pin updateCells() to
+        // a whole-array re-program().
+        report.pulses += moved;
+        report.updateEnergy += moved * programPulseEnergy();
+        int level_eff = target;
+        if (fault.kind == FaultKind::Drift)
+            level_eff = std::clamp(target + fault.drift, 0, top);
+        double g = gMid_ + (2.0 * level_eff / top - 1.0) * gHalfSwing_;
+        if (p_.variationSigma > 0.0)
+            g *= noise.programFactor(updateRng_);
+        if (fault.kind == FaultKind::Decay)
+            g = gMid_ + (g - gMid_) * fault.decay;
+        g = std::clamp(g, g_lo, g_hi);
+        cellAt(row, phys_col) = g;
+        return true;
+    }
+
+    // Closed loop: the traversal steps are open pulses, the arrival
+    // pulse starts programCell()'s program -> sense -> trim controller
+    // (same aim correction, same 1/pulse noise shrink, same budget).
+    report.pulses += moved - 1;
+    report.updateEnergy += (moved - 1) * programPulseEnergy();
+
+    const WriteVerifyConfig &wv = config.writeVerify;
+    const double tolerance = wv.toleranceLevels * step;
+    double aim = g_target;
+    double landed = g_target;
+    bool ok = false;
+    for (int pulse = 1; pulse <= wv.maxPulses; ++pulse) {
+        ++report.pulses;
+        report.updateEnergy += programPulseEnergy();
+        const double factor =
+            1.0 + (noise.programFactor(updateRng_) - 1.0) / pulse;
+        landed = aim * factor;
+        if (fault.kind == FaultKind::Drift)
+            landed += fault.drift * step;
+        landed = std::clamp(landed, g_lo, g_hi);
+        if (std::abs(landed - g_target) <= tolerance) {
+            ok = true;
+            break;
+        }
+        aim = std::clamp(aim + (g_target - landed), g_lo, g_hi);
+    }
+    if (!ok)
+        ++report.failedCells;
+
+    // Retention decay acts after programming; verification cannot see it.
+    if (fault.kind == FaultKind::Decay)
+        landed = gMid_ + (landed - gMid_) * fault.decay;
+    cellAt(row, phys_col) = landed;
+    return true;
+}
+
+UpdateReport
+CrossbarArray::updateCells(const std::vector<CellUpdate> &updates,
+                           const ProgrammingConfig &config)
+{
+    UpdateReport report;
+    const GaussianVariabilityModel noise(p_.variationSigma);
+    const int top = p_.levels - 1;
+    bool touched = false;
+    for (const CellUpdate &u : updates) {
+        NEBULA_ASSERT(u.row >= 0 && u.row < p_.rows && u.col >= 0 &&
+                          u.col < p_.cols,
+                      "cell update out of range: (", u.row, ", ", u.col,
+                      ") on ", p_.rows, "x", p_.cols);
+        if (u.delta == 0)
+            continue;
+        ++report.cells;
+        const int current = levelAt(u.row, u.col);
+        int target = current + u.delta;
+        if (target < 0 || target > top) {
+            target = std::clamp(target, 0, top);
+            ++report.clampedCells;
+        }
+        report.levelSteps += std::abs(target - current);
+        if (updateCell(u.row, remap_[static_cast<size_t>(u.col)], current,
+                       target, config, noise, report))
+            touched = true;
+    }
+    if (touched)
+        invalidateCache();
+    return report;
+}
+
+UpdateReport
+CrossbarArray::applyDelta(int row, int col, int delta,
+                          const ProgrammingConfig &config)
+{
+    return updateCells({CellUpdate{row, col, delta}}, config);
+}
+
+int
+CrossbarArray::levelAt(int row, int col) const
+{
+    const double norm = (conductanceAt(row, col) - gMid_) / gHalfSwing_;
+    const int top = p_.levels - 1;
+    const int level = static_cast<int>(std::lround((norm + 1.0) / 2.0 * top));
+    return std::clamp(level, 0, top);
 }
 
 ProgramReport

@@ -151,6 +151,40 @@ class CrossbarArray
     void programWeights(const std::vector<float> &weights);
 
     /**
+     * Incremental per-cell updates -- the on-device learning write path.
+     * Each CellUpdate moves one logical cell by a signed number of
+     * conductance levels from its *sensed* current level (read path, no
+     * disturb), issuing one programming pulse per level step traversed.
+     * Semantics match program() cell for cell: the landing conductance
+     * of the final pulse follows the same fault model (open-loop pinning
+     * drift offset, retention decay applied after the write, device
+     * variation when configured), write-verify trims within the same
+     * pulse budget, and the spare-column remap is respected. Stuck cells
+     * and open lines swallow the pulse without moving (the incremental
+     * single-level pulse has no depin escalation -- reprogramming via
+     * program() is the repair tool) and are counted blockedCells.
+     * Targets landing outside [0, levels-1] are clamped and counted.
+     *
+     * The EvalCache is invalidated whenever any cell changed, so the
+     * next evaluation reads the learned conductances.
+     */
+    UpdateReport updateCells(const std::vector<CellUpdate> &updates,
+                             const ProgrammingConfig &config = {});
+
+    /** Single-cell convenience form of updateCells(). */
+    UpdateReport applyDelta(int row, int col, int delta,
+                            const ProgrammingConfig &config = {});
+
+    /**
+     * Sensed discrete level of logical cell (row, col): the nearest
+     * programmable level to the cell's read conductance, clamped to
+     * [0, levels-1]. Uses the ordinary sense path (read-disturb-free);
+     * decayed or drifted cells report the level they *read as*, not the
+     * one that was addressed.
+     */
+    int levelAt(int row, int col) const;
+
+    /**
      * Evaluate the ideal dot product for normalized inputs in [0, 1]
      * (inputs are quantized to the driver resolution by the caller).
      *
@@ -290,6 +324,16 @@ class CrossbarArray
                      const GaussianVariabilityModel &noise, Rng &rng,
                      ProgramReport &report);
 
+    /**
+     * Move one physical data cell from sensed level @p current to
+     * @p target with per-level-step pulses. Returns true when the
+     * stored conductance may have changed (caller invalidates cache).
+     */
+    bool updateCell(int row, int phys_col, int current, int target,
+                    const ProgrammingConfig &config,
+                    const GaussianVariabilityModel &noise,
+                    UpdateReport &report);
+
     const CellFault &faultAt(int row, int phys_col) const;
     bool openAt(int row, int phys_col) const;
 
@@ -300,6 +344,7 @@ class CrossbarArray
     std::vector<int> remap_;          //!< logical col -> physical col
     double gMid_;
     double gHalfSwing_;
+    Rng updateRng_; //!< variation stream of the incremental update path
     mutable EvalCache cache_;
 };
 

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Learning-under-faults campaign: sweeps device-fault rates x seeds and
+ * measures how on-device competitive clustering degrades -- the learning
+ * analogue of the inference fault campaigns (reliability/campaign). One
+ * trial = one freshly built crossbar, a fault map sampled at the trial's
+ * (rate, seed), and a full StdpClusterer fit; the row records purity
+ * plus the complete pulse/energy bill, so the sweep answers both "does
+ * learning still work on damaged arrays" and "what does it cost".
+ */
+
+#ifndef NEBULA_LEARNING_CAMPAIGN_HPP
+#define NEBULA_LEARNING_CAMPAIGN_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "learning/stdp.hpp"
+#include "reliability/campaign.hpp"
+
+namespace nebula {
+
+/** Learning campaign sweep definition. */
+struct LearningCampaignConfig
+{
+    /** Per-cell fault rates to sweep (0 = clean device). */
+    std::vector<double> rates{0.0, 0.02, 0.05};
+
+    /** Fault-map seeds; each is one independent trial per rate. */
+    std::vector<uint64_t> seeds{1};
+
+    /** Sweep-value -> fault model (null: pinning-drift factory). */
+    FaultModelFactory modelFactory;
+
+    /** Stream samples per trial. */
+    int samples = 240;
+
+    /** Clustering hyperparameters. */
+    StdpConfig stdp;
+
+    /** Prototype columns per trial array (0: dataset class count). */
+    int clusters = 0;
+
+    /** Physical spare columns per trial array. */
+    int spareCols = 0;
+
+    /** Salt mixed into each trial's fault-map seed. */
+    uint64_t faultSeed = 909;
+};
+
+/** One (rate, seed) learning measurement. */
+struct LearningCampaignRow
+{
+    double rate = 0.0;
+    uint64_t seed = 0;
+    int samples = 0;
+    double purity = 0.0;
+    UpdateReport updates;
+    double readEnergy = 0.0; //!< J
+};
+
+/** All rows of one learning campaign, plus CSV serialization. */
+struct LearningCampaignResult
+{
+    std::vector<LearningCampaignRow> rows;
+
+    /** Mean purity over seeds at one rate; -1 if no row matches. */
+    double meanPurity(double rate) const;
+
+    /**
+     * Deterministic CSV. The first line is a `#` comment documenting
+     * column units (energies in joules; purity dimensionless).
+     */
+    std::string csv() const;
+};
+
+/**
+ * Run the sweep: each trial builds a crossbar sized rows = input row
+ * count of @p data (pixels, doubled under ON/OFF encoding), cols =
+ * config.clusters, injects the trial's fault map (rate > 0), and fits a
+ * StdpClusterer on the first config.samples images. Deterministic given
+ * the config and dataset.
+ */
+LearningCampaignResult runLearningCampaign(const Dataset &data,
+                                           const LearningCampaignConfig &config);
+
+} // namespace nebula
+
+#endif // NEBULA_LEARNING_CAMPAIGN_HPP

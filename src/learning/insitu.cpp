@@ -1,0 +1,214 @@
+#include "learning/insitu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "nn/trainer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nebula {
+
+namespace {
+
+/** Stack (C, H, W) images into one (N, C, H, W) batch tensor. */
+Tensor
+stackBatch(const std::vector<Tensor> &images, const std::vector<int> &idx)
+{
+    const Tensor &first = images[static_cast<size_t>(idx[0])];
+    std::vector<int> shape;
+    shape.push_back(static_cast<int>(idx.size()));
+    for (int d = 0; d < first.rank(); ++d)
+        shape.push_back(first.dim(d));
+    Tensor batch(shape);
+    float *out = batch.data();
+    for (size_t b = 0; b < idx.size(); ++b) {
+        const Tensor &img = images[static_cast<size_t>(idx[b])];
+        std::copy_n(img.data(), img.size(), out + b * first.size());
+    }
+    return batch;
+}
+
+} // namespace
+
+double
+chipAccuracy(NebulaChip &chip, const std::vector<Tensor> &images,
+             const std::vector<int> &labels, double *mean_loss,
+             long long *forwards)
+{
+    NEBULA_ASSERT(images.size() == labels.size() && !images.empty(),
+                  "labelled set mismatch");
+    const int n = static_cast<int>(images.size());
+    Tensor logits;
+    int correct = 0;
+    for (int i = 0; i < n; ++i) {
+        const Tensor out = chip.runAnn(images[static_cast<size_t>(i)]);
+        if (i == 0)
+            logits = Tensor({n, static_cast<int>(out.size())});
+        std::copy_n(out.data(), out.size(),
+                    logits.data() + static_cast<size_t>(i) * out.size());
+        if (forwards)
+            ++*forwards;
+    }
+    const LossResult loss = softmaxCrossEntropy(logits, labels);
+    correct = loss.correct;
+    if (mean_loss)
+        *mean_loss = loss.loss;
+    return static_cast<double>(correct) / n;
+}
+
+InsituTuner::InsituTuner(NebulaChip &chip, Network &net, InsituConfig config)
+    : chip_(chip), net_(net), config_(config)
+{
+    NEBULA_ASSERT(config_.batchSize > 0 && config_.epochs > 0,
+                  "bad tuning hyperparameters");
+    weightLayers_ = net_.weightLayerIndices();
+    NEBULA_ASSERT(static_cast<int>(weightLayers_.size()) ==
+                      chip_.mappedLayerCount(),
+                  "network does not match the programmed chip: ",
+                  weightLayers_.size(), " weight layers vs ",
+                  chip_.mappedLayerCount(), " mapped");
+    // -1 everywhere: the first write-back re-trims every cell, which
+    // also restores decayed conductances the very first step.
+    lastTargets_.resize(weightLayers_.size());
+    for (size_t k = 0; k < weightLayers_.size(); ++k) {
+        const Layer &layer = net_.layer(weightLayers_[k]);
+        lastTargets_[k].assign(
+            static_cast<size_t>(layer.numKernels()) *
+                layer.receptiveField(),
+            -1);
+    }
+}
+
+void
+InsituTuner::writeBack(UpdateReport &report)
+{
+    const int top = chip_.mappedLevels() - 1;
+    for (size_t k = 0; k < weightLayers_.size(); ++k) {
+        Layer &layer = net_.layer(weightLayers_[k]);
+        const Tensor &w = *layer.constParameters()[0];
+        const int rf = layer.receptiveField();
+        const float scale = chip_.mappedWeightScale(static_cast<int>(k));
+
+        std::vector<NebulaChip::WeightCellUpdate> ups;
+        for (long long i = 0; i < w.size(); ++i) {
+            const double norm =
+                std::clamp(static_cast<double>(w[i]) / scale, -1.0, 1.0);
+            const int target =
+                static_cast<int>(std::lround((norm + 1.0) / 2.0 * top));
+            if (lastTargets_[k][static_cast<size_t>(i)] == target)
+                continue;
+            lastTargets_[k][static_cast<size_t>(i)] = target;
+            ups.push_back(NebulaChip::WeightCellUpdate{
+                static_cast<int>(i / rf), static_cast<int>(i % rf),
+                target});
+        }
+        // Called even with no cell deltas: updateMappedLayer also
+        // re-syncs the periphery bias from the shadow network.
+        report.merge(chip_.updateMappedLayer(static_cast<int>(k), ups,
+                                             config_.write));
+    }
+}
+
+InsituResult
+InsituTuner::tune(const std::vector<Tensor> &images,
+                  const std::vector<int> &labels)
+{
+    obs::TraceSpan span("learning", "insitu.tune", config_.trace);
+    NEBULA_ASSERT(images.size() == labels.size() && !images.empty(),
+                  "labelled set mismatch");
+    InsituResult result;
+    result.initialAccuracy = chipAccuracy(
+        chip_, images, labels, &result.initialLoss, &result.chipForwards);
+
+    const int n = static_cast<int>(images.size());
+    std::vector<int> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    Rng rng(config_.shuffleSeed);
+
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+        rng.shuffle(order);
+        for (int start = 0; start < n; start += config_.batchSize) {
+            const int count = std::min(config_.batchSize, n - start);
+            const std::vector<int> idx(order.begin() + start,
+                                       order.begin() + start + count);
+
+            // Forward on the chip: the loss sees what the device does.
+            Tensor chip_logits;
+            for (int b = 0; b < count; ++b) {
+                const Tensor out =
+                    chip_.runAnn(images[static_cast<size_t>(idx[b])]);
+                if (b == 0)
+                    chip_logits =
+                        Tensor({count, static_cast<int>(out.size())});
+                std::copy_n(out.data(), out.size(),
+                            chip_logits.data() +
+                                static_cast<size_t>(b) * out.size());
+                ++result.chipForwards;
+            }
+            std::vector<int> batch_labels(static_cast<size_t>(count));
+            for (int b = 0; b < count; ++b)
+                batch_labels[static_cast<size_t>(b)] =
+                    labels[static_cast<size_t>(idx[b])];
+
+            // Host-side backprop through the shadow network builds the
+            // gradient; the error signal is the chip's.
+            net_.forward(stackBatch(images, idx), true);
+            const LossResult loss =
+                softmaxCrossEntropy(chip_logits, batch_labels);
+            net_.zeroGrad();
+            net_.backward(loss.grad);
+
+            // SGD with heavy-ball momentum on the float shadow; weights
+            // clamp to the mapped range so targets stay on the device
+            // grid.
+            if (velocity_.empty())
+                velocity_.resize(weightLayers_.size());
+            for (size_t k = 0; k < weightLayers_.size(); ++k) {
+                Layer &layer = net_.layer(weightLayers_[k]);
+                const auto params = layer.parameters();
+                const auto grads = layer.gradients();
+                const float scale =
+                    chip_.mappedWeightScale(static_cast<int>(k));
+                if (velocity_[k].size() < params.size())
+                    velocity_[k].resize(params.size());
+                for (size_t p = 0;
+                     p < params.size() && p < grads.size(); ++p) {
+                    Tensor &w = *params[p];
+                    const Tensor &g = *grads[p];
+                    std::vector<float> &v = velocity_[k][p];
+                    if (v.size() != static_cast<size_t>(w.size()))
+                        v.assign(static_cast<size_t>(w.size()), 0.0f);
+                    for (long long i = 0; i < w.size(); ++i) {
+                        v[static_cast<size_t>(i)] = static_cast<float>(
+                            config_.momentum * v[static_cast<size_t>(i)] -
+                            config_.learningRate * g[i]);
+                        w[i] += v[static_cast<size_t>(i)];
+                        if (p == 0)
+                            w[i] = std::clamp(w[i], -scale, scale);
+                    }
+                }
+            }
+            writeBack(result.updates);
+        }
+    }
+
+    result.finalAccuracy = chipAccuracy(chip_, images, labels,
+                                        &result.finalLoss,
+                                        &result.chipForwards);
+    auto &registry = obs::MetricsRegistry::global();
+    registry.gauge("learning.insitu.initial_accuracy")
+        .set(result.initialAccuracy);
+    registry.gauge("learning.insitu.final_accuracy")
+        .set(result.finalAccuracy);
+    registry.counter("learning.insitu.chip_forwards")
+        .inc(static_cast<double>(result.chipForwards));
+    span.arg("initial_accuracy", result.initialAccuracy);
+    span.arg("final_accuracy", result.finalAccuracy);
+    return result;
+}
+
+} // namespace nebula

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Chip-in-the-loop supervised fine-tuning. The forward pass runs on the
+ * programmed (possibly faulted / decayed) chip model, the gradient
+ * comes from the host trainer's softmax cross-entropy backpropagated
+ * through the chip's source network, and the resulting weight deltas
+ * flow back onto the crossbars through NebulaChip::updateMappedLayer --
+ * quantized level steps, accounted pulses, faults respected. Because
+ * the loss is evaluated at the *chip's* logits, the tuner learns around
+ * whatever the device actually does (stuck cells, decay, drift), which
+ * is exactly what host-only retraining cannot.
+ *
+ * The exemplar pipeline is SpiNNaker_PDP2's on-hardware weight-update
+ * loop (see ISSUE/PAPERS): forward on the substrate, host-side error,
+ * substrate-resident weight update.
+ */
+
+#ifndef NEBULA_LEARNING_INSITU_HPP
+#define NEBULA_LEARNING_INSITU_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/chip.hpp"
+#include "nn/network.hpp"
+
+namespace nebula {
+
+/** Hyperparameters of the chip-in-the-loop tuner. */
+struct InsituConfig
+{
+    int epochs = 2;
+    int batchSize = 16;
+    double learningRate = 0.02;
+
+    /**
+     * Heavy-ball momentum on the float shadow. The device grid is
+     * coarse (2^precisionBits levels), so a single small gradient step
+     * rarely crosses a level boundary; momentum accumulates them into
+     * steps the write-back can see.
+     */
+    double momentum = 0.9;
+
+    uint64_t shuffleSeed = 17;
+
+    /** Programming flow used for the write-back pulses. */
+    ProgrammingConfig write;
+
+    /** Emit learning.* trace spans. */
+    bool trace = false;
+};
+
+/** What one tuning run measured. */
+struct InsituResult
+{
+    double initialAccuracy = 0.0; //!< chip accuracy before tuning
+    double finalAccuracy = 0.0;   //!< chip accuracy after tuning
+    double initialLoss = 0.0;     //!< mean CE at the chip logits, before
+    double finalLoss = 0.0;       //!< mean CE at the chip logits, after
+    long long chipForwards = 0;   //!< runAnn calls spent
+    UpdateReport updates;         //!< write-back pulse/energy bill
+
+    /** Fraction of the accuracy gap this run closed (can be < 0). */
+    double recovered(double reference_accuracy) const
+    {
+        const double lost = reference_accuracy - initialAccuracy;
+        return lost > 0.0 ? (finalAccuracy - initialAccuracy) / lost : 1.0;
+    }
+};
+
+/**
+ * Supervised fine-tuner for a programmed ANN chip. @p net must be the
+ * exact network the chip was programmed from (the chip re-reads biases
+ * from it, and its weights are the float shadow the tuner descends on);
+ * the tuner keeps the shadow in float so sub-level gradients accumulate
+ * across batches instead of vanishing under quantization.
+ */
+class InsituTuner
+{
+  public:
+    InsituTuner(NebulaChip &chip, Network &net, InsituConfig config = {});
+
+    /** Run the tuning loop over a labelled calibration set. */
+    InsituResult tune(const std::vector<Tensor> &images,
+                      const std::vector<int> &labels);
+
+  private:
+    /** Push changed shadow-weight levels onto the crossbars. */
+    void writeBack(UpdateReport &report);
+
+    NebulaChip &chip_;
+    Network &net_;
+    InsituConfig config_;
+    std::vector<int> weightLayers_; //!< net layer index per mapped layer
+    std::vector<std::vector<int>> lastTargets_; //!< written levels, -1 = never
+    /** Momentum buffers, one per (weight layer, parameter tensor). */
+    std::vector<std::vector<std::vector<float>>> velocity_;
+};
+
+/**
+ * Classification accuracy of the programmed ANN chip over a labelled
+ * set (fraction). @p mean_loss, when non-null, receives the mean
+ * softmax cross-entropy at the chip logits.
+ */
+double chipAccuracy(NebulaChip &chip, const std::vector<Tensor> &images,
+                    const std::vector<int> &labels,
+                    double *mean_loss = nullptr,
+                    long long *forwards = nullptr);
+
+} // namespace nebula
+
+#endif // NEBULA_LEARNING_INSITU_HPP

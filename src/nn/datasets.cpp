@@ -263,4 +263,41 @@ SyntheticSvhn::SyntheticSvhn(int count, int imageSize, uint64_t seed,
     }
 }
 
+SyntheticClusters::SyntheticClusters(int count, int classes, int imageSize,
+                                     uint64_t seed, double flipProb,
+                                     double noise)
+    : Dataset("synthetic-clusters", classes, 1, imageSize)
+{
+    NEBULA_ASSERT(classes >= 2, "need at least two classes");
+    const int n = imageSize * imageSize;
+
+    // Prototypes depend only on the geometry, NOT the sample seed, so
+    // splits built with different seeds share the same class structure.
+    Rng proto_rng(0xc1u ^ (static_cast<uint64_t>(classes) << 24) ^
+                  (static_cast<uint64_t>(imageSize) << 8));
+    std::vector<char> ink(static_cast<size_t>(classes) * n);
+    for (char &cell : ink)
+        cell = proto_rng.bernoulli(0.35) ? 1 : 0;
+
+    Rng rng(seed ^ 0xc105u);
+    images_.reserve(static_cast<size_t>(count));
+    labels_.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const int cls = rng.uniformInt(0, classes - 1);
+        Tensor img({1, imageSize, imageSize});
+        for (int p = 0; p < n; ++p) {
+            bool on = ink[static_cast<size_t>(cls) * n + p];
+            if (rng.bernoulli(flipProb))
+                on = !on;
+            double v = on ? rng.uniform(0.8, 1.0) : 0.0;
+            if (noise > 0.0)
+                v += rng.gaussian(0.0, noise);
+            img[p] = static_cast<float>(v);
+        }
+        clampUnit(img);
+        images_.push_back(std::move(img));
+        labels_.push_back(cls);
+    }
+}
+
 } // namespace nebula

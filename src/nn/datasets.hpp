@@ -14,6 +14,12 @@
  *                        noise. Class count configurable (10 / 100).
  *  - SyntheticSvhn     : SVHN-like; colored digit glyphs over textured
  *                        backgrounds.
+ *  - SyntheticClusters : fixed per-class prototype patterns corrupted
+ *                        by pixel flips and noise; spatially aligned,
+ *                        so it is clusterable in raw pixel space (the
+ *                        stream the unsupervised on-device learning
+ *                        experiments need -- digits and textures are
+ *                        jittered/translated and are not).
  *
  * Every dataset is deterministic in its seed, so train/test splits are
  * reproducible and disjoint (different seeds).
@@ -101,6 +107,31 @@ class SyntheticSvhn : public Dataset
   public:
     SyntheticSvhn(int count, int imageSize = 32, uint64_t seed = 1,
                   double noise = 0.08);
+};
+
+/**
+ * Spatially aligned prototype patterns for clustering experiments.
+ * Each class is a fixed random binary ink mask (drawn from the
+ * geometry, not the sample seed, so splits share prototypes); a sample
+ * is its class prototype with pixels flipped at @p flipProb plus
+ * additive Gaussian noise. No translation or scale jitter: nearest
+ * prototype in pixel space recovers the class, which is what an
+ * unsupervised competitive learner can be expected to find.
+ */
+class SyntheticClusters : public Dataset
+{
+  public:
+    /**
+     * @param count     Number of samples.
+     * @param classes   Prototype count.
+     * @param imageSize Square image side.
+     * @param seed      Sample seed (use different seeds for splits).
+     * @param flipProb  Per-pixel probability of flipping ink/background.
+     * @param noise     Additive Gaussian pixel noise sigma.
+     */
+    SyntheticClusters(int count, int classes = 10, int imageSize = 12,
+                      uint64_t seed = 1, double flipProb = 0.08,
+                      double noise = 0.08);
 };
 
 } // namespace nebula

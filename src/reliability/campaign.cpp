@@ -69,6 +69,8 @@ std::string
 CampaignResult::csv() const
 {
     std::string out =
+        "# units: program_energy_j in joules (J); accuracy and rate are "
+        "dimensionless fractions; pulses_per_cell is a mean count\n"
         "backend,mode,mitigation,rate,seed,images,correct,accuracy,"
         "pulses_per_cell,failed_cells,repaired_columns,"
         "irreparable_columns,program_energy_j\n";

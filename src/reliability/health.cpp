@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <limits>
 #include <string>
 #include <utility>
@@ -32,6 +33,7 @@ toString(ReplicaHealth health)
     case ReplicaHealth::Healthy: return "healthy";
     case ReplicaHealth::Degraded: return "degraded";
     case ReplicaHealth::Repaired: return "repaired";
+    case ReplicaHealth::Tuned: return "tuned";
     case ReplicaHealth::Demoted: return "demoted";
     }
     return "unknown";
@@ -114,9 +116,11 @@ HealthMonitor::afterRequest(int slot, std::unique_ptr<ChipReplica> &replica)
     NEBULA_ASSERT(slot >= 0 && static_cast<size_t>(slot) < slots_.size(),
                   "health slot out of range");
     Slot &s = *slots_[static_cast<size_t>(slot)];
-    if (static_cast<ReplicaHealth>(s.state.load()) ==
-        ReplicaHealth::Demoted)
+    const auto state = static_cast<ReplicaHealth>(s.state.load());
+    if (state == ReplicaHealth::Demoted)
         return; // the functional fallback is not canary-comparable
+    if (state == ReplicaHealth::Tuned)
+        return; // tuned logits never match pristine canaries again
     if (++s.served % static_cast<uint64_t>(config_.probeEvery) != 0)
         return;
     probeNow(slot, replica);
@@ -180,6 +184,55 @@ HealthMonitor::probeNow(int slot, std::unique_ptr<ChipReplica> &replica)
         }
     }
 
+    // Escalation: repair could not restore the canaries, so try to
+    // *learn around* the damage before giving the slot up -- in-situ
+    // fine-tuning on the faulted chip (learning/insitu). Tuned logits
+    // are permanently offset from the pristine expectations, so
+    // acceptance is canary argmax agreement, not logit deviation.
+    const HealthConfig::FineTuneEscalationConfig &ft = config_.fineTune;
+    if (ft.enabled && !ft.images.empty()) {
+        NebulaChip *chip = replica->tunableChip();
+        Network *net = replica->tunableNetwork();
+        if (chip && net) {
+            obs::TraceSpan tune_span("health", "health.finetune", true,
+                                     /*sampled_root=*/true);
+            tune_span.arg("slot", static_cast<double>(slot));
+            metrics.counter("health.finetune").inc();
+            try {
+                InsituTuner tuner(*chip, *net, ft.tuning);
+                const InsituResult tuned =
+                    tuner.tune(ft.images, ft.labels);
+                metrics.counter("health.finetune.pulses")
+                    .inc(static_cast<double>(tuned.updates.pulses));
+                metrics.counter("health.finetune.energy_j")
+                    .inc(tuned.updates.updateEnergy);
+                const double agreement = canaryAgreement(*replica);
+                tune_span.arg("agreement", agreement);
+                tune_span.arg("final_accuracy", tuned.finalAccuracy);
+                if (agreement >= ft.passRatio) {
+                    fineTunes_.fetch_add(1);
+                    metrics.counter("health.finetune.success").inc();
+                    s.state.store(static_cast<int>(ReplicaHealth::Tuned));
+                    publishState(slot, ReplicaHealth::Tuned);
+                    NEBULA_INFORM("health: slot ", slot,
+                                  " fine-tuned in place (agreement ",
+                                  agreement, ", accuracy ",
+                                  tuned.finalAccuracy, ")");
+                    return ReplicaHealth::Tuned;
+                }
+                NEBULA_DEBUG("health", "slot ", slot,
+                             " fine-tune below pass ratio: ", agreement,
+                             " < ", ft.passRatio);
+            } catch (const std::exception &e) {
+                // A faulted tuning pass must not take the ladder down
+                // with it; fall through to demotion.
+                metrics.counter("health.finetune.fault").inc();
+                NEBULA_INFORM("health: slot ", slot,
+                              " fine-tune faulted: ", e.what());
+            }
+        }
+    }
+
     if (fallback_) {
         replica = fallback_(slot);
         NEBULA_ASSERT(replica, "fallback factory returned null replica");
@@ -192,6 +245,29 @@ HealthMonitor::probeNow(int slot, std::unique_ptr<ChipReplica> &replica)
         return ReplicaHealth::Demoted;
     }
     return ReplicaHealth::Degraded;
+}
+
+double
+HealthMonitor::canaryAgreement(ChipReplica &replica) const
+{
+    size_t agree = 0;
+    for (size_t i = 0; i < canaries_.size(); ++i) {
+        const InferenceResult result = replica.run(canaryRequest(i));
+        const Tensor &want = expected_[i];
+        if (result.logits.size() != want.size())
+            continue;
+        long long got_arg = 0, want_arg = 0;
+        for (long long k = 1; k < want.size(); ++k) {
+            if (result.logits[k] > result.logits[got_arg])
+                got_arg = k;
+            if (want[k] > want[want_arg])
+                want_arg = k;
+        }
+        agree += got_arg == want_arg;
+    }
+    return canaries_.empty()
+               ? 0.0
+               : static_cast<double>(agree) / canaries_.size();
 }
 
 ReplicaHealth

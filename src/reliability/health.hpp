@@ -20,9 +20,16 @@
  *      place under HealthConfig::repairWith -- typically write-verify +
  *      spare-column repair with the decay cleared, modelling a fresh
  *      programming pass whose walls have not yet relaxed.
- *   3. Demote: if re-probing still fails after maxRepairAttempts, the
- *      replica is swapped for a functional (non-chip) backend built by
- *      the fallback factory -- graceful degradation instead of silent
+ *   3. Fine-tune: if re-programming cannot restore the canaries (hard
+ *      faults the repair flow cannot fix), an optional in-situ
+ *      fine-tuning escalation runs chip-in-the-loop supervised tuning
+ *      (learning/insitu) on a labelled calibration set. A tuned replica
+ *      no longer matches the pristine logits bit-for-bit, so acceptance
+ *      is canary *argmax agreement* >= passRatio; accepted slots move
+ *      to Tuned and are not deviation-probed again.
+ *   4. Demote: if repair and fine-tuning both fail, the replica is
+ *      swapped for a functional (non-chip) backend built by the
+ *      fallback factory -- graceful degradation instead of silent
  *      wrong answers. Demoted slots are not probed again.
  *
  * Threading: each slot is owned by exactly one worker thread (the
@@ -40,6 +47,7 @@
 #include <memory>
 #include <vector>
 
+#include "learning/insitu.hpp"
 #include "nn/tensor.hpp"
 #include "reliability/mitigation.hpp"
 #include "runtime/replica.hpp"
@@ -52,6 +60,7 @@ enum class ReplicaHealth : int
     Healthy = 0,  //!< all probes within tolerance so far
     Degraded, //!< probe failed; repair unavailable or not yet successful
     Repaired, //!< probe failed, in-place re-programming restored it
+    Tuned,    //!< repair failed, in-situ fine-tuning recovered accuracy
     Demoted,  //!< repair failed; serving from the functional fallback
 };
 
@@ -87,6 +96,32 @@ struct HealthConfig
 
     /** Timesteps for SNN/hybrid canaries (0: engine default). */
     int timesteps = 0;
+
+    /**
+     * In-situ fine-tuning escalation, tried after write-verify repair
+     * fails and before demotion (only on replicas exposing a tunable
+     * chip). The tuned replica's logits are permanently offset from the
+     * pristine canaries, so acceptance switches from logit deviation to
+     * canary argmax agreement.
+     */
+    struct FineTuneEscalationConfig
+    {
+        bool enabled = false;
+
+        /** Tuner hyperparameters (epochs, batch, lr, write flow). */
+        InsituConfig tuning;
+
+        /** Labelled calibration set the tuner descends on. */
+        std::vector<Tensor> images;
+        std::vector<int> labels;
+
+        /**
+         * Accept the tuned replica when at least this fraction of
+         * canaries agree with the pristine argmax.
+         */
+        double passRatio = 0.75;
+    };
+    FineTuneEscalationConfig fineTune;
 };
 
 /** Closed-loop canary prober / repairer / demoter. */
@@ -143,6 +178,7 @@ class HealthMonitor
     long long probes() const { return probes_.load(); }
     long long degradations() const { return degradations_.load(); }
     long long repairs() const { return repairs_.load(); }
+    long long fineTunes() const { return fineTunes_.load(); }
     long long demotions() const { return demotions_.load(); }
 
     const HealthConfig &config() const { return config_; }
@@ -164,6 +200,13 @@ class HealthMonitor
     /** Canary request for canary @p index (fixed seed/timesteps). */
     InferenceRequest canaryRequest(size_t index) const;
 
+    /**
+     * Fraction of canaries whose argmax matches the pristine argmax --
+     * the acceptance criterion after fine-tuning, when exact logit
+     * comparison is no longer meaningful.
+     */
+    double canaryAgreement(ChipReplica &replica) const;
+
     HealthConfig config_;
     std::vector<Tensor> canaries_;
     std::vector<Tensor> expected_; //!< immutable once workers run
@@ -174,6 +217,7 @@ class HealthMonitor
     std::atomic<long long> probes_{0};
     std::atomic<long long> degradations_{0};
     std::atomic<long long> repairs_{0};
+    std::atomic<long long> fineTunes_{0};
     std::atomic<long long> demotions_{0};
 };
 

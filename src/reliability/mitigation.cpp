@@ -26,4 +26,28 @@ ProgramReport::addTo(StatGroup &stats) const
     stats.scalar("reliability.program_energy_j").add(programEnergy);
 }
 
+void
+UpdateReport::merge(const UpdateReport &other)
+{
+    cells += other.cells;
+    pulses += other.pulses;
+    levelSteps += other.levelSteps;
+    blockedCells += other.blockedCells;
+    clampedCells += other.clampedCells;
+    failedCells += other.failedCells;
+    updateEnergy += other.updateEnergy;
+}
+
+void
+UpdateReport::addTo(StatGroup &stats) const
+{
+    stats.scalar("learning.cells_updated").add(cells);
+    stats.scalar("learning.update_pulses").add(pulses);
+    stats.scalar("learning.level_steps").add(levelSteps);
+    stats.scalar("learning.blocked_cells").add(blockedCells);
+    stats.scalar("learning.clamped_cells").add(clampedCells);
+    stats.scalar("learning.update_failed_cells").add(failedCells);
+    stats.scalar("learning.update_energy_j").add(updateEnergy);
+}
+
 } // namespace nebula

@@ -87,6 +87,49 @@ struct ProgramReport
 };
 
 /**
+ * One incremental cell update: move logical cell (row, col) by a signed
+ * number of conductance levels. Columns are logical -- the array applies
+ * its spare-column remap, so learning addresses the same view inference
+ * reads.
+ */
+struct CellUpdate
+{
+    int row = 0;
+    int col = 0;   //!< logical column
+    int delta = 0; //!< signed level steps (0 is skipped)
+};
+
+/**
+ * What one incremental update pass did (CrossbarArray::updateCells).
+ * The same role ProgramReport plays for whole-array programming, at
+ * learning-rule granularity: every level step is a programming pulse
+ * with the full pulse energy, so the learning cost bill is auditable
+ * the same way swap-ins are (serving.swap.* precedent).
+ */
+struct UpdateReport
+{
+    long long cells = 0;        //!< nonzero-delta updates attempted
+    long long pulses = 0;       //!< pulses issued (steps + trims + blocked)
+    long long levelSteps = 0;   //!< net level steps commanded
+    long long blockedCells = 0; //!< stuck/open cells a pulse could not move
+    long long clampedCells = 0; //!< targets clipped at the level range
+    long long failedCells = 0;  //!< write-verify out of tolerance
+    double updateEnergy = 0.0;  //!< J spent on update pulses
+
+    /** Mean pulses per updated cell. */
+    double pulsesPerCell() const
+    {
+        return cells ? static_cast<double>(pulses) / cells : 0.0;
+    }
+
+    /** Accumulate another pass's report. */
+    void merge(const UpdateReport &other);
+
+    /** Record the totals as "learning.*" scalars. */
+    void addTo(StatGroup &stats) const;
+};
+
+/**
  * Chip-level reliability scenario: which faults afflict the arrays and
  * which mitigations the programming flow uses. Attached to a NebulaChip
  * before programAnn/programSnn; every crossbar then samples its own

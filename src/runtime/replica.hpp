@@ -58,6 +58,21 @@ class ChipReplica
      */
     virtual bool reprogram(const ReliabilityConfig &) { return false; }
 
+    /**
+     * The replica's chip, when it supports in-place incremental updates
+     * (chip-in-the-loop fine-tuning). Null for functional / hybrid
+     * backends and for modes whose mapping has no incremental path.
+     */
+    virtual NebulaChip *tunableChip() { return nullptr; }
+
+    /**
+     * The replica's private programmed network (the chip's weight /
+     * bias source), when tunableChip() is non-null. The in-situ tuner
+     * needs both: host gradients accumulate on this network and deltas
+     * flow back through the chip's update API.
+     */
+    virtual Network *tunableNetwork() { return nullptr; }
+
     /** Replica mode tag ("ann" / "snn" / "hybrid"). */
     virtual const char *mode() const = 0;
 };
@@ -88,6 +103,8 @@ class AnnChipReplica : public ChipReplica
     }
     void clearStats() override { chip_.clearStats(); }
     bool reprogram(const ReliabilityConfig &rel) override;
+    NebulaChip *tunableChip() override { return &chip_; }
+    Network *tunableNetwork() override { return &net_; }
     const char *mode() const override { return "ann"; }
 
   private:

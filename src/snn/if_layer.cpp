@@ -114,6 +114,20 @@ IfLayer::stepPlain(const float *in, float *out, long long n)
     spikes_ += fired;
 }
 
+int
+IfLayer::winnerIndex() const
+{
+    const long long n = membrane_.size();
+    if (n == 0)
+        return -1;
+    const float *mem = membrane_.data();
+    int winner = 0;
+    for (long long i = 1; i < n; ++i)
+        if (mem[i] > mem[winner])
+            winner = static_cast<int>(i);
+    return winner;
+}
+
 void
 IfLayer::resetState()
 {

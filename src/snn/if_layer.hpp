@@ -95,6 +95,21 @@ class IfLayer : public Layer
     /** Membrane tensor (empty before the first forward). */
     const Tensor &membrane() const { return membrane_; }
 
+    /**
+     * Raw membrane potentials, neuronCount() floats (null before the
+     * first forward/ensureState). Lets WTA readout scan potentials
+     * in place instead of copying the state tensor every step.
+     */
+    const float *membraneData() const { return membrane_.size() ? membrane_.data() : nullptr; }
+
+    /**
+     * Index of the neuron with the highest membrane potential (ties
+     * break to the lowest index), or -1 before any state exists. The
+     * lateral-inhibition winner-take-all readout for on-device
+     * competitive learning.
+     */
+    int winnerIndex() const;
+
     /** Spike count per neuron since the last resetState(). */
     const std::vector<int> &spikeCounts() const { return spikeCounts_; }
 

@@ -1,0 +1,553 @@
+/**
+ * @file
+ * Tests for the on-device learning subsystem: the crossbar incremental
+ * update API (differential vs whole-array re-programming, EvalCache
+ * invalidation, pulse/energy accounting), WTA support on the IF layer,
+ * STDP-style competitive clustering (determinism, purity), in-situ
+ * supervised fine-tuning (recovery vs the monitor-off control), and the
+ * learning campaign runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "arch/chip.hpp"
+#include "circuit/crossbar.hpp"
+#include "learning/campaign.hpp"
+#include "learning/insitu.hpp"
+#include "learning/stdp.hpp"
+#include "nn/datasets.hpp"
+#include "nn/models.hpp"
+#include "nn/quantize.hpp"
+#include "nn/trainer.hpp"
+#include "reliability/fault_model.hpp"
+#include "snn/if_layer.hpp"
+
+namespace nebula {
+namespace {
+
+/** Level a weight value w in [-1, 1] programs to (program()'s grid). */
+int
+weightLevel(float w, int levels)
+{
+    const double clamped = std::clamp<double>(w, -1.0, 1.0);
+    return static_cast<int>(
+        std::lround((clamped + 1.0) / 2.0 * (levels - 1)));
+}
+
+/** Deterministic pseudo-random weight in [-1, 1]. */
+float
+patternWeight(int row, int col, int salt)
+{
+    Rng rng(deriveFaultSeed(static_cast<uint64_t>(salt),
+                            static_cast<uint64_t>(row) * 131 + col));
+    return static_cast<float>(rng.uniform(-1.0, 1.0));
+}
+
+std::vector<float>
+patternWeights(int rows, int cols, int salt)
+{
+    std::vector<float> weights(static_cast<size_t>(rows) * cols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            weights[static_cast<size_t>(r) * cols + c] =
+                patternWeight(r, c, salt);
+    return weights;
+}
+
+/** Deltas that move @p xbar from its current readback to @p target. */
+std::vector<CellUpdate>
+deltasToward(const CrossbarArray &xbar, const std::vector<float> &target)
+{
+    std::vector<CellUpdate> ups;
+    for (int r = 0; r < xbar.rows(); ++r)
+        for (int c = 0; c < xbar.cols(); ++c) {
+            const int want = weightLevel(
+                target[static_cast<size_t>(r) * xbar.cols() + c],
+                xbar.params().levels);
+            const int delta = want - xbar.levelAt(r, c);
+            if (delta != 0)
+                ups.push_back(CellUpdate{r, c, delta});
+        }
+    return ups;
+}
+
+void
+expectIdenticalCells(const CrossbarArray &a, const CrossbarArray &b)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (int r = 0; r < a.rows(); ++r)
+        for (int c = 0; c <= a.cols(); ++c) // include reference column
+            ASSERT_EQ(a.conductanceAt(r, c), b.conductanceAt(r, c))
+                << "cell (" << r << ", " << c << ")";
+}
+
+// -- incremental update API ---------------------------------------------
+
+TEST(UpdateCells, LevelAtRoundTripsProgrammedLevels)
+{
+    CrossbarParams xp;
+    xp.rows = 8;
+    xp.cols = 6;
+    CrossbarArray xbar(xp);
+    const auto weights = patternWeights(xp.rows, xp.cols, 1);
+    xbar.programWeights(weights);
+    for (int r = 0; r < xp.rows; ++r)
+        for (int c = 0; c < xp.cols; ++c)
+            EXPECT_EQ(xbar.levelAt(r, c),
+                      weightLevel(
+                          weights[static_cast<size_t>(r) * xp.cols + c],
+                          xp.levels));
+}
+
+TEST(UpdateCells, DifferentialVsReprogramCleanOpenLoop)
+{
+    CrossbarParams xp;
+    xp.rows = 12;
+    xp.cols = 8;
+    CrossbarArray incremental(xp), reference(xp);
+    const auto before = patternWeights(xp.rows, xp.cols, 2);
+    const auto after = patternWeights(xp.rows, xp.cols, 3);
+    incremental.programWeights(before);
+    reference.programWeights(before);
+
+    const auto ups = deltasToward(incremental, after);
+    EXPECT_FALSE(ups.empty());
+    const UpdateReport report = incremental.updateCells(ups);
+    reference.programWeights(after);
+
+    expectIdenticalCells(incremental, reference);
+    EXPECT_EQ(report.cells, static_cast<long long>(ups.size()));
+    EXPECT_EQ(report.pulses, report.levelSteps);
+    EXPECT_EQ(report.blockedCells, 0);
+    EXPECT_EQ(report.failedCells, 0);
+    EXPECT_GT(report.updateEnergy, 0.0);
+}
+
+/**
+ * Faulted differential scaffold: program both arrays with @p before,
+ * walk @p incremental toward @p after through updateCells and @p
+ * reference through a naive whole-array re-program, then check cell for
+ * cell: every cell the incremental path actually moved must land
+ * exactly where the re-program lands it, and every cell it skipped
+ * (already sensed on target) or could not move (stuck / open) must hold
+ * its pre-update conductance. Skipped cells are the one legitimate
+ * divergence: a decayed or drifted cell whose *readback* already
+ * quantizes to the target gets no pulse, so its analog value keeps the
+ * old program's signature instead of a fresh write's.
+ */
+void
+runFaultedDifferential(CrossbarArray &incremental, CrossbarArray &reference,
+                       const std::vector<float> &before,
+                       const std::vector<float> &after,
+                       const ProgrammingConfig &config,
+                       UpdateReport *out_report = nullptr)
+{
+    incremental.program(before, config);
+    reference.program(before, config);
+
+    std::vector<double> snapshot;
+    for (int r = 0; r < incremental.rows(); ++r)
+        for (int c = 0; c <= incremental.cols(); ++c)
+            snapshot.push_back(incremental.conductanceAt(r, c));
+
+    const auto ups = deltasToward(incremental, after);
+    std::vector<char> updated(
+        static_cast<size_t>(incremental.rows()) * incremental.cols(), 0);
+    const FaultMap &faults = incremental.faults();
+    for (const CellUpdate &u : ups) {
+        const bool blocked =
+            !faults.empty() &&
+            (faults.rowOpen(u.row) || faults.colOpen(u.col) ||
+             faults.cell(u.row, u.col).stuck());
+        if (!blocked)
+            updated[static_cast<size_t>(u.row) * incremental.cols() +
+                    u.col] = 1;
+    }
+
+    const UpdateReport report = incremental.updateCells(ups, config);
+    reference.program(after, config);
+    if (out_report)
+        *out_report = report;
+
+    const int stride = incremental.cols() + 1;
+    for (int r = 0; r < incremental.rows(); ++r) {
+        for (int c = 0; c <= incremental.cols(); ++c) {
+            const bool moved =
+                c < incremental.cols() &&
+                updated[static_cast<size_t>(r) * incremental.cols() + c];
+            if (moved)
+                ASSERT_EQ(incremental.conductanceAt(r, c),
+                          reference.conductanceAt(r, c))
+                    << "updated cell (" << r << ", " << c << ")";
+            else
+                ASSERT_EQ(incremental.conductanceAt(r, c),
+                          snapshot[static_cast<size_t>(r) * stride + c])
+                    << "untouched cell (" << r << ", " << c << ")";
+        }
+    }
+}
+
+TEST(UpdateCells, DifferentialVsReprogramFaultedOpenLoop)
+{
+    CrossbarParams xp;
+    xp.rows = 16;
+    xp.cols = 10;
+
+    CompositeFaultModel model;
+    model.add(std::make_unique<StuckAtFaultModel>(0.06));
+    model.add(std::make_unique<PinningDriftFaultModel>(0.10, 3));
+    model.add(std::make_unique<RetentionDecayFaultModel>(0.8, 1.0, 0.4));
+    model.add(std::make_unique<LineOpenFaultModel>(0.05, 0.05));
+
+    CrossbarArray incremental(xp), reference(xp);
+    FaultMap map_a(xp.rows, xp.cols), map_b(xp.rows, xp.cols);
+    model.sampleInto(map_a, 77);
+    model.sampleInto(map_b, 77);
+    incremental.injectFaults(std::move(map_a));
+    reference.injectFaults(std::move(map_b));
+
+    UpdateReport report;
+    runFaultedDifferential(incremental, reference,
+                           patternWeights(xp.rows, xp.cols, 4),
+                           patternWeights(xp.rows, xp.cols, 5), {}, &report);
+    EXPECT_GT(report.blockedCells, 0);
+}
+
+TEST(UpdateCells, DifferentialVsReprogramWriteVerify)
+{
+    CrossbarParams xp;
+    xp.rows = 14;
+    xp.cols = 9;
+
+    // Hard-stuck only: soft stuck cells would depin through program()'s
+    // escalation rng, which the gentler incremental path does not model.
+    CompositeFaultModel model;
+    model.add(std::make_unique<StuckAtFaultModel>(0.05, 0.5, 1.0));
+    model.add(std::make_unique<PinningDriftFaultModel>(0.12, 2));
+    model.add(std::make_unique<RetentionDecayFaultModel>(0.5, 1.0, 0.3));
+
+    CrossbarArray incremental(xp), reference(xp);
+    FaultMap map_a(xp.rows, xp.cols), map_b(xp.rows, xp.cols);
+    model.sampleInto(map_a, 91);
+    model.sampleInto(map_b, 91);
+    incremental.injectFaults(std::move(map_a));
+    reference.injectFaults(std::move(map_b));
+
+    ProgrammingConfig wv;
+    wv.writeVerify.enabled = true;
+    runFaultedDifferential(incremental, reference,
+                           patternWeights(xp.rows, xp.cols, 6),
+                           patternWeights(xp.rows, xp.cols, 7), wv);
+}
+
+TEST(UpdateCells, InvalidatesEvalCache)
+{
+    CrossbarParams xp;
+    xp.rows = 10;
+    xp.cols = 6;
+    CrossbarArray xbar(xp);
+    const auto before = patternWeights(xp.rows, xp.cols, 8);
+    xbar.programWeights(before);
+
+    std::vector<double> inputs(static_cast<size_t>(xp.rows), 1.0);
+    const CrossbarEval stale = xbar.evaluateIdeal(inputs, 1e-7);
+
+    // Move one cell several levels; the cached dense matrix must be
+    // rebuilt or evaluation would keep reading the old conductance.
+    const int row = 3, col = 2;
+    const int delta = xbar.levelAt(row, col) > xp.levels / 2 ? -4 : 4;
+    const UpdateReport report = xbar.applyDelta(row, col, delta);
+    EXPECT_EQ(report.cells, 1);
+
+    const CrossbarEval fresh = xbar.evaluateIdeal(inputs, 1e-7);
+    EXPECT_NE(stale.currents[col], fresh.currents[col]);
+
+    // And the refreshed cache must agree with an array programmed
+    // straight to the final state.
+    CrossbarArray direct(xp);
+    auto target = before;
+    target[static_cast<size_t>(row) * xp.cols + col] =
+        2.0f * xbar.levelAt(row, col) / (xp.levels - 1) - 1.0f;
+    direct.programWeights(target);
+    const CrossbarEval expect = direct.evaluateIdeal(inputs, 1e-7);
+    for (int c = 0; c < xp.cols; ++c)
+        EXPECT_DOUBLE_EQ(fresh.currents[c], expect.currents[c]);
+}
+
+TEST(UpdateCells, DeterministicUnderVariation)
+{
+    CrossbarParams xp;
+    xp.rows = 10;
+    xp.cols = 7;
+    xp.variationSigma = 0.05;
+    xp.variationSeed = 1234;
+    CrossbarArray a(xp), b(xp);
+    const auto before = patternWeights(xp.rows, xp.cols, 9);
+    const auto after = patternWeights(xp.rows, xp.cols, 10);
+    a.programWeights(before);
+    b.programWeights(before);
+
+    // Same seed + same update stream => bit-identical learned state.
+    a.updateCells(deltasToward(a, after));
+    b.updateCells(deltasToward(b, after));
+    expectIdenticalCells(a, b);
+}
+
+TEST(UpdateCells, ClampsAtLevelRangeAndBillsPulses)
+{
+    CrossbarParams xp;
+    xp.rows = 4;
+    xp.cols = 4;
+    CrossbarArray xbar(xp);
+    xbar.programWeights(
+        std::vector<float>(static_cast<size_t>(xp.rows) * xp.cols, 0.0f));
+
+    const int mid = xbar.levelAt(0, 0);
+    const UpdateReport report = xbar.applyDelta(0, 0, 1000);
+    EXPECT_EQ(report.clampedCells, 1);
+    EXPECT_EQ(xbar.levelAt(0, 0), xp.levels - 1);
+    EXPECT_EQ(report.levelSteps, xp.levels - 1 - mid);
+    EXPECT_EQ(report.pulses, report.levelSteps);
+    EXPECT_DOUBLE_EQ(report.pulsesPerCell(),
+                     static_cast<double>(report.pulses));
+}
+
+TEST(UpdateCells, ChipLayerUpdateMatchesDirectCellUpdate)
+{
+    SyntheticDigits data(64, 8, 31);
+    Network net = buildMlp3(8, 1, 10, 41);
+    const QuantizationResult quant =
+        quantizeNetwork(net, data.firstImages(32));
+
+    NebulaChip chip;
+    chip.programAnn(net, quant);
+    ASSERT_GT(chip.mappedLayerCount(), 0);
+
+    const Tensor probe = data.image(0);
+    const Tensor before = chip.runAnn(probe);
+
+    // Push every first-layer weight to its own quantized level: a
+    // full-layer "re-trim" through the incremental API must change
+    // nothing measurable (cells are already on their levels)...
+    Network &source = net;
+    const int first = source.weightLayerIndices()[0];
+    const Layer &layer = source.layer(first);
+    const Tensor &w = *layer.constParameters()[0];
+    const float scale = chip.mappedWeightScale(0);
+    const int top = chip.mappedLevels() - 1;
+    std::vector<NebulaChip::WeightCellUpdate> ups;
+    const int rf = layer.receptiveField();
+    for (long long i = 0; i < w.size(); ++i) {
+        const double norm =
+            std::clamp(static_cast<double>(w[i]) / scale, -1.0, 1.0);
+        ups.push_back(NebulaChip::WeightCellUpdate{
+            static_cast<int>(i / rf), static_cast<int>(i % rf),
+            static_cast<int>(std::lround((norm + 1.0) / 2.0 * top))});
+    }
+    const UpdateReport retrim = chip.updateMappedLayer(0, ups);
+    EXPECT_EQ(retrim.cells, 0); // every cell already on target
+    const Tensor same = chip.runAnn(probe);
+    for (long long i = 0; i < before.size(); ++i)
+        EXPECT_EQ(before[i], same[i]);
+
+    // ...while an actual level shift must move the logits.
+    std::vector<NebulaChip::WeightCellUpdate> shift;
+    for (int k = 0; k < layer.numKernels(); ++k)
+        shift.push_back(NebulaChip::WeightCellUpdate{k, 0, top});
+    const UpdateReport moved = chip.updateMappedLayer(0, shift);
+    EXPECT_GT(moved.cells, 0);
+    EXPECT_GT(chip.updateReport().pulses, 0);
+    const Tensor after = chip.runAnn(probe);
+    bool changed = false;
+    for (long long i = 0; i < before.size(); ++i)
+        changed = changed || before[i] != after[i];
+    EXPECT_TRUE(changed);
+}
+
+// -- IF layer WTA support ------------------------------------------------
+
+TEST(IfLayerWta, WinnerIndexTracksMembrane)
+{
+    IfLayer layer(1e30f); // pure integrator
+    EXPECT_EQ(layer.winnerIndex(), -1);
+    EXPECT_EQ(layer.membraneData(), nullptr);
+
+    layer.ensureState({1, 4});
+    const float in1[4] = {0.1f, 0.4f, 0.2f, 0.0f};
+    float out[4];
+    layer.step(in1, out, 4);
+    EXPECT_EQ(layer.winnerIndex(), 1);
+
+    const float in2[4] = {0.1f, 0.0f, 0.5f, 0.0f};
+    layer.step(in2, out, 4);
+    EXPECT_EQ(layer.winnerIndex(), 2);
+
+    ASSERT_NE(layer.membraneData(), nullptr);
+    EXPECT_FLOAT_EQ(layer.membraneData()[2], 0.7f);
+
+    // Ties break to the lowest index.
+    IfLayer tie(1e30f);
+    tie.ensureState({1, 3});
+    const float same[3] = {0.5f, 0.5f, 0.5f};
+    float tout[3];
+    tie.step(same, tout, 3);
+    EXPECT_EQ(tie.winnerIndex(), 0);
+}
+
+// -- STDP competitive clustering ----------------------------------------
+
+StdpConfig
+fastStdp()
+{
+    StdpConfig config;
+    config.epochs = 2;
+    config.timesteps = 12;
+    config.seed = 21;
+    return config;
+}
+
+TEST(StdpClustering, DeterministicUnderSeed)
+{
+    SyntheticClusters data(120, 10, 8, 51);
+    CrossbarParams xp;
+    xp.rows = 2 * 64; // ON/OFF channel pair per pixel
+    xp.cols = 10;
+    CrossbarArray xa(xp), xb(xp);
+    StdpClusterer ca(xa, fastStdp()), cb(xb, fastStdp());
+
+    const ClusteringResult ra = ca.fit(data, 80);
+    const ClusteringResult rb = cb.fit(data, 80);
+
+    // Same seed + same stream => bit-identical learned conductances
+    // and identical assignments.
+    expectIdenticalCells(xa, xb);
+    EXPECT_EQ(ra.assignment, rb.assignment);
+    EXPECT_EQ(ra.purity, rb.purity);
+    EXPECT_EQ(ra.updates.pulses, rb.updates.pulses);
+}
+
+TEST(StdpClustering, ReachesPurityOnCleanDevice)
+{
+    SyntheticClusters data(200, 10, 12, 52);
+    CrossbarParams xp;
+    xp.rows = 2 * 144; // ON/OFF channel pair per pixel
+    xp.cols = 10;
+    CrossbarArray xbar(xp);
+    StdpClusterer clusterer(xbar, fastStdp());
+
+    const ClusteringResult result = clusterer.fit(data, 160);
+    EXPECT_GE(result.purity, 0.7)
+        << "clustering must reach >= 0.7 purity on the clean device";
+    EXPECT_GT(result.updates.pulses, 0);
+    EXPECT_GT(result.updates.updateEnergy, 0.0);
+    EXPECT_GT(result.readEnergy, 0.0);
+    EXPECT_EQ(result.presentations, 2LL * 160);
+}
+
+TEST(StdpClustering, CampaignDegradesGracefullyUnderDrift)
+{
+    SyntheticClusters data(160, 10, 8, 53);
+    LearningCampaignConfig config;
+    config.rates = {0.0, 0.05};
+    config.seeds = {3};
+    config.samples = 120;
+    config.stdp = fastStdp();
+
+    const LearningCampaignResult result =
+        runLearningCampaign(data, config);
+    ASSERT_EQ(result.rows.size(), 2u);
+    const double clean = result.meanPurity(0.0);
+    const double faulted = result.meanPurity(0.05);
+    EXPECT_GE(clean, 0.7);
+    // Graceful, not catastrophic: drifted arrays keep most of the
+    // clustering structure (and never fall to chance = 0.1).
+    EXPECT_GE(faulted, 0.5 * clean);
+
+    const std::string csv = result.csv();
+    EXPECT_NE(csv.find("# units:"), std::string::npos);
+    EXPECT_NE(csv.find("update_energy_j"), std::string::npos);
+    EXPECT_NE(csv.find("rate,seed,samples,purity"), std::string::npos);
+}
+
+// -- in-situ supervised fine-tuning -------------------------------------
+
+TEST(InsituTuning, RecoversDecayLossOnMlp3)
+{
+    SyntheticDigits train(800, 12, 61), test(120, 12, 62);
+    Network proto = buildMlp3(12, 1, 10, 71);
+    TrainConfig tc;
+    tc.epochs = 8;
+    SgdTrainer(tc).train(proto, train);
+    const QuantizationResult quant =
+        quantizeNetwork(proto, train.firstImages(64));
+
+    // Reference: a clean chip.
+    Network clean_net = proto.clone();
+    NebulaChip clean_chip;
+    clean_chip.programAnn(clean_net, quant);
+
+    std::vector<Tensor> test_images;
+    std::vector<int> test_labels;
+    for (int i = 0; i < test.size(); ++i) {
+        test_images.push_back(test.image(i));
+        test_labels.push_back(test.label(i));
+    }
+    const double clean_acc =
+        chipAccuracy(clean_chip, test_images, test_labels);
+
+    // Decayed chips: one tuned, one monitor-off control. The decay
+    // roughly halves every cell's swing (exp(-0.8) ~ 0.45) with 0.4
+    // per-cell spread -- enough to cost tens of accuracy points.
+    ReliabilityConfig rel;
+    rel.faults = std::make_shared<RetentionDecayFaultModel>(0.8, 1.0, 0.4);
+    rel.faultSeed = 99;
+
+    Network tuned_net = proto.clone();
+    NebulaChip tuned_chip;
+    tuned_chip.setReliability(rel);
+    tuned_chip.programAnn(tuned_net, quant);
+
+    Network control_net = proto.clone();
+    NebulaChip control_chip;
+    control_chip.setReliability(rel);
+    control_chip.programAnn(control_net, quant);
+
+    const double degraded_acc =
+        chipAccuracy(control_chip, test_images, test_labels);
+    ASSERT_LT(degraded_acc, clean_acc)
+        << "decay model must actually cost accuracy for this test";
+
+    std::vector<Tensor> calib_images;
+    std::vector<int> calib_labels;
+    for (int i = 0; i < 320; ++i) {
+        calib_images.push_back(train.image(i));
+        calib_labels.push_back(train.label(i));
+    }
+    InsituConfig ic;
+    ic.epochs = 3;
+    InsituTuner tuner(tuned_chip, tuned_net, ic);
+    const InsituResult result = tuner.tune(calib_images, calib_labels);
+
+    const double tuned_acc =
+        chipAccuracy(tuned_chip, test_images, test_labels);
+    const double control_acc =
+        chipAccuracy(control_chip, test_images, test_labels);
+
+    // The monitor-off control stays degraded; the tuned chip recovers
+    // at least half of what decay cost.
+    EXPECT_EQ(control_acc, degraded_acc);
+    EXPECT_GE(tuned_acc - control_acc,
+              0.5 * (clean_acc - degraded_acc))
+        << "tuned " << tuned_acc << " control " << control_acc
+        << " clean " << clean_acc;
+    EXPECT_GT(result.updates.pulses, 0);
+    EXPECT_GT(result.updates.updateEnergy, 0.0);
+    EXPECT_GT(result.chipForwards, 0);
+}
+
+} // namespace
+} // namespace nebula

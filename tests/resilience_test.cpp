@@ -6,8 +6,9 @@
  * requests, deadline-aware admission control, supervisor restarts under
  * a chaos load that poisons replicas mid-run, and the closed-loop
  * health monitor recovering bit-exact accuracy from a retention-decay
- * ramp (with a monitor-off control that stays degraded). The suite runs
- * under ThreadSanitizer in CI next to runtime_test.
+ * ramp (with a monitor-off control that stays degraded) plus its full
+ * escalation ladder: failed repair -> in-situ fine-tune -> demote. The
+ * suite runs under ThreadSanitizer in CI next to runtime_test.
  */
 
 #include <gtest/gtest.h>
@@ -24,6 +25,7 @@
 #include "nn/datasets.hpp"
 #include "nn/models.hpp"
 #include "nn/quantize.hpp"
+#include "nn/trainer.hpp"
 #include "reliability/fault_model.hpp"
 #include "reliability/health.hpp"
 #include "runtime/backoff.hpp"
@@ -780,6 +782,85 @@ TEST(Health, FailedRepairDemotesToFunctionalBackend)
     }
     EXPECT_EQ(health->demotions(), 1);
     EXPECT_EQ(health->health(0), ReplicaHealth::Demoted);
+    engine.shutdown();
+}
+
+// Repair that cannot clear the damage, but a fine-tune escalation that
+// can learn around it: the ladder must stop at Tuned, never reaching
+// the armed demotion fallback. Uses a *trained* network (the shared
+// untrained prototypes have no accuracy for the tuner to recover) and
+// a retention ramp as both the damage and the futile "repair" flow.
+TEST(Health, FailedRepairEscalatesToFineTuneBeforeDemotion)
+{
+    SyntheticDigits train(500, kImageSize, /*seed=*/61);
+    Network net = buildMlp3(kImageSize, 1, kClasses, /*seed=*/71);
+    TrainConfig tc;
+    tc.epochs = 6;
+    SgdTrainer(tc).train(net, train);
+    const QuantizationResult quant =
+        quantizeNetwork(net, train.firstImages(64));
+
+    ReliabilityConfig decay;
+    decay.faults = std::make_shared<RetentionDecayFaultModel>(
+        /*elapsed=*/0.8, /*tau=*/1.0, /*sigma=*/0.4);
+    decay.faultSeed = 99;
+
+    HealthConfig hc;
+    hc.probeEvery = 2;
+    hc.tolerance = 1e-6;
+    hc.maxRepairAttempts = 1;
+    hc.repairWith = decay; // "repair" that re-applies the ramp
+    hc.fineTune.enabled = true;
+    hc.fineTune.tuning.epochs = 2;
+    hc.fineTune.passRatio = 0.5;
+    for (int i = 0; i < 96; ++i) {
+        hc.fineTune.images.push_back(train.image(i));
+        hc.fineTune.labels.push_back(train.label(i));
+    }
+    // Canaries outside the calibration set: agreement measures learned
+    // recovery, not memorization of the tuning images.
+    std::vector<Tensor> canaries;
+    for (int i = 100; i < 108; ++i)
+        canaries.push_back(train.image(i));
+    auto health = std::make_shared<HealthMonitor>(hc, canaries);
+    health->setFallback(makeFunctionalAnnReplicaFactory(net));
+
+    EngineConfig cfg;
+    cfg.numWorkers = 0; // inline mode: the probe ladder runs unthreaded
+    cfg.health = health;
+    InferenceEngine engine(cfg, makeAnnReplicaFactory(net, quant));
+
+    engine.withReplicas([&](ChipReplica &replica) {
+        EXPECT_TRUE(replica.reprogram(decay));
+    });
+
+    // Serve to the probe point: probe fails, the repair pass re-applies
+    // the ramp and fails too, and the fine-tune escalation recovers the
+    // slot in place.
+    for (int i = 0; i < hc.probeEvery; ++i)
+        EXPECT_EQ(engine.submit(train.image(i)).get().error,
+                  RuntimeErrorKind::None);
+    EXPECT_EQ(health->degradations(), 1);
+    EXPECT_EQ(health->repairs(), 0);
+    EXPECT_EQ(health->fineTunes(), 1);
+    EXPECT_EQ(health->demotions(), 0) << "escalation fell through to demote";
+    EXPECT_EQ(health->health(0), ReplicaHealth::Tuned);
+
+    // Tuned slots are exempt from further deviation probes (their
+    // logits are permanently offset from the pristine canaries) and
+    // every later future still resolves to a typed outcome.
+    std::vector<std::future<InferenceResult>> futures;
+    for (int i = 0; i < 6 * hc.probeEvery; ++i)
+        futures.push_back(engine.submit(train.image(i)));
+    for (auto &future : futures) {
+        const InferenceResult result = future.get();
+        EXPECT_EQ(result.error, RuntimeErrorKind::None);
+        EXPECT_GE(result.predictedClass, 0);
+        EXPECT_LT(result.predictedClass, kClasses);
+    }
+    EXPECT_EQ(health->fineTunes(), 1);
+    EXPECT_EQ(health->demotions(), 0);
+    EXPECT_EQ(health->health(0), ReplicaHealth::Tuned);
     engine.shutdown();
 }
 
