@@ -16,6 +16,8 @@
 #define NEBULA_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <ctime>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
@@ -23,6 +25,7 @@
 
 #include "arch/energy_model.hpp"
 #include "arch/mapping.hpp"
+#include "common/json.hpp"
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -54,11 +57,43 @@ record(const std::string &name, double value)
     benchStats().scalar(name).sample(value);
 }
 
+/** Current wall-clock time as ISO-8601 UTC ("2026-02-03T04:05:06Z"). */
+inline std::string
+isoUtcNow()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+/** `git rev-parse --short HEAD` of the CWD's repo; "unknown" outside one. */
+inline std::string
+gitShortRev()
+{
+    FILE *pipe =
+        ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+    if (!pipe)
+        return "unknown";
+    char buf[64] = {0};
+    std::string rev;
+    if (std::fgets(buf, sizeof(buf), pipe))
+        rev = buf;
+    ::pclose(pipe);
+    while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r'))
+        rev.pop_back();
+    return rev.empty() ? "unknown" : rev;
+}
+
 /**
  * Write the recorded results as BENCH_<basename(argv0)>.json in the
  * working directory. Always records a "completed" scalar first, so
  * every benchmark emits at least one metric even if its study recorded
- * nothing explicitly.
+ * nothing explicitly. Every summary carries a "meta" section stamping
+ * when it was produced and from which commit, so a regression checker
+ * comparing two BENCH files can tell which builds it is comparing.
  */
 inline void
 writeBenchSummary(const char *argv0)
@@ -69,7 +104,22 @@ writeBenchSummary(const char *argv0)
         base = base.substr(slash + 1);
     record("completed", 1.0);
     const std::string path = "BENCH_" + base + ".json";
-    if (benchStats().writeJson(path))
+
+    // Splice a meta object into the StatGroup JSON (which renders as
+    // {"scalars":..., "histograms":...}) right after the opening brace.
+    std::string body = benchStats().toJson();
+    const size_t brace = body.find('{');
+    bool ok = brace != std::string::npos;
+    if (ok) {
+        const std::string meta = "\"meta\":{\"generatedAtUtc\":" +
+                                 json::quoted(isoUtcNow()) +
+                                 ",\"gitRev\":" +
+                                 json::quoted(gitShortRev()) + "},";
+        body.insert(brace + 1, meta);
+        std::ofstream out(path);
+        ok = static_cast<bool>(out << body << "\n");
+    }
+    if (ok)
         std::cout << "\nwrote " << path << "\n";
     else
         NEBULA_WARN("could not write ", path);

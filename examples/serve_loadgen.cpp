@@ -29,6 +29,15 @@
  *   --quota-rps R        tenant0's admission quota (0 = unlimited)
  *   --quota-burst B      tenant0's burst allowance (default 8)
  *   --require-swaps N    fail unless the registry swapped >= N times
+ *   --slo-ms X           per-request SLO target; prints the rolling
+ *                        per-tenant SLO scoreboard and exits non-zero
+ *                        when any (tenant, model) error budget is
+ *                        exhausted (burn rate >= 1)
+ *   --admin-port P       expose /metrics /statusz /healthz on P
+ *                        (0 = ephemeral; the bound port is printed)
+ *   --admin-wait-sec S   keep the server (and admin endpoint) up S
+ *                        seconds after the load completes, so an
+ *                        external scraper can read the final state
  */
 
 #include <algorithm>
@@ -176,6 +185,10 @@ main(int argc, char **argv)
     double quota_rps = 0.0;
     double quota_burst = 8.0;
     long long require_swaps = 0;
+    double slo_ms = 0.0;
+    bool admin = false;
+    int admin_port = 0;
+    int admin_wait_sec = 0;
     std::string models_csv = "mlp3/ann,mlp3/snn,lenet5/ann";
 
     for (int i = 1; i < argc; ++i) {
@@ -203,6 +216,15 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--require-swaps") == 0 &&
                    i + 1 < argc) {
             require_swaps = std::atoll(argv[++i]);
+        } else if (std::strcmp(argv[i], "--slo-ms") == 0 && i + 1 < argc) {
+            slo_ms = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--admin-port") == 0 &&
+                   i + 1 < argc) {
+            admin = true;
+            admin_port = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--admin-wait-sec") == 0 &&
+                   i + 1 < argc) {
+            admin_wait_sec = std::atoi(argv[++i]);
         } else if (std::strcmp(argv[i], "--models") == 0 && i + 1 < argc) {
             models_csv = argv[++i];
         } else {
@@ -211,7 +233,8 @@ main(int argc, char **argv)
                 << " [--tenants N] [--requests N] [--models a,b,c]"
                    " [--resident K] [--run-length N] [--rate R]"
                    " [--timesteps T] [--quota-rps R] [--quota-burst B]"
-                   " [--require-swaps N]\n";
+                   " [--require-swaps N] [--slo-ms X] [--admin-port P]"
+                   " [--admin-wait-sec S]\n";
             return 2;
         }
     }
@@ -257,9 +280,19 @@ main(int argc, char **argv)
         srv_cfg.tenantQuotas["tenant0"] =
             TenantQuota{quota_rps, quota_burst};
     }
+    if (slo_ms > 0.0)
+        srv_cfg.slo.targetMs = slo_ms;
+    if (admin) {
+        srv_cfg.adminEnabled = true;
+        srv_cfg.adminPort = static_cast<uint16_t>(admin_port);
+    }
     ServingServer server(srv_cfg, registry);
     server.start();
-    std::cout << "server up on 127.0.0.1:" << server.port() << "\n\n";
+    std::cout << "server up on 127.0.0.1:" << server.port() << "\n";
+    if (admin)
+        std::cout << "admin endpoint on 127.0.0.1:" << server.adminPort()
+                  << " (/metrics /statusz /healthz)\n";
+    std::cout << "\n";
 
     // 3. Tenant threads, open-loop.
     const auto wall_start = std::chrono::steady_clock::now();
@@ -318,10 +351,71 @@ main(int argc, char **argv)
               << static_cast<double>(total_ok) / wall_seconds
               << " ok replies/sec across all tenants\n";
 
+    // 5. Energy attribution: Joules the chip model spent per tenant,
+    //    billed by the server on every Ok response.
+    auto &global_metrics = obs::MetricsRegistry::global();
+    Table energy_table("Per-tenant energy attribution (chip model)",
+                       {"tenant", "inferences", "energy (J)",
+                        "J/inference"});
+    for (const TenantOutcome &o : outcomes) {
+        const double inferences = global_metrics.counterValue(
+            "telemetry.tenant.inferences", {{"tenant", o.tenant}});
+        const double joules = global_metrics.counterValue(
+            "telemetry.tenant.energy_j", {{"tenant", o.tenant}});
+        energy_table.row()
+            .add(o.tenant)
+            .add(static_cast<long long>(inferences))
+            .add(joules, 9)
+            .add(inferences > 0 ? joules / inferences : 0.0, 12);
+    }
+    std::cout << "\n";
+    energy_table.print(std::cout);
+
+    // 6. SLO scoreboard (when a target was set): rolling per-cell
+    //    quantiles and the error-budget burn rate.
+    bool budget_exhausted = false;
+    if (slo_ms > 0.0) {
+        Table slo_table("Rolling SLO (target " + formatDouble(slo_ms, 1) +
+                            " ms, objective " +
+                            formatDouble(100.0 * srv_cfg.slo.objective, 1) +
+                            "%, window " +
+                            formatDouble(srv_cfg.slo.windowSeconds, 0) +
+                            " s)",
+                        {"tenant", "model", "p50 ms", "p95 ms", "p99 ms",
+                         "good", "bad", "burn rate"});
+        for (const obs::SloSnapshot &cell : server.slo().snapshotAll()) {
+            budget_exhausted |= cell.budgetExhausted();
+            slo_table.row()
+                .add(cell.tenant)
+                .add(cell.model)
+                .add(cell.p50Ms, 2)
+                .add(cell.p95Ms, 2)
+                .add(cell.p99Ms, 2)
+                .add(static_cast<long long>(cell.good))
+                .add(static_cast<long long>(cell.bad))
+                .add(cell.burnRate, 3);
+        }
+        std::cout << "\n";
+        slo_table.print(std::cout);
+    }
+
+    if (admin && admin_wait_sec > 0) {
+        std::cout << "\nholding admin endpoint on 127.0.0.1:"
+                  << server.adminPort() << " for " << admin_wait_sec
+                  << " s...\n"
+                  << std::flush;
+        std::this_thread::sleep_for(std::chrono::seconds(admin_wait_sec));
+    }
+
     const uint64_t swap_ins = registry->swapIns();
     server.stop();
     registry->shutdown();
 
+    if (budget_exhausted) {
+        std::cerr << "\nFAIL: at least one (tenant, model) error budget "
+                     "is exhausted (burn rate >= 1)\n";
+        return 1;
+    }
     if (total_untyped > 0) {
         std::cerr << "\nFAIL: " << total_untyped
                   << " request(s) ended without a typed wire outcome\n";

@@ -30,6 +30,13 @@
  * re-programs in place, and the scoreboard shows accuracy before the
  * fault, while degraded, and after recovery.
  *
+ * Telemetry:    --admin-port P exposes /metrics (Prometheus), /statusz
+ * (JSON metric snapshot) and /healthz on 127.0.0.1:P for the lifetime
+ * of the run (0 = ephemeral, the bound port is printed);
+ * --admin-wait-sec S keeps the process (and the endpoint) alive S
+ * seconds after serving completes so an external scraper can read the
+ * final counters. The CI telemetry-smoke job curls exactly these.
+ *
  * Tracing:      ./examples-bin/serve_throughput --trace out.json
  * records every request's latency breakdown, the chip-level layer
  * evaluations and the NoC transfers nested inside them as Chrome
@@ -57,6 +64,7 @@
 #include "reliability/health.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/replica.hpp"
+#include "serving/admin.hpp"
 #include "serving/models.hpp"
 #include "snn/convert.hpp"
 
@@ -213,6 +221,9 @@ main(int argc, char **argv)
     double deadline_ms = 0.0;
     ShedPolicy shed_policy = ShedPolicy::Block;
     bool chaos = false;
+    bool admin = false;
+    int admin_port = 0;
+    int admin_wait_sec = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
             model_name = argv[++i];
@@ -244,15 +255,38 @@ main(int argc, char **argv)
             }
         } else if (std::strcmp(argv[i], "--chaos") == 0) {
             chaos = true;
+        } else if (std::strcmp(argv[i], "--admin-port") == 0 &&
+                   i + 1 < argc) {
+            admin = true;
+            admin_port = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--admin-wait-sec") == 0 &&
+                   i + 1 < argc) {
+            admin_wait_sec = std::atoi(argv[++i]);
         } else {
             std::cerr << "usage: " << argv[0]
                       << " [--model mlp3|lenet5]"
                          " [--trace out.json] [--sample N]"
                          " [--deadline-ms N]"
                          " [--shed-policy block|reject|deadline]"
-                         " [--chaos]\n";
+                         " [--chaos] [--admin-port P]"
+                         " [--admin-wait-sec S]\n";
             return 2;
         }
+    }
+
+    // Telemetry endpoint over the process-global metrics registry (the
+    // default handlers): up before serving starts, so a scraper watches
+    // the counters move while the run is in flight.
+    serving::AdminServer admin_server{[&] {
+        serving::AdminConfig cfg;
+        cfg.port = static_cast<uint16_t>(admin_port);
+        return cfg;
+    }()};
+    if (admin) {
+        admin_server.start();
+        std::cout << "admin endpoint on 127.0.0.1:" << admin_server.port()
+                  << " (/metrics /statusz /healthz)\n"
+                  << std::flush;
     }
     if (!trace_path.empty()) {
         obs::setThreadName("main");
@@ -344,6 +378,14 @@ main(int argc, char **argv)
                       << "\nopen it in ui.perfetto.dev or "
                          "chrome://tracing\n";
         }
+    }
+
+    if (admin && admin_wait_sec > 0) {
+        std::cout << "\nholding admin endpoint on 127.0.0.1:"
+                  << admin_server.port() << " for " << admin_wait_sec
+                  << " s...\n"
+                  << std::flush;
+        std::this_thread::sleep_for(std::chrono::seconds(admin_wait_sec));
     }
     return 0;
 }

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate the admin/telemetry endpoints of a running NEBULA process.
+
+Scrapes ``/metrics``, ``/statusz`` and ``/healthz`` on the given port
+and checks:
+
+  * /healthz answers 200 with body "ok".
+  * /metrics parses as Prometheus text exposition 0.0.4: every
+    non-comment line is ``name[{labels}] value``, metric names match
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``, at most one ``# TYPE`` line per
+    family, and the TYPE line precedes that family's first sample.
+  * /statusz parses as JSON.
+  * Optional --require-metric NAME flags (repeatable) assert that a
+    metric family is present in /metrics.
+  * Optional --require-statusz-key KEY flags assert a top-level key in
+    the /statusz document.
+
+Usage:
+    check_telemetry.py PORT [--host 127.0.0.1]
+        [--require-metric serving_requests] [--require-statusz-key slo]
+
+Exit status 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import re
+import sys
+import urllib.request
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+# name{labels} value  |  name value   (label values may contain escapes)
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" [^ ]+$")
+
+
+def fetch(host, port, path):
+    with urllib.request.urlopen(f"http://{host}:{port}{path}",
+                                timeout=10) as resp:
+        return resp.status, resp.read().decode("utf-8", "replace")
+
+
+def check_prometheus(text, errors):
+    """Validate exposition-format grammar; return the family names."""
+    families = set()
+    typed = set()
+    sampled_before_type = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "summary", "histogram", "untyped"):
+                errors.append(f"/metrics:{lineno}: malformed TYPE: {line}")
+                continue
+            family = parts[2]
+            if family in typed:
+                errors.append(
+                    f"/metrics:{lineno}: duplicate TYPE for {family}")
+            if family in sampled_before_type:
+                errors.append(
+                    f"/metrics:{lineno}: TYPE after samples of {family}")
+            typed.add(family)
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"/metrics:{lineno}: unparseable sample: "
+                          f"{line!r}")
+            continue
+        name = match.group(1)
+        families.add(name)
+        # summary samples belong to the base family for TYPE purposes
+        base = re.sub(r"_(sum|count)$", "", name)
+        if name not in typed and base not in typed:
+            sampled_before_type.add(name)
+        value = line.rsplit(" ", 1)[1]
+        try:
+            float(value)
+        except ValueError:
+            if value not in ("+Inf", "-Inf", "NaN"):
+                errors.append(
+                    f"/metrics:{lineno}: bad sample value: {value!r}")
+    return families
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("port", type=int)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        help="metric family that must be present")
+    parser.add_argument("--require-statusz-key", action="append",
+                        default=[],
+                        help="top-level /statusz key that must be present")
+    args = parser.parse_args()
+
+    errors = []
+
+    status, body = fetch(args.host, args.port, "/healthz")
+    if status != 200 or body.strip() != "ok":
+        errors.append(f"/healthz: status {status}, body {body!r}")
+
+    status, metrics = fetch(args.host, args.port, "/metrics")
+    if status != 200:
+        errors.append(f"/metrics: status {status}")
+    families = check_prometheus(metrics, errors)
+    for name in args.require_metric:
+        if name not in families:
+            errors.append(f"/metrics: required family {name!r} missing")
+
+    status, statusz = fetch(args.host, args.port, "/statusz")
+    if status != 200:
+        errors.append(f"/statusz: status {status}")
+    try:
+        doc = json.loads(statusz)
+        for key in args.require_statusz_key:
+            if key not in doc:
+                errors.append(f"/statusz: required key {key!r} missing")
+    except json.JSONDecodeError as exc:
+        errors.append(f"/statusz: invalid JSON: {exc}")
+
+    if errors:
+        for error in errors:
+            print("FAIL:", error, file=sys.stderr)
+        return 1
+    print(f"telemetry ok: {len(families)} metric families, "
+          f"statusz valid, healthz ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

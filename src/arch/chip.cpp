@@ -78,6 +78,32 @@ ChipStats::merge(const ChipStats &other)
     nocEnergy += other.nocEnergy;
 }
 
+EnergyBreakdown
+estimateEnergyBreakdown(const ChipStats &before, const ChipStats &after,
+                        Mode mode)
+{
+    const ComponentDb &db = componentDb();
+    const double cycle = db.cycleTime();
+    const double evals =
+        static_cast<double>(after.crossbarEvals - before.crossbarEvals);
+    const double conversions =
+        static_cast<double>(after.adcConversions - before.adcConversions);
+
+    EnergyBreakdown out;
+    out.crossbarJ = after.crossbarEnergy - before.crossbarEnergy;
+    out.nocJ = after.nocEnergy - before.nocEnergy;
+    // One crossbar evaluation keeps its 1/crossbarsPerCore share of the
+    // core's driver bank (ANN DAC array vs. SNN spike drivers) and
+    // neuron units busy for one cycle; one ADC conversion is one ADC
+    // active for one cycle.
+    const double driver_power =
+        mode == Mode::ANN ? db.annDacPower() : db.snnDriverPower();
+    out.driverJ = evals * driver_power / db.crossbarsPerCore() * cycle;
+    out.neuronJ = evals * db.neuronUnitPower() / db.crossbarsPerCore() * cycle;
+    out.adcJ = conversions * db.adcPower() * cycle;
+    return out;
+}
+
 NebulaChip::NebulaChip(const NebulaConfig &config, double variation_sigma,
                        uint64_t seed)
     : config_(config), variationSigma_(variation_sigma), seed_(seed),

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "arch/energy_breakdown.hpp"
 #include "arch/energy_model.hpp"
 #include "arch/mapping.hpp"
 #include "circuit/crossbar.hpp"
@@ -54,6 +55,18 @@ struct ChipStats
      */
     void merge(const ChipStats &other);
 };
+
+/**
+ * Attribute the activity between two ChipStats snapshots (taken around
+ * one inference on a worker-owned chip) to components as joules.
+ * Crossbar/NoC energy is the measured delta; ADC, driver and neuron
+ * joules price the delta's op counts at Table III powers over one
+ * cycle (per-crossbar-eval share of a core's driver bank and neuron
+ * units, per-conversion ADC activity) -- the energy_model methodology
+ * applied to live counters instead of projected layer walks.
+ */
+EnergyBreakdown estimateEnergyBreakdown(const ChipStats &before,
+                                        const ChipStats &after, Mode mode);
 
 /** The NEBULA chip functional model. */
 class NebulaChip

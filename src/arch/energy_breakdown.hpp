@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Per-request energy attribution record. Deliberately a tiny
+ * standalone header: InferenceResult carries one of these from the
+ * chip replica up through the engine into the serving layer, and
+ * runtime/request.hpp must not pull in the whole chip model for it.
+ *
+ * The crossbar and NoC joules are *measured* by the functional model
+ * (ohmic read energy, per-hop transfer energy); the ADC, driver and
+ * neuron-unit joules are analytical estimates -- per-operation activity
+ * counts priced at the paper's Table III component powers over one
+ * 110 ns cycle, the same methodology arch/energy_model.hpp uses for
+ * whole-network projections.
+ */
+
+#ifndef NEBULA_ARCH_ENERGY_BREAKDOWN_HPP
+#define NEBULA_ARCH_ENERGY_BREAKDOWN_HPP
+
+namespace nebula {
+
+/** Joules one inference spent, by chip component. */
+struct EnergyBreakdown
+{
+    double crossbarJ = 0.0; //!< ohmic read energy (measured)
+    double driverJ = 0.0;   //!< ANN DACs / SNN spike drivers (estimated)
+    double adcJ = 0.0;      //!< output conversions (estimated)
+    double neuronJ = 0.0;   //!< IF neuron-unit updates (estimated)
+    double nocJ = 0.0;      //!< inter-layer transfers (measured)
+
+    double total() const
+    {
+        return crossbarJ + driverJ + adcJ + neuronJ + nocJ;
+    }
+
+    bool empty() const { return total() <= 0.0; }
+
+    void merge(const EnergyBreakdown &other)
+    {
+        crossbarJ += other.crossbarJ;
+        driverJ += other.driverJ;
+        adcJ += other.adcJ;
+        neuronJ += other.neuronJ;
+        nocJ += other.nocJ;
+    }
+};
+
+} // namespace nebula
+
+#endif // NEBULA_ARCH_ENERGY_BREAKDOWN_HPP

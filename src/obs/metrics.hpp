@@ -34,8 +34,18 @@ namespace obs {
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
 /**
- * Canonical labeled name: `name{k="v",...}` with keys sorted, so the
- * same label set always maps to the same metric.
+ * Escape a label value for embedding between double quotes: backslash,
+ * double quote and newline become `\\`, `\"` and `\n`. This is the one
+ * escaping rule shared by the canonical key, the JSON/CSV snapshots and
+ * the Prometheus exposition renderer, so a label value containing `"`
+ * or a newline can never break any serialized form.
+ */
+std::string escapeLabelValue(const std::string &value);
+
+/**
+ * Canonical labeled name: `name{k="v",...}` with keys sorted and values
+ * escaped via escapeLabelValue, so the same label set always maps to
+ * the same metric and the key is unambiguous for any value.
  */
 std::string labeledName(const std::string &name, const Labels &labels);
 
@@ -111,8 +121,18 @@ class MetricsRegistry
     /** JSON object with counters / gauges / histograms sections. */
     std::string toJson() const;
 
-    /** CSV: `kind,name,value,count,mean,min,max,p50,p95,p99` rows. */
+    /** CSV: `kind,name,value,count,mean,min,max,p50,p95,p99` rows.
+     *  Names containing `,` or `"` are CSV-quoted. */
     std::string toCsv() const;
+
+    /**
+     * Prometheus text exposition (format 0.0.4). Metric names are
+     * sanitized to `[a-zA-Z_:][a-zA-Z0-9_:]*` (dots become
+     * underscores), label values use the shared escaping rule, samples
+     * are grouped under one `# TYPE` line per metric name, and
+     * histograms render as summaries (quantile series + _sum/_count).
+     */
+    std::string toPrometheus() const;
 
     /** Zero every metric (registrations survive). */
     void reset();

@@ -1,0 +1,240 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace nebula {
+namespace obs {
+
+// ---------------------------------------------------------------- ring
+
+namespace {
+
+/** Shared rotation step: clear the slots between the live epoch and
+ *  @p target (at most the whole ring), advancing @p epoch. Returns how
+ *  many slots were cleared. */
+template <typename Slot, typename Clear>
+long long
+rotateRing(std::vector<Slot> &ring, long long &epoch, long long target,
+           Clear &&clear)
+{
+    if (target <= epoch)
+        return 0; // time never flows backwards on steady_clock
+    const long long steps =
+        std::min<long long>(target - epoch, static_cast<long long>(ring.size()));
+    for (long long s = 1; s <= steps; ++s)
+        clear(ring[static_cast<size_t>((epoch + s) % ring.size())]);
+    epoch = target;
+    return steps;
+}
+
+} // namespace
+
+WindowedHistogram::WindowedHistogram(double lo, double hi, int buckets,
+                                     int sub_windows,
+                                     std::chrono::nanoseconds window,
+                                     TimePoint start)
+    : start_(start)
+{
+    sub_windows = std::max(1, sub_windows);
+    subDur_ = window / sub_windows;
+    if (subDur_.count() <= 0)
+        subDur_ = std::chrono::nanoseconds(1);
+    ring_.assign(static_cast<size_t>(sub_windows),
+                 Histogram(lo, hi, buckets));
+}
+
+long long
+WindowedHistogram::epochOf(TimePoint now) const
+{
+    if (now <= start_)
+        return 0;
+    return (now - start_) / subDur_;
+}
+
+void
+WindowedHistogram::rotateTo(TimePoint now)
+{
+    rotations_ += rotateRing(ring_, epoch_, epochOf(now),
+                             [](Histogram &h) { h.reset(); });
+}
+
+void
+WindowedHistogram::record(double value, TimePoint now)
+{
+    rotateTo(now);
+    ring_[static_cast<size_t>(epoch_ % ring_.size())].sample(value);
+}
+
+Histogram
+WindowedHistogram::merged(TimePoint now)
+{
+    rotateTo(now);
+    Histogram out(ring_[0].lo(), ring_[0].hi(),
+                  static_cast<int>(ring_[0].bins().size()));
+    for (const Histogram &h : ring_)
+        out.merge(h); // identical shapes: bin-exact merge
+    return out;
+}
+
+WindowedCounter::WindowedCounter(int sub_windows,
+                                 std::chrono::nanoseconds window,
+                                 TimePoint start)
+    : start_(start)
+{
+    sub_windows = std::max(1, sub_windows);
+    subDur_ = window / sub_windows;
+    if (subDur_.count() <= 0)
+        subDur_ = std::chrono::nanoseconds(1);
+    ring_.assign(static_cast<size_t>(sub_windows), 0.0);
+}
+
+long long
+WindowedCounter::epochOf(TimePoint now) const
+{
+    if (now <= start_)
+        return 0;
+    return (now - start_) / subDur_;
+}
+
+void
+WindowedCounter::rotateTo(TimePoint now)
+{
+    rotateRing(ring_, epoch_, epochOf(now), [](double &slot) { slot = 0.0; });
+}
+
+void
+WindowedCounter::record(double n, TimePoint now)
+{
+    rotateTo(now);
+    ring_[static_cast<size_t>(epoch_ % ring_.size())] += n;
+}
+
+double
+WindowedCounter::sum(TimePoint now)
+{
+    rotateTo(now);
+    double total = 0.0;
+    for (double slot : ring_)
+        total += slot;
+    return total;
+}
+
+// ------------------------------------------------------------- tracker
+
+SloTracker::SloTracker(SloConfig config) : config_(config)
+{
+    config_.subWindows = std::max(1, config_.subWindows);
+    config_.windowSeconds = std::max(1e-9, config_.windowSeconds);
+    config_.objective = std::min(0.999999, std::max(0.0, config_.objective));
+}
+
+SloTracker::Cell::Cell(const SloConfig &config, TimePoint start)
+    : latencyMs(config.histLoMs, config.histHiMs, config.histBuckets,
+                config.subWindows,
+                std::chrono::nanoseconds(static_cast<long long>(
+                    config.windowSeconds * 1e9)),
+                start),
+      good(config.subWindows,
+           std::chrono::nanoseconds(
+               static_cast<long long>(config.windowSeconds * 1e9)),
+           start),
+      bad(config.subWindows,
+          std::chrono::nanoseconds(
+              static_cast<long long>(config.windowSeconds * 1e9)),
+          start),
+      excluded(config.subWindows,
+               std::chrono::nanoseconds(
+                   static_cast<long long>(config.windowSeconds * 1e9)),
+               start)
+{
+}
+
+SloTracker::Cell &
+SloTracker::cell(const std::string &tenant, const std::string &model,
+                 TimePoint now)
+{
+    auto key = std::make_pair(tenant, model);
+    auto it = cells_.find(key);
+    if (it == cells_.end())
+        it = cells_.emplace(std::move(key), Cell(config_, now)).first;
+    return it->second;
+}
+
+void
+SloTracker::record(const std::string &tenant, const std::string &model,
+                   double latency_ms, bool server_error, bool client_error,
+                   TimePoint now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Cell &c = cell(tenant, model, now);
+    c.latencyMs.record(latency_ms, now);
+    if (client_error)
+        c.excluded.record(1.0, now);
+    else if (server_error || latency_ms > config_.targetMs)
+        c.bad.record(1.0, now);
+    else
+        c.good.record(1.0, now);
+}
+
+SloSnapshot
+SloTracker::snapshotLocked(const std::string &tenant,
+                           const std::string &model, Cell &cell,
+                           TimePoint now)
+{
+    SloSnapshot snap;
+    snap.tenant = tenant;
+    snap.model = model;
+    const Histogram lat = cell.latencyMs.merged(now);
+    snap.p50Ms = lat.p50();
+    snap.p95Ms = lat.p95();
+    snap.p99Ms = lat.p99();
+    snap.good = cell.good.sum(now);
+    snap.bad = cell.bad.sum(now);
+    snap.excluded = cell.excluded.sum(now);
+    snap.burnRate = snap.errorRate() / (1.0 - config_.objective);
+    return snap;
+}
+
+SloSnapshot
+SloTracker::snapshot(const std::string &tenant, const std::string &model,
+                     TimePoint now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cells_.find(std::make_pair(tenant, model));
+    if (it == cells_.end())
+        return SloSnapshot{};
+    return snapshotLocked(tenant, model, it->second, now);
+}
+
+std::vector<SloSnapshot>
+SloTracker::snapshotAll(TimePoint now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SloSnapshot> out;
+    out.reserve(cells_.size());
+    for (auto &kv : cells_)
+        out.push_back(
+            snapshotLocked(kv.first.first, kv.first.second, kv.second, now));
+    return out;
+}
+
+void
+SloTracker::exportTo(MetricsRegistry &registry, TimePoint now)
+{
+    for (const SloSnapshot &snap : snapshotAll(now)) {
+        const Labels labels = {{"tenant", snap.tenant},
+                               {"model", snap.model}};
+        registry.gauge("slo.p50_ms", labels).set(snap.p50Ms);
+        registry.gauge("slo.p95_ms", labels).set(snap.p95Ms);
+        registry.gauge("slo.p99_ms", labels).set(snap.p99Ms);
+        registry.gauge("slo.good", labels).set(snap.good);
+        registry.gauge("slo.bad", labels).set(snap.bad);
+        registry.gauge("slo.excluded", labels).set(snap.excluded);
+        registry.gauge("slo.burn_rate", labels).set(snap.burnRate);
+    }
+}
+
+} // namespace obs
+} // namespace nebula

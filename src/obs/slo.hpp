@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Sliding-window SLO tracking for the serving plane.
+ *
+ * A scrape wants "p99 over the last minute", not "p99 since boot" --
+ * the process-lifetime histograms in MetricsRegistry dilute a brownout
+ * into noise after an hour of good traffic. WindowedHistogram keeps a
+ * ring of sub-window Histograms (the mergeable common/stats kind) and
+ * answers queries with the merge of the live sub-windows, so old
+ * samples age out in sub-window granularity with O(ring) memory and no
+ * per-sample allocation.
+ *
+ * SloTracker keys (tenant, model) cells, each holding a windowed
+ * latency histogram plus windowed good/bad outcome counters, and
+ * reports rolling p50/p95/p99 and the error-budget burn rate: with
+ * objective 0.99, bad/total == 1% burns at exactly rate 1.0 -- the
+ * budget is being consumed precisely as fast as it refills; above 1.0
+ * the tenant is out of SLO.
+ *
+ * Time is passed explicitly (steady_clock time points) so tests drive
+ * rotation deterministically; the convenience overloads default to
+ * steady_clock::now(). Thread safety: one mutex per tracker -- the
+ * serving writer threads record a handful of samples per request,
+ * which is far below the registry-mutex traffic already on that path.
+ */
+
+#ifndef NEBULA_OBS_SLO_HPP
+#define NEBULA_OBS_SLO_HPP
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace nebula {
+namespace obs {
+
+class MetricsRegistry;
+
+/** Mergeable histogram over a rolling time window (ring of sub-windows). */
+class WindowedHistogram
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+    using TimePoint = Clock::time_point;
+
+    /**
+     * @param lo,hi,buckets  Shape of every sub-window Histogram.
+     * @param sub_windows    Ring size (>= 1).
+     * @param window         Total rolling window; each sub-window spans
+     *                       window / sub_windows.
+     * @param start          Epoch the sub-window grid is anchored to.
+     */
+    WindowedHistogram(double lo, double hi, int buckets, int sub_windows,
+                      std::chrono::nanoseconds window,
+                      TimePoint start = Clock::now());
+
+    /** Record one sample at @p now (rotates stale sub-windows first). */
+    void record(double value, TimePoint now = Clock::now());
+
+    /** Merge of all live sub-windows as of @p now. */
+    Histogram merged(TimePoint now = Clock::now());
+
+    /** Drop sub-windows that have aged out as of @p now. */
+    void rotateTo(TimePoint now);
+
+    /** Sub-windows cleared so far (rotation evidence for tests). */
+    long long rotations() const { return rotations_; }
+
+    int subWindows() const { return static_cast<int>(ring_.size()); }
+    std::chrono::nanoseconds subWindowDuration() const { return subDur_; }
+
+  private:
+    /** Sub-window index containing @p now (monotone, 0 at start_). */
+    long long epochOf(TimePoint now) const;
+
+    std::vector<Histogram> ring_;
+    TimePoint start_;
+    std::chrono::nanoseconds subDur_;
+    long long epoch_ = 0; //!< epoch of the newest live sub-window
+    long long rotations_ = 0;
+};
+
+/** Counter over the same rolling ring as WindowedHistogram. */
+class WindowedCounter
+{
+  public:
+    using Clock = WindowedHistogram::Clock;
+    using TimePoint = WindowedHistogram::TimePoint;
+
+    WindowedCounter(int sub_windows, std::chrono::nanoseconds window,
+                    TimePoint start = Clock::now());
+
+    void record(double n = 1.0, TimePoint now = Clock::now());
+    double sum(TimePoint now = Clock::now());
+    void rotateTo(TimePoint now);
+
+  private:
+    long long epochOf(TimePoint now) const;
+
+    std::vector<double> ring_;
+    TimePoint start_;
+    std::chrono::nanoseconds subDur_;
+    long long epoch_ = 0;
+};
+
+/** SLO objective + window shape for every (tenant, model) cell. */
+struct SloConfig
+{
+    /** A request is "good" when it succeeds within this latency. */
+    double targetMs = 50.0;
+
+    /** Fraction of eligible requests that must be good (e.g. 0.99). */
+    double objective = 0.99;
+
+    /** Rolling window split into subWindows ring slots. */
+    double windowSeconds = 60.0;
+    int subWindows = 6;
+
+    /** Latency histogram shape (ms). */
+    double histLoMs = 0.0;
+    double histHiMs = 500.0;
+    int histBuckets = 500;
+};
+
+/** Rolling SLO state of one (tenant, model) pair. */
+struct SloSnapshot
+{
+    std::string tenant;
+    std::string model;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double good = 0.0;     //!< eligible requests inside the objective
+    double bad = 0.0;      //!< server failures or over-target latency
+    double excluded = 0.0; //!< client-caused outcomes (not SLO-eligible)
+
+    double total() const { return good + bad; }
+    double errorRate() const { return total() > 0 ? bad / total() : 0.0; }
+
+    /**
+     * Error-budget burn rate: errorRate / (1 - objective). 1.0 burns
+     * the budget exactly as fast as the window refills it; >= 1.0 over
+     * a sustained window means the SLO is blown.
+     */
+    double burnRate = 0.0;
+
+    bool budgetExhausted() const { return burnRate >= 1.0; }
+};
+
+/** Per-(tenant, model) rolling latency/outcome SLO tracker. */
+class SloTracker
+{
+  public:
+    using Clock = WindowedHistogram::Clock;
+    using TimePoint = WindowedHistogram::TimePoint;
+
+    explicit SloTracker(SloConfig config = {});
+
+    /**
+     * Record one served request. @p server_error marks typed failures
+     * the *server* owns (timeout, shed, replica fault, engine stop);
+     * @p client_error marks outcomes excluded from the SLO (bad
+     * request, unknown model, quota) -- they are counted but burn no
+     * budget. A successful request over targetMs is bad.
+     */
+    void record(const std::string &tenant, const std::string &model,
+                double latency_ms, bool server_error,
+                bool client_error = false, TimePoint now = Clock::now());
+
+    /** Snapshot of one cell ({} when the pair was never recorded). */
+    SloSnapshot snapshot(const std::string &tenant, const std::string &model,
+                         TimePoint now = Clock::now());
+
+    /** Snapshots of every cell, ordered by (tenant, model). */
+    std::vector<SloSnapshot> snapshotAll(TimePoint now = Clock::now());
+
+    /**
+     * Export every cell into @p registry as gauges:
+     * `slo.p50_ms/p95_ms/p99_ms/good/bad/burn_rate{tenant=...,model=...}`.
+     */
+    void exportTo(MetricsRegistry &registry, TimePoint now = Clock::now());
+
+    const SloConfig &config() const { return config_; }
+
+  private:
+    struct Cell
+    {
+        Cell(const SloConfig &config, TimePoint start);
+        WindowedHistogram latencyMs;
+        WindowedCounter good;
+        WindowedCounter bad;
+        WindowedCounter excluded;
+    };
+
+    Cell &cell(const std::string &tenant, const std::string &model,
+               TimePoint now);
+    SloSnapshot snapshotLocked(const std::string &tenant,
+                               const std::string &model, Cell &cell,
+                               TimePoint now);
+
+    SloConfig config_;
+    std::mutex mutex_;
+    std::map<std::pair<std::string, std::string>, Cell> cells_;
+};
+
+} // namespace obs
+} // namespace nebula
+
+#endif // NEBULA_OBS_SLO_HPP

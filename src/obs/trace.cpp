@@ -188,6 +188,18 @@ TraceSession::instant(const char *category, const char *name)
 }
 
 void
+TraceSession::flow(TraceEvent::Phase phase, const char *category,
+                   const char *name, uint64_t flow_id)
+{
+    TraceEvent event;
+    event.phase = phase;
+    event.category = category;
+    event.name = name;
+    event.flowId = flow_id;
+    append(std::move(event));
+}
+
+void
 TraceSession::counter(const char *name, double value)
 {
     TraceEvent event;
@@ -293,6 +305,14 @@ TraceSession::writeJson(std::ostream &os) const
                << ",\"name\":" << json::quoted(event.name);
             if (event.phase == TraceEvent::Phase::Instant)
                 os << ",\"s\":\"t\"";
+            if (event.phase == TraceEvent::Phase::FlowStart ||
+                event.phase == TraceEvent::Phase::FlowStep ||
+                event.phase == TraceEvent::Phase::FlowEnd) {
+                // Flow arrows bind to the enclosing slice; "bp":"e"
+                // makes the terminus bind to the slice it is *inside*
+                // instead of the next one that starts.
+                os << ",\"id\":" << event.flowId << ",\"bp\":\"e\"";
+            }
             if (!event.args.empty()) {
                 os << ",\"args\":{";
                 for (size_t i = 0; i < event.args.size(); ++i) {
@@ -384,6 +404,63 @@ recordCounter(const char *name, double value, bool enabled)
         return;
     if (TraceSession *session = TraceSession::current())
         session->counter(name, value);
+}
+
+namespace {
+
+void
+recordFlow(TraceEvent::Phase phase, const char *category, const char *name,
+           uint64_t flow_id, bool enabled)
+{
+    if (!enabled || flow_id == 0 || t_suppressDepth > 0)
+        return;
+    if (TraceSession *session = TraceSession::current())
+        session->flow(phase, category, name, flow_id);
+}
+
+} // namespace
+
+void
+recordFlowStart(const char *category, const char *name, uint64_t flow_id,
+                bool enabled)
+{
+    recordFlow(TraceEvent::Phase::FlowStart, category, name, flow_id,
+               enabled);
+}
+
+void
+recordFlowStep(const char *category, const char *name, uint64_t flow_id,
+               bool enabled)
+{
+    recordFlow(TraceEvent::Phase::FlowStep, category, name, flow_id,
+               enabled);
+}
+
+void
+recordFlowEnd(const char *category, const char *name, uint64_t flow_id,
+              bool enabled)
+{
+    recordFlow(TraceEvent::Phase::FlowEnd, category, name, flow_id, enabled);
+}
+
+uint64_t
+nextTraceId()
+{
+    // SplitMix64 over (startup time ^ pid-ish salt) picks the process
+    // lane; the monotone counter walks it. Never returns 0.
+    static const uint64_t salt = [] {
+        uint64_t z = static_cast<uint64_t>(
+            std::chrono::steady_clock::now().time_since_epoch().count());
+        z ^= reinterpret_cast<uintptr_t>(&g_current);
+        z += 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }();
+    static std::atomic<uint64_t> counter{0};
+    const uint64_t id =
+        salt ^ (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+    return id ? id : 1;
 }
 
 void

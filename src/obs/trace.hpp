@@ -47,10 +47,13 @@ namespace obs {
 struct TraceEvent
 {
     enum class Phase : char {
-        Begin = 'B',   //!< duration-span begin
-        End = 'E',     //!< duration-span end
-        Instant = 'i', //!< point event
-        Counter = 'C', //!< counter-track sample
+        Begin = 'B',     //!< duration-span begin
+        End = 'E',       //!< duration-span end
+        Instant = 'i',   //!< point event
+        Counter = 'C',   //!< counter-track sample
+        FlowStart = 's', //!< flow arrow origin (binds to enclosing span)
+        FlowStep = 't',  //!< flow arrow waypoint
+        FlowEnd = 'f',   //!< flow arrow terminus
     };
 
     Phase phase = Phase::Instant;
@@ -58,6 +61,7 @@ struct TraceEvent
     const char *name = "";     //!< static-storage event name
     double tsUs = 0.0;         //!< microseconds since session start
     double value = 0.0;        //!< counter value (Counter only)
+    uint64_t flowId = 0;       //!< flow-arrow id (Flow* phases only)
     /** Numeric args attached to the event (keys are static strings). */
     std::vector<std::pair<const char *, double>> args;
 };
@@ -123,6 +127,15 @@ class TraceSession
 
     /** Append an instant event. */
     void instant(const char *category, const char *name);
+
+    /**
+     * Append a flow event (FlowStart/FlowStep/FlowEnd). Perfetto draws
+     * an arrow through every flow event sharing @p flow_id, binding
+     * each to the duration span enclosing it -- emit these *inside* a
+     * TraceSpan so cross-thread/cross-stage request hops are linked.
+     */
+    void flow(TraceEvent::Phase phase, const char *category,
+              const char *name, uint64_t flow_id);
 
     /** Append a counter-track sample. */
     void counter(const char *name, double value);
@@ -231,6 +244,27 @@ void recordInstant(const char *category, const char *name,
 
 /** Counter-track sample on the active session (no-op when disabled). */
 void recordCounter(const char *name, double value, bool enabled = true);
+
+/**
+ * Flow-arrow events on the active session (no-ops when disabled or
+ * when @p flow_id is 0 -- the "no trace context" sentinel). A request's
+ * hops share one id: start where it is submitted, step at each
+ * dispatch/dequeue, end where the response lands.
+ */
+void recordFlowStart(const char *category, const char *name,
+                     uint64_t flow_id, bool enabled = true);
+void recordFlowStep(const char *category, const char *name,
+                    uint64_t flow_id, bool enabled = true);
+void recordFlowEnd(const char *category, const char *name, uint64_t flow_id,
+                   bool enabled = true);
+
+/**
+ * Allocate a process-unique non-zero trace/flow id: a per-process
+ * random-ish salt (time + pid hashed) XOR a monotone counter, so ids
+ * from a client and a server process collide with negligible
+ * probability when their traces are merged.
+ */
+uint64_t nextTraceId();
 
 /**
  * Name the calling thread's trace track. Takes effect immediately on

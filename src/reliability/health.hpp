@@ -168,6 +168,9 @@ class HealthMonitor
     /** Probe @p replica now, unconditionally (same ladder). */
     ReplicaHealth probeNow(int slot, std::unique_ptr<ChipReplica> &replica);
 
+    /** Number of per-replica slots sized by resizeSlots (any thread). */
+    int slotCount() const { return static_cast<int>(slots_.size()); }
+
     /** Current state of one slot (any thread). */
     ReplicaHealth health(int slot) const;
 

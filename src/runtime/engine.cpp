@@ -282,6 +282,8 @@ InferenceEngine::runInline(InferenceRequest request)
     obs::TraceSpan span("runtime", "request", config_.traceRequests,
                         /*sampled_root=*/true);
     span.arg("id", static_cast<double>(request.id));
+    obs::recordFlowStep("runtime", "request.flow", request.traceId,
+                        config_.traceRequests);
 
     if (request.cancel && request.cancel->load(std::memory_order_acquire)) {
         inlineStats_.scalar("cancelled").inc();

@@ -22,9 +22,11 @@ AnnChipReplica::AnnChipReplica(const Network &prototype,
 InferenceResult
 AnnChipReplica::run(const InferenceRequest &request)
 {
+    const ChipStats before = chip_.stats();
     InferenceResult result;
     result.logits = chip_.runAnn(request.image);
     result.predictedClass = result.logits.argmaxRow(0);
+    result.energy = estimateEnergyBreakdown(before, chip_.stats(), Mode::ANN);
     return result;
 }
 
@@ -51,6 +53,7 @@ SnnChipReplica::run(const InferenceRequest &request)
 {
     NEBULA_ASSERT(request.timesteps > 0,
                   "SNN request needs a timestep count");
+    const ChipStats before = chip_.stats();
     const SnnRunResult snn =
         chip_.runSnn(request.image, request.timesteps, request.seed);
     InferenceResult result;
@@ -58,6 +61,7 @@ SnnChipReplica::run(const InferenceRequest &request)
     result.predictedClass = snn.predictedClass();
     result.timesteps = snn.timesteps;
     result.spikes = snn.totalSpikes;
+    result.energy = estimateEnergyBreakdown(before, chip_.stats(), Mode::SNN);
     return result;
 }
 

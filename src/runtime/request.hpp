@@ -24,6 +24,7 @@
 #include <memory>
 #include <string>
 
+#include "arch/energy_breakdown.hpp"
 #include "nn/tensor.hpp"
 #include "runtime/error.hpp"
 
@@ -56,6 +57,14 @@ struct InferenceRequest
 
     /** Optional cancellation flag (null: not cancellable). */
     CancelFlag cancel;
+
+    /**
+     * Distributed trace context (Perfetto flow id), 0 when absent. The
+     * serving layer copies it from the wire frame header so client
+     * submit, server dispatch and worker evaluation emit flow events
+     * under one id; the engine passes it through untouched.
+     */
+    uint64_t traceId = 0;
 };
 
 /** The completed inference for one request. */
@@ -73,6 +82,13 @@ struct InferenceResult
     // -- mode-specific extras -------------------------------------------
     int timesteps = 0;        //!< SNN/hybrid steps actually run
     long long spikes = 0;     //!< SNN/hybrid spike count (0 for ANN)
+
+    /**
+     * Joules this inference spent on the chip replica, by component
+     * (all zero on functional/hybrid backends and on errors). The
+     * serving layer bills these to per-tenant telemetry counters.
+     */
+    EnergyBreakdown energy;
 
     /** True when the request was evaluated and the logits are valid. */
     bool ok() const { return error == RuntimeErrorKind::None; }

@@ -105,6 +105,10 @@ Worker::loop()
                             /*sampled_root=*/true);
         span.arg("id", static_cast<double>(item->request.id));
         span.arg("wait_ms", 1e3 * wait);
+        // Distributed-trace hop: a request carrying wire trace context
+        // links its worker evaluation into the client/server flow.
+        obs::recordFlowStep("runtime", "request.flow",
+                            item->request.traceId, hooks_.traceRequests);
         obs::recordCounter("queue.depth",
                            static_cast<double>(queue_->size()),
                            hooks_.traceRequests);

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Admin/telemetry HTTP endpoint: a deliberately minimal HTTP/1.0 GET
+ * server on its own thread, serving the live telemetry plane of a
+ * running process -- `/metrics` (Prometheus text exposition),
+ * `/statusz` (JSON operational state) and `/healthz` (readiness).
+ *
+ * This is not a web framework: one accept thread handles connections
+ * serially (a scrape is one GET every few seconds), every socket gets
+ * a receive/send timeout so a stuck scraper cannot wedge the thread,
+ * requests are capped at a few KB, and every response closes the
+ * connection. Handlers are plain callbacks returning a body, so the
+ * same server fronts a full ServingServer (rich statusz) or a bare
+ * engine binary (registry defaults) -- anything that links obs.
+ *
+ * Unless overridden via handle(), start() installs defaults backed by
+ * MetricsRegistry::global(): /metrics renders toPrometheus(), /statusz
+ * renders toJson(), /healthz answers "ok".
+ */
+
+#ifndef NEBULA_SERVING_ADMIN_HPP
+#define NEBULA_SERVING_ADMIN_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace nebula {
+namespace serving {
+
+/** Admin endpoint knobs. */
+struct AdminConfig
+{
+    /** Listen port; 0 binds an ephemeral port (read back via port()). */
+    uint16_t port = 0;
+
+    /** Loopback-only by default. */
+    std::string host = "127.0.0.1";
+
+    int backlog = 8;
+
+    /** Per-socket receive/send timeout: bounds slow/stuck scrapers. */
+    int ioTimeoutMs = 2000;
+
+    /** Request-head cap; longer requests are rejected with 400. */
+    size_t maxRequestBytes = 8192;
+};
+
+/** One handler's answer. */
+struct AdminResponse
+{
+    int status = 200;
+    std::string contentType = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+/** Renders one endpoint's current state. */
+using AdminHandler = std::function<AdminResponse()>;
+
+/** The admin/scrape endpoint; one instance per process as needed. */
+class AdminServer
+{
+  public:
+    explicit AdminServer(AdminConfig config = {});
+
+    /** stop()s if the caller has not. */
+    ~AdminServer();
+
+    AdminServer(const AdminServer &) = delete;
+    AdminServer &operator=(const AdminServer &) = delete;
+
+    /**
+     * Register/replace the handler for an exact @p path (e.g.
+     * "/statusz"). Call before start(); handlers are immutable while
+     * the server runs.
+     */
+    void handle(const std::string &path, AdminHandler handler);
+
+    /** Bind, listen, start serving. Throws std::runtime_error. */
+    void start();
+
+    /** Close the listener, join the serving thread. */
+    void stop();
+
+    /** Bound port (valid after start()). */
+    uint16_t port() const { return port_; }
+
+    bool running() const { return running_.load(); }
+
+    uint64_t requestsServed() const { return served_.load(); }
+
+  private:
+    void serveLoop();
+    void serveOne(int fd);
+
+    AdminConfig config_;
+    std::map<std::string, AdminHandler> handlers_;
+
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<uint64_t> served_{0};
+};
+
+} // namespace serving
+} // namespace nebula
+
+#endif // NEBULA_SERVING_ADMIN_HPP

@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace nebula {
 namespace serving {
 
@@ -112,6 +114,17 @@ ServingClient::inferAsync(const std::string &tenant,
     request.model = model;
     request.image = image;
 
+    // With an active trace session, stamp a trace id into the frame
+    // header (protocol v2) so the server and worker spans join this
+    // request's flow; without one, traceId stays 0 and the encoder
+    // emits a byte-identical v1 frame.
+    if (obs::TraceSession::enabled()) {
+        request.traceId = obs::nextTraceId();
+        obs::TraceSpan span("client", "serve.submit");
+        span.arg("corr_id", static_cast<double>(request.corrId));
+        obs::recordFlowStart("client", "request.flow", request.traceId);
+    }
+
     if (!open_.load()) {
         WireResponse response;
         response.corrId = request.corrId;
@@ -126,6 +139,8 @@ ServingClient::inferAsync(const std::string &tenant,
     {
         std::lock_guard<std::mutex> lock(pendingMutex_);
         pending_.emplace(request.corrId, std::move(promise));
+        if (request.traceId != 0)
+            pendingTrace_.emplace(request.corrId, request.traceId);
     }
 
     const std::vector<uint8_t> frame = encodeRequestFrame(request);
@@ -144,6 +159,7 @@ ServingClient::inferAsync(const std::string &tenant,
             response.message = "could not write request frame";
             it->second.set_value(std::move(response));
             pending_.erase(it);
+            pendingTrace_.erase(request.corrId);
         }
     } else if (!open_.load()) {
         // The reader died between registration and the send: its
@@ -174,6 +190,16 @@ ServingClient::readerLoop()
                          /*max_body=*/1 << 26, header) != WireStatus::Ok ||
             header.type != FrameType::Response)
             break;
+        // Today's server answers with v1 frames; tolerate a v2 response
+        // (trace-context extension) from a future server anyway.
+        const size_t extra = headerExtraBytes(header.version);
+        if (extra > 0) {
+            uint8_t raw_extra[kTraceContextBytes];
+            if (!readFully(fd_, raw_extra, extra) ||
+                decodeHeaderExtra(raw_extra, extra, header) !=
+                    WireStatus::Ok)
+                break;
+        }
         std::vector<uint8_t> body(header.bodyLen);
         if (header.bodyLen > 0 &&
             !readFully(fd_, body.data(), body.size()))
@@ -185,6 +211,7 @@ ServingClient::readerLoop()
 
         std::promise<WireResponse> promise;
         bool matched = false;
+        uint64_t trace_id = 0;
         {
             std::lock_guard<std::mutex> lock(pendingMutex_);
             const auto it = pending_.find(response.corrId);
@@ -193,6 +220,16 @@ ServingClient::readerLoop()
                 pending_.erase(it);
                 matched = true;
             }
+            const auto trace_it = pendingTrace_.find(response.corrId);
+            if (trace_it != pendingTrace_.end()) {
+                trace_id = trace_it->second;
+                pendingTrace_.erase(trace_it);
+            }
+        }
+        if (trace_id != 0) {
+            obs::TraceSpan span("client", "serve.response");
+            span.arg("corr_id", static_cast<double>(response.corrId));
+            obs::recordFlowEnd("client", "request.flow", trace_id);
         }
         if (matched) {
             promise.set_value(std::move(response));
@@ -214,6 +251,7 @@ ServingClient::failAllPending(WireStatus status)
     {
         std::lock_guard<std::mutex> lock(pendingMutex_);
         orphaned.swap(pending_);
+        pendingTrace_.clear();
     }
     for (auto &[corr_id, promise] : orphaned) {
         WireResponse response;

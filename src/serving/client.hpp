@@ -97,6 +97,8 @@ class ServingClient
     std::mutex sendMutex_;
     std::mutex pendingMutex_;
     std::map<uint64_t, std::promise<WireResponse>> pending_;
+    /** corr id -> trace id of in-flight traced requests (flow end). */
+    std::map<uint64_t, uint64_t> pendingTrace_;
 };
 
 } // namespace serving

@@ -257,7 +257,7 @@ decodeHeader(const uint8_t *raw, size_t size, size_t max_body,
         return WireStatus::BadFrame;
     if (magic != kWireMagic)
         return WireStatus::BadFrame;
-    if (version != kWireVersion)
+    if (version != kWireVersion && version != kWireVersionTrace)
         return WireStatus::UnsupportedVersion;
     if (type != static_cast<uint8_t>(FrameType::Request) &&
         type != static_cast<uint8_t>(FrameType::Response))
@@ -268,20 +268,39 @@ decodeHeader(const uint8_t *raw, size_t size, size_t max_body,
     out.version = version;
     out.type = static_cast<FrameType>(type);
     out.bodyLen = body_len;
+    out.traceId = 0; // filled by decodeHeaderExtra on v2 frames
+    return WireStatus::Ok;
+}
+
+WireStatus
+decodeHeaderExtra(const uint8_t *raw, size_t size, FrameHeader &out)
+{
+    const size_t expected = headerExtraBytes(out.version);
+    if (size != expected)
+        return WireStatus::BadFrame;
+    if (expected == 0)
+        return WireStatus::Ok;
+    ByteReader r(raw, size);
+    if (!r.u64(out.traceId))
+        return WireStatus::BadFrame;
     return WireStatus::Ok;
 }
 
 std::vector<uint8_t>
-encodeFrame(FrameType type, const std::vector<uint8_t> &body)
+encodeFrame(FrameType type, const std::vector<uint8_t> &body,
+            uint64_t trace_id)
 {
+    const uint8_t version = trace_id ? kWireVersionTrace : kWireVersion;
     std::vector<uint8_t> frame;
-    frame.reserve(kHeaderBytes + body.size());
+    frame.reserve(kHeaderBytes + headerExtraBytes(version) + body.size());
     ByteWriter w(frame);
     w.u32(kWireMagic);
-    w.u8(kWireVersion);
+    w.u8(version);
     w.u8(static_cast<uint8_t>(type));
     w.u16(0);
     w.u32(static_cast<uint32_t>(body.size()));
+    if (trace_id)
+        w.u64(trace_id);
     w.bytes(body.data(), body.size());
     return frame;
 }
@@ -322,7 +341,8 @@ encodeResponseBody(const WireResponse &response)
 std::vector<uint8_t>
 encodeRequestFrame(const WireRequest &request)
 {
-    return encodeFrame(FrameType::Request, encodeRequestBody(request));
+    return encodeFrame(FrameType::Request, encodeRequestBody(request),
+                       request.traceId);
 }
 
 std::vector<uint8_t>

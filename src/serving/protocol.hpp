@@ -4,7 +4,7 @@
  * framing over TCP, little-endian throughout.
  *
  *   Frame   = [u32 magic "NEBP"] [u8 version] [u8 type] [u16 reserved]
- *             [u32 bodyLen] [body ...]
+ *             [u32 bodyLen] [v2: u64 traceId] [body ...]
  *   Request = [u64 corrId] [u8 mode] [u32 timesteps] [u64 deadlineNs]
  *             [u64 seed] [u8 len + tenant] [u8 len + model]
  *             [u8 rank] [i32 dims]* [f32 data]*
@@ -19,6 +19,13 @@
  * float payloads travel as raw IEEE-754 bits, so a round trip is
  * bit-exact and the determinism guarantee of the engine (per-request
  * encoder seeds) extends across the socket.
+ *
+ * Versioning: v1 is the fixed 12-byte header above; v2 appends a u64
+ * trace-context id (the Perfetto flow id linking client, server and
+ * worker spans) between the fixed header and the body. Encoders emit
+ * v1 whenever the trace id is 0, so untraced traffic is byte-identical
+ * to the old wire format and v1-only peers interoperate; decoders
+ * accept both versions.
  */
 
 #ifndef NEBULA_SERVING_PROTOCOL_HPP
@@ -35,8 +42,17 @@ namespace nebula {
 namespace serving {
 
 constexpr uint32_t kWireMagic = 0x4E454250u; // "NEBP"
-constexpr uint8_t kWireVersion = 1;
-constexpr size_t kHeaderBytes = 12;
+constexpr uint8_t kWireVersion = 1;      //!< fixed-header frames
+constexpr uint8_t kWireVersionTrace = 2; //!< + u64 trace-context id
+constexpr size_t kHeaderBytes = 12;      //!< fixed part, every version
+constexpr size_t kTraceContextBytes = 8; //!< v2 header extension
+
+/** Header-extension length that follows the fixed 12 bytes. */
+constexpr size_t
+headerExtraBytes(uint8_t version)
+{
+    return version >= kWireVersionTrace ? kTraceContextBytes : 0;
+}
 constexpr int kMaxTensorRank = 8;
 constexpr long long kMaxTensorDim = 1 << 20;
 
@@ -89,13 +105,14 @@ const char *toString(WireMode mode);
 /** Parse "ann" / "snn" / "hybrid"; false on anything else. */
 bool parseWireMode(const std::string &text, WireMode &out);
 
-/** Fixed-size frame header (see file comment for layout). */
+/** Frame header (see file comment for layout). */
 struct FrameHeader
 {
     uint32_t magic = kWireMagic;
     uint8_t version = kWireVersion;
     FrameType type = FrameType::Request;
     uint32_t bodyLen = 0;
+    uint64_t traceId = 0; //!< v2 extension (0 on v1 frames)
 };
 
 /** One decoded inference request. */
@@ -106,6 +123,7 @@ struct WireRequest
     uint32_t timesteps = 0;  //!< 0: engine default
     uint64_t deadlineNs = 0; //!< 0: server/engine default
     uint64_t seed = 0;       //!< 0: engine derives from request id
+    uint64_t traceId = 0;    //!< flow id from the v2 header (0: none)
     std::string tenant;
     std::string model;       //!< catalog family, e.g. "mlp3"
     Tensor image;
@@ -167,15 +185,31 @@ class ByteWriter
 };
 
 /**
- * Validate a raw 12-byte header. @return Ok, BadFrame (magic/type),
- * UnsupportedVersion, or PayloadTooLarge (bodyLen > @p max_body).
+ * Validate the fixed 12-byte part of a header. @return Ok, BadFrame
+ * (magic/type), UnsupportedVersion (not v1/v2), or PayloadTooLarge
+ * (bodyLen > @p max_body). On Ok the caller must still read
+ * headerExtraBytes(out.version) extension bytes and hand them to
+ * decodeHeaderExtra before the body.
  */
 WireStatus decodeHeader(const uint8_t *raw, size_t size, size_t max_body,
                         FrameHeader &out);
 
-/** Encode a complete frame (header + body) for @p type. */
+/**
+ * Decode the version-dependent header extension (v2: the u64 trace
+ * id) into @p out. @p size must be headerExtraBytes(out.version); a
+ * v1 header is a no-op. @return Ok or BadFrame.
+ */
+WireStatus decodeHeaderExtra(const uint8_t *raw, size_t size,
+                             FrameHeader &out);
+
+/**
+ * Encode a complete frame (header + body) for @p type. A non-zero
+ * @p trace_id emits a v2 header carrying it; 0 emits a v1 frame
+ * byte-identical to the pre-trace wire format.
+ */
 std::vector<uint8_t> encodeFrame(FrameType type,
-                                 const std::vector<uint8_t> &body);
+                                 const std::vector<uint8_t> &body,
+                                 uint64_t trace_id = 0);
 
 /** Request body -> bytes (frame it with encodeFrame). */
 std::vector<uint8_t> encodeRequestBody(const WireRequest &request);

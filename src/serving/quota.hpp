@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace nebula {
 namespace serving {
@@ -58,6 +59,21 @@ class TokenBucket
             return false;
         tokens_ -= 1.0;
         return true;
+    }
+
+    /** Current balance after refill-at-read (telemetry; racy by nature). */
+    double available(std::chrono::steady_clock::time_point now =
+                         std::chrono::steady_clock::now())
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const double elapsed =
+            std::chrono::duration<double>(now - last_).count();
+        if (elapsed > 0.0) {
+            tokens_ = std::min(quota_.burst,
+                               tokens_ + elapsed * quota_.ratePerSec);
+            last_ = now;
+        }
+        return tokens_;
     }
 
     const TenantQuota &quota() const { return quota_; }
@@ -104,6 +120,30 @@ class TenantTable
                      .first;
         }
         return *it->second;
+    }
+
+    /** One tenant's live quota state (for /statusz). */
+    struct BucketStatus
+    {
+        std::string tenant;
+        double tokens = 0.0;
+        TenantQuota quota;
+    };
+
+    /** Every known tenant's bucket balance, sorted by tenant. */
+    std::vector<BucketStatus> snapshot()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::vector<BucketStatus> out;
+        out.reserve(buckets_.size());
+        for (auto &kv : buckets_) {
+            BucketStatus status;
+            status.tenant = kv.first;
+            status.tokens = kv.second->available();
+            status.quota = kv.second->quota();
+            out.push_back(std::move(status));
+        }
+        return out;
     }
 
   private:

@@ -142,6 +142,7 @@ ModelRegistry::acquire(const std::string &id)
     if (resident_it != resident_.end()) {
         lru_.remove(id);
         lru_.push_front(id);
+        lastUsed_[id] = std::chrono::steady_clock::now();
         return resident_it->second;
     }
 
@@ -162,6 +163,7 @@ ModelRegistry::acquire(const std::string &id)
 
     resident_.emplace(id, instance);
     lru_.push_front(id);
+    lastUsed_[id] = std::chrono::steady_clock::now();
     ++swapIns_;
     totalSwapCost_.merge(instance->swapCost());
 
@@ -183,6 +185,31 @@ ModelRegistry::acquire(const std::string &id)
                  " ms (", instance->swapCost().pulses, " pulses, ",
                  instance->swapCost().programEnergy, " J)");
     return instance;
+}
+
+std::vector<ModelRegistry::ModelStatus>
+ModelRegistry::status() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<ModelStatus> out;
+    out.reserve(catalog_.size());
+    for (const auto &[id, spec] : catalog_) {
+        ModelStatus status;
+        status.id = id;
+        const auto resident_it = resident_.find(id);
+        if (resident_it != resident_.end()) {
+            status.resident = true;
+            status.instance = resident_it->second;
+            status.swapCost = resident_it->second->swapCost();
+        }
+        const auto used_it = lastUsed_.find(id);
+        if (used_it != lastUsed_.end())
+            status.lruAgeSeconds =
+                std::chrono::duration<double>(now - used_it->second).count();
+        out.push_back(std::move(status));
+    }
+    return out;
 }
 
 void

@@ -21,6 +21,7 @@
 #ifndef NEBULA_SERVING_REGISTRY_HPP
 #define NEBULA_SERVING_REGISTRY_HPP
 
+#include <chrono>
 #include <list>
 #include <map>
 #include <memory>
@@ -130,6 +131,25 @@ class ModelRegistry
     /** Cumulative write-verify cost across every swap-in. */
     ProgramReport totalSwapCost() const;
 
+    /** One catalog entry's live state (for /statusz). */
+    struct ModelStatus
+    {
+        std::string id;
+        bool resident = false;
+
+        /** Seconds since the model was last acquired (0 if never). */
+        double lruAgeSeconds = 0.0;
+
+        /** Write-verify cost of the *current* residency (0 if cold). */
+        ProgramReport swapCost;
+
+        /** Live instance (null when cold) -- engine counters readable. */
+        std::shared_ptr<ModelInstance> instance;
+    };
+
+    /** Every catalog entry's state, sorted by id. */
+    std::vector<ModelStatus> status() const;
+
     /** Quiesce and tear down every resident instance. Idempotent. */
     void shutdown();
 
@@ -143,6 +163,8 @@ class ModelRegistry
     mutable std::mutex mutex_;
     std::map<std::string, std::shared_ptr<ModelInstance>> resident_;
     std::list<std::string> lru_; //!< front = most recently used
+    /** Last acquire() per id (survives eviction; LRU-age telemetry). */
+    std::map<std::string, std::chrono::steady_clock::time_point> lastUsed_;
     uint64_t swapIns_ = 0;
     uint64_t evictions_ = 0;
     ProgramReport totalSwapCost_;

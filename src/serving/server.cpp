@@ -12,9 +12,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/json.hpp"
 #include "common/logging.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "reliability/health.hpp"
 
 namespace nebula {
 namespace serving {
@@ -89,6 +91,7 @@ struct ServingServer::Connection
         std::future<InferenceResult> future;
         std::shared_ptr<ModelInstance> instance;
         std::string tenant;
+        std::string model; //!< catalog id, for SLO / energy attribution
         std::chrono::steady_clock::time_point received;
         bool closeAfter = false;
     };
@@ -116,7 +119,8 @@ struct ServingServer::Connection
 ServingServer::ServingServer(ServerConfig config,
                              std::shared_ptr<ModelRegistry> registry)
     : config_(std::move(config)), registry_(std::move(registry)),
-      tenants_(config_.defaultQuota, config_.tenantQuotas)
+      tenants_(config_.defaultQuota, config_.tenantQuotas),
+      slo_(config_.slo)
 {
     NEBULA_ASSERT(registry_, "server needs a registry");
 }
@@ -161,6 +165,44 @@ ServingServer::start()
 
     running_.store(true);
     acceptThread_ = std::thread([this] { acceptLoop(); });
+
+    if (config_.adminEnabled) {
+        AdminConfig admin_config;
+        admin_config.port = config_.adminPort;
+        admin_config.host = config_.host;
+        admin_ = std::make_unique<AdminServer>(admin_config);
+        admin_->handle("/metrics", [this] {
+            // Fold the rolling SLO state into the registry right before
+            // rendering, so a scrape always sees fresh slo.* gauges.
+            auto &registry = obs::MetricsRegistry::global();
+            slo_.exportTo(registry);
+            AdminResponse response;
+            response.contentType =
+                "text/plain; version=0.0.4; charset=utf-8";
+            response.body = registry.toPrometheus();
+            return response;
+        });
+        admin_->handle("/statusz", [this] {
+            AdminResponse response;
+            response.contentType = "application/json";
+            response.body = statuszJson();
+            return response;
+        });
+        admin_->handle("/healthz", [this] {
+            AdminResponse response;
+            if (running_.load()) {
+                response.body = "ok\n";
+            } else {
+                response.status = 503;
+                response.body = "stopping\n";
+            }
+            return response;
+        });
+        admin_->start();
+        NEBULA_DEBUG("serving", "admin endpoint on ", config_.host, ":",
+                     admin_->port());
+    }
+
     NEBULA_DEBUG("serving", "server listening on ", config_.host, ":",
                  port_);
 }
@@ -224,8 +266,15 @@ ServingServer::dispatch(Connection &conn, WireRequest request)
 {
     obs::TraceSpan span("serving", "request", config_.traceRequests);
     span.arg("corr_id", static_cast<double>(request.corrId));
+    // Cross-process flow: the client emitted the flow start under this
+    // id; the step here and the one in the worker link submit ->
+    // dispatch -> evaluate into one Perfetto track.
+    obs::recordFlowStep("serving", "request.flow", request.traceId,
+                        config_.traceRequests);
     auto &metrics = obs::MetricsRegistry::global();
     const auto received = std::chrono::steady_clock::now();
+    const std::string catalog_id =
+        request.model + "/" + toString(request.mode);
 
     WireResponse response;
     response.corrId = request.corrId;
@@ -238,16 +287,18 @@ ServingServer::dispatch(Connection &conn, WireRequest request)
             .counter("serving.shed", {{"tenant", request.tenant},
                                       {"reason", "quota"}})
             .inc();
+        slo_.record(request.tenant, catalog_id, 0.0,
+                    /*server_error=*/false, /*client_error=*/true);
         response.status = WireStatus::QuotaExceeded;
         response.message = "tenant over admission quota";
         enqueueReady(conn, std::move(response));
         return true;
     }
 
-    const std::string catalog_id =
-        request.model + "/" + toString(request.mode);
     std::shared_ptr<ModelInstance> instance = registry_->acquire(catalog_id);
     if (!instance) {
+        slo_.record(request.tenant, catalog_id, 0.0,
+                    /*server_error=*/false, /*client_error=*/true);
         response.status = WireStatus::UnknownModel;
         response.message = "no servable '" + catalog_id + "' in catalog";
         enqueueReady(conn, std::move(response));
@@ -255,6 +306,8 @@ ServingServer::dispatch(Connection &conn, WireRequest request)
     }
 
     if (request.image.shape() != instance->inputShape()) {
+        slo_.record(request.tenant, catalog_id, 0.0,
+                    /*server_error=*/false, /*client_error=*/true);
         response.status = WireStatus::BadRequest;
         response.message = "image shape does not match model input";
         enqueueReady(conn, std::move(response));
@@ -274,6 +327,7 @@ ServingServer::dispatch(Connection &conn, WireRequest request)
         engine_request.image = request.image;
         engine_request.timesteps = static_cast<int>(request.timesteps);
         engine_request.seed = request.seed;
+        engine_request.traceId = request.traceId;
         engine_request.deadlineNs = request.deadlineNs != 0
                                         ? request.deadlineNs
                                         : config_.defaultDeadlineNs;
@@ -287,6 +341,8 @@ ServingServer::dispatch(Connection &conn, WireRequest request)
         }
     }
     if (!submitted) {
+        slo_.record(request.tenant, catalog_id, 0.0,
+                    /*server_error=*/true);
         response.status = WireStatus::EngineStopped;
         response.message = "model engine stopped during submit";
         enqueueReady(conn, std::move(response));
@@ -302,6 +358,7 @@ ServingServer::dispatch(Connection &conn, WireRequest request)
     pending.future = std::move(future);
     pending.instance = std::move(instance);
     pending.tenant = request.tenant;
+    pending.model = catalog_id;
     pending.received = received;
     conn.pipeline.push_back(std::move(pending));
     lock.unlock();
@@ -338,6 +395,18 @@ ServingServer::readerLoop(Connection &conn)
             break;
         }
 
+        // v2 frames carry a trace-context extension after the fixed
+        // header; v1 frames have none (extra == 0) and skip this read.
+        const size_t extra = headerExtraBytes(header.version);
+        if (extra > 0) {
+            uint8_t raw_extra[kTraceContextBytes];
+            if (!readFully(conn.fd, raw_extra, extra))
+                break; // disconnect mid-header
+            if (decodeHeaderExtra(raw_extra, extra, header) !=
+                WireStatus::Ok)
+                break;
+        }
+
         std::vector<uint8_t> body(header.bodyLen);
         if (header.bodyLen > 0 &&
             !readFully(conn.fd, body.data(), body.size()))
@@ -346,6 +415,7 @@ ServingServer::readerLoop(Connection &conn)
         WireRequest request;
         const WireStatus decode_status =
             decodeRequestBody(body.data(), body.size(), request);
+        request.traceId = header.traceId;
         if (decode_status != WireStatus::Ok) {
             WireResponse err;
             err.corrId = request.corrId; // best-effort correlation
@@ -408,6 +478,46 @@ ServingServer::writerLoop(Connection &conn)
                           pending.received)
                           .count();
             response.serverMs = ms;
+            // Engine outcomes are all server-owned: anything but Ok
+            // burns error budget (client-caused refusals never reach
+            // the engine; dispatch() records those as excluded).
+            slo_.record(pending.tenant, pending.model, ms,
+                        /*server_error=*/response.status != WireStatus::Ok);
+            if (result.ok()) {
+                // Per-request energy attribution: bill the chip-model
+                // Joules this evaluation consumed to the tenant that
+                // asked for it, broken down by component. Functional
+                // backends report zero (the series still exists, so a
+                // reader can distinguish "no energy model" from "no
+                // traffic").
+                const std::map<std::string, double> components = {
+                    {"crossbar", result.energy.crossbarJ},
+                    {"driver", result.energy.driverJ},
+                    {"adc", result.energy.adcJ},
+                    {"neuron", result.energy.neuronJ},
+                    {"noc", result.energy.nocJ},
+                };
+                for (const auto &[component, joules] : components)
+                    metrics
+                        .counter("telemetry.energy_j",
+                                 {{"tenant", pending.tenant},
+                                  {"model", pending.model},
+                                  {"component", component}})
+                        .inc(joules);
+                metrics
+                    .counter("telemetry.inferences",
+                             {{"tenant", pending.tenant},
+                              {"model", pending.model}})
+                    .inc();
+                metrics
+                    .counter("telemetry.tenant.energy_j",
+                             {{"tenant", pending.tenant}})
+                    .inc(result.energy.total());
+                metrics
+                    .counter("telemetry.tenant.inferences",
+                             {{"tenant", pending.tenant}})
+                    .inc();
+            }
             metrics.observe("serving.latency_ms", ms, kLatencyHistLoMs,
                             kLatencyHistHiMs, kLatencyHistBuckets,
                             {{"tenant", pending.tenant}});
@@ -468,6 +578,11 @@ ServingServer::stop()
         return;
     }
 
+    // running_ is already false, so a late /healthz answers 503; take
+    // the endpoint down before the data plane drains.
+    if (admin_)
+        admin_->stop();
+
     // Kill the listener first so no new connections arrive.
     ::shutdown(listenFd_, SHUT_RDWR);
     ::close(listenFd_);
@@ -490,6 +605,108 @@ ServingServer::stop()
     }
     NEBULA_DEBUG("serving", "server stopped after ", accepted_.load(),
                  " connections");
+}
+
+std::string
+ServingServer::statuszJson()
+{
+    std::string out;
+    out.reserve(4096);
+    out += "{\"server\":{";
+    out += "\"running\":";
+    out += running_.load() ? "true" : "false";
+    out += ",\"port\":" + std::to_string(port_);
+    out += ",\"adminPort\":" + std::to_string(adminPort());
+    out += ",\"connectionsAccepted\":" + std::to_string(accepted_.load());
+    out += "},\"registry\":{";
+    out += "\"residentCapacity\":" +
+           std::to_string(registry_->residentCapacity());
+    out += ",\"residentCount\":" + std::to_string(registry_->residentCount());
+    out += ",\"swapIns\":" + std::to_string(registry_->swapIns());
+    out += ",\"evictions\":" + std::to_string(registry_->evictions());
+    const ProgramReport total_swap = registry_->totalSwapCost();
+    out += ",\"totalSwapPulses\":" + std::to_string(total_swap.pulses);
+    out += ",\"totalSwapEnergyJ\":" + json::number(total_swap.programEnergy);
+    out += "},\"models\":[";
+
+    bool first = true;
+    for (const ModelRegistry::ModelStatus &model : registry_->status()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"id\":" + json::quoted(model.id);
+        out += ",\"resident\":";
+        out += model.resident ? "true" : "false";
+        out += ",\"lruAgeSeconds\":" + json::number(model.lruAgeSeconds);
+        out += ",\"swapPulses\":" + std::to_string(model.swapCost.pulses);
+        out +=
+            ",\"swapEnergyJ\":" + json::number(model.swapCost.programEnergy);
+        if (model.instance) {
+            InferenceEngine &engine = model.instance->engine();
+            out += ",\"engine\":{";
+            out += "\"queueDepth\":" + std::to_string(engine.queueDepth());
+            out += ",\"inflight\":" + std::to_string(engine.inflight());
+            out += ",\"submitted\":" + std::to_string(engine.submitted());
+            out += ",\"completed\":" + std::to_string(engine.completed());
+            out += ",\"shed\":" + std::to_string(engine.shedCount());
+            out += ",\"workerRestarts\":" +
+                   std::to_string(engine.workerRestarts());
+            out += ",\"quarantined\":" +
+                   std::to_string(engine.quarantinedCount());
+            out += ",\"numWorkers\":" + std::to_string(engine.numWorkers());
+            out += '}';
+            if (const HealthMonitor *health = engine.health()) {
+                out += ",\"health\":[";
+                for (int slot = 0; slot < health->slotCount(); ++slot) {
+                    if (slot > 0)
+                        out += ',';
+                    out += "{\"slot\":" + std::to_string(slot);
+                    out += ",\"state\":" +
+                           json::quoted(toString(health->health(slot)));
+                    out += ",\"lastDeviation\":" +
+                           json::number(health->lastDeviation(slot));
+                    out += '}';
+                }
+                out += ']';
+            }
+        }
+        out += '}';
+    }
+    out += "],\"tenants\":[";
+
+    first = true;
+    for (const TenantTable::BucketStatus &tenant : tenants_.snapshot()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"tenant\":" + json::quoted(tenant.tenant);
+        out += ",\"tokens\":" + json::number(tenant.tokens);
+        out += ",\"ratePerSec\":" + json::number(tenant.quota.ratePerSec);
+        out += ",\"burst\":" + json::number(tenant.quota.burst);
+        out += '}';
+    }
+    out += "],\"slo\":[";
+
+    first = true;
+    for (const obs::SloSnapshot &cell : slo_.snapshotAll()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"tenant\":" + json::quoted(cell.tenant);
+        out += ",\"model\":" + json::quoted(cell.model);
+        out += ",\"p50Ms\":" + json::number(cell.p50Ms);
+        out += ",\"p95Ms\":" + json::number(cell.p95Ms);
+        out += ",\"p99Ms\":" + json::number(cell.p99Ms);
+        out += ",\"good\":" + json::number(cell.good);
+        out += ",\"bad\":" + json::number(cell.bad);
+        out += ",\"excluded\":" + json::number(cell.excluded);
+        out += ",\"burnRate\":" + json::number(cell.burnRate);
+        out += ",\"budgetExhausted\":";
+        out += cell.budgetExhausted() ? "true" : "false";
+        out += '}';
+    }
+    out += "]}";
+    return out;
 }
 
 } // namespace serving

@@ -34,6 +34,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/slo.hpp"
+#include "serving/admin.hpp"
 #include "serving/protocol.hpp"
 #include "serving/quota.hpp"
 #include "serving/registry.hpp"
@@ -72,6 +74,18 @@ struct ServerConfig
 
     /** Emit serving trace spans when a TraceSession is active. */
     bool traceRequests = true;
+
+    /** Per-(tenant, model) rolling SLO objective and window shape. */
+    obs::SloConfig slo;
+
+    /**
+     * Start the admin/telemetry HTTP endpoint (/metrics, /statusz,
+     * /healthz) alongside the wire protocol listener.
+     */
+    bool adminEnabled = false;
+
+    /** Admin listen port (0: ephemeral, read back via adminPort()). */
+    uint16_t adminPort = 0;
 };
 
 /** The serving front-end; one instance per process/port. */
@@ -102,6 +116,20 @@ class ServingServer
 
     ModelRegistry &registry() { return *registry_; }
 
+    /** Rolling per-(tenant, model) SLO state fed by the writer loops. */
+    obs::SloTracker &slo() { return slo_; }
+
+    /** Admin endpoint port (0 unless adminEnabled and started). */
+    uint16_t adminPort() const { return admin_ ? admin_->port() : 0; }
+
+    /**
+     * The /statusz document: engine queue/inflight/worker state, health
+     * slots, registry residency + LRU ages + swap cost, tenant token
+     * balances and SLO snapshots. Exposed for tests; the admin handler
+     * serves exactly this string.
+     */
+    std::string statuszJson();
+
   private:
     struct Connection;
 
@@ -121,6 +149,8 @@ class ServingServer
     ServerConfig config_;
     std::shared_ptr<ModelRegistry> registry_;
     TenantTable tenants_;
+    obs::SloTracker slo_;
+    std::unique_ptr<AdminServer> admin_;
 
     int listenFd_ = -1;
     uint16_t port_ = 0;

@@ -231,7 +231,9 @@ TEST(MetricsTest, SnapshotAndSerializationAreDeterministic)
     const std::string json = reg.toJson();
     expectBalancedJson(json);
     EXPECT_EQ(json, reg.toJson());
-    EXPECT_NE(reg.toCsv().find("gauge,util{layer=\"0\"},0.75"),
+    // Names containing '"' are RFC-4180 quoted in the CSV (inner
+    // quotes doubled), so label values cannot break the row format.
+    EXPECT_NE(reg.toCsv().find("gauge,\"util{layer=\"\"0\"\"}\",0.75"),
               std::string::npos);
 
     reg.reset();
