@@ -63,4 +63,26 @@ PipelineModel::throughput(const NetworkMapping &mapping,
     return seconds > 0 ? 1.0 / seconds : 0.0;
 }
 
+long long
+PipelineModel::layerBatchLatencyCycles(const LayerMapping &layer,
+                                       int batch) const
+{
+    NEBULA_ASSERT(batch >= 1, "bad batch size");
+    return stagesFor(layer) +
+           static_cast<long long>(batch) * layer.positions - 1;
+}
+
+double
+PipelineModel::batchedThroughput(const NetworkMapping &mapping, int batch,
+                                 int timesteps) const
+{
+    NEBULA_ASSERT(batch >= 1, "bad batch size");
+    long long slowest = 1;
+    for (const auto &layer : mapping.layers)
+        slowest = std::max(slowest, layerBatchLatencyCycles(layer, batch));
+    const double seconds =
+        static_cast<double>(slowest) * timesteps * config_.cycleTime;
+    return seconds > 0 ? batch / seconds : 0.0;
+}
+
 } // namespace nebula

@@ -43,6 +43,25 @@ class PipelineModel
     double throughput(const NetworkMapping &mapping,
                       int timesteps = 1) const;
 
+    /**
+     * Cycles for a micro-batch of @p batch images streamed back to
+     * back through one layer's pipeline: the pipeline fills once and
+     * then every further image only pays its positions, so the
+     * per-image cost amortizes the fill. batch == 1 reduces to
+     * layerLatencyCycles.
+     */
+    long long layerBatchLatencyCycles(const LayerMapping &layer,
+                                      int batch) const;
+
+    /**
+     * Steady-state throughput (images/s) for micro-batches of
+     * @p batch images: the slowest layer streams batch * positions
+     * windows per fill instead of one image's worth, which is the
+     * timing-model counterpart of the batched GEMM evaluation path.
+     */
+    double batchedThroughput(const NetworkMapping &mapping, int batch,
+                             int timesteps = 1) const;
+
     const NebulaConfig &config() const { return config_; }
 
   private:

@@ -41,6 +41,134 @@ accumulateRow(double *out, int cols, double v, const double *row)
         out[j] += v * row[j];
 }
 
+/**
+ * Register-tiled single-window kernel: one tile of up to 16 column
+ * accumulators lives in registers across the whole active-row walk, so
+ * the inner loop issues one conductance load per 4 columns instead of a
+ * load+store round-trip on the output row per crossbar row. Each
+ * column's partial sum still grows in ascending active-row order --
+ * bit-identical to a row-major accumulateRow walk -- because FP
+ * addition order per output element is unchanged; only where the
+ * partial lives (register vs memory) differs.
+ *
+ * @param dense   Dense conductance cache, row-major with @p stride.
+ * @param active  Ascending row indices with nonzero drive voltage.
+ * @param va      Drive voltage per active row (parallel to @p active).
+ * @param out     Output columns [j0, j0+width); width <= 16.
+ */
+NEBULA_TARGET_CLONES void
+soloColsTile16(const double *dense, size_t stride, const int *active,
+               int n_active, const double *va, int j0, double *out)
+{
+    // Two 8-wide accumulator streams rather than one flat 16-element
+    // tile: this is the loop shape GCC's vectorizer reliably maps onto
+    // one full-width register per stream across every clone ISA.
+    double acc0[8] = {};
+    double acc1[8] = {};
+    for (int a = 0; a < n_active; ++a) {
+        const double v = va[a];
+        const double *g =
+            dense + static_cast<size_t>(active[a]) * stride + j0;
+        for (int t = 0; t < 8; ++t) {
+            acc0[t] += v * g[t];
+            acc1[t] += v * g[8 + t];
+        }
+    }
+    for (int t = 0; t < 8; ++t) {
+        out[j0 + t] = acc0[t];
+        out[j0 + 8 + t] = acc1[t];
+    }
+}
+
+/** Remainder-width variant of soloColsTile16 (width < 16). */
+NEBULA_TARGET_CLONES void
+soloColsTileN(const double *dense, size_t stride, const int *active,
+              int n_active, const double *va, int j0, int width,
+              double *out)
+{
+    double acc[16] = {};
+    for (int a = 0; a < n_active; ++a) {
+        const double v = va[a];
+        const double *g =
+            dense + static_cast<size_t>(active[a]) * stride + j0;
+        for (int t = 0; t < width; ++t)
+            acc[t] += v * g[t];
+    }
+    for (int t = 0; t < width; ++t)
+        out[j0 + t] = acc[t];
+}
+
+/**
+ * Register-tiled four-window kernel (the GEMM-style micro-kernel of the
+ * batched evaluation): a 4-window x 8-column accumulator tile is held
+ * in registers across the whole row walk, so each conductance element
+ * is loaded once per tile and feeds four multiply-add streams with no
+ * output traffic in the inner loop. Per (window, column) the partial
+ * sum still grows in ascending active-row order, and rows every window
+ * leaves dark are skipped -- a zero drive voltage only ever contributes
+ * an exact +0.0 to the non-negative partials -- so every window remains
+ * bit-identical to a standalone accumulateRow walk.
+ *
+ * @param active Ascending row indices where at least one window drives.
+ * @param va     Packed per-active-row voltages: va[4*a + w] for window w.
+ * @param out    Window 0's output columns [j0, j0+width); windows 1..3
+ *               follow at +out_stride each. width <= 8.
+ */
+NEBULA_TARGET_CLONES void
+windowColsTile4x8(const double *dense, size_t stride, const int *active,
+                  int n_active, const double *va, int j0, double *out,
+                  size_t out_stride)
+{
+    double acc[4][8] = {};
+    for (int a = 0; a < n_active; ++a) {
+        const double v0 = va[4 * a + 0];
+        const double v1 = va[4 * a + 1];
+        const double v2 = va[4 * a + 2];
+        const double v3 = va[4 * a + 3];
+        const double *g =
+            dense + static_cast<size_t>(active[a]) * stride + j0;
+        for (int t = 0; t < 8; ++t) {
+            const double gg = g[t];
+            acc[0][t] += v0 * gg;
+            acc[1][t] += v1 * gg;
+            acc[2][t] += v2 * gg;
+            acc[3][t] += v3 * gg;
+        }
+    }
+    for (int w = 0; w < 4; ++w)
+        for (int t = 0; t < 8; ++t)
+            out[static_cast<size_t>(w) * out_stride + j0 + t] =
+                acc[w][t];
+}
+
+/** Remainder-width variant of windowColsTile4x8 (width < 8). */
+NEBULA_TARGET_CLONES void
+windowColsTile4xN(const double *dense, size_t stride, const int *active,
+                  int n_active, const double *va, int j0, int width,
+                  double *out, size_t out_stride)
+{
+    double acc[4][8] = {};
+    for (int a = 0; a < n_active; ++a) {
+        const double v0 = va[4 * a + 0];
+        const double v1 = va[4 * a + 1];
+        const double v2 = va[4 * a + 2];
+        const double v3 = va[4 * a + 3];
+        const double *g =
+            dense + static_cast<size_t>(active[a]) * stride + j0;
+        for (int t = 0; t < width; ++t) {
+            const double gg = g[t];
+            acc[0][t] += v0 * gg;
+            acc[1][t] += v1 * gg;
+            acc[2][t] += v2 * gg;
+            acc[3][t] += v3 * gg;
+        }
+    }
+    for (int w = 0; w < 4; ++w)
+        for (int t = 0; t < width; ++t)
+            out[static_cast<size_t>(w) * out_stride + j0 + t] =
+                acc[w][t];
+}
+
 /** Energy of one full-drive program pulse (paper device parameters). */
 double
 programPulseEnergy()
@@ -546,18 +674,43 @@ CrossbarArray::evaluateIdeal(const std::vector<double> &inputs,
     CrossbarEval eval;
     eval.currents.assign(cols, 0.0);
 
-    double ref_current = 0.0;
-    double power = 0.0;
+    // Active-row gather: the tiles below walk only driven rows, and the
+    // voltage expression matches evaluateIdealScalar exactly.
+    std::vector<int> active;
+    std::vector<double> va;
+    active.reserve(static_cast<size_t>(p_.rows));
+    va.reserve(static_cast<size_t>(p_.rows));
     for (int i = 0; i < p_.rows; ++i) {
         const double v = std::clamp(inputs[i], 0.0, 1.0) * p_.readVoltage;
         if (v == 0.0)
             continue;
-        const double *row = &c.dense[static_cast<size_t>(i) * cols];
-        double *out = eval.currents.data();
-        for (int j = 0; j < cols; ++j)
-            out[j] += v * row[j];
-        ref_current += v * c.refCol[static_cast<size_t>(i)];
-        power += v * v * c.rowGsum[static_cast<size_t>(i)];
+        active.push_back(i);
+        va.push_back(v);
+    }
+    const int n_active = static_cast<int>(active.size());
+
+    // Column currents through the register-tiled kernel: per column the
+    // partial sum accumulates in the same ascending row order as the
+    // scalar reference walk, so results stay bit-identical.
+    double *out = eval.currents.data();
+    int j = 0;
+    for (; j + 16 <= cols; j += 16)
+        soloColsTile16(c.dense.data(), static_cast<size_t>(cols),
+                       active.data(), n_active, va.data(), j, out);
+    if (j < cols)
+        soloColsTileN(c.dense.data(), static_cast<size_t>(cols),
+                      active.data(), n_active, va.data(), j, cols - j,
+                      out);
+
+    // Reference column and dissipation: same ascending-row accumulation
+    // chains as before, just split from the column-current walk.
+    double ref_current = 0.0;
+    double power = 0.0;
+    for (int a = 0; a < n_active; ++a) {
+        const double v = va[static_cast<size_t>(a)];
+        const size_t i = static_cast<size_t>(active[static_cast<size_t>(a)]);
+        ref_current += v * c.refCol[i];
+        power += v * v * c.rowGsum[i];
     }
     for (auto &current : eval.currents)
         current -= ref_current;
@@ -649,19 +802,21 @@ CrossbarArray::evaluateIdealBatch(const std::vector<double> &inputs,
                   "batched input size mismatch");
 
     const int cols = p_.cols;
+    const int rows = p_.rows;
     CrossbarBatchEval eval;
     if (!p_.fastEval) {
         // Baseline fallback: B separate scalar evaluations.
         eval.currents.resize(static_cast<size_t>(batch) * cols);
-        std::vector<double> window(static_cast<size_t>(p_.rows));
+        eval.energies.reserve(static_cast<size_t>(batch));
+        std::vector<double> window(static_cast<size_t>(rows));
         for (int b = 0; b < batch; ++b) {
-            std::copy_n(inputs.begin() +
-                            static_cast<size_t>(b) * p_.rows,
-                        p_.rows, window.begin());
+            std::copy_n(inputs.begin() + static_cast<size_t>(b) * rows,
+                        rows, window.begin());
             CrossbarEval one = evaluateIdealScalar(window, duration);
             std::copy(one.currents.begin(), one.currents.end(),
                       eval.currents.begin() +
                           static_cast<size_t>(b) * cols);
+            eval.energies.push_back(one.energy);
             eval.energy += one.energy;
         }
         return eval;
@@ -669,39 +824,91 @@ CrossbarArray::evaluateIdealBatch(const std::vector<double> &inputs,
 
     const EvalCache &c = evalCache();
     eval.currents.assign(static_cast<size_t>(batch) * cols, 0.0);
-    std::vector<double> ref_current(static_cast<size_t>(batch), 0.0);
-    std::vector<double> power(static_cast<size_t>(batch), 0.0);
+    eval.energies.assign(static_cast<size_t>(batch), 0.0);
 
-    // Row-outer / window-inner: each cached conductance row is streamed
-    // once and reused by every window in the batch. Per-window
-    // accumulation still proceeds in ascending row order, so each
-    // window's result is bit-identical to a standalone evaluateIdeal.
-    for (int i = 0; i < p_.rows; ++i) {
-        const double *row = &c.dense[static_cast<size_t>(i) * cols];
-        for (int b = 0; b < batch; ++b) {
-            const double v =
-                std::clamp(inputs[static_cast<size_t>(b) * p_.rows + i],
-                           0.0, 1.0) *
-                p_.readVoltage;
-            if (v == 0.0)
+    // Pre-scale every window's drive voltages once, with the exact
+    // clamp + supply expression of evaluateIdeal().
+    std::vector<double> volts(static_cast<size_t>(batch) * rows);
+    for (size_t n = 0; n < volts.size(); ++n)
+        volts[n] = std::clamp(inputs[n], 0.0, 1.0) * p_.readVoltage;
+
+    // Register-tiled groups of four windows (the batched GEMM-style
+    // path): gather the rows at least one window drives, pack the four
+    // voltages per active row, then walk column tiles whose 4x8
+    // accumulator block lives in registers across the whole row walk.
+    // Per (window, column) the partial sum still grows in ascending row
+    // order -- a zero-voltage row only ever contributes an exact +0.0
+    // to the non-negative partials -- so each window stays bit-identical
+    // to a standalone evaluateIdeal. Image windows share a lot of dark
+    // rows (blank borders, post-ReLU zeros), so the shared active list
+    // also skips most of the work the solo path skips.
+    std::vector<int> active;
+    std::vector<double> va;
+    active.reserve(static_cast<size_t>(rows));
+    va.reserve(static_cast<size_t>(rows) * 4);
+    int b = 0;
+    for (; b + 4 <= batch; b += 4) {
+        const double *v0 = &volts[static_cast<size_t>(b) * rows];
+        const double *v1 = v0 + rows;
+        const double *v2 = v1 + rows;
+        const double *v3 = v2 + rows;
+        active.clear();
+        va.clear();
+        for (int i = 0; i < rows; ++i) {
+            if (v0[i] == 0.0 && v1[i] == 0.0 && v2[i] == 0.0 &&
+                v3[i] == 0.0)
                 continue;
-            double *out = &eval.currents[static_cast<size_t>(b) * cols];
-            for (int j = 0; j < cols; ++j)
-                out[j] += v * row[j];
-            ref_current[static_cast<size_t>(b)] +=
-                v * c.refCol[static_cast<size_t>(i)];
-            power[static_cast<size_t>(b)] +=
-                v * v * c.rowGsum[static_cast<size_t>(i)];
+            active.push_back(i);
+            va.push_back(v0[i]);
+            va.push_back(v1[i]);
+            va.push_back(v2[i]);
+            va.push_back(v3[i]);
+        }
+        const int n_active = static_cast<int>(active.size());
+        double *out = &eval.currents[static_cast<size_t>(b) * cols];
+        int j = 0;
+        for (; j + 8 <= cols; j += 8)
+            windowColsTile4x8(c.dense.data(), static_cast<size_t>(cols),
+                              active.data(), n_active, va.data(), j, out,
+                              static_cast<size_t>(cols));
+        if (j < cols)
+            windowColsTile4xN(c.dense.data(), static_cast<size_t>(cols),
+                              active.data(), n_active, va.data(), j,
+                              cols - j, out, static_cast<size_t>(cols));
+    }
+    for (; b < batch; ++b) {
+        double *out = &eval.currents[static_cast<size_t>(b) * cols];
+        const double *v = &volts[static_cast<size_t>(b) * rows];
+        for (int i = 0; i < rows; ++i) {
+            if (v[i] == 0.0)
+                continue;
+            accumulateRow(out, cols, v[i],
+                          &c.dense[static_cast<size_t>(i) * cols]);
         }
     }
-    for (int b = 0; b < batch; ++b) {
+
+    // Reference subtraction, open-column masking and per-window energy:
+    // separate accumulation chains from the column currents, walked in
+    // the same ascending row order as evaluateIdeal.
+    for (b = 0; b < batch; ++b) {
+        const double *v = &volts[static_cast<size_t>(b) * rows];
+        double ref_current = 0.0;
+        double power = 0.0;
+        for (int i = 0; i < rows; ++i) {
+            const double vi = v[i];
+            if (vi == 0.0)
+                continue;
+            ref_current += vi * c.refCol[static_cast<size_t>(i)];
+            power += vi * vi * c.rowGsum[static_cast<size_t>(i)];
+        }
         double *out = &eval.currents[static_cast<size_t>(b) * cols];
         for (int j = 0; j < cols; ++j) {
-            out[j] -= ref_current[static_cast<size_t>(b)];
+            out[j] -= ref_current;
             if (c.anyColOpen && c.colOpen[static_cast<size_t>(j)])
                 out[j] = 0.0;
         }
-        eval.energy += power[static_cast<size_t>(b)] * duration;
+        eval.energies[static_cast<size_t>(b)] = power * duration;
+        eval.energy += eval.energies[static_cast<size_t>(b)];
     }
     return eval;
 }

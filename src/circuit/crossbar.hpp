@@ -113,6 +113,15 @@ struct CrossbarBatchEval
 
     /** Ohmic energy summed over the batch (J). */
     double energy = 0.0;
+
+    /**
+     * Per-window ohmic energy (J), one entry per input window. Each
+     * entry is bit-identical to the energy a standalone evaluateIdeal()
+     * of that window reports, so callers serving coalesced requests can
+     * attribute array energy to individual requests exactly; `energy`
+     * is their ascending-order sum.
+     */
+    std::vector<double> energies;
 };
 
 /** A single M x N analog crossbar array. */
@@ -215,10 +224,12 @@ class CrossbarArray
 
     /**
      * Evaluate @p batch input windows (row-major batch x rows) in one
-     * call. The blocked loop walks each cached conductance row once per
-     * batch, amortizing the matrix traffic across windows; per-window
-     * results are bit-identical to @p batch separate evaluateIdeal()
-     * calls.
+     * call. Windows are processed in register-blocked groups of four: a
+     * cached conductance row is streamed once per group and multiplied
+     * into four windows' accumulators (GEMM-style), amortizing the
+     * matrix traffic across windows; per-window results -- currents and
+     * energies -- are bit-identical to @p batch separate
+     * evaluateIdeal() calls.
      */
     CrossbarBatchEval evaluateIdealBatch(const std::vector<double> &inputs,
                                          int batch, double duration) const;

@@ -13,20 +13,6 @@ DacDriver::DacDriver(int bits, double supplyVoltage)
     NEBULA_ASSERT(bits_ >= 1 && bits_ <= 12, "unsupported DAC resolution");
 }
 
-int
-DacDriver::quantize(double normalized) const
-{
-    const double clipped = std::clamp(normalized, 0.0, 1.0);
-    return static_cast<int>(std::lround(clipped * (levels_ - 1)));
-}
-
-double
-DacDriver::normalizedOutput(int code) const
-{
-    NEBULA_ASSERT(code >= 0 && code < levels_, "DAC code out of range");
-    return static_cast<double>(code) / (levels_ - 1);
-}
-
 std::vector<double>
 DacDriver::drive(const std::vector<double> &normalized) const
 {

@@ -8,9 +8,12 @@
 #ifndef NEBULA_CIRCUIT_DRIVER_HPP
 #define NEBULA_CIRCUIT_DRIVER_HPP
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "common/units.hpp"
 
 namespace nebula {
@@ -25,11 +28,22 @@ class DacDriver
      */
     DacDriver(int bits = 4, double supplyVoltage = 0.75);
 
-    /** Quantize a normalized activation in [0, 1] to a level code. */
-    int quantize(double normalized) const;
+    /**
+     * Quantize a normalized activation in [0, 1] to a level code.
+     * Inline: called once per input element per ANN layer.
+     */
+    int quantize(double normalized) const
+    {
+        const double clipped = std::clamp(normalized, 0.0, 1.0);
+        return static_cast<int>(std::lround(clipped * (levels_ - 1)));
+    }
 
     /** Normalized voltage factor (voltage / readVoltage) for a code. */
-    double normalizedOutput(int code) const;
+    double normalizedOutput(int code) const
+    {
+        NEBULA_ASSERT(code >= 0 && code < levels_, "DAC code out of range");
+        return static_cast<double>(code) / (levels_ - 1);
+    }
 
     /** Quantize a whole input vector in place, returning voltage factors. */
     std::vector<double> drive(const std::vector<double> &normalized) const;

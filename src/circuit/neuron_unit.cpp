@@ -39,16 +39,6 @@ computeScaling(const NeuronDeviceParams &device, double window,
     bias = track.criticalDensity * track.hmCrossSection();
 }
 
-/** Device drive current for a signed column current. */
-double
-deviceCurrent(double column_current, double gain, double bias)
-{
-    if (column_current == 0.0)
-        return 0.0;
-    const double scaled = gain * column_current;
-    return scaled >= 0.0 ? scaled + bias : scaled - bias;
-}
-
 } // namespace
 
 SpikingNeuronUnit::SpikingNeuronUnit(const NeuronUnitParams &params)
@@ -75,7 +65,8 @@ SpikingNeuronUnit::step(const std::vector<double> &currents, Rng *rng)
     std::vector<uint8_t> spikes(p_.count, 0);
     for (int i = 0; i < p_.count; ++i) {
         const double drive =
-            deviceCurrent(currents[i], currentGain_, biasCurrent_);
+            detail::nuDeviceCurrent(currents[i], currentGain_,
+                                    biasCurrent_);
         if (neurons_[i].integrate(drive, p_.window, rng))
             spikes[i] = 1;
     }
@@ -120,6 +111,9 @@ ReluNeuronUnit::ReluNeuronUnit(const NeuronUnitParams &params) : p_(params)
     neurons_.reserve(p_.count);
     for (int i = 0; i < p_.count; ++i)
         neurons_.emplace_back(p_.device);
+    // One readout table serves the whole unit: every device is built
+    // from the same track parameters and the unit's output resolution.
+    lut_ = neurons_.front().buildReadoutLut(p_.levels);
 }
 
 void
@@ -127,22 +121,6 @@ ReluNeuronUnit::calibrate(double current_scale, double ceiling)
 {
     computeScaling(p_.device, p_.window, current_scale, ceiling,
                    currentGain_, biasCurrent_);
-}
-
-std::vector<int>
-ReluNeuronUnit::evaluate(const std::vector<double> &currents, Rng *rng)
-{
-    NEBULA_ASSERT(currents.size() == static_cast<size_t>(p_.count),
-                  "column current count mismatch");
-    std::vector<int> levels(p_.count, 0);
-    for (int i = 0; i < p_.count; ++i) {
-        // ReLU: negative sums cannot move the wall forward.
-        const double drive =
-            deviceCurrent(std::max(currents[i], 0.0), currentGain_,
-                          biasCurrent_);
-        levels[i] = neurons_[i].evaluate(drive, p_.window, p_.levels, rng);
-    }
-    return levels;
 }
 
 double

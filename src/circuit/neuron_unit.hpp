@@ -15,13 +15,34 @@
 #ifndef NEBULA_CIRCUIT_NEURON_UNIT_HPP
 #define NEBULA_CIRCUIT_NEURON_UNIT_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "device/neuron_device.hpp"
 
 namespace nebula {
+
+namespace detail {
+
+/**
+ * Device drive current for a signed column current: the periphery gain
+ * plus the signed depinning bias injected whenever the input is nonzero
+ * (keeps displacement linear in the algorithmic sum despite the
+ * velocity law's J_crit offset). Inline: one call per neuron per cycle.
+ */
+inline double
+nuDeviceCurrent(double column_current, double gain, double bias)
+{
+    if (column_current == 0.0)
+        return 0.0;
+    const double scaled = gain * column_current;
+    return scaled >= 0.0 ? scaled + bias : scaled - bias;
+}
+
+} // namespace detail
 
 /** Configuration of one neuron unit. */
 struct NeuronUnitParams
@@ -95,11 +116,42 @@ class ReluNeuronUnit
     void calibrate(double current_scale, double ceiling);
 
     /**
+     * Evaluate one cycle of column currents into a caller-owned level
+     * buffer (the batched ANN path calls this once per window per
+     * column group, so the scratch lives with the caller instead of
+     * being allocated per call).
+     *
+     * Inline so the per-neuron device physics folds into this loop --
+     * one evaluation per output element is the ANN periphery hot path.
+     * The devices all share the unit's parameters, so a single
+     * readout table (built once in the constructor) serves every
+     * neuron; results are bit-identical to the direct device path.
+     */
+    void evaluateInto(const double *currents, int n, int *out,
+                      Rng *rng = nullptr)
+    {
+        NEBULA_ASSERT(n == p_.count, "column current count mismatch");
+        for (int i = 0; i < n; ++i) {
+            // ReLU: negative sums cannot move the wall forward.
+            const double drive = detail::nuDeviceCurrent(
+                std::max(currents[i], 0.0), currentGain_, biasCurrent_);
+            out[i] = neurons_[i].evaluate(drive, p_.window, lut_, rng);
+        }
+    }
+
+    /**
      * Evaluate one cycle of column currents.
      * @return one output level in [0, levels-1] per neuron.
      */
     std::vector<int> evaluate(const std::vector<double> &currents,
-                              Rng *rng = nullptr);
+                              Rng *rng = nullptr)
+    {
+        NEBULA_ASSERT(currents.size() == static_cast<size_t>(p_.count),
+                      "column current count mismatch");
+        std::vector<int> levels(p_.count, 0);
+        evaluateInto(currents.data(), p_.count, levels.data(), rng);
+        return levels;
+    }
 
     double energy() const;
     int count() const { return p_.count; }
@@ -108,6 +160,7 @@ class ReluNeuronUnit
   private:
     NeuronUnitParams p_;
     std::vector<ReluNeuronDevice> neurons_;
+    ReluReadoutLut lut_;
     double currentGain_ = 1.0;
     double biasCurrent_ = 0.0;
 };

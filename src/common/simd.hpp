@@ -19,18 +19,21 @@
 #if defined(__x86_64__) && defined(__ELF__) && !defined(NEBULA_SANITIZED) && \
     (defined(__GNUC__) || defined(__clang__))
 /**
- * Compile the annotated function twice -- baseline ISA and AVX2 -- and
- * pick the widest the CPU supports at load time (GNU ifunc dispatch).
- * The AVX2 clone widens the column loops from 2 to 4 doubles per
- * instruction. It deliberately does NOT enable FMA: fused multiply-adds
- * round differently, and the fast paths are pinned bit-for-bit to the
- * scalar reference loops by the differential tests.
+ * Compile the annotated function three times -- baseline ISA, AVX2 and
+ * AVX-512F -- and pick the widest the CPU supports at load time (GNU
+ * ifunc dispatch). The AVX2 clone widens the column loops from 2 to 4
+ * doubles per instruction, the AVX-512 clone to 8. The clones
+ * deliberately do NOT enable FMA: fused multiply-adds round
+ * differently, and the fast paths are pinned bit-for-bit to the scalar
+ * reference loops by the differential tests. Vector width alone never
+ * changes results -- each output element sees the same mul-then-add
+ * sequence regardless of how many neighbours share the instruction.
  *
  * Not under TSan/ASan: the ifunc resolvers run before the sanitizer
  * runtime is initialized and crash the binary at load.
  */
 #define NEBULA_TARGET_CLONES \
-    __attribute__((target_clones("default", "avx2")))
+    __attribute__((target_clones("default", "avx2", "avx512f")))
 #else
 #define NEBULA_TARGET_CLONES
 #endif

@@ -1,8 +1,5 @@
 #include "device/domain_wall.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/logging.hpp"
 
 namespace nebula {
@@ -12,49 +9,6 @@ DomainWallTrack::DomainWallTrack(const DwTrackParams &params) : p_(params)
     NEBULA_ASSERT(p_.length > 0 && p_.pinPitch > 0,
                   "invalid domain-wall track geometry");
     NEBULA_ASSERT(p_.numStates() >= 2, "track must have at least 2 states");
-}
-
-double
-DomainWallTrack::densityFor(double current) const
-{
-    return current / p_.hmCrossSection();
-}
-
-double
-DomainWallTrack::velocityAt(double density) const
-{
-    const double mag = std::abs(density);
-    if (mag <= p_.criticalDensity)
-        return 0.0;
-    double v = p_.mobility * (mag - p_.criticalDensity);
-    v = std::min(v, p_.saturationVelocity);
-    return density >= 0 ? v : -v;
-}
-
-double
-DomainWallTrack::applyCurrent(double current, double duration, Rng *rng)
-{
-    const double before = position_;
-    const double v = velocityAt(densityFor(current));
-    double next = position_ + v * duration;
-    if (rng && p_.thermalJitter > 0.0 && v != 0.0)
-        next += rng->gaussian(0.0, p_.thermalJitter * p_.pinPitch);
-    position_ = std::clamp(next, 0.0, p_.length);
-    return position_ - before;
-}
-
-double
-DomainWallTrack::pinnedPosition() const
-{
-    const double snapped =
-        std::round(position_ / p_.pinPitch) * p_.pinPitch;
-    return std::clamp(snapped, 0.0, p_.length);
-}
-
-int
-DomainWallTrack::stateIndex() const
-{
-    return static_cast<int>(std::round(pinnedPosition() / p_.pinPitch));
 }
 
 void

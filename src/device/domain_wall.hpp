@@ -8,10 +8,17 @@
  * overdrive and saturates at the Walker ceiling. Stable positions are
  * quantized to a pinning grid (notch array), which is what gives the
  * synapse its 16 discrete conductance states.
+ *
+ * The per-pulse methods are defined inline: every ANN output element
+ * and every SNN membrane update goes through them, so they must inline
+ * into the neuron-device loops rather than pay a cross-TU call each.
  */
 
 #ifndef NEBULA_DEVICE_DOMAIN_WALL_HPP
 #define NEBULA_DEVICE_DOMAIN_WALL_HPP
+
+#include <algorithm>
+#include <cmath>
 
 #include "common/rng.hpp"
 #include "device/dw_params.hpp"
@@ -36,22 +43,50 @@ class DomainWallTrack
      * @param rng      Optional RNG for thermal jitter (may be null).
      * @return displacement actually achieved (m, signed).
      */
-    double applyCurrent(double current, double duration, Rng *rng = nullptr);
+    double applyCurrent(double current, double duration, Rng *rng = nullptr)
+    {
+        const double before = position_;
+        const double v = velocityAt(densityFor(current));
+        double next = position_ + v * duration;
+        if (rng && p_.thermalJitter > 0.0 && v != 0.0)
+            next += rng->gaussian(0.0, p_.thermalJitter * p_.pinPitch);
+        position_ = std::clamp(next, 0.0, p_.length);
+        return position_ - before;
+    }
 
     /** DW velocity (m/s) for a given current density (A/m^2), signed. */
-    double velocityAt(double density) const;
+    double velocityAt(double density) const
+    {
+        const double mag = std::abs(density);
+        if (mag <= p_.criticalDensity)
+            return 0.0;
+        double v = p_.mobility * (mag - p_.criticalDensity);
+        v = std::min(v, p_.saturationVelocity);
+        return density >= 0 ? v : -v;
+    }
 
     /** Convert a charge current (A) to a current density (A/m^2). */
-    double densityFor(double current) const;
+    double densityFor(double current) const
+    {
+        return current / p_.hmCrossSection();
+    }
 
     /** Continuous wall position in [0, length]. */
     double position() const { return position_; }
 
     /** Position snapped to the pinning grid (what a read sees). */
-    double pinnedPosition() const;
+    double pinnedPosition() const
+    {
+        const double snapped =
+            std::round(position_ / p_.pinPitch) * p_.pinPitch;
+        return std::clamp(snapped, 0.0, p_.length);
+    }
 
     /** Discrete state index in [0, numStates]. */
-    int stateIndex() const;
+    int stateIndex() const
+    {
+        return static_cast<int>(std::round(pinnedPosition() / p_.pinPitch));
+    }
 
     /** Fraction of the track in the parallel configuration, [0, 1]. */
     double parallelFraction() const { return pinnedPosition() / p_.length; }

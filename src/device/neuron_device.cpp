@@ -37,29 +37,6 @@ SpikingNeuronDevice::thresholdCurrent(double duration) const
     return currentForDisplacement(p_.track, p_.track.length, duration);
 }
 
-bool
-SpikingNeuronDevice::integrate(double current, double duration, Rng *rng)
-{
-    // Negative (inhibitory) drive moves the wall back toward zero; the
-    // clamp in DomainWallTrack enforces the IF floor at rest.
-    track_.applyCurrent(current, duration, rng);
-
-    // Ohmic loss of the column current across the device write path plus
-    // the static divider/inverter interface.
-    energy_ += current * current * p_.track.writePathResistance * duration;
-    energy_ += p_.interfacePower * duration;
-
-    if (track_.position() >= p_.track.length - p_.track.pinPitch * 0.25) {
-        // Edge MTJ flipped -> divider trips the inverter -> spike; the
-        // spike drives the reverse reset pulse.
-        track_.reset();
-        ++spikes_;
-        energy_ += p_.resetEnergy;
-        return true;
-    }
-    return false;
-}
-
 double
 SpikingNeuronDevice::membraneFraction() const
 {
@@ -88,25 +65,6 @@ double
 ReluNeuronDevice::thresholdCurrent(double duration) const
 {
     return currentForDisplacement(p_.track, p_.track.length, duration);
-}
-
-int
-ReluNeuronDevice::evaluate(double current, double duration, int levels,
-                           Rng *rng)
-{
-    NEBULA_ASSERT(levels >= 2, "need at least two output levels");
-    track_.reset();
-    track_.applyCurrent(current, duration, rng);
-
-    lastOutput_ = track_.pinnedPosition() / p_.track.length;
-    energy_ += std::abs(current) * std::abs(current) *
-               p_.track.writePathResistance * duration;
-    energy_ += p_.interfacePower * duration;
-    // Reset pulse returns the wall for the next evaluation.
-    energy_ += p_.resetEnergy;
-    track_.reset();
-
-    return static_cast<int>(std::round(lastOutput_ * (levels - 1)));
 }
 
 } // namespace nebula

@@ -66,6 +66,8 @@ InferenceEngine::InferenceEngine(EngineConfig config,
     hooks.health = health_on ? health : nullptr;
     hooks.maxConsecutiveFaults = config_.maxConsecutiveFaults;
     hooks.traceRequests = config_.traceRequests;
+    hooks.maxBatch = config_.batching.maxBatch;
+    hooks.maxWaitUs = config_.batching.maxWaitUs;
     if (config_.maxConsecutiveFaults > 0) {
         hooks.superviseRestart =
             [this](int id, std::unique_ptr<ChipReplica> old) {

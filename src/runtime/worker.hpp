@@ -22,6 +22,7 @@
 #include <functional>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "runtime/replica.hpp"
@@ -63,6 +64,18 @@ struct WorkerHooks
 
     /** Emit per-request trace spans when a session is active. */
     bool traceRequests = true;
+
+    /**
+     * Micro-batch gather window (EngineConfig::batching): after a
+     * blocking pop the worker drains up to maxBatch-1 further requests,
+     * waiting at most maxWaitUs -- never past the earliest deadline it
+     * holds -- then flushes the batch through ChipReplica::runBatch.
+     * maxBatch <= 1 (default) keeps the solo dequeue path untouched.
+     */
+    int maxBatch = 1;
+
+    /** Longest gather wait in microseconds (see BatchingConfig). */
+    uint64_t maxWaitUs = 0;
 };
 
 /** One worker thread plus its private replica and local stats. */
@@ -106,6 +119,24 @@ class Worker
   private:
     void loop();
 
+    /** The pre-batching solo flow for one dequeued request. */
+    void processItem(QueueItem &item);
+
+    /**
+     * Flush a gathered micro-batch: re-check cancel/deadline per item
+     * at flush time (typed shed outcomes -- gathering never outlives a
+     * held deadline, but it may expire right at the boundary), group
+     * the survivors by image shape and run each group through
+     * ChipReplica::runBatch with per-item accounting.
+     */
+    void processBatch(std::vector<QueueItem> &items);
+
+    /** Evaluate one same-shape group of live items as a micro-batch. */
+    void flushGroup(std::vector<QueueItem *> &group);
+
+    /** Supervisor restart check shared by the solo and batch paths. */
+    void maybeRestartReplica();
+
     /** Fulfil @p item with a typed non-evaluated terminal outcome. */
     void shedItem(QueueItem &item, RuntimeErrorKind kind,
                   std::string message, double wait_seconds);
@@ -115,7 +146,30 @@ class Worker
     BoundedQueue<QueueItem> *queue_;
     WorkerHooks hooks_;
     int consecutiveFaults_ = 0;
+
+    /**
+     * EWMA of recent replica evaluation times (whole-flush, seconds),
+     * fed by both the solo and batch paths; sizes the slack margin the
+     * gather window keeps clear of any held deadline.
+     */
+    double flushEwmaSec_ = 0.0;
     StatGroup stats_;
+
+    /**
+     * Cached references into stats_, bound once in the constructor
+     * (std::map nodes are stable, so they survive later stat
+     * creation): the per-request hot path skips the string-keyed
+     * lookups that would otherwise run ~10 times per request.
+     */
+    ScalarStat &requestsStat_;
+    ScalarStat &latencyStat_;
+    ScalarStat &serviceStat_;
+    ScalarStat &waitStat_;
+    ScalarStat &spikesStat_;
+    Histogram &latencyHist_;
+    Histogram &serviceHist_;
+    Histogram &waitHist_;
+
     std::thread thread_;
 };
 

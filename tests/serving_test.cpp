@@ -8,8 +8,11 @@
  * bit-exactness of wire logits against a local replica run with the
  * same explicit seed, the LRU weight-swap scheduler's write-verify
  * accounting, tenant quota isolation (a greedy tenant cannot consume
- * another tenant's service), and client pipelining. The suite runs
- * under ThreadSanitizer in CI next to runtime_test.
+ * another tenant's service), client pipelining, and the dynamic
+ * micro-batching path end to end (pipelined wire traffic coalesced by
+ * the gather window stays bit-exact with per-tenant energy attribution
+ * summing to the non-batching totals). The suite runs under
+ * ThreadSanitizer in CI next to runtime_test.
  *
  * Every servable here uses epochs == 0 (seeded, untrained weights):
  * the serving plumbing under test is training-agnostic and this keeps
@@ -29,6 +32,7 @@
 #include <vector>
 
 #include "nn/datasets.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/replica.hpp"
 #include "runtime/request.hpp"
 #include "serving/client.hpp"
@@ -672,6 +676,97 @@ TEST_F(ServingServerTest, PipelinedRequestsAllResolveInOrder)
                           sizeof(float) *
                               static_cast<size_t>(a.logits.size())),
               0);
+}
+
+TEST(ServingBatching, PipelinedBatchesBitExactWithEnergyAttribution)
+{
+    // A single-worker batching registry: one pipelined client floods the
+    // model's engine so the worker's gather window coalesces wire
+    // requests into multi-request flushes. The wire answers must stay
+    // bit-exact against a local replica, and the per-tenant energy
+    // billed through the batched path must sum to what the same traffic
+    // costs on an identical non-batching server.
+    const int n = 16;
+    auto &metrics = obs::MetricsRegistry::global();
+    const double flushes_before = metrics.counterValue("runtime.batch.flush");
+
+    auto runServer = [&](bool batching, const std::string &tenant,
+                         std::vector<Tensor> *logits_out) {
+        auto cfg = fastRegistry({"mlp3/ann"}, /*capacity=*/1);
+        if (batching) {
+            cfg.engine.batching.maxBatch = 8;
+            cfg.engine.batching.maxWaitUs = 5000;
+        }
+        auto registry = std::make_shared<ModelRegistry>(cfg);
+        ServerConfig server_cfg;
+        server_cfg.port = 0;
+        ServingServer server(server_cfg, registry);
+        server.start();
+
+        ServingClient client;
+        ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+        ServeOptions options;
+        options.seed = 777; // explicit seed: reproducible on a replica
+        std::vector<std::future<WireResponse>> futures;
+        for (int i = 0; i < n; ++i)
+            futures.push_back(client.inferAsync(tenant, "mlp3",
+                                                WireMode::Ann,
+                                                testImage(i), options));
+        for (auto &f : futures) {
+            const WireResponse r = f.get();
+            ASSERT_EQ(r.status, WireStatus::Ok);
+            logits_out->push_back(r.logits);
+        }
+        server.stop();
+        registry->shutdown();
+    };
+
+    // Unique tenants isolate the cumulative global telemetry counters.
+    std::vector<Tensor> batched, solo;
+    runServer(true, "batch-eq-batched", &batched);
+    runServer(false, "batch-eq-solo", &solo);
+    ASSERT_EQ(batched.size(), static_cast<size_t>(n));
+    ASSERT_EQ(solo.size(), static_cast<size_t>(n));
+
+    // Wire logits: batched server == non-batching server == a local
+    // replica of the same servable, raw float bits.
+    const ServableModelSpec spec = fastSpec("mlp3/ann");
+    auto factory = ServableLoader::global().makeFactory(
+        spec, defaultSwapAccounting());
+    auto replica = factory(0);
+    for (int i = 0; i < n; ++i) {
+        InferenceRequest request;
+        request.image = testImage(i);
+        request.seed = 777;
+        const InferenceResult local = replica->run(request);
+        ASSERT_TRUE(local.ok());
+        for (const auto *wire : {&batched[static_cast<size_t>(i)],
+                                 &solo[static_cast<size_t>(i)]}) {
+            ASSERT_EQ(wire->shape(), local.logits.shape());
+            EXPECT_EQ(std::memcmp(wire->data(), local.logits.data(),
+                                  sizeof(float) * static_cast<size_t>(
+                                                      local.logits.size())),
+                      0)
+                << "wire logits diverged from local replica on image " << i;
+        }
+    }
+
+    // The batching server really coalesced at least one flush.
+    EXPECT_GT(metrics.counterValue("runtime.batch.flush"), flushes_before);
+
+    // Per-request energy attribution is preserved: the joules billed to
+    // the batched tenant sum to the non-batching totals for the same
+    // traffic (tolerance covers FP re-association between the per-image
+    // slices and the solo path's running-total deltas).
+    const double batched_j = metrics.counterValue(
+        "telemetry.tenant.energy_j", {{"tenant", "batch-eq-batched"}});
+    const double solo_j = metrics.counterValue(
+        "telemetry.tenant.energy_j", {{"tenant", "batch-eq-solo"}});
+    const double batched_count = metrics.counterValue(
+        "telemetry.tenant.inferences", {{"tenant", "batch-eq-batched"}});
+    EXPECT_DOUBLE_EQ(batched_count, static_cast<double>(n));
+    ASSERT_GT(solo_j, 0.0);
+    EXPECT_NEAR(batched_j, solo_j, 1e-6 * solo_j);
 }
 
 TEST_F(ServingServerTest, ClientSurvivesServerStop)
