@@ -43,6 +43,19 @@
  *   --admin-wait-sec S   keep the server (and admin endpoint) up S
  *                        seconds after the load completes, so an
  *                        external scraper can read the final state
+ *   --abft               online ABFT integrity checking: checksum
+ *                        columns on every chip servable, hedged
+ *                        re-execution of flagged requests on the
+ *                        functional fallback, health-probe escalation
+ *   --fault-rate R       program every chip servable under a stuck-at
+ *                        fault map (rate R, hard walls write-verify
+ *                        cannot free). Enables the integrity
+ *                        cross-check: every Ok ANN response is compared
+ *                        against a clean-reference chip programmed from
+ *                        the same prototype, and the run exits non-zero
+ *                        if any response is both corrupt and unflagged
+ *                        (silent corruption). The CI integrity-smoke
+ *                        job runs exactly this with --abft on.
  */
 
 #include <algorithm>
@@ -50,6 +63,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -58,6 +72,8 @@
 #include "common/table.hpp"
 #include "nn/datasets.hpp"
 #include "obs/metrics.hpp"
+#include "reliability/fault_model.hpp"
+#include "runtime/replica.hpp"
 #include "serving/client.hpp"
 #include "serving/models.hpp"
 #include "serving/registry.hpp"
@@ -78,6 +94,15 @@ struct TenantOutcome
     long long timeouts = 0;
     long long otherTyped = 0;  //!< replica fault, unknown model, ...
     long long untyped = 0;     //!< connection lost / send failed
+
+    // ABFT verdicts from the v3 frame header, plus the loadgen's own
+    // clean-reference cross-check (ANN responses only -- SNN logits
+    // depend on the server-assigned request id's encoder seed).
+    long long checked = 0;          //!< responses that ran checksums
+    long long flagged = 0;          //!< violation flag on the wire
+    long long reExecuted = 0;       //!< hedged re-runs on the fallback
+    long long corrupt = 0;          //!< prediction != clean reference
+    long long corruptUnflagged = 0; //!< silent corruption (the failure)
     std::vector<double> latenciesMs;
 
     double percentile(double p) const
@@ -108,7 +133,8 @@ splitCsv(const std::string &csv)
 TenantOutcome
 runTenant(const std::string &tenant, uint16_t port,
           const std::vector<std::string> &models, int requests,
-          int run_length, double rate, int timesteps, int image_size)
+          int run_length, double rate, int timesteps, int image_size,
+          const std::map<std::string, ReplicaFactory> *clean_factories)
 {
     TenantOutcome outcome;
     outcome.tenant = tenant;
@@ -123,6 +149,26 @@ runTenant(const std::string &tenant, uint16_t port,
     const uint64_t data_seed =
         7 + static_cast<uint64_t>(std::hash<std::string>{}(tenant) % 1000);
     SyntheticDigits images(std::min(64, requests), image_size, data_seed);
+
+    // Clean-reference predictions for the integrity cross-check: a
+    // fault-free chip programmed from the same trained prototype (same
+    // chip seed the server's worker 0 uses), run over this tenant's
+    // image stream. ANN evaluation is deterministic, so any Ok reply
+    // whose prediction differs from this reference was corrupted.
+    std::map<std::string, std::vector<int>> reference;
+    if (clean_factories != nullptr) {
+        for (const auto &entry : *clean_factories) {
+            std::unique_ptr<ChipReplica> replica = entry.second(0);
+            std::vector<int> predicted;
+            for (int i = 0; i < images.size(); ++i) {
+                InferenceRequest req;
+                req.id = static_cast<uint64_t>(i);
+                req.image = images.image(i);
+                predicted.push_back(replica->run(req).predictedClass);
+            }
+            reference[entry.first] = std::move(predicted);
+        }
+    }
 
     std::vector<std::future<WireResponse>> futures;
     std::vector<std::chrono::steady_clock::time_point> sent_at;
@@ -156,14 +202,30 @@ runTenant(const std::string &tenant, uint16_t port,
     for (size_t i = 0; i < futures.size(); ++i) {
         const WireResponse reply = futures[i].get();
         switch (reply.status) {
-        case WireStatus::Ok:
+        case WireStatus::Ok: {
             ++outcome.ok;
             outcome.latenciesMs.push_back(
                 1e3 *
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - sent_at[i])
                     .count());
+            outcome.checked += reply.integrityChecked() ? 1 : 0;
+            outcome.flagged += reply.integrityViolation() ? 1 : 0;
+            outcome.reExecuted += reply.integrityReExecuted() ? 1 : 0;
+            const std::string &model_id =
+                models[(i / static_cast<size_t>(run_length)) %
+                       models.size()];
+            const auto ref = reference.find(model_id);
+            if (ref != reference.end() &&
+                reply.predictedClass !=
+                    ref->second[i % ref->second.size()]) {
+                ++outcome.corrupt;
+                if (!reply.integrityViolation() &&
+                    !reply.integrityReExecuted())
+                    ++outcome.corruptUnflagged;
+            }
             break;
+        }
         case WireStatus::QuotaExceeded: ++outcome.quotaShed; break;
         case WireStatus::Shed: ++outcome.engineShed; break;
         case WireStatus::Timeout: ++outcome.timeouts; break;
@@ -196,6 +258,8 @@ main(int argc, char **argv)
     bool admin = false;
     int admin_port = 0;
     int admin_wait_sec = 0;
+    bool abft = false;
+    double fault_rate = 0.0;
     std::string models_csv = "mlp3/ann,mlp3/snn,lenet5/ann";
 
     for (int i = 1; i < argc; ++i) {
@@ -236,6 +300,11 @@ main(int argc, char **argv)
             admin_wait_sec = std::atoi(argv[++i]);
         } else if (std::strcmp(argv[i], "--models") == 0 && i + 1 < argc) {
             models_csv = argv[++i];
+        } else if (std::strcmp(argv[i], "--abft") == 0) {
+            abft = true;
+        } else if (std::strcmp(argv[i], "--fault-rate") == 0 &&
+                   i + 1 < argc) {
+            fault_rate = std::atof(argv[++i]);
         } else {
             std::cerr
                 << "usage: " << argv[0]
@@ -244,7 +313,7 @@ main(int argc, char **argv)
                    " [--timesteps T] [--quota-rps R] [--quota-burst B]"
                    " [--require-swaps N] [--slo-ms X]"
                    " [--batch N] [--batch-wait-us N] [--admin-port P]"
-                   " [--admin-wait-sec S]\n";
+                   " [--admin-wait-sec S] [--abft] [--fault-rate R]\n";
             return 2;
         }
     }
@@ -281,6 +350,28 @@ main(int argc, char **argv)
     reg_cfg.engine.batching.maxBatch = std::max(1, max_batch);
     reg_cfg.engine.batching.maxWaitUs =
         static_cast<uint64_t>(std::max(0, batch_wait_us));
+    reg_cfg.abft = abft;
+    if (fault_rate > 0.0) {
+        // Program every chip servable under a stuck-at map whose walls
+        // are all hard: write-verify pulse escalation cannot free them,
+        // so the corruption survives programming and the checksum
+        // columns (when --abft) must catch it on the read path.
+        reg_cfg.reliability.faults = std::make_shared<StuckAtFaultModel>(
+            fault_rate, /*high_fraction=*/0.5, /*hard_fraction=*/1.0);
+        reg_cfg.reliability.faultSeed = 4242;
+    }
+
+    // Clean-reference factories for the integrity cross-check: one
+    // fault-free, ABFT-off chip per ANN servable (same trained
+    // prototype via the shared loader cache). Each tenant runs its own
+    // image stream through these to learn the uncorrupted predictions.
+    std::map<std::string, ReplicaFactory> clean_factories;
+    if (fault_rate > 0.0) {
+        auto &loader = ServableLoader::global();
+        for (const ServableModelSpec &spec : reg_cfg.catalog)
+            if (spec.mode == "ann")
+                clean_factories[spec.id()] = loader.makeFactory(spec);
+    }
 
     std::cout << "catalog: " << model_ids.size() << " models, "
               << reg_cfg.residentCapacity
@@ -317,7 +408,8 @@ main(int argc, char **argv)
         threads.emplace_back([&, t] {
             outcomes[static_cast<size_t>(t)] = runTenant(
                 "tenant" + std::to_string(t), server.port(), model_ids,
-                requests, run_length, rate, timesteps, image_size);
+                requests, run_length, rate, timesteps, image_size,
+                clean_factories.empty() ? nullptr : &clean_factories);
         });
     }
     for (auto &thread : threads)
@@ -352,6 +444,30 @@ main(int argc, char **argv)
             .add(o.percentile(0.99), 2);
     }
     table.print(std::cout);
+
+    // Integrity scoreboard (when ABFT or fault injection is on): the
+    // wire-level verdict counts plus the clean-reference cross-check.
+    long long total_corrupt_unflagged = 0;
+    if (abft || fault_rate > 0.0) {
+        Table integrity_table(
+            "Integrity (ABFT " + std::string(abft ? "on" : "off") +
+                ", stuck-at fault rate " + formatDouble(fault_rate, 3) +
+                ")",
+            {"tenant", "checked", "flagged", "re-executed", "corrupt",
+             "corrupt+unflagged"});
+        for (const TenantOutcome &o : outcomes) {
+            total_corrupt_unflagged += o.corruptUnflagged;
+            integrity_table.row()
+                .add(o.tenant)
+                .add(o.checked)
+                .add(o.flagged)
+                .add(o.reExecuted)
+                .add(o.corrupt)
+                .add(o.corruptUnflagged);
+        }
+        std::cout << "\n";
+        integrity_table.print(std::cout);
+    }
 
     const ProgramReport swap_cost = registry->totalSwapCost();
     std::cout << "\nweight swaps: " << registry->swapIns()
@@ -439,6 +555,12 @@ main(int argc, char **argv)
     if (swap_ins < static_cast<uint64_t>(require_swaps)) {
         std::cerr << "\nFAIL: " << swap_ins << " swap-ins < required "
                   << require_swaps << "\n";
+        return 1;
+    }
+    if (total_corrupt_unflagged > 0) {
+        std::cerr << "\nFAIL: " << total_corrupt_unflagged
+                  << " response(s) corrupt vs the clean reference and "
+                     "not flagged by ABFT (silent corruption)\n";
         return 1;
     }
     std::cout << "\nRESULT ok: every request resolved to a typed wire "

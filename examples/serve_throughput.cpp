@@ -43,6 +43,13 @@
  * seconds after serving completes so an external scraper can read the
  * final counters. The CI telemetry-smoke job curls exactly these.
  *
+ * Integrity:    --abft programs every replica with the checksum column
+ * and verifies each crossbar read against its input-weighted
+ * expectation; flagged requests are re-executed once on a functional
+ * (no-crossbar) fallback replica before the promise settles. The
+ * scoreboard prints the checks / violations / re-executions billed on
+ * the results (zero violations expected on clean arrays).
+ *
  * Tracing:      ./examples-bin/serve_throughput --trace out.json
  * records every request's latency breakdown, the chip-level layer
  * evaluations and the NoC transfers nested inside them as Chrome
@@ -90,6 +97,9 @@ struct ServeOutcome
     long long shed = 0;
     long long timeouts = 0;
     long long faults = 0;
+    long long integrityChecks = 0;
+    long long integrityViolations = 0;
+    long long integrityReExecuted = 0;
 };
 
 /** Serve every test image through the engine; gather the scoreboard. */
@@ -109,6 +119,9 @@ serve(InferenceEngine &engine, const Dataset &test)
         if (result.ok()) {
             ++outcome.delivered;
             correct += (result.predictedClass == test.label(i));
+            outcome.integrityChecks += result.integrity.checks;
+            outcome.integrityViolations += result.integrity.violations;
+            outcome.integrityReExecuted += result.integrity.reExecuted ? 1 : 0;
         } else if (result.error == RuntimeErrorKind::Shed) {
             ++outcome.shed;
         } else if (result.error == RuntimeErrorKind::Timeout) {
@@ -229,6 +242,7 @@ main(int argc, char **argv)
     int max_batch = 1;
     long long batch_wait_us = 0;
     bool chaos = false;
+    bool abft = false;
     bool admin = false;
     int admin_port = 0;
     int admin_wait_sec = 0;
@@ -268,6 +282,8 @@ main(int argc, char **argv)
             batch_wait_us = std::max(0ll, std::atoll(argv[++i]));
         } else if (std::strcmp(argv[i], "--chaos") == 0) {
             chaos = true;
+        } else if (std::strcmp(argv[i], "--abft") == 0) {
+            abft = true;
         } else if (std::strcmp(argv[i], "--admin-port") == 0 &&
                    i + 1 < argc) {
             admin = true;
@@ -282,7 +298,7 @@ main(int argc, char **argv)
                          " [--deadline-ms N]"
                          " [--shed-policy block|reject|deadline]"
                          " [--batch N] [--batch-wait-us N]"
-                         " [--chaos] [--admin-port P]"
+                         " [--chaos] [--abft] [--admin-port P]"
                          " [--admin-wait-sec S]\n";
             return 2;
         }
@@ -335,10 +351,18 @@ main(int argc, char **argv)
     if (max_batch > 1)
         std::cout << ", micro-batch up to " << max_batch << " (wait "
                   << batch_wait_us << " us)";
+    if (abft)
+        std::cout << ", ABFT checksum columns on";
     std::cout << "\n\n";
 
     const uint64_t deadline_ns =
         deadline_ms > 0.0 ? static_cast<uint64_t>(1e6 * deadline_ms) : 0;
+
+    // Checksum columns on every programmed crossbar when --abft; the
+    // flagged-request fallback is the mode's functional backend (no
+    // crossbars to corrupt), mirroring the serving registry's wiring.
+    NebulaConfig chip_cfg;
+    chip_cfg.abft = abft;
 
     // 2. ANN-mode engine. -------------------------------------------------
     EngineConfig ann_cfg;
@@ -348,7 +372,10 @@ main(int argc, char **argv)
     ann_cfg.shedPolicy = shed_policy;
     ann_cfg.batching.maxBatch = max_batch;
     ann_cfg.batching.maxWaitUs = static_cast<uint64_t>(batch_wait_us);
-    InferenceEngine ann_engine(ann_cfg, makeAnnReplicaFactory(net, quant));
+    if (abft)
+        ann_cfg.abft.fallback = makeFunctionalAnnReplicaFactory(net);
+    InferenceEngine ann_engine(ann_cfg,
+                               makeAnnReplicaFactory(net, quant, chip_cfg));
     const ServeOutcome ann = serve(ann_engine, test_set);
     ann_engine.shutdown();
 
@@ -359,7 +386,10 @@ main(int argc, char **argv)
     snn_cfg.defaultTimesteps = 40;
     snn_cfg.defaultDeadlineNs = deadline_ns;
     snn_cfg.shedPolicy = shed_policy;
-    InferenceEngine snn_engine(snn_cfg, makeSnnReplicaFactory(snn));
+    if (abft)
+        snn_cfg.abft.fallback = makeFunctionalSnnReplicaFactory(
+            net, loader.calibration(spec));
+    InferenceEngine snn_engine(snn_cfg, makeSnnReplicaFactory(snn, chip_cfg));
     const ServeOutcome snn_out = serve(snn_engine, test_set);
     snn_engine.shutdown();
 
@@ -371,6 +401,15 @@ main(int argc, char **argv)
     addOutcomeRow(table, "ANN", ann);
     addOutcomeRow(table, "SNN (T=40)", snn_out);
     table.print(std::cout);
+
+    if (abft)
+        std::cout << "\nintegrity: ANN "
+                  << ann.integrityChecks << " checksum comparisons, "
+                  << ann.integrityViolations << " violation(s), "
+                  << ann.integrityReExecuted << " re-executed; SNN "
+                  << snn_out.integrityChecks << " comparisons, "
+                  << snn_out.integrityViolations << " violation(s), "
+                  << snn_out.integrityReExecuted << " re-executed\n";
 
     std::cout << "\nDeterminism: every request carries its own encoder "
                  "seed, so re-serving the same\nbatch -- with any worker "

@@ -12,9 +12,14 @@ Improvements and new metrics never fail; a metric present in the
 baseline but missing from the current run always fails (the bench
 silently dropped a study).
 
+``--require-key NAME`` (repeatable) additionally asserts that NAME is
+present in the *current* run's scalars -- use it to pin metrics a bench
+is expected to start emitting (e.g. the ``abft.*`` ratios) even before
+the committed baseline records them.
+
 Usage:
     check_bench_regression.py CURRENT.json BASELINE.json \
-        [--tolerance 0.2] [--metrics REGEX]
+        [--tolerance 0.2] [--metrics REGEX] [--require-key NAME]...
 
 Exit status 0 when nothing regressed, 1 otherwise.
 """
@@ -26,9 +31,23 @@ import sys
 
 
 def scalar_means(path):
+    """Load ``{scalar name: mean}`` from a BENCH json.
+
+    Malformed documents produce a named diagnostic (which file, which
+    key) instead of a KeyError traceback.
+    """
     with open(path) as fh:
         doc = json.load(fh)
-    return {name: stats["mean"] for name, stats in doc["scalars"].items()}
+    if "scalars" not in doc:
+        sys.exit(f"error: {path}: no 'scalars' section -- not a BENCH "
+                 f"summary json?")
+    means = {}
+    for name, stats in doc["scalars"].items():
+        if "mean" not in stats:
+            sys.exit(f"error: {path}: scalar '{name}' has no 'mean' "
+                     f"field")
+        means[name] = stats["mean"]
+    return means
 
 
 def main():
@@ -40,6 +59,10 @@ def main():
     parser.add_argument("--metrics", default=r"\.speedup$",
                         help="regex selecting comparable metrics "
                              "(default: the *.speedup ratios)")
+    parser.add_argument("--require-key", action="append", default=[],
+                        metavar="NAME", dest="require_keys",
+                        help="scalar that must exist in the current run "
+                             "(repeatable; fails by name if absent)")
     args = parser.parse_args()
 
     current = scalar_means(args.current)
@@ -48,6 +71,13 @@ def main():
 
     failures = []
     compared = 0
+    for name in args.require_keys:
+        if name in current:
+            print(f"ok   {name}: required key present "
+                  f"({current[name]:.3f})")
+        else:
+            failures.append(f"{name}: required key missing from current "
+                            f"run ({args.current})")
     for name, base in sorted(baseline.items()):
         if not pattern.search(name):
             continue
@@ -68,10 +98,10 @@ def main():
     if compared == 0:
         print(f"error: no baseline metrics match /{args.metrics}/",
               file=sys.stderr)
-        return 1
+        failures.append(f"no baseline metrics match /{args.metrics}/")
     if failures:
-        print(f"\n{len(failures)} metric(s) regressed more than "
-              f"{args.tolerance:.0%}:", file=sys.stderr)
+        print(f"\n{len(failures)} check(s) failed "
+              f"(tolerance {args.tolerance:.0%}):", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1

@@ -76,6 +76,8 @@ ChipStats::merge(const ChipStats &other)
     crossbarEnergy += other.crossbarEnergy;
     nocPackets += other.nocPackets;
     nocEnergy += other.nocEnergy;
+    abftChecks += other.abftChecks;
+    abftViolations += other.abftViolations;
 }
 
 EnergyBreakdown
@@ -222,6 +224,7 @@ NebulaChip::mapWeightLayer(const Layer &layer, int index,
     xp.variationSeed = seed_ + static_cast<uint64_t>(index) * 977;
     xp.spareCols = rel_.spareCols;
     xp.fastEval = config_.fastEval;
+    xp.abft = config_.abft;
 
     const int m = config_.atomicSize;
     const auto params = layer.constParameters();
@@ -436,6 +439,13 @@ NebulaChip::evaluateLayer(MappedLayer &layer, const Tensor &input,
                         : xbar.evaluateIdeal(window, config_.cycleTime);
         ++stats_.crossbarEvals;
         stats_.crossbarEnergy += eval.energy;
+        if (config_.abft) {
+            stats_.abftChecks += eval.check.checks;
+            stats_.abftViolations += eval.check.violations;
+            // The checksum column read-out is digitized alongside the
+            // data columns: one extra conversion per checked eval.
+            stats_.adcConversions += eval.check.checks;
+        }
         const double kappa = xbar.currentScale();
         if (use_nu) {
             // The eval result is ours by value: inject the periphery
@@ -479,6 +489,13 @@ NebulaChip::evaluateLayer(MappedLayer &layer, const Tensor &input,
             xbar.evaluateIdealBatch(windows, batch, config_.cycleTime);
         stats_.crossbarEvals += batch;
         stats_.crossbarEnergy += eval.energy;
+        if (config_.abft) {
+            for (const CrossbarCheck &check : eval.checks) {
+                stats_.abftChecks += check.checks;
+                stats_.abftViolations += check.violations;
+                stats_.adcConversions += check.checks;
+            }
+        }
         const double kappa = xbar.currentScale();
         const int cols = xbar.cols();
         std::vector<double> &currents = batch_currents;
@@ -688,6 +705,8 @@ NebulaChip::runAnn(const Tensor &image)
 
     const long long evals_before = stats_.crossbarEvals;
     const long long adc_before = stats_.adcConversions;
+    const long long checks_before = stats_.abftChecks;
+    const long long violations_before = stats_.abftViolations;
 
     size_t next_mapped = 0;
     for (int i = 0; i < net.numLayers(); ++i) {
@@ -722,6 +741,13 @@ NebulaChip::runAnn(const Tensor &image)
         .inc(static_cast<double>(stats_.crossbarEvals - evals_before));
     registry.counter("chip.adc_conversions")
         .inc(static_cast<double>(stats_.adcConversions - adc_before));
+    if (config_.abft) {
+        registry.counter("abft.checks")
+            .inc(static_cast<double>(stats_.abftChecks - checks_before));
+        registry.counter("abft.violations")
+            .inc(static_cast<double>(stats_.abftViolations -
+                                     violations_before));
+    }
     return x;
 }
 
@@ -744,6 +770,11 @@ NebulaChip::evaluateLayerBatch(MappedLayer &layer, std::vector<Tensor> &xs,
                 stats_.crossbarEvals - before.crossbarEvals;
             ps.crossbarEnergy +=
                 stats_.crossbarEnergy - before.crossbarEnergy;
+            ps.abftChecks += stats_.abftChecks - before.abftChecks;
+            ps.abftViolations +=
+                stats_.abftViolations - before.abftViolations;
+            ps.adcConversions +=
+                stats_.adcConversions - before.adcConversions;
         }
         return;
     }
@@ -827,6 +858,19 @@ NebulaChip::evaluateLayerBatch(MappedLayer &layer, std::vector<Tensor> &xs,
             ChipStats &ps = per_image[static_cast<size_t>(b / per_img)];
             ++ps.crossbarEvals;
             ps.crossbarEnergy += eval.energies[static_cast<size_t>(b)];
+            if (config_.abft) {
+                // Per-window verdicts attribute to the image whose
+                // window raised them, so a batched violation flags
+                // only the affected request.
+                const CrossbarCheck &check =
+                    eval.checks[static_cast<size_t>(b)];
+                stats_.abftChecks += check.checks;
+                stats_.abftViolations += check.violations;
+                stats_.adcConversions += check.checks;
+                ps.abftChecks += check.checks;
+                ps.abftViolations += check.violations;
+                ps.adcConversions += check.checks;
+            }
         }
         const double kappa = xbar.currentScale();
         const int cols = xbar.cols();
@@ -1080,6 +1124,8 @@ NebulaChip::runAnnBatch(const std::vector<Tensor> &images)
 
     const long long evals_before = stats_.crossbarEvals;
     const long long adc_before = stats_.adcConversions;
+    const long long checks_before = stats_.abftChecks;
+    const long long violations_before = stats_.abftViolations;
 
     size_t next_mapped = 0;
     for (int i = 0; i < net.numLayers(); ++i) {
@@ -1132,6 +1178,13 @@ NebulaChip::runAnnBatch(const std::vector<Tensor> &images)
         .inc(static_cast<double>(stats_.crossbarEvals - evals_before));
     registry.counter("chip.adc_conversions")
         .inc(static_cast<double>(stats_.adcConversions - adc_before));
+    if (config_.abft) {
+        registry.counter("abft.checks")
+            .inc(static_cast<double>(stats_.abftChecks - checks_before));
+        registry.counter("abft.violations")
+            .inc(static_cast<double>(stats_.abftViolations -
+                                     violations_before));
+    }
     result.logits = std::move(xs);
     return result;
 }
@@ -1246,6 +1299,11 @@ NebulaChip::snnFastStep(PoissonEncoder &encoder, int t,
                                     plan.evalWs);
             ++stats_.crossbarEvals;
             stats_.crossbarEnergy += plan.evalWs.energy;
+            if (config_.abft) {
+                stats_.abftChecks += plan.evalWs.check.checks;
+                stats_.abftViolations += plan.evalWs.check.violations;
+                stats_.adcConversions += plan.evalWs.check.checks;
+            }
             const int group_offset =
                 static_cast<int>(g) * config_.atomicSize;
             emitAffine(out + group_offset, layer.bias.data() + group_offset,
@@ -1308,6 +1366,8 @@ NebulaChip::runSnn(const Tensor &image, int timesteps,
     result.timesteps = timesteps;
     long long input_spikes = 0;
     const long long evals_before = stats_.crossbarEvals;
+    const long long checks_before = stats_.abftChecks;
+    const long long violations_before = stats_.abftViolations;
 
     // The preplanned pipeline runs the same arithmetic without the
     // per-step tensor churn; an actively recording trace session keeps
@@ -1381,6 +1441,13 @@ NebulaChip::runSnn(const Tensor &image, int timesteps,
         .inc(static_cast<double>(stats_.crossbarEvals - evals_before));
     registry.counter("chip.spikes")
         .inc(static_cast<double>(result.totalSpikes));
+    if (config_.abft) {
+        registry.counter("abft.checks")
+            .inc(static_cast<double>(stats_.abftChecks - checks_before));
+        registry.counter("abft.violations")
+            .inc(static_cast<double>(stats_.abftViolations -
+                                     violations_before));
+    }
     return result;
 }
 

@@ -45,6 +45,8 @@ struct ChipStats
     double crossbarEnergy = 0.0;   //!< device-level ohmic energy (J)
     long long nocPackets = 0;      //!< inter-layer transfers
     double nocEnergy = 0.0;        //!< J
+    long long abftChecks = 0;      //!< checksum-column comparisons
+    long long abftViolations = 0;  //!< comparisons exceeding tolerance
 
     /**
      * Accumulate another chip's counters into this one. Every field is

@@ -88,6 +88,18 @@ struct NebulaConfig
      */
     bool fastEval = true;
 
+    /**
+     * Online ABFT integrity checking: program one checksum column per
+     * crossbar and compare every evaluation's data-column current sum
+     * against the input-weighted checksum expectation within an
+     * ADC-quantization-derived tolerance. Violations are counted into
+     * ChipStats::abftViolations (and surfaced per request by the
+     * runtime); the checksum read-out's ohmic energy and ADC
+     * conversion are billed with the rest of the array. Off (default)
+     * keeps every output byte-identical to a chip without the column.
+     */
+    bool abft = false;
+
     /** Atomic crossbars per neural core. */
     int acsPerCore() const { return acsPerTile * tilesPerSupertile; }
 

@@ -189,6 +189,9 @@ CrossbarArray::CrossbarArray(const CrossbarParams &params)
     gMid_ = 0.5 * (cell_.conductanceP() + cell_.conductanceAp());
     gHalfSwing_ = 0.5 * (cell_.conductanceP() - cell_.conductanceAp());
     // +1: the extra column is the shared reference column at G_mid.
+    // With abft a second extra column holds the row checksum; every
+    // cell at G_mid encodes zero weight, whose row-sum checksum is
+    // also G_mid, so the blank array satisfies the identity.
     conductance_.assign(static_cast<size_t>(p_.rows) * physicalStride(),
                         gMid_);
     remap_.resize(static_cast<size_t>(p_.cols));
@@ -479,6 +482,10 @@ CrossbarArray::updateCells(const std::vector<CellUpdate> &updates,
     const GaussianVariabilityModel noise(p_.variationSigma);
     const int top = p_.levels - 1;
     bool touched = false;
+    // Per-row sum of intended level movement, for the checksum column.
+    std::vector<long long> row_delta;
+    if (p_.abft)
+        row_delta.assign(static_cast<size_t>(p_.rows), 0);
     for (const CellUpdate &u : updates) {
         NEBULA_ASSERT(u.row >= 0 && u.row < p_.rows && u.col >= 0 &&
                           u.col < p_.cols,
@@ -494,9 +501,30 @@ CrossbarArray::updateCells(const std::vector<CellUpdate> &updates,
             ++report.clampedCells;
         }
         report.levelSteps += std::abs(target - current);
+        if (p_.abft)
+            row_delta[static_cast<size_t>(u.row)] += target - current;
         if (updateCell(u.row, remap_[static_cast<size_t>(u.col)], current,
                        target, config, noise, report))
             touched = true;
+    }
+    if (p_.abft) {
+        // Keep the checksum column tracking the *intended* state: one
+        // exact verification write per touched row, billed like any
+        // other pulse. A stuck/open data cell that swallowed its update
+        // leaves the array deviating from intent, so the divergence the
+        // checksum now reports is a true corruption, not a bookkeeping
+        // artifact.
+        const int chk = physicalDataCols() + 1;
+        for (int i = 0; i < p_.rows; ++i) {
+            const long long d = row_delta[static_cast<size_t>(i)];
+            if (d == 0)
+                continue;
+            ++report.pulses;
+            report.updateEnergy += programPulseEnergy();
+            cellAt(i, chk) +=
+                (2.0 * d / top / p_.cols) * gHalfSwing_;
+            touched = true;
+        }
     }
     if (touched)
         invalidateCache();
@@ -538,12 +566,14 @@ CrossbarArray::program(const std::vector<float> &weights,
     const int ref = physicalDataCols();
 
     for (int i = 0; i < p_.rows; ++i) {
+        double wq_sum = 0.0;
         for (int j = 0; j < p_.cols; ++j) {
             const double w = std::clamp<double>(
                 weights[static_cast<size_t>(i) * p_.cols + j], -1.0, 1.0);
             // Quantize to the discrete DW pinning states.
             const int level =
                 static_cast<int>(std::lround((w + 1.0) / 2.0 * top));
+            wq_sum += 2.0 * level / top - 1.0;
             programCell(i, remap_[static_cast<size_t>(j)], level, config,
                         noise, rng, report);
         }
@@ -554,6 +584,23 @@ CrossbarArray::program(const std::vector<float> &weights,
         if (!faults_.empty() && faults_.rowOpen(i))
             gref = 0.0;
         cellAt(i, ref) = gref;
+        if (p_.abft) {
+            // Checksum column: the row-sum of the intended quantized
+            // weights, scaled into the cell swing so it can be sensed
+            // as one ordinary column current. Written through the
+            // closed verification loop with an uncapped pulse budget
+            // (one column per array can afford it), so it lands on
+            // target exactly -- detection compares the noisy data
+            // columns against this trusted expectation. A broken row
+            // line is driven from the dedicated verification driver,
+            // so the checksum cell is NOT zeroed with the data cells:
+            // the dead row then reads 0 on the data side but keeps a
+            // nonzero expectation, which is exactly the violation.
+            ++report.pulses;
+            report.programEnergy += programPulseEnergy();
+            cellAt(i, ref + 1) =
+                gMid_ + (wq_sum / p_.cols) * gHalfSwing_;
+        }
     }
     return report;
 }
@@ -645,6 +692,20 @@ CrossbarArray::evalCache() const
         c.refCol[static_cast<size_t>(i)] = row[ref];
         c.rowGsum[static_cast<size_t>(i)] = row_g + row[ref];
     }
+    if (p_.abft) {
+        // Checksum column view, and its read dissipation folded into
+        // the per-row conductance totals: the column is sensed on
+        // every evaluation, so its ohmic energy is billed with the
+        // data and reference columns.
+        c.chkCol.resize(static_cast<size_t>(rows));
+        for (int i = 0; i < rows; ++i) {
+            const double g_chk =
+                conductance_[static_cast<size_t>(i) * physicalStride() +
+                             ref + 1];
+            c.chkCol[static_cast<size_t>(i)] = g_chk;
+            c.rowGsum[static_cast<size_t>(i)] += g_chk;
+        }
+    }
 
     c.colOpen.assign(static_cast<size_t>(cols), 0);
     c.anyColOpen = false;
@@ -720,6 +781,22 @@ CrossbarArray::evaluateIdeal(const std::vector<double> &inputs,
                 eval.currents[static_cast<size_t>(j)] = 0.0;
     }
     eval.energy = power * duration;
+    if (p_.abft) {
+        // Checksum read-out: same ascending active-row chain as the
+        // reference column, so the verdict is bit-identical to the
+        // scalar path's.
+        double chk_current = 0.0;
+        double vsq = 0.0;
+        for (int a = 0; a < n_active; ++a) {
+            const double v = va[static_cast<size_t>(a)];
+            const size_t i =
+                static_cast<size_t>(active[static_cast<size_t>(a)]);
+            chk_current += v * c.chkCol[i];
+            vsq += v * v;
+        }
+        eval.check =
+            makeCheck(eval.currents.data(), chk_current, ref_current, vsq);
+    }
     return eval;
 }
 
@@ -790,6 +867,21 @@ CrossbarArray::evaluateSparseInto(const SpikeVector &active,
                 eval.currents[static_cast<size_t>(j)] = 0.0;
     }
     eval.energy = power * duration;
+    eval.check = CrossbarCheck{};
+    if (p_.abft) {
+        // Separate ascending walk keeps the hot accumulation loop
+        // above untouched; the chain order matches evaluateIdeal on
+        // the densified vector, so verdicts stay bit-identical.
+        double chk_current = 0.0;
+        double vsq = 0.0;
+        for (size_t k = 0; k < n_active; ++k) {
+            chk_current +=
+                v * c.chkCol[static_cast<size_t>(active[k])];
+            vsq += v * v;
+        }
+        eval.check =
+            makeCheck(eval.currents.data(), chk_current, ref_current, vsq);
+    }
 }
 
 CrossbarBatchEval
@@ -818,6 +910,8 @@ CrossbarArray::evaluateIdealBatch(const std::vector<double> &inputs,
                           static_cast<size_t>(b) * cols);
             eval.energies.push_back(one.energy);
             eval.energy += one.energy;
+            if (p_.abft)
+                eval.checks.push_back(one.check);
         }
         return eval;
     }
@@ -909,6 +1003,22 @@ CrossbarArray::evaluateIdealBatch(const std::vector<double> &inputs,
         }
         eval.energies[static_cast<size_t>(b)] = power * duration;
         eval.energy += eval.energies[static_cast<size_t>(b)];
+        if (p_.abft) {
+            // Per-window checksum comparison: same ascending-row chain
+            // as the solo path on this window, so each verdict is
+            // bit-identical to a standalone evaluateIdeal().
+            double chk_current = 0.0;
+            double vsq = 0.0;
+            for (int i = 0; i < rows; ++i) {
+                const double vi = v[i];
+                if (vi == 0.0)
+                    continue;
+                chk_current += vi * c.chkCol[static_cast<size_t>(i)];
+                vsq += vi * vi;
+            }
+            eval.checks.push_back(
+                makeCheck(out, chk_current, ref_current, vsq));
+        }
     }
     return eval;
 }
@@ -922,6 +1032,8 @@ CrossbarArray::evaluateIdealScalar(const std::vector<double> &inputs,
 
     const int ref = physicalDataCols();
     double ref_current = 0.0;
+    double chk_current = 0.0;
+    double vsq = 0.0;
     double power = 0.0;
     for (int i = 0; i < p_.rows; ++i) {
         const double v = std::clamp(inputs[i], 0.0, 1.0) * p_.readVoltage;
@@ -937,6 +1049,11 @@ CrossbarArray::evaluateIdealScalar(const std::vector<double> &inputs,
         }
         ref_current += v * row[ref];
         row_g += row[ref];
+        if (p_.abft) {
+            chk_current += v * row[ref + 1];
+            vsq += v * v;
+            row_g += row[ref + 1];
+        }
         power += v * v * row_g;
     }
     for (auto &current : eval.currents)
@@ -949,7 +1066,48 @@ CrossbarArray::evaluateIdealScalar(const std::vector<double> &inputs,
                 eval.currents[static_cast<size_t>(j)] = 0.0;
     }
     eval.energy = power * duration;
+    if (p_.abft)
+        eval.check =
+            makeCheck(eval.currents.data(), chk_current, ref_current, vsq);
     return eval;
+}
+
+CrossbarCheck
+CrossbarArray::makeCheck(const double *currents, double chk_current,
+                         double ref_current, double vsq_sum) const
+{
+    CrossbarCheck check;
+    check.checks = 1;
+
+    // ABFT identity: every data cell holds G_mid + wq*dG/2 and the
+    // checksum cell holds G_mid + (sum_j wq)/cols * dG/2, so on a clean
+    // array  sum_j I_j(raw) == cols * I_chk  exactly. The reference
+    // current appears cols times on both sides of the subtracted form
+    // and cancels algebraically, taking its programming noise with it.
+    double observed = 0.0;
+    for (int j = 0; j < p_.cols; ++j)
+        observed += currents[j];
+    const double expected =
+        static_cast<double>(p_.cols) * (chk_current - ref_current);
+    check.residual = std::abs(observed - expected);
+
+    // Tolerance floor: half a conductance LSB at full read drive --
+    // the same quantum the column ADC resolves, so anything under it
+    // is invisible to the readout anyway. On top, 6 sigma of the
+    // accumulated programming variation: per-cell noise is an
+    // independent zero-mean factor of spread sigma on a conductance
+    // bounded by G_max, and the residual sums cols cells per driven
+    // row, giving Var <= sigma^2 * G_max^2 * cols * sum_i v_i^2.
+    const double step_g = 2.0 * gHalfSwing_ / (p_.levels - 1);
+    double tol = 0.5 * p_.readVoltage * step_g;
+    if (p_.variationSigma > 0.0) {
+        const double g_max = gMid_ + gHalfSwing_;
+        tol += 6.0 * p_.variationSigma * g_max *
+               std::sqrt(static_cast<double>(p_.cols) * vsq_sum);
+    }
+    check.tolerance = tol;
+    check.violations = check.residual > tol ? 1 : 0;
+    return check;
 }
 
 CrossbarEval

@@ -87,6 +87,32 @@ struct CrossbarParams
      * the measurable pre-optimization baseline for benchmarks.
      */
     bool fastEval = true;
+
+    /**
+     * Program and read an ABFT checksum column: one extra physical
+     * column whose per-row conductance encodes the row-sum of the
+     * *intended* quantized data weights, G_chk[i] = G_mid +
+     * (sum_j wq_ij / cols) * dG/2. On every ideal evaluation the
+     * observed data-column current sum is compared against
+     * cols * (I_chk - I_ref) within an ADC-quantization-derived
+     * tolerance; a mismatch flags the result as corrupt. Off (default)
+     * leaves layout, arithmetic and energy byte-identical to an array
+     * without the column.
+     */
+    bool abft = false;
+};
+
+/**
+ * Outcome of the ABFT checksum-column comparison attached to one
+ * evaluation. `checks` is 0 when no check ran (abft off, or a path
+ * where the checksum identity does not hold, e.g. the parasitic solve).
+ */
+struct CrossbarCheck
+{
+    int checks = 0;        //!< 1 when the checksum column was compared
+    int violations = 0;    //!< 1 when the residual exceeded tolerance
+    double residual = 0.0; //!< |observed - expected| current (A)
+    double tolerance = 0.0; //!< detection threshold used (A)
 };
 
 /** Result of one crossbar evaluation. */
@@ -97,6 +123,9 @@ struct CrossbarEval
 
     /** Total ohmic energy dissipated in the array this evaluation (J). */
     double energy = 0.0;
+
+    /** ABFT checksum verdict (checks == 0 unless CrossbarParams::abft). */
+    CrossbarCheck check;
 };
 
 /**
@@ -122,6 +151,13 @@ struct CrossbarBatchEval
      * is their ascending-order sum.
      */
     std::vector<double> energies;
+
+    /**
+     * Per-window ABFT verdicts (empty unless CrossbarParams::abft).
+     * Each entry is bit-identical to the check a standalone
+     * evaluateIdeal() of that window reports.
+     */
+    std::vector<CrossbarCheck> checks;
 };
 
 /** A single M x N analog crossbar array. */
@@ -296,7 +332,15 @@ class CrossbarArray
         /** Per-row reference-column conductance. */
         std::vector<double> refCol;
 
-        /** Per-row total conductance (data + reference), for energy. */
+        /** Per-row checksum-column conductance (abft only, else empty). */
+        std::vector<double> chkCol;
+
+        /**
+         * Per-row total conductance for energy accounting: data +
+         * reference, plus the checksum column when abft is on (its
+         * read current is sensed every evaluation, so its dissipation
+         * is billed with the rest of the array).
+         */
         std::vector<double> rowGsum;
 
         /** Per-logical-column open-line flag. */
@@ -320,8 +364,29 @@ class CrossbarArray
     /** Physical data columns (logical + spares). */
     int physicalDataCols() const { return p_.cols + p_.spareCols; }
 
-    /** Physical columns per row in conductance_ (data + reference). */
-    int physicalStride() const { return physicalDataCols() + 1; }
+    /**
+     * Physical columns per row in conductance_: data + reference, plus
+     * the ABFT checksum column (at physicalDataCols() + 1) when abft.
+     */
+    int physicalStride() const
+    {
+        return physicalDataCols() + (p_.abft ? 2 : 1);
+    }
+
+    /**
+     * ABFT residual comparison from one evaluation's aggregates, all
+     * accumulated in ascending row/column order so the fast and scalar
+     * paths produce bit-identical verdicts.
+     *
+     * @param currents    Final (reference-subtracted, open-masked)
+     *                    data-column currents.
+     * @param chk_current Checksum-column current sum_i v_i * G_chk[i].
+     * @param ref_current Reference-column current sum_i v_i * G_ref[i].
+     * @param vsq_sum     sum_i v_i^2 over the driven rows (V^2), for
+     *                    the variation term of the tolerance.
+     */
+    CrossbarCheck makeCheck(const double *currents, double chk_current,
+                            double ref_current, double vsq_sum) const;
 
     double &cellAt(int row, int phys_col);
     double cellAt(int row, int phys_col) const;

@@ -65,23 +65,39 @@ CampaignResult::meanAccuracy(const std::string &mode,
     return count ? sum / count : -1.0;
 }
 
+double
+CampaignResult::detectionCoverage() const
+{
+    long long detected = 0, corrupt = 0;
+    for (const CampaignRow &row : rows) {
+        detected += row.detected;
+        corrupt += row.detected + row.undetected;
+    }
+    return corrupt ? static_cast<double>(detected) / corrupt : 1.0;
+}
+
 std::string
 CampaignResult::csv() const
 {
     std::string out =
-        "# units: program_energy_j in joules (J); accuracy and rate are "
-        "dimensionless fractions; pulses_per_cell is a mean count\n"
+        "# units: program_energy_j in joules (J); accuracy, rate and "
+        "detection_coverage are dimensionless fractions; detected and "
+        "undetected are corrupt-image counts (flagged vs silent); "
+        "pulses_per_cell is a mean count\n"
         "backend,mode,mitigation,rate,seed,images,correct,accuracy,"
+        "detected,undetected,detection_coverage,"
         "pulses_per_cell,failed_cells,repaired_columns,"
         "irreparable_columns,program_energy_j\n";
-    char line[320];
+    char line[384];
     for (const CampaignRow &row : rows) {
         std::snprintf(
             line, sizeof line,
-            "%s,%s,%s,%.6f,%llu,%d,%d,%.6f,%.3f,%lld,%lld,%lld,%.6e\n",
+            "%s,%s,%s,%.6f,%llu,%d,%d,%.6f,%d,%d,%.6f,%.3f,%lld,%lld,"
+            "%lld,%.6e\n",
             row.backend.c_str(), row.mode.c_str(), row.mitigation.c_str(),
             row.rate, static_cast<unsigned long long>(row.seed), row.images,
-            row.correct, row.accuracy, row.report.pulsesPerCell(),
+            row.correct, row.accuracy, row.detected, row.undetected,
+            row.detectionCoverage(), row.report.pulsesPerCell(),
             row.report.failedCells, row.report.repairedColumns,
             row.report.irreparableColumns, row.report.programEnergy);
         out += line;
@@ -106,13 +122,21 @@ CampaignResult::addStats(StatGroup &stats) const
 
 namespace {
 
+/** Per-image outcome of one (factory, dataset) measurement. */
+struct TrialOutcome
+{
+    int correct = 0;
+    std::vector<int> predicted;
+    std::vector<char> flagged; //!< ABFT checksum violation per image
+};
+
 /**
  * Run one trial's accuracy measurement through the inference engine.
  * @param timesteps 0 for ANN requests, the evidence window otherwise.
  */
-int
-countCorrect(const ReplicaFactory &factory, const Dataset &test,
-             const CampaignConfig &config, int timesteps, int images)
+TrialOutcome
+runTrial(const ReplicaFactory &factory, const Dataset &test,
+         const CampaignConfig &config, int timesteps, int images)
 {
     EngineConfig ec;
     ec.numWorkers = config.numWorkers;
@@ -126,12 +150,78 @@ countCorrect(const ReplicaFactory &factory, const Dataset &test,
         batch.push_back(test.image(i));
     auto futures = engine.submitBatch(batch);
 
-    int correct = 0;
-    for (int i = 0; i < images; ++i)
-        correct += futures[static_cast<size_t>(i)].get().predictedClass ==
-                   test.label(i);
+    TrialOutcome outcome;
+    outcome.predicted.reserve(static_cast<size_t>(images));
+    outcome.flagged.reserve(static_cast<size_t>(images));
+    for (int i = 0; i < images; ++i) {
+        const InferenceResult result = futures[static_cast<size_t>(i)].get();
+        outcome.correct += result.predictedClass == test.label(i);
+        outcome.predicted.push_back(result.predictedClass);
+        outcome.flagged.push_back(result.integrity.violations > 0);
+    }
     engine.shutdown();
-    return correct;
+    return outcome;
+}
+
+/**
+ * Split a faulty trial's images into detected / undetected corruptions
+ * against a clean-reference prediction vector. An image is corrupt when
+ * its prediction differs from the clean run's; the trial's own flagged
+ * vector says whether the integrity check fired for that image.
+ */
+void
+accountDetection(const TrialOutcome &trial, const std::vector<int> &clean,
+                 CampaignRow &row)
+{
+    for (size_t i = 0; i < trial.predicted.size() && i < clean.size(); ++i) {
+        if (trial.predicted[i] == clean[i])
+            continue;
+        if (trial.flagged[i])
+            ++row.detected;
+        else
+            ++row.undetected;
+    }
+}
+
+/**
+ * Functional-backend stand-in for the checksum column: audit the
+ * perturbed weights against the intended ones with the same row-sum
+ * checksum the chip stores -- for every crossbar row (receptive-field
+ * index), sum the weight deltas across kernels and compare against half
+ * a quantization step, exactly the tolerance the analog check derives
+ * from the ADC's LSB. Detects any corruption whose column-sum does not
+ * cancel, and misses the same cross-column cancellations the chip-side
+ * check misses.
+ */
+bool
+checksumAuditDetects(const Network &clean, const Network &noisy, int levels)
+{
+    // parameters() is non-const (it hands out mutable tensors for the
+    // trainer); the audit only reads.
+    Network &c = const_cast<Network &>(clean);
+    Network &n = const_cast<Network &>(noisy);
+    for (int i = 0; i < c.numLayers(); ++i) {
+        Layer &layer = c.layer(i);
+        if (!layer.isWeightLayer())
+            continue;
+        const Tensor &w0 = *layer.parameters()[0];
+        const Tensor &w1 = *n.layer(i).parameters()[0];
+        const int rf = layer.receptiveField();
+        const int kernels = layer.numKernels();
+        const float wmax = std::max(w0.maxAbs(), 1e-6f);
+        const float tolerance = wmax / (levels - 1); // half of 2*wmax/(L-1)
+        for (int r = 0; r < rf; ++r) {
+            double residual = 0.0;
+            for (int k = 0; k < kernels; ++k) {
+                const long long idx =
+                    static_cast<long long>(k) * rf + r;
+                residual += static_cast<double>(w1[idx]) - w0[idx];
+            }
+            if (std::abs(residual) > tolerance)
+                return true;
+        }
+    }
+    return false;
 }
 
 /**
@@ -173,6 +263,30 @@ runChipCampaign(const Network &quantized, const QuantizationResult &quant,
 
     CampaignResult result;
     obs::TraceSpan campaign_span("reliability", "campaign.chip");
+
+    // Clean-reference predictions for ABFT detection accounting: the
+    // same chip config, variation draw and programming seed with no
+    // fault model, run once per mode. A trial image is corrupt when its
+    // prediction differs from this reference.
+    std::vector<int> ann_clean, snn_clean;
+    if (config.chip.abft) {
+        const ReliabilityConfig no_faults;
+        if (config.runAnn)
+            ann_clean = runTrial(makeAnnReplicaFactory(
+                                     quantized, quant, config.chip,
+                                     config.variationSigma,
+                                     config.chipSeed, no_faults),
+                                 test, config, 0, images)
+                            .predicted;
+        if (config.runSnn && snn)
+            snn_clean = runTrial(makeSnnReplicaFactory(
+                                     *snn, config.chip,
+                                     config.variationSigma,
+                                     config.chipSeed, no_faults),
+                                 test, config, config.timesteps, images)
+                            .predicted;
+    }
+
     for (const MitigationSpec &mit : config.mitigations) {
         NEBULA_DEBUG("reliability", "chip campaign: mitigation ", mit.name);
         for (double rate : config.rates) {
@@ -198,7 +312,7 @@ runChipCampaign(const Network &quantized, const QuantizationResult &quant,
 
                 if (config.runAnn) {
                     auto report = std::make_shared<ProgramReport>();
-                    const int correct = countCorrect(
+                    const TrialOutcome trial = runTrial(
                         captureReport(
                             makeAnnReplicaFactory(quantized, quant,
                                                   config.chip,
@@ -207,14 +321,18 @@ runChipCampaign(const Network &quantized, const QuantizationResult &quant,
                             report),
                         test, config, 0, images);
                     row.mode = "ann";
-                    row.correct = correct;
-                    row.accuracy = static_cast<double>(correct) / images;
+                    row.correct = trial.correct;
+                    row.accuracy =
+                        static_cast<double>(trial.correct) / images;
+                    row.detected = row.undetected = 0;
+                    if (config.chip.abft)
+                        accountDetection(trial, ann_clean, row);
                     row.report = *report;
                     result.rows.push_back(row);
                 }
                 if (config.runSnn && snn) {
                     auto report = std::make_shared<ProgramReport>();
-                    const int correct = countCorrect(
+                    const TrialOutcome trial = runTrial(
                         captureReport(
                             makeSnnReplicaFactory(*snn, config.chip,
                                                   config.variationSigma,
@@ -222,8 +340,12 @@ runChipCampaign(const Network &quantized, const QuantizationResult &quant,
                             report),
                         test, config, config.timesteps, images);
                     row.mode = "snn";
-                    row.correct = correct;
-                    row.accuracy = static_cast<double>(correct) / images;
+                    row.correct = trial.correct;
+                    row.accuracy =
+                        static_cast<double>(trial.correct) / images;
+                    row.detected = row.undetected = 0;
+                    if (config.chip.abft)
+                        accountDetection(trial, snn_clean, row);
                     row.report = *report;
                     result.rows.push_back(row);
                 }
@@ -249,6 +371,25 @@ runFunctionalCampaign(const Network &quantized, const Tensor &calibration,
 
     CampaignResult result;
     obs::TraceSpan campaign_span("reliability", "campaign.functional");
+
+    // Functional ABFT accounting: no crossbar means no checksum column,
+    // so the per-trial weight audit (checksumAuditDetects) stands in --
+    // a trial that trips the audit counts all its corrupt images as
+    // detected; one that doesn't counts them as silent.
+    std::vector<int> ann_clean, snn_clean;
+    if (config.chip.abft) {
+        if (config.runAnn)
+            ann_clean = runTrial(makeFunctionalAnnReplicaFactory(
+                                     quantized.clone()),
+                                 test, config, 0, images)
+                            .predicted;
+        if (config.runSnn)
+            snn_clean = runTrial(makeFunctionalSnnReplicaFactory(
+                                     quantized.clone(), calibration),
+                                 test, config, config.timesteps, images)
+                            .predicted;
+    }
+
     for (const MitigationSpec &mit : config.mitigations) {
         NEBULA_DEBUG("reliability", "functional campaign: mitigation ",
                      mit.name);
@@ -262,6 +403,9 @@ runFunctionalCampaign(const Network &quantized, const Tensor &calibration,
                 Network noisy = quantized.clone();
                 const auto model = factory(rate);
                 applyFaultsToWeights(noisy, *model, seed);
+                const bool audit_fired =
+                    config.chip.abft &&
+                    checksumAuditDetects(quantized, noisy, /*levels=*/16);
 
                 CampaignRow row;
                 row.backend = "functional";
@@ -271,12 +415,18 @@ runFunctionalCampaign(const Network &quantized, const Tensor &calibration,
                 row.images = images;
 
                 if (config.runAnn) {
-                    const int correct = countCorrect(
+                    TrialOutcome trial = runTrial(
                         makeFunctionalAnnReplicaFactory(noisy), test,
                         config, 0, images);
+                    std::fill(trial.flagged.begin(), trial.flagged.end(),
+                              static_cast<char>(audit_fired));
                     row.mode = "ann";
-                    row.correct = correct;
-                    row.accuracy = static_cast<double>(correct) / images;
+                    row.correct = trial.correct;
+                    row.accuracy =
+                        static_cast<double>(trial.correct) / images;
+                    row.detected = row.undetected = 0;
+                    if (config.chip.abft)
+                        accountDetection(trial, ann_clean, row);
                     result.rows.push_back(row);
                 }
                 if (config.runSnn) {
@@ -284,12 +434,18 @@ runFunctionalCampaign(const Network &quantized, const Tensor &calibration,
                     // per replica and runs through the engine, so the
                     // encoder seeds are the same per-request derivation
                     // the chip leg uses.
-                    const int correct = countCorrect(
+                    TrialOutcome trial = runTrial(
                         makeFunctionalSnnReplicaFactory(noisy, calibration),
                         test, config, config.timesteps, images);
+                    std::fill(trial.flagged.begin(), trial.flagged.end(),
+                              static_cast<char>(audit_fired));
                     row.mode = "snn";
-                    row.correct = correct;
-                    row.accuracy = static_cast<double>(correct) / images;
+                    row.correct = trial.correct;
+                    row.accuracy =
+                        static_cast<double>(trial.correct) / images;
+                    row.detected = row.undetected = 0;
+                    if (config.chip.abft)
+                        accountDetection(trial, snn_clean, row);
                     result.rows.push_back(row);
                 }
             }

@@ -121,6 +121,24 @@ struct CampaignRow
     int correct = 0;
     double accuracy = 0.0;
 
+    /**
+     * ABFT detection accounting (config.chip.abft). An image is
+     * *corrupt* when its prediction differs from a clean-reference run
+     * of the same backend; corrupt images split into detected (the
+     * checksum columns flagged the request -- or, on the functional
+     * backend, the weight-space checksum audit fired) and undetected
+     * (silent data corruption). Zeros when ABFT is off.
+     */
+    int detected = 0;
+    int undetected = 0;
+
+    /** Detected fraction of corrupt images (1 when none are corrupt). */
+    double detectionCoverage() const
+    {
+        const int corrupt = detected + undetected;
+        return corrupt ? static_cast<double>(detected) / corrupt : 1.0;
+    }
+
     /** Programming accounting (chip backend; zeros on functional). */
     ProgramReport report;
 };
@@ -136,6 +154,12 @@ struct CampaignResult
      */
     double meanAccuracy(const std::string &mode,
                         const std::string &mitigation, double rate) const;
+
+    /**
+     * Aggregate ABFT detection coverage: detected / corrupt summed over
+     * every row (1 when no row saw a corrupt image).
+     */
+    double detectionCoverage() const;
 
     /** Deterministic CSV (header + one line per row). */
     std::string csv() const;

@@ -134,6 +134,21 @@ HealthMonitor::probeNow(int slot, std::unique_ptr<ChipReplica> &replica)
     NEBULA_ASSERT(!expected_.empty(),
                   "probe before captureExpected()");
     Slot &s = *slots_[static_cast<size_t>(slot)];
+
+    // Settled slots are terminal for probing, exactly as in
+    // afterRequest: a Demoted slot serves the functional fallback
+    // (whose logits never match the pristine canaries -- probing it
+    // would "re-demote" an already-demoted slot) and a Tuned slot's
+    // logits are permanently offset from the expectations. Escalated
+    // probes (ABFT violations) may race a request that was already in
+    // flight when the slot settled; they land here and must be no-ops.
+    {
+        const auto settled = static_cast<ReplicaHealth>(s.state.load());
+        if (settled == ReplicaHealth::Demoted ||
+            settled == ReplicaHealth::Tuned)
+            return settled;
+    }
+
     auto &metrics = obs::MetricsRegistry::global();
 
     obs::TraceSpan probe_span("health", "health.probe", true,

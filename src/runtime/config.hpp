@@ -8,11 +8,42 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 namespace nebula {
 
+class ChipReplica;
 class HealthMonitor;
+
+/**
+ * Engine-level reaction to per-request ABFT violations (the checksum
+ * verdicts NebulaConfig::abft produces). Detection itself lives on the
+ * chip; this only configures what a worker does when a result comes
+ * back flagged.
+ */
+struct AbftConfig
+{
+    /**
+     * Re-execute a violating request once on the worker's fallback
+     * replica (below) before settling its promise, so the client gets
+     * a correct answer instead of a flagged-corrupt one. Deadline-aware:
+     * a request whose budget has already lapsed keeps the flagged
+     * original rather than burning more time. The re-run keeps the
+     * request's own seed, so a stochastic (SNN) re-execution is
+     * reproducible.
+     */
+    bool reExecute = true;
+
+    /**
+     * Factory for the per-worker fallback replica a flagged request is
+     * re-run on (typically makeFunctionalAnnReplicaFactory /
+     * makeFunctionalSnnReplicaFactory -- a backend with no crossbars to
+     * corrupt). Built lazily on first violation, one per worker. Null:
+     * violations are surfaced on the result but never re-executed.
+     */
+    std::function<std::unique_ptr<ChipReplica>(int)> fallback;
+};
 
 /**
  * Admission-control policy when a request arrives and the engine is
@@ -140,6 +171,13 @@ struct EngineConfig
      * demotion to a functional backend when repair fails. Null: off.
      */
     std::shared_ptr<HealthMonitor> health;
+
+    /**
+     * Reaction to ABFT integrity violations (chip-side detection is
+     * enabled via NebulaConfig::abft on the replica factory's chip
+     * config; this configures the engine's hedged re-execution).
+     */
+    AbftConfig abft;
 };
 
 } // namespace nebula

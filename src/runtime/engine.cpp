@@ -68,6 +68,8 @@ InferenceEngine::InferenceEngine(EngineConfig config,
     hooks.traceRequests = config_.traceRequests;
     hooks.maxBatch = config_.batching.maxBatch;
     hooks.maxWaitUs = config_.batching.maxWaitUs;
+    hooks.abftReExecute = config_.abft.reExecute;
+    hooks.abftFallback = config_.abft.fallback;
     if (config_.maxConsecutiveFaults > 0) {
         hooks.superviseRestart =
             [this](int id, std::unique_ptr<ChipReplica> old) {
@@ -300,8 +302,50 @@ InferenceEngine::runInline(InferenceRequest request)
     }
 
     double service = -1.0;
+    bool violated = false;
     try {
         InferenceResult result = inlineReplica_->run(request);
+        // Inline-mode mirror of the worker's hedged re-execution: a
+        // flagged result is re-run once on the lazily built fallback
+        // before the promise settles (see Worker::handleViolation).
+        if (result.integrity.violations > 0 && result.ok()) {
+            violated = true;
+            inlineStats_.scalar("abft.violations").inc();
+            obs::MetricsRegistry::global()
+                .counter("abft.request_violations")
+                .inc();
+            obs::recordInstant("runtime", "abft.violation",
+                               config_.traceRequests);
+            if (config_.abft.reExecute && config_.abft.fallback) {
+                if (!inlineAbftFallback_)
+                    inlineAbftFallback_ = config_.abft.fallback(0);
+                if (inlineAbftFallback_) {
+                    try {
+                        InferenceResult redo =
+                            inlineAbftFallback_->run(request);
+                        // Keep the original's detection verdict (see
+                        // Worker::handleViolation).
+                        redo.integrity.checks += result.integrity.checks;
+                        redo.integrity.violations +=
+                            result.integrity.violations;
+                        redo.integrity.reExecuted = true;
+                        result = std::move(redo);
+                        inlineStats_.scalar("abft.reexecutions").inc();
+                        obs::MetricsRegistry::global()
+                            .counter("abft.reexecutions")
+                            .inc();
+                        obs::recordInstant("runtime", "abft.reexecute",
+                                           config_.traceRequests);
+                    } catch (...) {
+                        // Keep the flagged original; a faulting
+                        // fallback must not unseat a typed answer.
+                        obs::MetricsRegistry::global()
+                            .counter("abft.reexec_fault")
+                            .inc();
+                    }
+                }
+            }
+        }
         const auto end = std::chrono::steady_clock::now();
         result.id = request.id;
         result.workerId = -1;
@@ -352,6 +396,22 @@ InferenceEngine::runInline(InferenceRequest request)
         result.error = RuntimeErrorKind::ReplicaFault;
         result.errorMessage = "replica threw a non-std exception";
         promise.set_value(std::move(result));
+    }
+
+    // A violation escalates the health probe immediately (promise
+    // already settled), mirroring the worker path: no waiting for the
+    // probeEvery cadence once detection has flagged the replica.
+    if (violated && config_.health && config_.health->config().enabled) {
+        try {
+            config_.health->probeNow(0, inlineReplica_);
+        } catch (...) {
+            inlineStats_.scalar("probe_failures").inc();
+            obs::MetricsRegistry::global()
+                .counter("health.probe_fault")
+                .inc();
+            obs::recordInstant("runtime", "health.probe_fault",
+                               config_.traceRequests);
+        }
     }
 
     // Probe after a successful request, with the promise already

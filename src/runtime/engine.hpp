@@ -229,6 +229,9 @@ class InferenceEngine
     std::unique_ptr<ChipReplica> inlineReplica_; //!< numWorkers == 0
     StatGroup inlineStats_{"inline"};
 
+    /** Lazily built ABFT re-execution fallback for inline mode. */
+    std::unique_ptr<ChipReplica> inlineAbftFallback_;
+
     std::atomic<uint64_t> nextId_{0};
     std::atomic<uint64_t> submitted_{0};
     std::atomic<uint64_t> completed_{0};

@@ -27,6 +27,9 @@ AnnChipReplica::run(const InferenceRequest &request)
     result.logits = chip_.runAnn(request.image);
     result.predictedClass = result.logits.argmaxRow(0);
     result.energy = estimateEnergyBreakdown(before, chip_.stats(), Mode::ANN);
+    result.integrity.checks = chip_.stats().abftChecks - before.abftChecks;
+    result.integrity.violations =
+        chip_.stats().abftViolations - before.abftViolations;
     return result;
 }
 
@@ -49,6 +52,8 @@ AnnChipReplica::runBatch(
         // batch activity (clean deltas, not accumulated-total diffs).
         result.energy = estimateEnergyBreakdown(
             ChipStats(), batch.perImage[b], Mode::ANN);
+        result.integrity.checks = batch.perImage[b].abftChecks;
+        result.integrity.violations = batch.perImage[b].abftViolations;
         results.push_back(std::move(result));
     }
     return results;
@@ -86,6 +91,9 @@ SnnChipReplica::run(const InferenceRequest &request)
     result.timesteps = snn.timesteps;
     result.spikes = snn.totalSpikes;
     result.energy = estimateEnergyBreakdown(before, chip_.stats(), Mode::SNN);
+    result.integrity.checks = chip_.stats().abftChecks - before.abftChecks;
+    result.integrity.violations =
+        chip_.stats().abftViolations - before.abftViolations;
     return result;
 }
 

@@ -67,6 +67,28 @@ struct InferenceRequest
     uint64_t traceId = 0;
 };
 
+/**
+ * Per-request ABFT verdict, aggregated over every crossbar evaluation
+ * the request touched (zero everywhere on functional backends or when
+ * NebulaConfig::abft is off). A nonzero violation count means at least
+ * one layer's checksum-column comparison exceeded its tolerance while
+ * serving this request -- the logits may be silently corrupt. When the
+ * worker transparently re-executed the request on its fallback replica,
+ * reExecuted is set and the counts describe the *final* (fallback) run.
+ */
+struct IntegrityReport
+{
+    long long checks = 0;     //!< checksum comparisons performed
+    long long violations = 0; //!< comparisons exceeding tolerance
+    bool reExecuted = false;  //!< result comes from a fallback re-run
+
+    /** True when any ABFT comparison ran for this request. */
+    bool checked() const { return checks > 0; }
+
+    /** True when no comparison flagged corruption. */
+    bool clean() const { return violations == 0; }
+};
+
 /** The completed inference for one request. */
 struct InferenceResult
 {
@@ -89,6 +111,9 @@ struct InferenceResult
      * serving layer bills these to per-tenant telemetry counters.
      */
     EnergyBreakdown energy;
+
+    /** ABFT verdict for this request (see IntegrityReport). */
+    IntegrityReport integrity;
 
     /** True when the request was evaluated and the logits are valid. */
     bool ok() const { return error == RuntimeErrorKind::None; }

@@ -210,8 +210,16 @@ Worker::processItem(QueueItem &item)
                            static_cast<double>(queue_->size()),
                            hooks_.traceRequests);
     double service = -1.0;
+    bool violated = false;
     try {
         InferenceResult result = replica_->run(item.request);
+        // ABFT verdict check before any bookkeeping fields are filled:
+        // a hedged re-run replaces the whole result, and the service
+        // time measured below then covers original + re-run honestly.
+        if (result.integrity.violations > 0 && result.ok()) {
+            violated = true;
+            handleViolation(item, result);
+        }
         const auto end = std::chrono::steady_clock::now();
         result.id = item.request.id;
         result.workerId = id_;
@@ -254,6 +262,14 @@ Worker::processItem(QueueItem &item)
                  "replica threw a non-std exception", wait);
         ++consecutiveFaults_;
     }
+
+    // An ABFT violation escalates the health ladder immediately --
+    // detection already proved this replica computes wrong sums, so
+    // waiting for the probeEvery cadence would keep serving corrupt
+    // results in the meantime. Runs after the promise is settled for
+    // the same reason as the periodic probe below.
+    if (violated)
+        escalateHealthProbe();
 
     // Probe between requests, after the caller has its answer: the
     // canary cost lands on the worker, not on any request's
@@ -375,6 +391,7 @@ Worker::flushGroup(std::vector<QueueItem *> &group)
                            hooks_.traceRequests);
 
     double service = -1.0;
+    bool violated = false;
     try {
         std::vector<const InferenceRequest *> requests;
         requests.reserve(group.size());
@@ -390,6 +407,14 @@ Worker::flushGroup(std::vector<QueueItem *> &group)
         for (size_t i = 0; i < group.size(); ++i) {
             QueueItem &item = *group[i];
             InferenceResult &result = results[i];
+            // Per-item ABFT verdict (the batched walk attributes
+            // checksum comparisons per image): a flagged item is
+            // re-run solo on the fallback before its promise settles;
+            // the others keep their shared-walk results untouched.
+            if (result.integrity.violations > 0 && result.ok()) {
+                violated = true;
+                handleViolation(item, result);
+            }
             const double wait = secondsSince(item.enqueued, start);
             result.id = item.request.id;
             result.workerId = id_;
@@ -447,6 +472,11 @@ Worker::flushGroup(std::vector<QueueItem *> &group)
         ++consecutiveFaults_;
     }
 
+    // One escalated probe per flushed batch no matter how many items
+    // were flagged -- the probe targets the replica, not the requests.
+    if (violated)
+        escalateHealthProbe();
+
     // One probe per flushed batch, promises already settled (see the
     // solo-path comment for why this must stay outside the try block).
     if (service >= 0.0 && hooks_.health) {
@@ -474,6 +504,69 @@ Worker::flushGroup(std::vector<QueueItem *> &group)
     // completed_ quiesce accounting balanced.
     for (size_t i = 0; i < group.size(); ++i)
         hooks_.onComplete(service);
+}
+
+bool
+Worker::handleViolation(const QueueItem &item, InferenceResult &result)
+{
+    auto &registry = obs::MetricsRegistry::global();
+    stats_.scalar("abft.violations").inc();
+    registry.counter("abft.request_violations").inc();
+    obs::recordInstant("runtime", "abft.violation", hooks_.traceRequests);
+
+    if (!hooks_.abftReExecute || !hooks_.abftFallback)
+        return false;
+    // Deadline-aware hedging: once the request's budget has lapsed, a
+    // re-run can only turn a flagged-but-delivered answer into a late
+    // one. The flagged original (with integrity.violations set) is the
+    // better outcome -- the client sees the corruption verdict.
+    if (item.hasDeadline &&
+        std::chrono::steady_clock::now() > item.deadline)
+        return false;
+    if (!abftFallback_) {
+        abftFallback_ = hooks_.abftFallback(id_);
+        if (!abftFallback_)
+            return false;
+    }
+    try {
+        // Exactly one re-execution attempt, with the request's own
+        // seed (carried inside item.request), so a stochastic SNN
+        // re-run is reproducible.
+        InferenceResult redo = abftFallback_->run(item.request);
+        // The redo keeps the original's detection verdict: the client
+        // must see that checksums ran and flagged this request, not a
+        // blank report from the checksum-free fallback.
+        redo.integrity.checks += result.integrity.checks;
+        redo.integrity.violations += result.integrity.violations;
+        redo.integrity.reExecuted = true;
+        result = std::move(redo);
+        stats_.scalar("abft.reexecutions").inc();
+        registry.counter("abft.reexecutions").inc();
+        obs::recordInstant("runtime", "abft.reexecute",
+                           hooks_.traceRequests);
+        return true;
+    } catch (...) {
+        // A faulting fallback must not unseat the flagged original:
+        // the promise chain still delivers a typed answer either way.
+        registry.counter("abft.reexec_fault").inc();
+        return false;
+    }
+}
+
+void
+Worker::escalateHealthProbe()
+{
+    if (!hooks_.health)
+        return;
+    try {
+        hooks_.health->probeNow(id_, replica_);
+    } catch (...) {
+        stats_.scalar("probe_failures").inc();
+        obs::MetricsRegistry::global().counter("health.probe_fault").inc();
+        obs::recordInstant("runtime", "health.probe_fault",
+                           hooks_.traceRequests);
+        ++consecutiveFaults_;
+    }
 }
 
 void

@@ -76,6 +76,19 @@ struct WorkerHooks
 
     /** Longest gather wait in microseconds (see BatchingConfig). */
     uint64_t maxWaitUs = 0;
+
+    /**
+     * Hedged re-execution of ABFT-flagged results (EngineConfig::abft):
+     * when a result carries integrity violations and the deadline still
+     * has room, the worker re-runs the request once on its lazily built
+     * fallback replica before settling the promise, then asks the
+     * health monitor to probe the offending slot immediately (no
+     * waiting for probeEvery).
+     */
+    bool abftReExecute = false;
+
+    /** Fallback replica factory for flagged re-runs (null: none). */
+    std::function<std::unique_ptr<ChipReplica>(int)> abftFallback;
 };
 
 /** One worker thread plus its private replica and local stats. */
@@ -137,6 +150,19 @@ class Worker
     /** Supervisor restart check shared by the solo and batch paths. */
     void maybeRestartReplica();
 
+    /**
+     * Handle a result that came back with ABFT violations: bill the
+     * abft.* metrics, optionally re-execute on the fallback replica
+     * (bounded to one attempt, skipped when the deadline has lapsed)
+     * and remember to escalate the health probe after the promise is
+     * settled. Returns true when the result was replaced by a clean
+     * fallback re-run.
+     */
+    bool handleViolation(const QueueItem &item, InferenceResult &result);
+
+    /** Immediate health probe of this slot (after promise settle). */
+    void escalateHealthProbe();
+
     /** Fulfil @p item with a typed non-evaluated terminal outcome. */
     void shedItem(QueueItem &item, RuntimeErrorKind kind,
                   std::string message, double wait_seconds);
@@ -146,6 +172,9 @@ class Worker
     BoundedQueue<QueueItem> *queue_;
     WorkerHooks hooks_;
     int consecutiveFaults_ = 0;
+
+    /** Lazily built fallback replica for ABFT re-execution. */
+    std::unique_ptr<ChipReplica> abftFallback_;
 
     /**
      * EWMA of recent replica evaluation times (whole-flush, seconds),

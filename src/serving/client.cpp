@@ -190,11 +190,13 @@ ServingClient::readerLoop()
                          /*max_body=*/1 << 26, header) != WireStatus::Ok ||
             header.type != FrameType::Response)
             break;
-        // Today's server answers with v1 frames; tolerate a v2 response
-        // (trace-context extension) from a future server anyway.
+        // Unflagged responses arrive as v1 frames; a v3 response
+        // carries the ABFT integrity flags in its header extension
+        // (and a v2 one a trace context, tolerated for forward
+        // compatibility).
         const size_t extra = headerExtraBytes(header.version);
         if (extra > 0) {
-            uint8_t raw_extra[kTraceContextBytes];
+            uint8_t raw_extra[kMaxHeaderExtraBytes];
             if (!readFully(fd_, raw_extra, extra) ||
                 decodeHeaderExtra(raw_extra, extra, header) !=
                     WireStatus::Ok)
@@ -208,6 +210,7 @@ ServingClient::readerLoop()
         if (decodeResponseBody(body.data(), body.size(), response) !=
             WireStatus::Ok)
             break;
+        response.integrity = header.integrity;
 
         std::promise<WireResponse> promise;
         bool matched = false;

@@ -120,21 +120,42 @@ ServableLoader::spiking(const ServableModelSpec &spec)
 
 ReplicaFactory
 ServableLoader::makeFactory(const ServableModelSpec &spec,
-                            const ReliabilityConfig &reliability)
+                            const ReliabilityConfig &reliability,
+                            const NebulaConfig &chip)
 {
     if (spec.mode == "ann") {
         QuantizedServable q = quantized(spec);
-        return makeAnnReplicaFactory(q.net, q.quant, NebulaConfig{},
+        return makeAnnReplicaFactory(q.net, q.quant, chip,
                                      /*variation_sigma=*/0.0, spec.chipSeed,
                                      reliability);
     }
     if (spec.mode == "snn") {
         SpikingModel model = spiking(spec);
-        return makeSnnReplicaFactory(model, NebulaConfig{},
+        return makeSnnReplicaFactory(model, chip,
                                      /*variation_sigma=*/0.0, spec.chipSeed,
                                      reliability);
     }
     if (spec.mode == "hybrid") {
+        const Cached &entry = cached(spec);
+        return makeHybridReplicaFactory(entry.net, entry.calibration,
+                                        spec.hybridAnnLayers);
+    }
+    NEBULA_FATAL("unknown servable mode '", spec.mode, "'");
+}
+
+ReplicaFactory
+ServableLoader::makeFallbackFactory(const ServableModelSpec &spec)
+{
+    if (spec.mode == "ann")
+        return makeFunctionalAnnReplicaFactory(trainedNetwork(spec));
+    if (spec.mode == "snn") {
+        const Cached &entry = cached(spec);
+        return makeFunctionalSnnReplicaFactory(entry.net,
+                                               entry.calibration);
+    }
+    if (spec.mode == "hybrid") {
+        // Hybrid servables are already chip-free; an identically built
+        // pipeline is the natural (if redundant) fallback.
         const Cached &entry = cached(spec);
         return makeHybridReplicaFactory(entry.net, entry.calibration,
                                         spec.hybridAnnLayers);

@@ -83,11 +83,21 @@ class ServableLoader
     /**
      * Replica factory for the spec's mode. ANN/SNN factories program
      * chips under @p reliability (the registry passes write-verify so
-     * swap-ins are costed); the hybrid mode is functional (no chip, no
-     * programming cost).
+     * swap-ins are costed) with @p chip as the chip configuration
+     * (e.g. NebulaConfig::abft for checksum-column integrity
+     * checking); the hybrid mode is functional (no chip, no
+     * programming cost, @p chip ignored).
      */
     ReplicaFactory makeFactory(const ServableModelSpec &spec,
-                               const ReliabilityConfig &reliability = {});
+                               const ReliabilityConfig &reliability = {},
+                               const NebulaConfig &chip = {});
+
+    /**
+     * Functional (no-crossbar) fallback factory for the spec's mode --
+     * the backend ABFT-flagged requests are re-executed on (hybrid
+     * servables are already functional and get an equivalent pipeline).
+     */
+    ReplicaFactory makeFallbackFactory(const ServableModelSpec &spec);
 
     /** Expected request-image shape, (C, H, W). */
     std::vector<int> inputShape(const ServableModelSpec &spec) const

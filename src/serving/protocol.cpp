@@ -257,7 +257,8 @@ decodeHeader(const uint8_t *raw, size_t size, size_t max_body,
         return WireStatus::BadFrame;
     if (magic != kWireMagic)
         return WireStatus::BadFrame;
-    if (version != kWireVersion && version != kWireVersionTrace)
+    if (version != kWireVersion && version != kWireVersionTrace &&
+        version != kWireVersionIntegrity)
         return WireStatus::UnsupportedVersion;
     if (type != static_cast<uint8_t>(FrameType::Request) &&
         type != static_cast<uint8_t>(FrameType::Response))
@@ -268,7 +269,8 @@ decodeHeader(const uint8_t *raw, size_t size, size_t max_body,
     out.version = version;
     out.type = static_cast<FrameType>(type);
     out.bodyLen = body_len;
-    out.traceId = 0; // filled by decodeHeaderExtra on v2 frames
+    out.traceId = 0;   // filled by decodeHeaderExtra on v2+ frames
+    out.integrity = 0; // filled by decodeHeaderExtra on v3 frames
     return WireStatus::Ok;
 }
 
@@ -283,14 +285,20 @@ decodeHeaderExtra(const uint8_t *raw, size_t size, FrameHeader &out)
     ByteReader r(raw, size);
     if (!r.u64(out.traceId))
         return WireStatus::BadFrame;
+    if (out.version >= kWireVersionIntegrity && !r.u8(out.integrity))
+        return WireStatus::BadFrame;
     return WireStatus::Ok;
 }
 
 std::vector<uint8_t>
 encodeFrame(FrameType type, const std::vector<uint8_t> &body,
-            uint64_t trace_id)
+            uint64_t trace_id, uint8_t integrity)
 {
-    const uint8_t version = trace_id ? kWireVersionTrace : kWireVersion;
+    // Lowest version whose extension fields are all zero: unflagged
+    // untraced frames stay byte-identical to the v1 wire format.
+    const uint8_t version = integrity ? kWireVersionIntegrity
+                            : trace_id ? kWireVersionTrace
+                                       : kWireVersion;
     std::vector<uint8_t> frame;
     frame.reserve(kHeaderBytes + headerExtraBytes(version) + body.size());
     ByteWriter w(frame);
@@ -299,8 +307,10 @@ encodeFrame(FrameType type, const std::vector<uint8_t> &body,
     w.u8(static_cast<uint8_t>(type));
     w.u16(0);
     w.u32(static_cast<uint32_t>(body.size()));
-    if (trace_id)
+    if (version >= kWireVersionTrace)
         w.u64(trace_id);
+    if (version >= kWireVersionIntegrity)
+        w.u8(integrity);
     w.bytes(body.data(), body.size());
     return frame;
 }
@@ -348,7 +358,8 @@ encodeRequestFrame(const WireRequest &request)
 std::vector<uint8_t>
 encodeResponseFrame(const WireResponse &response)
 {
-    return encodeFrame(FrameType::Response, encodeResponseBody(response));
+    return encodeFrame(FrameType::Response, encodeResponseBody(response),
+                       /*trace_id=*/0, response.integrity);
 }
 
 WireStatus

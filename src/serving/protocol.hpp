@@ -22,10 +22,15 @@
  *
  * Versioning: v1 is the fixed 12-byte header above; v2 appends a u64
  * trace-context id (the Perfetto flow id linking client, server and
- * worker spans) between the fixed header and the body. Encoders emit
- * v1 whenever the trace id is 0, so untraced traffic is byte-identical
- * to the old wire format and v1-only peers interoperate; decoders
- * accept both versions.
+ * worker spans) between the fixed header and the body; v3 appends one
+ * more byte after the trace id -- the ABFT integrity flags of a
+ * response (bit 0: checksum comparisons ran, bit 1: a comparison
+ * flagged corruption, bit 2: the result comes from a fallback re-run).
+ * Encoders always emit the *lowest* version whose extension fields are
+ * all zero: untraced unflagged traffic stays byte-identical to the old
+ * wire format, traced-but-unflagged traffic stays v2, and v1/v2-only
+ * peers interoperate until a flag actually needs to travel. Decoders
+ * accept all three versions.
  */
 
 #ifndef NEBULA_SERVING_PROTOCOL_HPP
@@ -44,13 +49,26 @@ namespace serving {
 constexpr uint32_t kWireMagic = 0x4E454250u; // "NEBP"
 constexpr uint8_t kWireVersion = 1;      //!< fixed-header frames
 constexpr uint8_t kWireVersionTrace = 2; //!< + u64 trace-context id
+constexpr uint8_t kWireVersionIntegrity = 3; //!< + u8 integrity flags
 constexpr size_t kHeaderBytes = 12;      //!< fixed part, every version
 constexpr size_t kTraceContextBytes = 8; //!< v2 header extension
+constexpr size_t kIntegrityBytes = 1;    //!< extra v3 header extension
+
+/** Largest header extension any known version carries. */
+constexpr size_t kMaxHeaderExtraBytes =
+    kTraceContextBytes + kIntegrityBytes;
+
+// FrameHeader::integrity flag bits (v3 header extension).
+constexpr uint8_t kIntegrityFlagChecked = 0x01;    //!< ABFT ran
+constexpr uint8_t kIntegrityFlagViolation = 0x02;  //!< corruption seen
+constexpr uint8_t kIntegrityFlagReExecuted = 0x04; //!< fallback re-run
 
 /** Header-extension length that follows the fixed 12 bytes. */
 constexpr size_t
 headerExtraBytes(uint8_t version)
 {
+    if (version >= kWireVersionIntegrity)
+        return kTraceContextBytes + kIntegrityBytes;
     return version >= kWireVersionTrace ? kTraceContextBytes : 0;
 }
 constexpr int kMaxTensorRank = 8;
@@ -112,7 +130,8 @@ struct FrameHeader
     uint8_t version = kWireVersion;
     FrameType type = FrameType::Request;
     uint32_t bodyLen = 0;
-    uint64_t traceId = 0; //!< v2 extension (0 on v1 frames)
+    uint64_t traceId = 0;  //!< v2+ extension (0 on v1 frames)
+    uint8_t integrity = 0; //!< v3 extension flags (0 below v3)
 };
 
 /** One decoded inference request. */
@@ -138,6 +157,27 @@ struct WireResponse
     double serverMs = 0.0; //!< receive-to-respond latency at the server
     std::string message;   //!< human-readable detail (empty when ok)
     Tensor logits;         //!< empty on error
+
+    /**
+     * ABFT verdict flags (kIntegrityFlag*), carried in the v3 frame
+     * header rather than the body so the response body layout is
+     * untouched. 0 when the serving replica ran no checksum
+     * comparisons -- which also keeps the frame at v1/v2.
+     */
+    uint8_t integrity = 0;
+
+    bool integrityChecked() const
+    {
+        return (integrity & kIntegrityFlagChecked) != 0;
+    }
+    bool integrityViolation() const
+    {
+        return (integrity & kIntegrityFlagViolation) != 0;
+    }
+    bool integrityReExecuted() const
+    {
+        return (integrity & kIntegrityFlagReExecuted) != 0;
+    }
 };
 
 /** Bounds-checked little-endian reader; all reads fail-soft. */
@@ -196,20 +236,24 @@ WireStatus decodeHeader(const uint8_t *raw, size_t size, size_t max_body,
 
 /**
  * Decode the version-dependent header extension (v2: the u64 trace
- * id) into @p out. @p size must be headerExtraBytes(out.version); a
- * v1 header is a no-op. @return Ok or BadFrame.
+ * id; v3: trace id + u8 integrity flags) into @p out. @p size must be
+ * headerExtraBytes(out.version); a v1 header is a no-op. @return Ok or
+ * BadFrame.
  */
 WireStatus decodeHeaderExtra(const uint8_t *raw, size_t size,
                              FrameHeader &out);
 
 /**
- * Encode a complete frame (header + body) for @p type. A non-zero
- * @p trace_id emits a v2 header carrying it; 0 emits a v1 frame
- * byte-identical to the pre-trace wire format.
+ * Encode a complete frame (header + body) for @p type. The version is
+ * the lowest one whose extension fields are all zero: non-zero
+ * @p integrity emits v3 (trace id + flags), else a non-zero
+ * @p trace_id emits v2, else v1 -- byte-identical to the pre-trace
+ * wire format.
  */
 std::vector<uint8_t> encodeFrame(FrameType type,
                                  const std::vector<uint8_t> &body,
-                                 uint64_t trace_id = 0);
+                                 uint64_t trace_id = 0,
+                                 uint8_t integrity = 0);
 
 /** Request body -> bytes (frame it with encodeFrame). */
 std::vector<uint8_t> encodeRequestBody(const WireRequest &request);

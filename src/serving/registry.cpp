@@ -155,9 +155,15 @@ ModelRegistry::acquire(const std::string &id)
 
     EngineConfig engine_config = config_.engine;
     engine_config.numWorkers = config_.workersPerModel;
+    NebulaConfig chip_config;
+    chip_config.abft = config_.abft;
+    if (config_.abft && !engine_config.abft.fallback)
+        engine_config.abft.fallback =
+            ServableLoader::global().makeFallbackFactory(spec_it->second);
     ReplicaFactory factory =
         ServableLoader::global().makeFactory(spec_it->second,
-                                             config_.reliability);
+                                             config_.reliability,
+                                             chip_config);
     auto instance = std::make_shared<ModelInstance>(
         spec_it->second, engine_config, factory);
 

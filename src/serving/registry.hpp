@@ -65,6 +65,15 @@ struct RegistryConfig
 
     /** Programming scenario for swap-ins (write-verify accounting). */
     ReliabilityConfig reliability = defaultSwapAccounting();
+
+    /**
+     * Online ABFT integrity checking on every chip-backed servable:
+     * checksum columns on the crossbars (NebulaConfig::abft), hedged
+     * re-execution of flagged requests on the mode's functional
+     * fallback, and immediate health-probe escalation. Off keeps the
+     * serving path byte-identical to an ABFT-unaware registry.
+     */
+    bool abft = false;
 };
 
 /** One resident model: spec + engine + the cost of swapping it in. */

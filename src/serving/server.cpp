@@ -395,11 +395,12 @@ ServingServer::readerLoop(Connection &conn)
             break;
         }
 
-        // v2 frames carry a trace-context extension after the fixed
-        // header; v1 frames have none (extra == 0) and skip this read.
+        // v2+ frames carry a header extension (trace context; v3 adds
+        // integrity flags) after the fixed header; v1 frames have none
+        // (extra == 0) and skip this read.
         const size_t extra = headerExtraBytes(header.version);
         if (extra > 0) {
-            uint8_t raw_extra[kTraceContextBytes];
+            uint8_t raw_extra[kMaxHeaderExtraBytes];
             if (!readFully(conn.fd, raw_extra, extra))
                 break; // disconnect mid-header
             if (decodeHeaderExtra(raw_extra, extra, header) !=
@@ -471,6 +472,22 @@ ServingServer::writerLoop(Connection &conn)
             response.predictedClass = result.predictedClass;
             if (result.ok())
                 response.logits = std::move(result.logits);
+            // ABFT verdict onto the wire (v3 header flags). All three
+            // flags zero keeps the response frame at v1 -- abft=off
+            // traffic is byte-identical to the pre-integrity format.
+            if (result.integrity.checked())
+                response.integrity |= kIntegrityFlagChecked;
+            if (!result.integrity.clean())
+                response.integrity |= kIntegrityFlagViolation;
+            if (result.integrity.reExecuted)
+                response.integrity |= kIntegrityFlagReExecuted;
+            if ((response.integrity &
+                 (kIntegrityFlagViolation | kIntegrityFlagReExecuted)) != 0)
+                metrics
+                    .counter("serving.abft.flagged",
+                             {{"tenant", pending.tenant},
+                              {"model", pending.model}})
+                    .inc();
 
             const double ms =
                 1e3 * std::chrono::duration<double>(

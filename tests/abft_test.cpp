@@ -1,0 +1,557 @@
+/**
+ * @file
+ * Tests for the online ABFT integrity-checking layer: the checksum
+ * column every crossbar carries when NebulaConfig::abft is on, the
+ * per-request IntegrityReport it rolls up into, and the runtime's
+ * hedged re-execution + health-probe escalation on violations.
+ *
+ *  - Differential chaos sweep (> 500 seeded cases over fault kinds x
+ *    rates x ANN/SNN shapes): with ABFT on, no corrupt final answer
+ *    (prediction differs from the clean-reference replica) is ever
+ *    unflagged -- silent data corruption is zero across the sweep.
+ *  - ABFT off/on produce bit-identical logits (the checksum column is
+ *    read alongside the data columns, never mixed into them).
+ *  - Zero false positives on clean arrays, including under device
+ *    variation (the tolerance widens by the 6-sigma variation bound).
+ *  - Engine-level hedged re-execution: flagged requests re-run once on
+ *    the functional fallback and come back clean and typed, in both
+ *    worker and inline modes.
+ *  - Health escalation: a violation triggers an immediate canary probe
+ *    (no waiting for the probeEvery cadence); probeEvery=1 probes after
+ *    every request; an escalated probe landing on an already-demoted
+ *    slot is a no-op (no double demotion, no touched promise).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/datasets.hpp"
+#include "nn/models.hpp"
+#include "nn/quantize.hpp"
+#include "reliability/fault_model.hpp"
+#include "reliability/health.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/replica.hpp"
+#include "snn/convert.hpp"
+
+namespace nebula {
+namespace {
+
+constexpr int kClasses = 10;
+
+bool
+bitIdentical(const Tensor &a, const Tensor &b)
+{
+    if (a.size() != b.size())
+        return false;
+    return std::memcmp(a.data(), b.data(),
+                       static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+/** One quantized ANN prototype at a given image size. */
+struct AnnShape
+{
+    std::string name;
+    SyntheticDigits data;
+    Network net;
+    QuantizationResult quant;
+
+    explicit AnnShape(int image, uint64_t seed)
+        : name("mlp3-" + std::to_string(image)),
+          data(48, image, /*seed=*/9),
+          net(buildMlp3(image, 1, kClasses, seed)),
+          quant(quantizeNetwork(net, data.firstImages(16)))
+    {
+    }
+};
+
+NebulaConfig
+abftOn()
+{
+    NebulaConfig config;
+    config.abft = true;
+    return config;
+}
+
+InferenceRequest
+annRequest(const Tensor &image, uint64_t id)
+{
+    InferenceRequest request;
+    request.id = id;
+    request.image = image;
+    return request;
+}
+
+InferenceRequest
+snnRequest(const Tensor &image, uint64_t id, int timesteps)
+{
+    InferenceRequest request = annRequest(image, id);
+    request.timesteps = timesteps;
+    request.seed = 1000 + id;
+    return request;
+}
+
+/** Named fault-model builder for the chaos sweep. */
+struct FaultKindSpec
+{
+    const char *name;
+    std::shared_ptr<const FaultModel> (*make)(double rate);
+};
+
+const FaultKindSpec kFaultKinds[] = {
+    {"stuck_mixed",
+     [](double rate) -> std::shared_ptr<const FaultModel> {
+         return std::make_shared<StuckAtFaultModel>(rate, 0.5, 0.25);
+     }},
+    {"stuck_high_hard",
+     [](double rate) -> std::shared_ptr<const FaultModel> {
+         return std::make_shared<StuckAtFaultModel>(rate, 1.0, 1.0);
+     }},
+    {"stuck_low",
+     [](double rate) -> std::shared_ptr<const FaultModel> {
+         return std::make_shared<StuckAtFaultModel>(rate, 0.0, 0.5);
+     }},
+    {"pinning_drift",
+     [](double rate) -> std::shared_ptr<const FaultModel> {
+         return std::make_shared<PinningDriftFaultModel>(rate, 2);
+     }},
+    {"retention_decay",
+     [](double rate) -> std::shared_ptr<const FaultModel> {
+         return std::make_shared<RetentionDecayFaultModel>(
+             /*elapsed=*/40.0 * rate, /*tau=*/1.0, /*sigma=*/0.3);
+     }},
+    {"line_open",
+     [](double rate) -> std::shared_ptr<const FaultModel> {
+         return std::make_shared<LineOpenFaultModel>(rate, rate);
+     }},
+};
+
+// ---------------------------------------------------------------------------
+// Differential chaos sweep: zero silent corruption with ABFT on
+// ---------------------------------------------------------------------------
+
+TEST(AbftChaos, NoUndetectedCorruptionAcrossFaultSweep)
+{
+    const std::vector<double> rates{0.005, 0.02, 0.05};
+    const std::vector<uint64_t> seeds{1, 2, 3, 4, 5};
+    const int images_per_trial = 3;
+    int cases = 0;
+
+    for (int image_size : {10, 8}) {
+        AnnShape shape(image_size, /*seed=*/3 + image_size);
+
+        // Clean reference: the answer every uncorrupted replica gives.
+        auto reference =
+            makeAnnReplicaFactory(shape.net, shape.quant)(0);
+        std::vector<int> expected;
+        for (int i = 0; i < images_per_trial; ++i)
+            expected.push_back(
+                reference->run(annRequest(shape.data.image(i), 1 + i))
+                    .predictedClass);
+
+        for (const FaultKindSpec &kind : kFaultKinds) {
+            for (double rate : rates) {
+                for (uint64_t seed : seeds) {
+                    ReliabilityConfig rel;
+                    rel.faults = kind.make(rate);
+                    rel.faultSeed = seed;
+                    auto replica = makeAnnReplicaFactory(
+                        shape.net, shape.quant, abftOn(),
+                        /*variation_sigma=*/0.0, /*chip_seed=*/5, rel)(0);
+                    for (int i = 0; i < images_per_trial; ++i) {
+                        const InferenceResult result = replica->run(
+                            annRequest(shape.data.image(i), 1 + i));
+                        ++cases;
+                        ASSERT_TRUE(result.ok());
+                        EXPECT_GT(result.integrity.checks, 0);
+                        const bool corrupt =
+                            result.predictedClass !=
+                            expected[static_cast<size_t>(i)];
+                        EXPECT_FALSE(corrupt && result.integrity.clean())
+                            << "silent corruption: " << shape.name << " "
+                            << kind.name << " rate " << rate << " seed "
+                            << seed << " image " << i;
+                    }
+                }
+            }
+        }
+    }
+
+    // SNN leg: a converted spiking model through the same sweep (fewer
+    // cells, so fewer combos keep the suite fast).
+    {
+        AnnShape shape(8, /*seed=*/21);
+        Network float_net = buildMlp3(8, 1, kClasses, /*seed=*/21);
+        const SpikingModel snn =
+            convertToSnn(float_net, shape.data.firstImages(16));
+        const int timesteps = 16;
+
+        auto reference = makeSnnReplicaFactory(snn)(0);
+        std::vector<int> expected;
+        for (int i = 0; i < 2; ++i)
+            expected.push_back(
+                reference
+                    ->run(snnRequest(shape.data.image(i), 1 + i, timesteps))
+                    .predictedClass);
+
+        for (const char *kind_name :
+             {"stuck_mixed", "line_open", "retention_decay"}) {
+            const FaultKindSpec *kind = nullptr;
+            for (const FaultKindSpec &candidate : kFaultKinds)
+                if (std::string(candidate.name) == kind_name)
+                    kind = &candidate;
+            ASSERT_NE(kind, nullptr);
+            for (double rate : {0.02, 0.05}) {
+                for (uint64_t seed : {7ull, 8ull}) {
+                    ReliabilityConfig rel;
+                    rel.faults = kind->make(rate);
+                    rel.faultSeed = seed;
+                    auto replica = makeSnnReplicaFactory(
+                        snn, abftOn(), /*variation_sigma=*/0.0,
+                        /*chip_seed=*/5, rel)(0);
+                    for (int i = 0; i < 2; ++i) {
+                        const InferenceResult result = replica->run(
+                            snnRequest(shape.data.image(i), 1 + i,
+                                       timesteps));
+                        ++cases;
+                        ASSERT_TRUE(result.ok());
+                        EXPECT_GT(result.integrity.checks, 0);
+                        const bool corrupt =
+                            result.predictedClass !=
+                            expected[static_cast<size_t>(i)];
+                        EXPECT_FALSE(corrupt && result.integrity.clean())
+                            << "silent SNN corruption: " << kind->name
+                            << " rate " << rate << " seed " << seed
+                            << " image " << i;
+                    }
+                }
+            }
+        }
+    }
+
+    EXPECT_GE(cases, 500) << "chaos sweep shrank below its design size";
+}
+
+// ---------------------------------------------------------------------------
+// Checksum reads never perturb the data path
+// ---------------------------------------------------------------------------
+
+TEST(AbftEquivalence, OffAndOnLogitsBitIdenticalCleanAndFaulty)
+{
+    AnnShape shape(10, /*seed=*/13);
+
+    ReliabilityConfig faulty;
+    faulty.faults = std::make_shared<StuckAtFaultModel>(0.02);
+    faulty.faultSeed = 3;
+
+    for (const ReliabilityConfig &rel :
+         {ReliabilityConfig{}, faulty}) {
+        auto off = makeAnnReplicaFactory(shape.net, shape.quant, {},
+                                         /*variation_sigma=*/0.0,
+                                         /*chip_seed=*/5, rel)(0);
+        auto on = makeAnnReplicaFactory(shape.net, shape.quant, abftOn(),
+                                        /*variation_sigma=*/0.0,
+                                        /*chip_seed=*/5, rel)(0);
+        for (int i = 0; i < 8; ++i) {
+            const InferenceResult off_result =
+                off->run(annRequest(shape.data.image(i), 1 + i));
+            const InferenceResult on_result =
+                on->run(annRequest(shape.data.image(i), 1 + i));
+            EXPECT_TRUE(
+                bitIdentical(off_result.logits, on_result.logits))
+                << "checksum column leaked into data logits, image " << i;
+            // The ABFT-off replica must not even run comparisons.
+            EXPECT_EQ(off_result.integrity.checks, 0);
+            EXPECT_FALSE(off_result.integrity.checked());
+        }
+    }
+}
+
+TEST(AbftEquivalence, SnnOffAndOnBitIdentical)
+{
+    SyntheticDigits data(16, 8, /*seed=*/9);
+    Network float_net = buildMlp3(8, 1, kClasses, /*seed=*/21);
+    const SpikingModel snn = convertToSnn(float_net, data.firstImages(16));
+
+    auto off = makeSnnReplicaFactory(snn)(0);
+    auto on = makeSnnReplicaFactory(snn, abftOn())(0);
+    for (int i = 0; i < 4; ++i) {
+        const InferenceResult off_result =
+            off->run(snnRequest(data.image(i), 1 + i, 12));
+        const InferenceResult on_result =
+            on->run(snnRequest(data.image(i), 1 + i, 12));
+        EXPECT_TRUE(bitIdentical(off_result.logits, on_result.logits));
+        EXPECT_EQ(off_result.integrity.checks, 0);
+        EXPECT_GT(on_result.integrity.checks, 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// False-positive budget: zero on clean arrays
+// ---------------------------------------------------------------------------
+
+TEST(AbftFalsePositives, ZeroOnCleanArraysIncludingVariation)
+{
+    AnnShape shape(10, /*seed=*/13);
+
+    for (double sigma : {0.0, 0.08}) {
+        auto replica = makeAnnReplicaFactory(shape.net, shape.quant,
+                                             abftOn(), sigma)(0);
+        long long checks = 0;
+        for (int i = 0; i < 24; ++i) {
+            const InferenceResult result =
+                replica->run(annRequest(shape.data.image(i), 1 + i));
+            ASSERT_TRUE(result.ok());
+            EXPECT_TRUE(result.integrity.clean())
+                << "false positive at sigma " << sigma << ", image " << i;
+            checks += result.integrity.checks;
+        }
+        EXPECT_GT(checks, 0) << "no comparisons ran at sigma " << sigma;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level hedged re-execution
+// ---------------------------------------------------------------------------
+
+/**
+ * Run the re-execution scenario at a given worker count: a stuck-at
+ * chip pool whose every corrupt answer must be replaced by a clean
+ * functional one before the future resolves.
+ */
+void
+reExecutionDeliversCleanAnswers(int num_workers)
+{
+    AnnShape shape(10, /*seed=*/13);
+
+    ReliabilityConfig rel;
+    rel.faults = std::make_shared<StuckAtFaultModel>(0.03);
+    rel.faultSeed = 11;
+
+    // What the functional fallback answers (the re-executed truth) and
+    // what a clean chip answers (the no-corruption reference).
+    auto functional = makeFunctionalAnnReplicaFactory(shape.net)(0);
+    auto clean_chip = makeAnnReplicaFactory(shape.net, shape.quant)(0);
+    std::vector<int> functional_expected, chip_expected;
+    for (int i = 0; i < 16; ++i) {
+        functional_expected.push_back(
+            functional->run(annRequest(shape.data.image(i), 1 + i))
+                .predictedClass);
+        chip_expected.push_back(
+            clean_chip->run(annRequest(shape.data.image(i), 1 + i))
+                .predictedClass);
+    }
+
+    EngineConfig cfg;
+    cfg.numWorkers = num_workers;
+    cfg.abft.reExecute = true;
+    cfg.abft.fallback = makeFunctionalAnnReplicaFactory(shape.net);
+    InferenceEngine engine(
+        cfg, makeAnnReplicaFactory(shape.net, shape.quant, abftOn(),
+                                   /*variation_sigma=*/0.0,
+                                   /*chip_seed=*/5, rel));
+
+    int re_executed = 0;
+    for (int i = 0; i < 16; ++i) {
+        const InferenceResult result =
+            engine.submit(shape.data.image(i)).get();
+        ASSERT_TRUE(result.ok());
+        if (result.integrity.reExecuted) {
+            ++re_executed;
+            EXPECT_EQ(result.predictedClass,
+                      functional_expected[static_cast<size_t>(i)])
+                << "re-executed answer is not the fallback's, image " << i;
+        } else {
+            // Not re-executed means not flagged -- which must mean not
+            // corrupt either (the chaos sweep pins this at scale).
+            EXPECT_TRUE(result.integrity.clean());
+            EXPECT_EQ(result.predictedClass,
+                      chip_expected[static_cast<size_t>(i)])
+                << "unflagged corrupt answer escaped, image " << i;
+        }
+    }
+    EXPECT_GT(re_executed, 0)
+        << "fault rate produced no violations; scenario is vacuous";
+
+    StatGroup stats = engine.runtimeStats();
+    EXPECT_GE(stats.scalarAt("abft.violations").sum(), 1.0);
+    EXPECT_GE(stats.scalarAt("abft.reexecutions").sum(), 1.0);
+    engine.shutdown();
+}
+
+TEST(AbftReExecution, WorkerModeDeliversCleanTypedAnswers)
+{
+    reExecutionDeliversCleanAnswers(/*num_workers=*/1);
+}
+
+TEST(AbftReExecution, InlineModeDeliversCleanTypedAnswers)
+{
+    reExecutionDeliversCleanAnswers(/*num_workers=*/0);
+}
+
+TEST(AbftReExecution, WithoutFallbackResultStaysFlagged)
+{
+    AnnShape shape(10, /*seed=*/13);
+
+    ReliabilityConfig rel;
+    rel.faults = std::make_shared<StuckAtFaultModel>(0.03);
+    rel.faultSeed = 11;
+
+    EngineConfig cfg;
+    cfg.numWorkers = 1;
+    // reExecute defaults true, but no fallback factory is configured:
+    // the engine must hand back the flagged original, never fault.
+    InferenceEngine engine(
+        cfg, makeAnnReplicaFactory(shape.net, shape.quant, abftOn(),
+                                   /*variation_sigma=*/0.0,
+                                   /*chip_seed=*/5, rel));
+
+    int flagged = 0;
+    for (int i = 0; i < 16; ++i) {
+        const InferenceResult result =
+            engine.submit(shape.data.image(i)).get();
+        ASSERT_TRUE(result.ok());
+        EXPECT_FALSE(result.integrity.reExecuted);
+        flagged += result.integrity.clean() ? 0 : 1;
+    }
+    EXPECT_GT(flagged, 0);
+    engine.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Health escalation
+// ---------------------------------------------------------------------------
+
+/** Retention-decay ramp well past tolerance (same as resilience_test). */
+ReliabilityConfig
+decayRamp()
+{
+    ReliabilityConfig rel;
+    rel.faults = std::make_shared<RetentionDecayFaultModel>(
+        /*elapsed=*/5.0, /*tau=*/1.0, /*sigma=*/0.3);
+    return rel;
+}
+
+TEST(AbftHealth, ProbeEveryOneProbesAfterEveryRequest)
+{
+    AnnShape shape(10, /*seed=*/13);
+
+    HealthConfig hc;
+    hc.probeEvery = 1;
+    std::vector<Tensor> canaries{shape.data.image(40), shape.data.image(41)};
+
+    EngineConfig cfg;
+    cfg.numWorkers = 1;
+    cfg.health = std::make_shared<HealthMonitor>(hc, canaries);
+    InferenceEngine engine(cfg,
+                           makeAnnReplicaFactory(shape.net, shape.quant));
+
+    const int requests = 6;
+    for (int i = 0; i < requests; ++i)
+        EXPECT_TRUE(engine.submit(shape.data.image(i)).get().ok());
+    engine.waitIdle();
+    EXPECT_EQ(cfg.health->probes(), requests);
+    EXPECT_EQ(cfg.health->degradations(), 0);
+    EXPECT_EQ(cfg.health->health(0), ReplicaHealth::Healthy);
+    engine.shutdown();
+}
+
+TEST(AbftHealth, ViolationEscalatesProbeAheadOfCadence)
+{
+    AnnShape shape(10, /*seed=*/13);
+
+    HealthConfig hc;
+    hc.probeEvery = 1000000; // the cadence alone would never probe
+    std::vector<Tensor> canaries{shape.data.image(40), shape.data.image(41)};
+    auto health = std::make_shared<HealthMonitor>(hc, canaries);
+    health->setFallback(makeFunctionalAnnReplicaFactory(shape.net));
+
+    EngineConfig cfg;
+    cfg.numWorkers = 1;
+    cfg.health = health;
+    cfg.abft.reExecute = true;
+    cfg.abft.fallback = makeFunctionalAnnReplicaFactory(shape.net);
+    // Clean factory: canaries are captured pristine; the decay ramp
+    // lands afterwards, so the escalated probe sees real deviation.
+    InferenceEngine engine(
+        cfg, makeAnnReplicaFactory(shape.net, shape.quant, abftOn()));
+
+    EXPECT_TRUE(engine.submit(shape.data.image(0)).get().ok());
+    engine.waitIdle();
+    EXPECT_EQ(health->probes(), 0);
+
+    engine.withReplicas([&](ChipReplica &replica) {
+        EXPECT_TRUE(replica.reprogram(decayRamp()));
+    });
+
+    // The decayed answer violates the checksum; the worker re-executes
+    // it on the fallback AND immediately probes -- the probe ladder
+    // repairs the slot (default repairWith reprograms cleanly).
+    const InferenceResult result = engine.submit(shape.data.image(1)).get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.integrity.reExecuted);
+    engine.waitIdle();
+    EXPECT_GE(health->probes(), 1)
+        << "violation did not trigger an immediate probe";
+    EXPECT_EQ(health->degradations(), 1);
+    EXPECT_EQ(health->repairs(), 1);
+    EXPECT_EQ(health->health(0), ReplicaHealth::Repaired);
+
+    // The repaired slot serves clean, unflagged answers again.
+    const InferenceResult after = engine.submit(shape.data.image(2)).get();
+    ASSERT_TRUE(after.ok());
+    EXPECT_TRUE(after.integrity.clean());
+    EXPECT_FALSE(after.integrity.reExecuted);
+    engine.shutdown();
+}
+
+TEST(AbftHealth, EscalatedProbeOnQuarantinedSlotIsANoOp)
+{
+    AnnShape shape(10, /*seed=*/13);
+
+    HealthConfig hc;
+    hc.tolerance = 1e-6;
+    hc.maxRepairAttempts = 1;
+    hc.repairWith = decayRamp(); // "repair" that re-applies the damage
+    std::vector<Tensor> canaries{shape.data.image(40), shape.data.image(41)};
+    HealthMonitor monitor(hc, canaries);
+    monitor.setFallback(makeFunctionalAnnReplicaFactory(shape.net));
+
+    auto replica = makeAnnReplicaFactory(shape.net, shape.quant)(0);
+    monitor.captureExpected(*replica, /*default_timesteps=*/8);
+    monitor.resizeSlots(1);
+
+    // Silent damage, then the first (violation-escalated) probe walks
+    // the full ladder: degrade -> futile repair -> demote to functional.
+    EXPECT_TRUE(replica->reprogram(decayRamp()));
+    EXPECT_EQ(monitor.probeNow(0, replica), ReplicaHealth::Demoted);
+    EXPECT_EQ(monitor.degradations(), 1);
+    EXPECT_EQ(monitor.demotions(), 1);
+    const long long probes_after_demotion = monitor.probes();
+
+    // A second escalated probe arrives while the slot is quarantined
+    // (e.g. a violation raced the demotion): terminal states return
+    // settled, no re-probe, no double demotion, no replica churn.
+    ChipReplica *demoted = replica.get();
+    EXPECT_EQ(monitor.probeNow(0, replica), ReplicaHealth::Demoted);
+    EXPECT_EQ(monitor.probes(), probes_after_demotion);
+    EXPECT_EQ(monitor.degradations(), 1);
+    EXPECT_EQ(monitor.demotions(), 1);
+    EXPECT_EQ(replica.get(), demoted) << "quarantined replica was replaced";
+
+    // The demoted (functional) replica still answers; its result path
+    // is promise-settled exactly once by the caller, and the monitor
+    // never touches it.
+    const InferenceResult result =
+        replica->run(annRequest(shape.data.image(0), 99));
+    EXPECT_TRUE(result.ok());
+    EXPECT_GE(result.predictedClass, 0);
+    EXPECT_LT(result.predictedClass, kClasses);
+}
+
+} // namespace
+} // namespace nebula

@@ -321,7 +321,8 @@ TEST(WireCompat, UnknownVersionsStayTyped)
     using namespace serving;
     std::vector<uint8_t> frame =
         encodeFrame(serving::FrameType::Request, {1, 2, 3});
-    frame[4] = 3; // a future version this build does not know
+    frame[4] = 4; // a future version this build does not know
+                  // (3 is kWireVersionIntegrity, the ABFT verdict frame)
     FrameHeader header;
     EXPECT_EQ(decodeHeader(frame.data(), kHeaderBytes, 1 << 20, header),
               WireStatus::UnsupportedVersion);
